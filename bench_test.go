@@ -1,0 +1,270 @@
+// Package xmrobust_test holds the benchmark harness: one benchmark per
+// table and figure of the paper's evaluation, plus the ablations DESIGN.md
+// §7 calls out and micro-benchmarks of the substrates. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The expensive benchmarks (full campaigns) regenerate Table III / Fig. 8
+// per iteration; the reported time is the cost of reproducing the paper's
+// headline experiment from scratch.
+package xmrobust_test
+
+import (
+	"sync"
+	"testing"
+
+	"xmrobust/internal/analysis"
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/core"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/report"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// cachedLegacy memoises one legacy campaign for the derived benchmarks
+// (Fig. 8, issue detection) so they measure their own stage only.
+var (
+	legacyOnce sync.Once
+	legacyRep  *core.CampaignReport
+)
+
+func legacyCampaign(b *testing.B) *core.CampaignReport {
+	b.Helper()
+	legacyOnce.Do(func() {
+		rep, err := core.RunCampaign(campaign.Options{})
+		if err != nil {
+			panic(err)
+		}
+		legacyRep = rep
+	})
+	return legacyRep
+}
+
+// --- Table I / Table II -------------------------------------------------------
+
+// BenchmarkTable1DataTypes regenerates Table I (the XM data-type
+// inventory).
+func BenchmarkTable1DataTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(report.TableI()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2ValueSet regenerates Table II (the xm_s32_t test-value
+// set) from the builtin dictionary.
+func BenchmarkTable2ValueSet(b *testing.B) {
+	d := dict.Builtin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(report.TableII(d, "xm_s32_t")) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- Table III / campaign -----------------------------------------------------
+
+// BenchmarkTable3Campaign regenerates Table III: the complete 2661-test
+// campaign against the legacy kernel, classification and clustering
+// included. This is the paper's headline experiment.
+func BenchmarkTable3Campaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunCampaign(campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Issues) != 9 {
+			b.Fatalf("issues = %d, want 9", len(rep.Issues))
+		}
+	}
+}
+
+// BenchmarkFig45Generation regenerates the Fig. 4/Fig. 5 pipeline: XML
+// spec + dictionaries to the full 2661-dataset suite.
+func BenchmarkFig45Generation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		datasets, err := testgen.Generate(apispec.Default(), dict.Builtin())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(datasets) != 2661 {
+			b.Fatalf("datasets = %d", len(datasets))
+		}
+	}
+}
+
+// BenchmarkFig8Distribution regenerates the Fig. 8 distribution from a
+// finished campaign.
+func BenchmarkFig8Distribution(b *testing.B) {
+	rep := legacyCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := report.ComputeDistribution(rep)
+		if d.Total() != 61 {
+			b.Fatalf("total = %d", d.Total())
+		}
+	}
+}
+
+// BenchmarkIssueDetection measures the Log Analysis phase alone:
+// CRASH classification plus issue clustering over the 2661 execution logs.
+func BenchmarkIssueDetection(b *testing.B) {
+	rep := legacyCampaign(b)
+	oracle := analysis.NewOracle(xm.LegacyFaults())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classified := analysis.ClassifyAll(rep.Results, oracle)
+		if issues := analysis.Cluster(classified); len(issues) != 9 {
+			b.Fatalf("issues = %d", len(issues))
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §7) ---------------------------------------------------
+
+// BenchmarkAblationPatchedKernel runs the campaign against the patched
+// kernel: the fault-removal outcome (0 issues).
+func BenchmarkAblationPatchedKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunCampaign(campaign.Options{Faults: xm.PatchedFaults()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Issues) != 0 {
+			b.Fatalf("patched kernel raised %d issues", len(rep.Issues))
+		}
+	}
+}
+
+// BenchmarkAblationFaultMasking runs the campaign with the boundary-only
+// dictionary (valid values stripped): the multicall findings vanish
+// because every pointer dataset is masked by its first invalid parameter —
+// the paper's Fig. 7 effect, measured.
+func BenchmarkAblationFaultMasking(b *testing.B) {
+	stripped := dict.WithoutValid(dict.Builtin())
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunCampaign(campaign.Options{Dict: stripped})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The three XM_multicall issues need valid pointers to surface.
+		if counts := analysis.IssuesByCategory(rep.Issues); counts[xm.CatMisc] != 0 {
+			b.Fatalf("boundary-only dictionary still found %d Misc issues", counts[xm.CatMisc])
+		}
+	}
+}
+
+// BenchmarkAblationStressState runs the campaign with the pre-loaded
+// (stressful) system state of paper §V.
+func BenchmarkAblationStressState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunCampaign(campaign.Options{Stress: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Issues) == 0 {
+			b.Fatal("stress campaign found nothing")
+		}
+	}
+}
+
+// BenchmarkAblationSerialExecution runs the campaign single-threaded, the
+// baseline for the worker-pool speedup.
+func BenchmarkAblationSerialExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunCampaign(campaign.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Issues) != 9 {
+			b.Fatalf("issues = %d", len(rep.Issues))
+		}
+	}
+}
+
+// BenchmarkExtensionPhantomCampaign runs the §V phantom-parameter
+// extension: the 10 parameter-less hypercalls under 5 system states.
+func BenchmarkExtensionPhantomCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := core.RunPhantomCampaign(campaign.Options{})
+		if len(rep.Results) != 50 {
+			b.Fatalf("phantom tests = %d, want 50", len(rep.Results))
+		}
+		if len(rep.Issues) != 0 {
+			b.Fatalf("phantom campaign raised %d issues", len(rep.Issues))
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------------------
+
+// BenchmarkSingleInjection measures one complete test execution: fresh
+// machine + kernel + testbed, two major frames, log collection.
+func BenchmarkSingleInjection(b *testing.B) {
+	header := apispec.Default()
+	f, _ := header.Function("XM_memory_copy")
+	m, err := testgen.BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := m.Datasets()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := campaign.RunOne(ds, campaign.Options{})
+		if res.RunErr != "" {
+			b.Fatal(res.RunErr)
+		}
+	}
+}
+
+// BenchmarkEagleEyeMajorFrame measures the testbed's execution rate: one
+// 250 ms cyclic schedule of the five-partition OBSW.
+func BenchmarkEagleEyeMajorFrame(b *testing.B) {
+	k, err := eagleeye.NewSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.RunMajorFrames(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHypercallDispatch measures the kernel's hypercall path
+// (XM_get_time through the guest environment).
+func BenchmarkHypercallDispatch(b *testing.B) {
+	k, err := eagleeye.NewSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	area, _ := k.PartitionDataArea(eagleeye.FDIR)
+	calls := 0
+	prog := benchProg(func(env xm.Env) bool {
+		for j := 0; j < 64; j++ {
+			env.Hypercall(xm.NrGetTime, uint64(xm.HwClock), uint64(area.Base))
+			calls++
+		}
+		return false
+	})
+	if err := k.AttachProgram(eagleeye.FDIR, prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for calls < b.N {
+		if err := k.RunMajorFrames(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchProg func(env xm.Env) bool
+
+func (p benchProg) Boot(env xm.Env)      {}
+func (p benchProg) Step(env xm.Env) bool { return p(env) }

@@ -1,0 +1,117 @@
+// Command xmfuzz runs the robustness testing campaign of the paper's case
+// study: the data-type fault model applied to the XtratuM-like separation
+// kernel on the EagleEye TSP testbed. It reproduces Table III, the CRASH
+// tally, Fig. 8 and the §IV.C issue list.
+//
+// Usage:
+//
+//	xmfuzz [-patched] [-mafs N] [-workers N] [-stress] [-func NAME]
+//	       [-csv] [-issues] [-progress]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmrobust/internal/analysis"
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/core"
+	"xmrobust/internal/report"
+	"xmrobust/internal/xm"
+)
+
+func main() {
+	var (
+		patched  = flag.Bool("patched", false, "test the patched kernel (post fault-removal)")
+		mafs     = flag.Int("mafs", campaign.DefaultMAFs, "major frames per test")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		stress   = flag.Bool("stress", false, "pre-load the system before injection")
+		fn       = flag.String("func", "", "restrict the campaign to one hypercall")
+		csv      = flag.Bool("csv", false, "emit Table III as CSV")
+		issues   = flag.Bool("issues", false, "emit only the issue list")
+		progress = flag.Bool("progress", false, "print progress while running")
+		phantom  = flag.Bool("phantom", false, "run the phantom-parameter extension campaign instead")
+		masking  = flag.Bool("masking", false, "append the fault-masking study (paper Fig. 7)")
+		output   = flag.String("o", "", "write the raw campaign log (JSON Lines) to this file")
+	)
+	flag.Parse()
+
+	opts := campaign.Options{
+		MAFs:    *mafs,
+		Workers: *workers,
+		Stress:  *stress,
+	}
+	if *patched {
+		opts.Faults = xm.PatchedFaults()
+	}
+	if *fn != "" {
+		header := apispec.Default()
+		found := false
+		for i := range header.Functions {
+			tested := header.Functions[i].Name == *fn
+			if tested {
+				found = true
+			}
+			header.Functions[i].Tested = map[bool]string{true: "YES", false: "NO"}[tested]
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "xmfuzz: unknown hypercall %q\n", *fn)
+			os.Exit(2)
+		}
+		opts.Header = header
+	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			if done%250 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%6d / %d tests", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	if *phantom {
+		prep := core.RunPhantomCampaign(opts)
+		fmt.Printf("phantom-parameter extension: %d tests (%d parameter-less hypercalls x %d states)\n\n",
+			len(prep.Results), len(prep.Results)/len(campaign.PhantomStates()), len(campaign.PhantomStates()))
+		fmt.Print(analysis.Summary(prep.Issues))
+		return
+	}
+
+	rep, err := core.RunCampaign(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmfuzz:", err)
+		os.Exit(1)
+	}
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
+			os.Exit(1)
+		}
+		if err := campaign.WriteJSON(f, rep.Results); err != nil {
+			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "campaign log: %s (%d records)\n", *output, len(rep.Results))
+	}
+	switch {
+	case *csv:
+		fmt.Print(report.TableIIICSV(rep))
+	case *issues:
+		fmt.Print(analysis.Summary(rep.Issues))
+	default:
+		fmt.Print(report.Full(rep))
+	}
+	if *masking {
+		fmt.Println()
+		fmt.Print(analysis.MaskingSummary(analysis.MaskingStudy(rep.Classified)))
+	}
+}

@@ -1,0 +1,80 @@
+// Command xmreport regenerates the paper's tables and figures.
+//
+//	xmreport -table 1          # Table I: XM data types
+//	xmreport -table 2          # Table II: xm_s32_t test-value set
+//	xmreport -table 3          # Table III: the test campaign (runs it)
+//	xmreport -fig 8            # Fig. 8: campaign distribution (runs it)
+//	xmreport -all              # everything
+//
+// Tables 3 and figure 8 execute the full campaign (a few seconds);
+// -patched reports the post-fault-removal kernel instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/core"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/report"
+	"xmrobust/internal/xm"
+)
+
+func main() {
+	var (
+		tableN   = flag.Int("table", 0, "render table 1, 2 or 3")
+		figN     = flag.Int("fig", 0, "render figure 8")
+		all      = flag.Bool("all", false, "render every table and figure")
+		patched  = flag.Bool("patched", false, "campaign against the patched kernel")
+		typeName = flag.String("type", "xm_s32_t", "data type for table 2")
+		compare  = flag.Bool("compare", false, "render Table III paper-vs-measured")
+	)
+	flag.Parse()
+
+	needCampaign := *all || *tableN == 3 || *figN == 8 || *compare
+	var rep *core.CampaignReport
+	if needCampaign {
+		opts := campaign.Options{}
+		if *patched {
+			opts.Faults = xm.PatchedFaults()
+		}
+		var err error
+		rep, err = core.RunCampaign(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmreport:", err)
+			os.Exit(1)
+		}
+	}
+
+	printed := false
+	if *all || *tableN == 1 {
+		fmt.Println(report.TableI())
+		printed = true
+	}
+	if *all || *tableN == 2 {
+		fmt.Println(report.TableII(dict.Builtin(), *typeName))
+		printed = true
+	}
+	if *all || *tableN == 3 {
+		fmt.Println(report.TableIII(rep))
+		fmt.Println(report.Verdicts(rep))
+		printed = true
+	}
+	if *all || *figN == 8 {
+		fmt.Println(report.Fig8(rep))
+		printed = true
+	}
+	if *all || *compare {
+		fmt.Println(report.CompareTableIII(rep))
+		printed = true
+	}
+	if *all {
+		fmt.Println(report.Issues(rep))
+	}
+	if !printed {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

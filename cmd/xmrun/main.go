@@ -1,0 +1,96 @@
+// Command xmrun boots a TSP system and runs it for a number of major
+// frames, printing the hypervisor console, partition statuses and the
+// health-monitor log — the xmcfg/xm equivalent of launching TSIM with a
+// packed XtratuM image.
+//
+// With no -config argument it runs the built-in EagleEye TSP testbed with
+// its synthetic on-board software; with -config it boots an XM_CF-style
+// XML system description with empty partitions (useful for schedule and
+// configuration validation).
+//
+// Usage:
+//
+//	xmrun [-config system.xml] [-frames N] [-patched] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/xm"
+	"xmrobust/internal/xmcfg"
+)
+
+func main() {
+	var (
+		cfgPath = flag.String("config", "", "XM_CF-style system description XML")
+		frames  = flag.Int("frames", 4, "major frames to run")
+		patched = flag.Bool("patched", false, "boot the patched kernel")
+		quiet   = flag.Bool("quiet", false, "suppress the guest console dump")
+	)
+	flag.Parse()
+
+	faults := xm.LegacyFaults()
+	if *patched {
+		faults = xm.PatchedFaults()
+	}
+
+	var (
+		k   *xm.Kernel
+		err error
+	)
+	if *cfgPath == "" {
+		k, err = eagleeye.NewSystem(xm.WithFaults(faults))
+	} else {
+		var data []byte
+		data, err = os.ReadFile(*cfgPath)
+		if err == nil {
+			var cfg xm.Config
+			cfg, err = xmcfg.Parse(data)
+			if err == nil {
+				k, err = xm.New(cfg, xm.WithFaults(faults))
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmrun:", err)
+		os.Exit(1)
+	}
+
+	runErr := k.RunMajorFrames(*frames)
+	st := k.Status()
+	fmt.Printf("system    : %s\n", k.Config().Name)
+	fmt.Printf("kernel    : %s (cold resets %d, warm resets %d, %d hypercalls)\n",
+		st.State, st.ColdResets, st.WarmResets, k.HypercallCount())
+	fmt.Printf("time      : %d us over %d major frames\n", k.Machine().Now(), st.MAFCount)
+	if runErr != nil {
+		fmt.Printf("run error : %v\n", runErr)
+	}
+	fmt.Println("partitions:")
+	for id := 0; id < k.NumPartitions(); id++ {
+		ps, _ := k.PartitionStatus(id)
+		extra := ""
+		if ps.HaltDetail != "" {
+			extra = " — " + ps.HaltDetail
+		}
+		fmt.Printf("  P%d %-10s %-10s boots=%d exec=%dus%s\n",
+			ps.ID, ps.Name, ps.State, ps.BootCount, ps.ExecClock, extra)
+	}
+	if hm := k.HMEntries(); len(hm) > 0 {
+		fmt.Println("health monitor log:")
+		for _, e := range hm {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	if !*quiet {
+		if console := k.Machine().UART().String(); console != "" {
+			fmt.Println("console:")
+			fmt.Print(console)
+		}
+	}
+	if st.State != xm.KStateRunning {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Command xmspec inspects and emits the two kernel-specific XML inputs of
+// the test-generation toolset (paper Fig. 2 and Fig. 3), shows the Eq. 1
+// combination counts, and renders mutant sources.
+//
+//	xmspec api                  # emit the API Header XML
+//	xmspec dict                 # emit the Data Type XML
+//	xmspec counts               # Eq. 1 combinations per tested hypercall
+//	xmspec mutant XM_set_timer 0   # render mutant source #0 of a hypercall
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xmspec api | dict | counts | mutant FUNC INDEX")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	header := apispec.Default()
+	d := dict.Builtin()
+	switch os.Args[1] {
+	case "api":
+		out, err := header.Emit()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmspec:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+	case "dict":
+		out, err := d.Emit()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmspec:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+	case "counts":
+		total := 0
+		for _, f := range header.Tested() {
+			m, err := testgen.BuildMatrix(f, d)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xmspec:", err)
+				os.Exit(1)
+			}
+			n := m.Combinations()
+			total += n
+			fmt.Printf("%-32s %5d combinations\n", f.Name, n)
+		}
+		fmt.Printf("%-32s %5d combinations\n", "TOTAL", total)
+	case "mutant":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		f, ok := header.Function(os.Args[2])
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xmspec: unknown hypercall %q\n", os.Args[2])
+			os.Exit(1)
+		}
+		idx, err := strconv.Atoi(os.Args[3])
+		if err != nil {
+			usage()
+		}
+		m, err := testgen.BuildMatrix(f, d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmspec:", err)
+			os.Exit(1)
+		}
+		datasets := m.Datasets()
+		if idx < 0 || idx >= len(datasets) {
+			fmt.Fprintf(os.Stderr, "xmspec: index out of range (0..%d)\n", len(datasets)-1)
+			os.Exit(1)
+		}
+		fmt.Print(testgen.RenderMutantC(datasets[idx]))
+	default:
+		usage()
+	}
+}

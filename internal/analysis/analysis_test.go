@@ -1,0 +1,409 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+var testLayout = dict.Layout{
+	DataArea:  sparc.Region{Base: 0x40500000, Size: 0x10000},
+	OtherArea: sparc.Region{Base: 0x40100000, Size: 0x10000},
+	Kernel:    0x40000000,
+	ROM:       0x100,
+	IO:        0x80000000,
+}
+
+// mkDataset builds a dataset from raw value strings, pulling dictionary
+// metadata from the builtin sets so validity hints are realistic.
+func mkDataset(t *testing.T, fn string, raws ...string) testgen.Dataset {
+	t.Helper()
+	h := apispec.Default()
+	f, ok := h.Function(fn)
+	if !ok {
+		t.Fatalf("unknown function %q", fn)
+	}
+	m, err := testgen.BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range m.Datasets() {
+		if len(ds.Values) != len(raws) {
+			continue
+		}
+		match := true
+		for i := range raws {
+			if ds.Values[i].Raw != raws[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ds
+		}
+	}
+	t.Fatalf("no dataset %s%v in the builtin matrix", fn, raws)
+	return testgen.Dataset{}
+}
+
+// mkResult builds a synthetic campaign result around a dataset.
+func mkResult(t *testing.T, ds testgen.Dataset) campaign.Result {
+	t.Helper()
+	res := campaign.Result{
+		Dataset:       ds,
+		TestPartition: 4, // the FDIR analogue the synthetic HM events name
+		KernelState:   xm.KStateRunning,
+		PartState:     xm.PStateNormal,
+	}
+	for _, v := range ds.Values {
+		r, err := testLayout.Resolve(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Resolved = append(res.Resolved, r)
+	}
+	return res
+}
+
+func returned(res campaign.Result, codes ...xm.RetCode) campaign.Result {
+	res.Invocations = len(codes)
+	res.Returns = codes
+	return res
+}
+
+func legacyOracle() *Oracle  { return NewOracle(xm.LegacyFaults()) }
+func patchedOracle() *Oracle { return NewOracle(xm.PatchedFaults()) }
+
+// --- Oracle -----------------------------------------------------------------
+
+func TestOracleResetSystem(t *testing.T) {
+	o := legacyOracle()
+	if p := o.Predict(mkDataset(t, "XM_reset_system", "0")); p.Kind != ExpectReset || !p.Cold {
+		t.Errorf("mode 0: %+v", p)
+	}
+	if p := o.Predict(mkDataset(t, "XM_reset_system", "1")); p.Kind != ExpectReset || p.Cold {
+		t.Errorf("mode 1: %+v", p)
+	}
+	for _, raw := range []string{"2", "16", "4294967295"} {
+		p := o.Predict(mkDataset(t, "XM_reset_system", raw))
+		if p.Kind != ExpectReturn || !p.Allows(xm.InvalidParam) || p.Allows(xm.OK) {
+			t.Errorf("mode %s: %+v", raw, p)
+		}
+	}
+}
+
+func TestOracleSetTimer(t *testing.T) {
+	o := legacyOracle()
+	// Every builtin set_timer dataset is invalid per the revised manual.
+	ds := mkDataset(t, "XM_set_timer", "0", "1", "1")
+	if p := o.Predict(ds); p.Kind != ExpectReturn || p.Allows(xm.OK) {
+		t.Errorf("interval 1us: %+v", p)
+	}
+	ds = mkDataset(t, "XM_set_timer", "1", "1", "-9223372036854775808")
+	if p := o.Predict(ds); p.Kind != ExpectReturn || p.Allows(xm.OK) {
+		t.Errorf("negative interval: %+v", p)
+	}
+	ds = mkDataset(t, "XM_set_timer", "16", "1", "1")
+	if p := o.Predict(ds); !p.Allows(xm.InvalidParam) {
+		t.Errorf("invalid clock: %+v", p)
+	}
+}
+
+func TestOracleMulticall(t *testing.T) {
+	o := legacyOracle()
+	if p := o.Predict(mkDataset(t, "XM_multicall", "NULL", "NULL")); !p.Allows(xm.NoAction) {
+		t.Errorf("empty batch: %+v", p)
+	}
+	if p := o.Predict(mkDataset(t, "XM_multicall", "NULL", "VALID")); !p.Allows(xm.InvalidParam) {
+		t.Errorf("null start: %+v", p)
+	}
+	if p := o.Predict(mkDataset(t, "XM_multicall", "VALID", "VALID_MID")); !p.Allows(xm.OK) || !p.Allows(xm.RetCode(2048)) {
+		t.Errorf("valid batch: %+v", p)
+	}
+	po := patchedOracle()
+	if p := po.Predict(mkDataset(t, "XM_multicall", "NULL", "VALID")); !p.Allows(xm.OpNotAllowed) || p.Allows(xm.InvalidParam) {
+		t.Errorf("patched manual: %+v", p)
+	}
+}
+
+func TestOracleNoPredictionForUnmodelledCalls(t *testing.T) {
+	o := legacyOracle()
+	ds := mkDataset(t, "XM_memory_copy", "NULL", "VALID", "0")
+	if p := o.Predict(ds); p.Kind != NoPrediction {
+		t.Errorf("memory_copy: %+v, want NoPrediction", p)
+	}
+}
+
+func TestPredictionAllowsPositiveDescriptors(t *testing.T) {
+	p := Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.OK}}
+	if !p.Allows(xm.RetCode(7)) {
+		t.Error("positive descriptor rejected under an XM_OK prediction")
+	}
+	if p.Allows(xm.InvalidParam) {
+		t.Error("error code allowed under an XM_OK prediction")
+	}
+}
+
+// --- Classification ------------------------------------------------------------
+
+func TestClassifySimCrashIsCatastrophic(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_set_timer", "1", "1", "1"))
+	res.SimCrashed = true
+	res.CrashReason = "timer trap"
+	c := Classify(res, legacyOracle())
+	if c.Verdict != Catastrophic || c.Reaction != ReactSimCrash {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestClassifyKernelHaltIsCatastrophic(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_set_timer", "0", "1", "1"))
+	res.KernelState = xm.KStateHalted
+	res.KernelHalt = "stack overflow"
+	c := Classify(res, legacyOracle())
+	if c.Verdict != Catastrophic || c.Reaction != ReactKernelHalt {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestClassifyExpectedResetPasses(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_reset_system", "0"))
+	res.ColdResets = 2
+	c := Classify(res, legacyOracle())
+	if c.Verdict != Pass {
+		t.Fatalf("valid cold reset classified %v", c.Verdict)
+	}
+	res = mkResult(t, mkDataset(t, "XM_reset_system", "1"))
+	res.WarmResets = 2
+	if c := Classify(res, legacyOracle()); c.Verdict != Pass {
+		t.Fatalf("valid warm reset classified %v", c.Verdict)
+	}
+}
+
+func TestClassifyUnexpectedResetSplitsByDataset(t *testing.T) {
+	res2 := mkResult(t, mkDataset(t, "XM_reset_system", "2"))
+	res2.ColdResets = 2
+	res16 := mkResult(t, mkDataset(t, "XM_reset_system", "16"))
+	res16.ColdResets = 2
+	c2 := Classify(res2, legacyOracle())
+	c16 := Classify(res16, legacyOracle())
+	if c2.Verdict != Catastrophic || c2.Reaction != ReactColdReset {
+		t.Fatalf("%+v", c2)
+	}
+	if c2.Blamed == c16.Blamed {
+		t.Fatal("unexpected-reset datasets must cluster separately")
+	}
+	resMax := mkResult(t, mkDataset(t, "XM_reset_system", "4294967295"))
+	resMax.WarmResets = 2
+	if c := Classify(resMax, legacyOracle()); c.Reaction != ReactWarmReset {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestClassifyPartitionHaltIsAbort(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_multicall", "NULL", "VALID"))
+	res.PartState = xm.PStateHalted
+	res.HMEvents = []xm.HMLogEntry{{Event: xm.HMEvMemProtection, PartitionID: 4,
+		Detail: "unhandled data access exception"}}
+	c := Classify(res, legacyOracle())
+	if c.Verdict != Abort || c.Reaction != ReactKernelTrap || c.Blamed != "startAddr" {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestClassifySuspensionIsRestart(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_multicall", "VALID", "NULL"))
+	res.PartState = xm.PStateSuspended
+	res.HMEvents = []xm.HMLogEntry{{Event: xm.HMEvSchedOverrun, PartitionID: 4, Detail: "overrun"}}
+	c := Classify(res, legacyOracle())
+	if c.Verdict != Restart || c.Reaction != ReactOverrun || c.Blamed != "endAddr" {
+		t.Fatalf("%+v", c)
+	}
+	// Both-valid overrun: the temporal-isolation case with no blamed
+	// parameter.
+	res = mkResult(t, mkDataset(t, "XM_multicall", "VALID", "VALID_MID"))
+	res.PartState = xm.PStateSuspended
+	res.HMEvents = []xm.HMLogEntry{{Event: xm.HMEvSchedOverrun, PartitionID: 4, Detail: "overrun"}}
+	if c := Classify(res, legacyOracle()); c.Blamed != "" {
+		t.Fatalf("valid-batch overrun blamed %q", c.Blamed)
+	}
+}
+
+func TestClassifySilentAndHindering(t *testing.T) {
+	// Silent: success where the manual demands an error.
+	res := returned(mkResult(t, mkDataset(t, "XM_set_timer", "0", "1", "-9223372036854775808")), xm.OK, xm.OK)
+	c := Classify(res, legacyOracle())
+	if c.Verdict != Silent || c.Reaction != ReactSilentOK {
+		t.Fatalf("%+v", c)
+	}
+	// Hindering: the wrong error code.
+	res = returned(mkResult(t, mkDataset(t, "XM_set_timer", "0", "1", "-9223372036854775808")), xm.PermError)
+	if c := Classify(res, legacyOracle()); c.Verdict != Hindering || c.Reaction != ReactWrongError {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestClassifyCorrectErrorPasses(t *testing.T) {
+	res := returned(mkResult(t, mkDataset(t, "XM_reset_system", "2")), xm.InvalidParam, xm.InvalidParam)
+	if c := Classify(res, patchedOracle()); c.Verdict != Pass {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestClassifyNoPredictionNeverSilent(t *testing.T) {
+	// Without a manual model, a plain return cannot fail the test — the
+	// paper's central point about oracle-less analysis.
+	res := returned(mkResult(t, mkDataset(t, "XM_memory_copy", "NULL", "NULL", "0")), xm.OK, xm.OK)
+	if c := Classify(res, legacyOracle()); c.Verdict != Pass {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestClassifyNoReturnIsRestart(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_memory_copy", "NULL", "NULL", "0"))
+	res.Invocations = 2
+	res.Returns = nil
+	if c := Classify(res, legacyOracle()); c.Verdict != Restart || c.Reaction != ReactNoReturn {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestClassifyHarnessError(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_memory_copy", "NULL", "NULL", "0"))
+	res.RunErr = "boom"
+	if c := Classify(res, legacyOracle()); c.Verdict != Catastrophic || c.Reaction != ReactHarnessFail {
+		t.Fatalf("%+v", c)
+	}
+}
+
+// --- Clustering -------------------------------------------------------------
+
+func TestClusterGroupsBySignature(t *testing.T) {
+	var classified []Classified
+	// Two halts of set_timer -> one issue.
+	for _, raws := range [][]string{{"0", "1", "1"}, {"0", "-9223372036854775808", "1"}} {
+		res := mkResult(t, mkDataset(t, "XM_set_timer", raws...))
+		res.KernelState = xm.KStateHalted
+		classified = append(classified, Classify(res, legacyOracle()))
+	}
+	// Three reset datasets -> three issues.
+	for _, raw := range []string{"2", "16", "4294967295"} {
+		res := mkResult(t, mkDataset(t, "XM_reset_system", raw))
+		if raw == "4294967295" {
+			res.WarmResets = 1
+		} else {
+			res.ColdResets = 1
+		}
+		classified = append(classified, Classify(res, legacyOracle()))
+	}
+	// Passing tests never cluster.
+	classified = append(classified, Classify(
+		returned(mkResult(t, mkDataset(t, "XM_memory_copy", "NULL", "NULL", "0")), xm.OK, xm.OK),
+		legacyOracle()))
+
+	issues := Cluster(classified)
+	if len(issues) != 4 {
+		t.Fatalf("issues = %d, want 4:\n%s", len(issues), Summary(issues))
+	}
+	// Deterministic order: reset_system (nr 2) before set_timer (nr 15).
+	if issues[0].Func != "XM_reset_system" || issues[3].Func != "XM_set_timer" {
+		t.Fatalf("order: %v", issues)
+	}
+	if len(issues[3].Cases) != 2 {
+		t.Fatalf("set_timer issue has %d cases, want 2", len(issues[3].Cases))
+	}
+	if issues[3].Category != xm.CatTime {
+		t.Fatalf("set_timer category = %s", issues[3].Category)
+	}
+}
+
+func TestIssuesByCategory(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_reset_system", "2"))
+	res.ColdResets = 1
+	issues := Cluster([]Classified{Classify(res, legacyOracle())})
+	counts := IssuesByCategory(issues)
+	if counts[xm.CatSystem] != 1 || len(counts) != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSummaryReadable(t *testing.T) {
+	res := mkResult(t, mkDataset(t, "XM_reset_system", "2"))
+	res.ColdResets = 1
+	issues := Cluster([]Classified{Classify(res, legacyOracle())})
+	s := Summary(issues)
+	for _, want := range []string{"1 distinct robustness issues", "XM_reset_system", "unexpected cold reset", "case: XM_reset_system(2)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOracleExpectStopCalls(t *testing.T) {
+	o := legacyOracle()
+	h := apispec.Default()
+	mk := func(fn string) testgen.Dataset {
+		f, ok := h.Function(fn)
+		if !ok {
+			t.Fatalf("unknown %s", fn)
+		}
+		return testgen.Dataset{Func: f}
+	}
+	if p := o.Predict(mk("XM_halt_system")); p.Kind != ExpectStop || !p.KernelHalt {
+		t.Errorf("halt_system: %+v", p)
+	}
+	for _, fn := range []string{"XM_idle_self", "XM_suspend_self"} {
+		if p := o.Predict(mk(fn)); p.Kind != ExpectStop || p.KernelHalt {
+			t.Errorf("%s: %+v", fn, p)
+		}
+	}
+	for _, fn := range []string{"XM_hm_open", "XM_hm_reset", "XM_enable_irqs", "XM_sparc_get_psr"} {
+		if p := o.Predict(mk(fn)); p.Kind != ExpectReturn || !p.Allows(xm.OK) {
+			t.Errorf("%s: %+v", fn, p)
+		}
+	}
+}
+
+func TestClassifyExpectedStopsPass(t *testing.T) {
+	o := legacyOracle()
+	h := apispec.Default()
+	mkRes := func(fn string) campaign.Result {
+		f, _ := h.Function(fn)
+		return campaign.Result{
+			Dataset:       testgen.Dataset{Func: f},
+			TestPartition: 4,
+			KernelState:   xm.KStateRunning,
+			PartState:     xm.PStateNormal,
+			Invocations:   1,
+		}
+	}
+	// XM_halt_system: the kernel halting is the documented behaviour.
+	res := mkRes("XM_halt_system")
+	res.KernelState = xm.KStateHalted
+	if c := Classify(res, o); c.Verdict != Pass {
+		t.Errorf("halt_system halt classified %v", c.Verdict)
+	}
+	// XM_suspend_self: the partition suspending is documented.
+	res = mkRes("XM_suspend_self")
+	res.PartState = xm.PStateSuspended
+	if c := Classify(res, o); c.Verdict != Pass {
+		t.Errorf("suspend_self suspension classified %v", c.Verdict)
+	}
+	// XM_idle_self: no return is documented.
+	res = mkRes("XM_idle_self")
+	if c := Classify(res, o); c.Verdict != Pass {
+		t.Errorf("idle_self no-return classified %v", c.Verdict)
+	}
+	// But an unexpected halt on a plain service still fails.
+	res = mkRes("XM_hm_open")
+	res.KernelState = xm.KStateHalted
+	if c := Classify(res, o); c.Verdict != Catastrophic {
+		t.Errorf("hm_open halt classified %v", c.Verdict)
+	}
+}

@@ -1,0 +1,219 @@
+// Package analysis implements the Log Analysis phase of the methodology
+// (paper §III.C): classifying every test execution on the Ballista CRASH
+// severity scale, predicting expected behaviour with a reference-manual
+// oracle (the paper's proposed future work, implemented here for the
+// hypercalls whose manual semantics the oracle encodes), and clustering
+// failures into the distinct robustness issues of Table III.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/xm"
+)
+
+// Verdict is the CRASH severity scale of the Ballista project, plus Pass.
+type Verdict int
+
+// CRASH verdicts, ordered by decreasing severity.
+const (
+	Catastrophic Verdict = iota // the test crashed or reset the system
+	Restart                     // the test hung / was preempted; a restart is needed
+	Abort                       // the testing task terminated abnormally
+	Silent                      // an exceptional situation was not reported
+	Hindering                   // an incorrect error code was reported
+	Pass
+)
+
+var verdictNames = [...]string{
+	Catastrophic: "Catastrophic",
+	Restart:      "Restart",
+	Abort:        "Abort",
+	Silent:       "Silent",
+	Hindering:    "Hindering",
+	Pass:         "Pass",
+}
+
+func (v Verdict) String() string {
+	if v >= 0 && int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Failure reports whether the verdict is a robustness failure.
+func (v Verdict) Failure() bool { return v != Pass }
+
+// Classified is one test execution with its verdict and the evidence the
+// verdict rests on.
+type Classified struct {
+	Result  campaign.Result
+	Verdict Verdict
+	// Reaction is the canonical description of what the kernel/system did
+	// (one of the reaction constants below).
+	Reaction string
+	// Blamed is the parameter the blame analysis pins the failure on
+	// ("" when every parameter carried nominally valid values — the
+	// temporal-isolation case).
+	Blamed string
+	// Detail elaborates for the human reader.
+	Detail string
+}
+
+// Canonical reaction strings (cluster-key components).
+const (
+	ReactSimCrash    = "simulator crash"
+	ReactKernelHalt  = "hypervisor halt"
+	ReactColdReset   = "unexpected cold reset"
+	ReactWarmReset   = "unexpected warm reset"
+	ReactKernelTrap  = "kernel data access exception"
+	ReactOverrun     = "scheduling slot overrun"
+	ReactSilentOK    = "unexpected success code"
+	ReactWrongError  = "incorrect error code"
+	ReactNoReturn    = "test call did not return"
+	ReactHarnessFail = "harness error"
+)
+
+// firstInvalid returns the name of the first parameter carrying a
+// definitely-invalid dictionary value ("" when none): the minimal
+// responsible parameter of the blame analysis.
+func firstInvalid(r campaign.Result) string {
+	for i, v := range r.Resolved {
+		if v.Validity == dict.Invalid && i < len(r.Dataset.Func.Params) {
+			return r.Dataset.Func.Params[i].Name
+		}
+	}
+	return ""
+}
+
+// datasetTuple renders the injected values compactly ("mode=2").
+func datasetTuple(r campaign.Result) string {
+	parts := make([]string, 0, len(r.Resolved))
+	for i, v := range r.Resolved {
+		name := fmt.Sprintf("arg%d", i)
+		if i < len(r.Dataset.Func.Params) {
+			name = r.Dataset.Func.Params[i].Name
+		}
+		parts = append(parts, name+"="+v.Raw)
+	}
+	return strings.Join(parts, ",")
+}
+
+// hmReaction inspects the HM log for the event that stopped the test
+// partition and maps it to a canonical reaction. Only events attributed to
+// the test partition count: warm-up traffic from other partitions (e.g.
+// phantom-state setters) is background.
+func hmReaction(r campaign.Result) (string, string) {
+	for _, e := range r.HMEvents {
+		if e.SystemScope || e.PartitionID != r.TestPartition {
+			continue
+		}
+		switch e.Event {
+		case xm.HMEvMemProtection:
+			return ReactKernelTrap, e.Detail
+		case xm.HMEvSchedOverrun:
+			return ReactOverrun, e.Detail
+		}
+	}
+	return "", ""
+}
+
+// Classify assigns the CRASH verdict to one test execution. The oracle
+// supplies expected behaviour where the reference manual is encoded;
+// without a prediction, only observed events (crashes, halts, resets,
+// health-monitor escalations) can fail a test — exactly the paper's
+// position that Silent and Hindering failures need the manual.
+func Classify(r campaign.Result, o *Oracle) Classified {
+	c := Classified{Result: r, Verdict: Pass}
+	pred := o.Predict(r.Dataset)
+
+	switch {
+	case r.RunErr != "":
+		c.Verdict, c.Reaction, c.Detail = Catastrophic, ReactHarnessFail, r.RunErr
+
+	case r.SimCrashed:
+		// Paper TMR-2: "a timer trap which crashes the TSIM simulator".
+		c.Verdict, c.Reaction, c.Detail = Catastrophic, ReactSimCrash, r.CrashReason
+
+	case r.KernelState == xm.KStateHalted:
+		if pred.Kind == ExpectStop && pred.KernelHalt {
+			break // XM_halt_system doing exactly what the manual says
+		}
+		// Paper TMR-1: "a system fatal error leading to an XM halt".
+		c.Verdict, c.Reaction, c.Detail = Catastrophic, ReactKernelHalt, r.KernelHalt
+
+	case r.ColdResets > 0 || r.WarmResets > 0:
+		if pred.Kind == ExpectReset &&
+			((pred.Cold && r.WarmResets == 0) || (!pred.Cold && r.ColdResets == 0)) {
+			c.Verdict = Pass // a reset service doing exactly what the manual says
+			break
+		}
+		if r.ColdResets > 0 {
+			c.Verdict, c.Reaction = Catastrophic, ReactColdReset
+		} else {
+			c.Verdict, c.Reaction = Catastrophic, ReactWarmReset
+		}
+		// Each unexpected-reset dataset is its own reproducer (the paper
+		// reports XM_reset_system(2), (16) and (4294967295) separately).
+		c.Blamed = datasetTuple(r)
+		c.Detail = fmt.Sprintf("%d cold / %d warm resets observed", r.ColdResets, r.WarmResets)
+
+	case r.PartState == xm.PStateHalted:
+		if pred.Kind == ExpectStop {
+			break // a self-stopping service behaving as documented
+		}
+		// The testing task terminated abnormally: Abort.
+		c.Verdict = Abort
+		c.Reaction, c.Detail = hmReaction(r)
+		if c.Reaction == "" {
+			c.Reaction, c.Detail = ReactNoReturn, r.PartDetail
+		}
+		c.Blamed = firstInvalid(r)
+
+	case r.PartState == xm.PStateSuspended:
+		if pred.Kind == ExpectStop {
+			break // XM_suspend_self behaving as documented
+		}
+		// The testing task stopped responding and needs a restart.
+		c.Verdict = Restart
+		c.Reaction, c.Detail = hmReaction(r)
+		if c.Reaction == "" {
+			c.Reaction, c.Detail = ReactNoReturn, r.PartDetail
+		}
+		c.Blamed = firstInvalid(r)
+
+	case !r.Returned():
+		if pred.Kind == ExpectStop {
+			break // control legitimately stays with the kernel
+		}
+		c.Verdict, c.Reaction, c.Detail = Restart, ReactNoReturn,
+			fmt.Sprintf("%d invocations, %d returns", r.Invocations, len(r.Returns))
+		c.Blamed = firstInvalid(r)
+
+	default:
+		ret, _ := r.LastReturn()
+		if pred.Kind == ExpectReturn && !pred.Allows(ret) {
+			if ret >= 0 {
+				// "A test should always report exceptional situations."
+				c.Verdict, c.Reaction = Silent, ReactSilentOK
+			} else {
+				// "A test should never report incorrect error codes."
+				c.Verdict, c.Reaction = Hindering, ReactWrongError
+			}
+			c.Detail = fmt.Sprintf("returned %v, manual specifies %v", ret, pred.Codes)
+		}
+	}
+	return c
+}
+
+// ClassifyAll classifies a whole campaign.
+func ClassifyAll(results []campaign.Result, o *Oracle) []Classified {
+	out := make([]Classified, 0, len(results))
+	for _, r := range results {
+		out = append(out, Classify(r, o))
+	}
+	return out
+}

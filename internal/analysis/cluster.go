@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmrobust/internal/xm"
+)
+
+// Issue is one distinct robustness vulnerability: the unit the paper's
+// Table III "Raised Issues" column counts. Failing tests cluster into an
+// issue when they hit the same hypercall with the same kernel reaction and
+// the same blamed parameter; unexpected-reset reactions additionally
+// split per injected dataset, since each is an independently documented
+// reproducer (the paper lists XM_reset_system(2), (16) and (4294967295)
+// as three issues).
+type Issue struct {
+	Func     string
+	Category xm.Category
+	Verdict  Verdict
+	Reaction string
+	Blamed   string
+	// Cases are the failing datasets, rendered as calls.
+	Cases []string
+	// Detail is representative evidence from the first case.
+	Detail string
+}
+
+// ID returns a stable, human-readable issue identifier.
+func (i Issue) ID() string {
+	key := i.Func + "|" + i.Reaction
+	if i.Blamed != "" {
+		key += "|" + i.Blamed
+	}
+	return key
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("%s [%s] %s (%d failing tests)", i.Func, i.Verdict, i.Reaction, len(i.Cases))
+}
+
+// clusterKey is the identity of an issue.
+type clusterKey struct {
+	fn       string
+	verdict  Verdict
+	reaction string
+	blamed   string
+}
+
+// Cluster groups the failing tests of a classified campaign into issues.
+// Issues are ordered by hypercall number, then reaction.
+func Cluster(classified []Classified) []Issue {
+	byKey := map[clusterKey]*Issue{}
+	var order []clusterKey
+	for _, c := range classified {
+		if !c.Verdict.Failure() {
+			continue
+		}
+		key := clusterKey{
+			fn:       c.Result.Dataset.Func.Name,
+			verdict:  c.Verdict,
+			reaction: c.Reaction,
+			blamed:   c.Blamed,
+		}
+		iss, ok := byKey[key]
+		if !ok {
+			cat := xm.Category(c.Result.Dataset.Func.Category)
+			if spec, found := xm.LookupName(key.fn); found {
+				cat = spec.Category
+			}
+			iss = &Issue{
+				Func: key.fn, Category: cat, Verdict: c.Verdict,
+				Reaction: c.Reaction, Blamed: c.Blamed, Detail: c.Detail,
+			}
+			byKey[key] = iss
+			order = append(order, key)
+		}
+		iss.Cases = append(iss.Cases, c.Result.Dataset.String())
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := order[a], order[b]
+		na, _ := xm.LookupName(ka.fn)
+		nb, _ := xm.LookupName(kb.fn)
+		if na.Nr != nb.Nr {
+			return na.Nr < nb.Nr
+		}
+		if ka.reaction != kb.reaction {
+			return ka.reaction < kb.reaction
+		}
+		return ka.blamed < kb.blamed
+	})
+	out := make([]Issue, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+// IssuesByCategory counts issues per hypercall category (the Table III
+// "Raised Issues" column).
+func IssuesByCategory(issues []Issue) map[xm.Category]int {
+	out := map[xm.Category]int{}
+	for _, iss := range issues {
+		out[iss.Category]++
+	}
+	return out
+}
+
+// Summary renders the issue list as the campaign report's findings
+// section.
+func Summary(issues []Issue) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d distinct robustness issues\n", len(issues))
+	for n, iss := range issues {
+		fmt.Fprintf(&b, "\n[%d] %s — %s (%s)\n", n+1, iss.Func, iss.Reaction, iss.Verdict)
+		if iss.Blamed != "" {
+			fmt.Fprintf(&b, "    blamed: %s\n", iss.Blamed)
+		}
+		if iss.Detail != "" {
+			fmt.Fprintf(&b, "    evidence: %s\n", iss.Detail)
+		}
+		max := len(iss.Cases)
+		if max > 4 {
+			max = 4
+		}
+		for _, c := range iss.Cases[:max] {
+			fmt.Fprintf(&b, "    case: %s\n", c)
+		}
+		if len(iss.Cases) > max {
+			fmt.Fprintf(&b, "    ... and %d more\n", len(iss.Cases)-max)
+		}
+	}
+	return b.String()
+}

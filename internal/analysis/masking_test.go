@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+func classifyMatrix(t *testing.T, fn string, faults xm.FaultSet) []Classified {
+	t.Helper()
+	var classified []Classified
+	o := NewOracle(faults)
+	// Synthesise a multicall-style failure pattern without running the
+	// kernel: pointer NULLs fail, valid pairs overrun.
+	h := func(raws ...string) campaign.Result {
+		ds := mkDataset(t, fn, raws...)
+		return mkResult(t, ds)
+	}
+	// (NULL, VALID): partition halted on the start pointer.
+	r := h("NULL", "VALID")
+	r.PartState = xm.PStateHalted
+	r.HMEvents = []xm.HMLogEntry{{Event: xm.HMEvMemProtection, PartitionID: 4}}
+	classified = append(classified, Classify(r, o))
+	// (VALID, NULL): overrun blamed on the end pointer.
+	r = h("VALID", "NULL")
+	r.PartState = xm.PStateSuspended
+	r.HMEvents = []xm.HMLogEntry{{Event: xm.HMEvSchedOverrun, PartitionID: 4}}
+	classified = append(classified, Classify(r, o))
+	// (NULL, NULL): both invalid, masked probe, returns the right error.
+	classified = append(classified, Classify(
+		returned(h("NULL", "NULL"), xm.NoAction, xm.NoAction), o))
+	// (VALID, VALID_MID): clean pass.
+	classified = append(classified, Classify(
+		returned(h("VALID", "VALID_MID"), xm.OK, xm.OK), o))
+	return classified
+}
+
+func TestMaskingStudyCounts(t *testing.T) {
+	classified := classifyMatrix(t, "XM_multicall", xm.LegacyFaults())
+	reports := MaskingStudy(classified)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	r := reports[0]
+	if r.Func != "XM_multicall" || r.Datasets != 4 {
+		t.Fatalf("%+v", r)
+	}
+	if r.MaskedCandidates != 1 { // (NULL, NULL)
+		t.Errorf("masked = %d, want 1", r.MaskedCandidates)
+	}
+	if r.UnmaskedProbes != 2 { // (NULL,VALID), (VALID,NULL)
+		t.Errorf("unmasked = %d, want 2", r.UnmaskedProbes)
+	}
+	if r.FailuresUnmasked != 1 { // the endAddr-blamed overrun
+		t.Errorf("exposed = %d, want 1", r.FailuresUnmasked)
+	}
+}
+
+func TestMaskingStudySkipsSingleParamCalls(t *testing.T) {
+	res := returned(mkResult(t, mkDataset(t, "XM_reset_system", "2")), xm.InvalidParam)
+	reports := MaskingStudy([]Classified{Classify(res, NewOracle(xm.PatchedFaults()))})
+	if len(reports) != 0 {
+		t.Fatalf("single-parameter call produced masking rows: %+v", reports)
+	}
+}
+
+func TestMaskingSummaryRenders(t *testing.T) {
+	s := MaskingSummary(MaskingStudy(classifyMatrix(t, "XM_multicall", xm.LegacyFaults())))
+	for _, want := range []string{"FAULT-MASKING STUDY", "XM_multicall", "masked", "exposed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWithoutValidStripsValues(t *testing.T) {
+	full := dict.Builtin()
+	stripped := dict.WithoutValid(full)
+	ptr, ok := stripped.Type("void*")
+	if !ok {
+		t.Fatal("void* lost")
+	}
+	if len(ptr.Values) != 1 || ptr.Values[0].Raw != dict.SymNull {
+		t.Fatalf("boundary-only void* = %+v, want only NULL", ptr.Values)
+	}
+	// Types keep at least one value even if all were valid.
+	for _, ts := range stripped.Types() {
+		if len(ts.Values) == 0 {
+			t.Errorf("%s went empty", ts.Name)
+		}
+		for _, v := range ts.Values {
+			if v.Validity == dict.Valid && len(ts.Values) > 1 {
+				t.Errorf("%s kept valid value %s", ts.Name, v)
+			}
+		}
+	}
+	// The original is untouched.
+	orig, _ := full.Type("void*")
+	if len(orig.Values) != 3 {
+		t.Fatal("WithoutValid mutated its input")
+	}
+}
+
+func TestWithoutValidShrinksMulticallMatrix(t *testing.T) {
+	stripped := dict.WithoutValid(dict.Builtin())
+	ds := mkMatrixSize(t, stripped, "XM_multicall")
+	if ds != 1 {
+		t.Fatalf("boundary-only multicall matrix = %d datasets, want 1 (NULL,NULL)", ds)
+	}
+}
+
+func mkMatrixSize(t *testing.T, d *dict.Dictionary, fn string) int {
+	t.Helper()
+	f, ok := apispec.Default().Function(fn)
+	if !ok {
+		t.Fatalf("unknown function %q", fn)
+	}
+	m, err := testgen.BuildMatrix(f, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Combinations()
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"math"
+
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// ExpectKind is what the oracle predicts for a dataset.
+type ExpectKind int
+
+// Prediction kinds.
+const (
+	// NoPrediction: the oracle does not encode this hypercall's manual
+	// semantics; only observed events can fail the test. This is the
+	// paper's default position ("the creation of an oracle ... is usually
+	// considered impractical").
+	NoPrediction ExpectKind = iota
+	// ExpectReturn: the call must return one of Codes.
+	ExpectReturn
+	// ExpectReset: the call legitimately resets the system (cold/warm).
+	ExpectReset
+	// ExpectStop: control legitimately does not return to the guest — the
+	// call stops the caller (XM_idle_self, XM_suspend_self) or, with
+	// KernelHalt set, the whole hypervisor (XM_halt_system).
+	ExpectStop
+)
+
+// Prediction is the oracle's expected behaviour for one dataset.
+type Prediction struct {
+	Kind       ExpectKind
+	Codes      []xm.RetCode // for ExpectReturn
+	Cold       bool         // for ExpectReset
+	KernelHalt bool         // for ExpectStop: the hypervisor itself stops
+}
+
+// Allows reports whether a returned code satisfies the prediction.
+func (p Prediction) Allows(ret xm.RetCode) bool {
+	if p.Kind != ExpectReturn {
+		return true
+	}
+	for _, c := range p.Codes {
+		if ret == c {
+			return true
+		}
+	}
+	// Any non-negative code satisfies an expected-success prediction
+	// carrying XM_OK (port services return descriptors/counts >= 0).
+	for _, c := range p.Codes {
+		if c == xm.OK && ret > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Oracle predicts expected behaviour from the kernel reference manual. It
+// encodes the manual rules for the hypercall categories whose semantics
+// the paper's findings concern (System, Time, Miscellaneous); all other
+// calls yield NoPrediction, mirroring the paper's manual-crosscheck scope.
+//
+// Revision selects which edition of the manual the oracle reads: the
+// legacy manual documents XM_multicall as an available service, the
+// patched manual documents it as removed.
+type Oracle struct {
+	// Patched selects the post-fault-removal manual edition.
+	Patched bool
+}
+
+// NewOracle builds the oracle for the manual edition matching a fault set.
+func NewOracle(f xm.FaultSet) *Oracle { return &Oracle{Patched: f.Patched()} }
+
+// value extracts the dataset's i-th 64-bit value image. Symbolic values
+// are classified by token, so the oracle never needs the resolved layout.
+func value(ds testgen.Dataset, i int) (dict.Value, bool) {
+	if i < 0 || i >= len(ds.Values) {
+		return dict.Value{}, false
+	}
+	return ds.Values[i], true
+}
+
+func literal(ds testgen.Dataset, i int) (int64, bool) {
+	v, ok := value(ds, i)
+	if !ok || v.IsSymbol() {
+		return 0, false
+	}
+	// Re-parse through the dictionary's own literal rules.
+	r, err := dict.Layout{}.Resolve(v)
+	if err != nil {
+		return 0, false
+	}
+	return int64(r.Bits), true
+}
+
+// Predict returns the expected behaviour of one dataset.
+func (o *Oracle) Predict(ds testgen.Dataset) Prediction {
+	switch ds.Func.Name {
+	case "XM_halt_system":
+		return Prediction{Kind: ExpectStop, KernelHalt: true}
+
+	case "XM_idle_self", "XM_suspend_self":
+		return Prediction{Kind: ExpectStop}
+
+	case "XM_hm_open", "XM_hm_reset", "XM_enable_irqs",
+		"XM_sparc_flush_regwin", "XM_sparc_enable_traps", "XM_sparc_disable_traps",
+		"XM_sparc_get_psr":
+		// Parameter-less services with a documented plain success.
+		return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.OK}}
+
+	case "XM_reset_system":
+		mode, ok := literal(ds, 0)
+		if !ok {
+			return Prediction{}
+		}
+		switch uint32(mode) {
+		case xm.ColdReset:
+			return Prediction{Kind: ExpectReset, Cold: true}
+		case xm.WarmReset:
+			return Prediction{Kind: ExpectReset, Cold: false}
+		default:
+			// "XM_reset_system ... should have returned the invalid
+			// parameter return code XM_INVALID_PARAM."
+			return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.InvalidParam}}
+		}
+
+	case "XM_get_system_status":
+		v, ok := value(ds, 0)
+		if !ok {
+			return Prediction{}
+		}
+		if v.Raw == dict.SymValid || v.Raw == dict.SymValidMid {
+			return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.OK}}
+		}
+		return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.InvalidParam}}
+
+	case "XM_set_timer":
+		clock, ok := literal(ds, 0)
+		if !ok {
+			return Prediction{}
+		}
+		if uint32(clock) != xm.HwClock && uint32(clock) != xm.ExecClock {
+			return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.InvalidParam}}
+		}
+		absTime, ok1 := literal(ds, 1)
+		interval, ok2 := literal(ds, 2)
+		if !ok1 || !ok2 {
+			return Prediction{}
+		}
+		// The revised manual: XM_INVALID_PARAM for negative instants and
+		// for intervals below 50us.
+		if absTime < 0 || interval < 0 ||
+			(interval > 0 && interval < int64(xm.MinTimerInterval)) {
+			return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.InvalidParam}}
+		}
+		return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.OK}}
+
+	case "XM_multicall":
+		if o.Patched {
+			// "This service has been temporarily removed."
+			return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.OpNotAllowed}}
+		}
+		start, ok1 := value(ds, 0)
+		end, ok2 := value(ds, 1)
+		if !ok1 || !ok2 {
+			return Prediction{}
+		}
+		if start.Raw == end.Raw {
+			// An empty batch performs no work.
+			return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.NoAction}}
+		}
+		if start.Validity == dict.Invalid || end.Validity == dict.Invalid {
+			return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.InvalidParam}}
+		}
+		// A well-formed batch returns the number of executed entries.
+		return Prediction{Kind: ExpectReturn, Codes: []xm.RetCode{xm.OK}}
+	}
+	return Prediction{}
+}
+
+// MaxNegativeInterval is the LLONG_MIN literal of the paper's Time
+// Management findings, exposed for tests and documentation.
+const MaxNegativeInterval = int64(math.MinInt64)

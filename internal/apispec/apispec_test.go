@@ -1,0 +1,186 @@
+package apispec
+
+import (
+	"strings"
+	"testing"
+
+	"xmrobust/internal/xm"
+)
+
+func TestDefaultCoversWholeRegistry(t *testing.T) {
+	h := Default()
+	if len(h.Functions) != xm.NumHypercalls {
+		t.Fatalf("functions = %d, want %d", len(h.Functions), xm.NumHypercalls)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultTestedSelectionIs39(t *testing.T) {
+	h := Default()
+	tested := h.Tested()
+	if len(tested) != 39 {
+		t.Fatalf("tested = %d hypercalls, want 39 (Table III)", len(tested))
+	}
+	// Per-category tested counts of Table III.
+	want := map[xm.Category]int{
+		xm.CatSystem: 2, xm.CatPartition: 6, xm.CatTime: 2, xm.CatPlan: 1,
+		xm.CatIPC: 8, xm.CatMemory: 1, xm.CatHM: 3, xm.CatTrace: 4,
+		xm.CatInterrupt: 4, xm.CatMisc: 3, xm.CatSparc: 5,
+	}
+	got := map[xm.Category]int{}
+	for _, f := range tested {
+		got[xm.Category(f.Category)]++
+	}
+	for cat, n := range want {
+		if got[cat] != n {
+			t.Errorf("%s: tested %d, want %d", cat, got[cat], n)
+		}
+	}
+}
+
+func TestNoParameterlessCallIsTested(t *testing.T) {
+	// The paper excluded parameter-less hypercalls from the campaign
+	// scope ("this was not considered for the scope of this exercise").
+	for _, f := range Default().Tested() {
+		if len(f.Params) == 0 {
+			t.Errorf("%s: parameter-less call marked tested", f.Name)
+		}
+	}
+}
+
+func TestOverridesApplied(t *testing.T) {
+	h := Default()
+	f, ok := h.Function("XM_switch_sched_plan")
+	if !ok {
+		t.Fatal("XM_switch_sched_plan missing")
+	}
+	if f.Params[0].ValueSet != "plan_ids" || f.Params[1].ValueSet != "null_only" {
+		t.Fatalf("overrides = %+v", f.Params)
+	}
+	r, _ := h.Function("XM_route_irq")
+	if r.Params[0].ValueSet != "irq_types" {
+		t.Fatalf("route_irq override = %+v", r.Params)
+	}
+}
+
+func TestEmitMatchesFig2Shape(t *testing.T) {
+	out, err := Default().Emit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`<Function Name="XM_reset_partition" ReturnType="xm_s32_t" IsPointer="NO"`,
+		"<ParametersList>",
+		`<Parameter Name="partitionId" Type="xm_s32_t" IsPointer="NO"`,
+		`<Parameter Name="resetMode" Type="xm_u32_t" IsPointer="NO"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("emitted XML lacks %q (Fig. 2 shape)", want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	out, err := Default().Emit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Functions) != xm.NumHypercalls {
+		t.Fatalf("round trip lost functions: %d", len(h2.Functions))
+	}
+	if len(h2.Tested()) != 39 {
+		t.Fatalf("round trip lost tested flags: %d", len(h2.Tested()))
+	}
+	f, ok := h2.Function("XM_set_timer")
+	if !ok || len(f.Params) != 3 || f.Params[1].Type != "xmTime_t" {
+		t.Fatalf("XM_set_timer after round trip: %+v %v", f, ok)
+	}
+}
+
+func TestParseHandAuthoredHeader(t *testing.T) {
+	// The Fig. 2 excerpt, verbatim (modulo the document root).
+	src := `<?xml version="1.0"?>
+<ApiHeader Kernel="XtratuM">
+  <Function Name="XM_reset_partition" ReturnType="xm_s32_t" IsPointer="NO" Tested="YES">
+    <ParametersList>
+      <Parameter Name="partitionId" Type="xm_s32_t" IsPointer="NO"/>
+      <Parameter Name="resetMode" Type="xm_u32_t" IsPointer="NO"/>
+      <Parameter Name="status" Type="xm_u32_t" IsPointer="NO"/>
+    </ParametersList>
+  </Function>
+</ApiHeader>`
+	h, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Tested()) != 1 {
+		t.Fatalf("tested = %d", len(h.Tested()))
+	}
+	f := h.Tested()[0]
+	if f.Name != "XM_reset_partition" || len(f.Params) != 3 {
+		t.Fatalf("parsed %+v", f)
+	}
+	if f.Params[0].Pointer() {
+		t.Error("partitionId marked pointer")
+	}
+}
+
+func TestValidateCatchesABIMismatch(t *testing.T) {
+	src := `<ApiHeader>
+  <Function Name="XM_reset_partition" ReturnType="xm_s32_t">
+    <ParametersList>
+      <Parameter Name="partitionId" Type="xm_s32_t"/>
+    </ParametersList>
+  </Function>
+</ApiHeader>`
+	if _, err := Parse([]byte(src)); err == nil {
+		t.Fatal("accepted a header disagreeing with the kernel ABI arity")
+	}
+	src2 := strings.Replace(`<ApiHeader>
+  <Function Name="XM_halt_partition" ReturnType="xm_s32_t">
+    <ParametersList>
+      <Parameter Name="partitionId" Type="xm_u32_t"/>
+    </ParametersList>
+  </Function>
+</ApiHeader>`, "", "", 1)
+	if _, err := Parse([]byte(src2)); err == nil {
+		t.Fatal("accepted a header disagreeing with the kernel ABI types")
+	}
+}
+
+func TestValidateCatchesStructuralErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"dup function", `<ApiHeader><Function Name="A"/><Function Name="A"/></ApiHeader>`},
+		{"unnamed function", `<ApiHeader><Function Name=""/></ApiHeader>`},
+		{"unnamed param", `<ApiHeader><Function Name="F"><ParametersList><Parameter Name="" Type="xm_u32_t"/></ParametersList></Function></ApiHeader>`},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestUnknownKernelFunctionsAllowed(t *testing.T) {
+	// Headers for other kernels must parse: registry validation only
+	// applies to names the kernel knows.
+	src := `<ApiHeader Kernel="PikeOS">
+  <Function Name="p4_thread_create" ReturnType="int" Tested="YES">
+    <ParametersList><Parameter Name="prio" Type="xm_u32_t"/></ParametersList>
+  </Function>
+</ApiHeader>`
+	h, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kernel != "PikeOS" || len(h.Tested()) != 1 {
+		t.Fatalf("parsed %+v", h)
+	}
+}

@@ -1,0 +1,289 @@
+// Package campaign executes robustness test campaigns: the Test Generation
+// and Execution phase of the paper's methodology (§III.B).
+//
+// For every generated dataset the runner packs a fresh test partition —
+// the FDIR system partition of the EagleEye testbed, hosting one fault
+// placeholder — with the rest of the on-board software, runs the TSP
+// system on the simulated LEON3 target for a selected number of cyclic
+// schedules (the test call is invoked once per major frame), and logs the
+// return codes together with partition and separation-kernel health
+// specifics for the later log-analysis phase.
+//
+// Tests are mutually independent (each gets its own machine and kernel),
+// so the runner fans them out over a worker pool.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// DefaultMAFs is the number of cyclic schedules each test runs for.
+const DefaultMAFs = 2
+
+// Options configures a campaign run.
+type Options struct {
+	// Faults selects the kernel version under test (default LegacyFaults,
+	// the version the paper tested).
+	Faults xm.FaultSet
+	// MAFs is the number of major frames per test (default DefaultMAFs).
+	MAFs int
+	// Workers is the level of parallelism (default GOMAXPROCS).
+	Workers int
+	// Header is the API spec with the tested selection (default
+	// apispec.Default()).
+	Header *apispec.Header
+	// Dict is the value dictionary (default dict.Builtin()).
+	Dict *dict.Dictionary
+	// Stress pre-loads the system before injection (paper §V: robustness
+	// results differ under stressful states): one warm-up frame with
+	// saturated IPC queues and trace buffers.
+	Stress bool
+	// Progress, when non-nil, receives (done, total) after every test.
+	Progress func(done, total int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MAFs <= 0 {
+		o.MAFs = DefaultMAFs
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Header == nil {
+		o.Header = apispec.Default()
+	}
+	if o.Dict == nil {
+		o.Dict = dict.Builtin()
+	}
+	return o
+}
+
+// Result is the execution log of one test case — everything §III.C says
+// must be monitored: return codes, health-monitor events, partition and
+// kernel statuses, plus the simulator's own fate.
+type Result struct {
+	Dataset  testgen.Dataset
+	Resolved []dict.Resolved
+
+	// TestPartition is the id of the partition hosting the fault
+	// placeholder (the FDIR system partition of the testbed).
+	TestPartition int
+
+	// Invocations counts fault-placeholder activations; Returns holds the
+	// return codes of those that came back. A shortfall means control
+	// never returned to the test partition.
+	Invocations int
+	Returns     []xm.RetCode
+
+	// Kernel health.
+	KernelState xm.KState
+	KernelHalt  string
+	ColdResets  uint32
+	WarmResets  uint32
+	HMEvents    []xm.HMLogEntry
+
+	// Test partition health.
+	PartState  xm.PState
+	PartDetail string
+
+	// Simulator fate.
+	SimCrashed  bool
+	CrashReason string
+
+	// RunErr records an unexpected harness error ("" normally).
+	RunErr string
+}
+
+// Returned reports whether every invocation returned to the guest.
+func (r Result) Returned() bool {
+	return r.Invocations > 0 && len(r.Returns) == r.Invocations
+}
+
+// LastReturn is the last observed return code (ok=false when none).
+func (r Result) LastReturn() (xm.RetCode, bool) {
+	if len(r.Returns) == 0 {
+		return 0, false
+	}
+	return r.Returns[len(r.Returns)-1], true
+}
+
+// layoutFor builds the symbolic-value resolution layout of the EagleEye
+// test partition.
+func layoutFor(k *xm.Kernel) (dict.Layout, error) {
+	data, ok := k.PartitionDataArea(eagleeye.FDIR)
+	if !ok {
+		return dict.Layout{}, fmt.Errorf("campaign: test partition has no data area")
+	}
+	other, ok := k.PartitionDataArea(eagleeye.Platform)
+	if !ok {
+		return dict.Layout{}, fmt.Errorf("campaign: no other-partition area")
+	}
+	mc := k.Machine().Config()
+	return dict.Layout{
+		DataArea:  data,
+		OtherArea: other,
+		Kernel:    mc.RAMBase, // the hypervisor image sits at the RAM base
+		ROM:       mc.ROMBase + 0x100,
+		IO:        mc.IOBase,
+	}, nil
+}
+
+// testProg is the test partition program: one fault placeholder invoked
+// once per scheduling slot (and hence at least once per major frame).
+type testProg struct {
+	nr   xm.Nr
+	args []uint64
+
+	invocations int
+	returns     []xm.RetCode
+}
+
+func (p *testProg) Boot(env xm.Env) {}
+
+func (p *testProg) Step(env xm.Env) bool {
+	p.invocations++
+	ret := env.Hypercall(p.nr, p.args...)
+	p.returns = append(p.returns, ret)
+	return false
+}
+
+// RunOne executes a single dataset against a fresh testbed and returns
+// its execution log.
+func RunOne(ds testgen.Dataset, opts Options) Result {
+	opts = opts.withDefaults()
+	res := Result{Dataset: ds, TestPartition: eagleeye.FDIR}
+
+	spec, ok := xm.LookupName(ds.Func.Name)
+	if !ok {
+		res.RunErr = fmt.Sprintf("campaign: hypercall %q not in kernel ABI", ds.Func.Name)
+		return res
+	}
+	k, err := eagleeye.NewSystem(xm.WithFaults(opts.Faults))
+	if err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	layout, err := layoutFor(k)
+	if err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	resolved := make([]dict.Resolved, 0, len(ds.Values))
+	args := make([]uint64, 0, len(ds.Values))
+	for _, v := range ds.Values {
+		r, err := layout.Resolve(v)
+		if err != nil {
+			res.RunErr = err.Error()
+			return res
+		}
+		resolved = append(resolved, r)
+		args = append(args, r.Bits)
+	}
+	res.Resolved = resolved
+
+	prog := &testProg{nr: spec.Nr, args: args}
+	if err := k.AttachProgram(eagleeye.FDIR, prog); err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	if opts.Stress {
+		preloadStress(k)
+	}
+
+	var runErr error
+	for i := 0; i < opts.MAFs; i++ {
+		if runErr = k.RunMajorFrames(1); runErr != nil {
+			break
+		}
+	}
+	switch runErr {
+	case nil, xm.ErrHalted:
+		// Kernel halt is an observed outcome, not a harness error.
+	default:
+		if _, isCrash := runErr.(sparc.ErrCrashed); !isCrash {
+			res.RunErr = runErr.Error()
+		}
+	}
+
+	res.Invocations = prog.invocations
+	res.Returns = prog.returns
+	st := k.Status()
+	res.KernelState = st.State
+	res.KernelHalt = st.HaltDetail
+	res.ColdResets = st.ColdResets
+	res.WarmResets = st.WarmResets
+	res.HMEvents = k.HMEntries()
+	if ps, ok := k.PartitionStatus(eagleeye.FDIR); ok {
+		res.PartState = ps.State
+		res.PartDetail = ps.HaltDetail
+	}
+	res.SimCrashed, res.CrashReason = k.Machine().Crashed()
+	return res
+}
+
+// preloadStress drives the testbed into a loaded state before the test
+// call fires: several frames of OBSW traffic with nobody draining the
+// downlink queue, leaving IPC buffers full.
+func preloadStress(k *xm.Kernel) {
+	// The FDIR slot already hosts the test program (which injects during
+	// the warm-up too — its first invocations run under stress); what
+	// matters is that the producers have saturated the channels.
+	_ = k.RunMajorFrames(1)
+}
+
+// Run generates the campaign's datasets and executes them all, returning
+// results in generation order.
+func Run(opts Options) ([]Result, error) {
+	opts = opts.withDefaults()
+	datasets, err := testgen.Generate(opts.Header, opts.Dict)
+	if err != nil {
+		return nil, err
+	}
+	return RunDatasets(datasets, opts), nil
+}
+
+// RunDatasets executes a pre-generated dataset list over the worker pool.
+func RunDatasets(datasets []testgen.Dataset, opts Options) []Result {
+	opts = opts.withDefaults()
+	results := make([]Result, len(datasets))
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		done int
+		mu   sync.Mutex
+	)
+	workers := opts.Workers
+	if workers > len(datasets) {
+		workers = len(datasets)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = RunOne(datasets[i], opts)
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(done, len(datasets))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range datasets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"xmrobust/internal/xm"
+)
+
+// jsonResult is the serialised form of one test's execution log — the
+// per-test record the paper's shell-script harness appended to the
+// campaign log for the offline Log Analysis phase.
+type jsonResult struct {
+	Func        string   `json:"func"`
+	Dataset     []string `json:"dataset"`
+	Descs       []string `json:"descs,omitempty"`
+	Validity    []string `json:"validity,omitempty"`
+	Invocations int      `json:"invocations"`
+	Returns     []int32  `json:"returns"`
+	ReturnNames []string `json:"return_names"`
+	KernelState string   `json:"kernel_state"`
+	KernelHalt  string   `json:"kernel_halt,omitempty"`
+	ColdResets  uint32   `json:"cold_resets"`
+	WarmResets  uint32   `json:"warm_resets"`
+	HMEvents    []string `json:"hm_events,omitempty"`
+	PartState   string   `json:"part_state"`
+	PartDetail  string   `json:"part_detail,omitempty"`
+	SimCrashed  bool     `json:"sim_crashed"`
+	CrashReason string   `json:"crash_reason,omitempty"`
+	RunErr      string   `json:"run_err,omitempty"`
+}
+
+func toJSONResult(r Result) jsonResult {
+	out := jsonResult{
+		Func:        r.Dataset.Func.Name,
+		Invocations: r.Invocations,
+		KernelState: r.KernelState.String(),
+		KernelHalt:  r.KernelHalt,
+		ColdResets:  r.ColdResets,
+		WarmResets:  r.WarmResets,
+		PartState:   r.PartState.String(),
+		PartDetail:  r.PartDetail,
+		SimCrashed:  r.SimCrashed,
+		CrashReason: r.CrashReason,
+		RunErr:      r.RunErr,
+	}
+	for _, v := range r.Resolved {
+		out.Dataset = append(out.Dataset, v.Raw)
+		out.Descs = append(out.Descs, v.Desc)
+		out.Validity = append(out.Validity, v.Validity.String())
+	}
+	for _, rc := range r.Returns {
+		out.Returns = append(out.Returns, int32(rc))
+		out.ReturnNames = append(out.ReturnNames, rc.String())
+	}
+	for _, e := range r.HMEvents {
+		out.HMEvents = append(out.HMEvents, e.String())
+	}
+	return out
+}
+
+// WriteJSON streams the campaign log as JSON Lines: one self-contained
+// record per test, greppable and loadable without holding the whole
+// campaign in memory.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if err := enc.Encode(toJSONResult(results[i])); err != nil {
+			return fmt.Errorf("campaign: writing test %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// JSONSummary is the decoded view of one JSON Lines record, for external
+// tooling and for the tests of the export itself.
+type JSONSummary struct {
+	Func        string   `json:"func"`
+	Dataset     []string `json:"dataset"`
+	Returns     []int32  `json:"returns"`
+	ReturnNames []string `json:"return_names"`
+	KernelState string   `json:"kernel_state"`
+	ColdResets  uint32   `json:"cold_resets"`
+	WarmResets  uint32   `json:"warm_resets"`
+	HMEvents    []string `json:"hm_events"`
+	PartState   string   `json:"part_state"`
+	SimCrashed  bool     `json:"sim_crashed"`
+}
+
+// ReadJSON decodes a JSON Lines campaign log into summaries.
+func ReadJSON(r io.Reader) ([]JSONSummary, error) {
+	dec := json.NewDecoder(r)
+	var out []JSONSummary
+	for dec.More() {
+		var s JSONSummary
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("campaign: reading record %d: %w", len(out), err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// VerifyRoundTrip sanity-checks the export path against the in-memory
+// results (used by tests and by xmfuzz's self-check).
+func VerifyRoundTrip(results []Result, summaries []JSONSummary) error {
+	if len(results) != len(summaries) {
+		return fmt.Errorf("campaign: %d results vs %d records", len(results), len(summaries))
+	}
+	for i, r := range results {
+		s := summaries[i]
+		if s.Func != r.Dataset.Func.Name {
+			return fmt.Errorf("campaign: record %d func %q vs %q", i, s.Func, r.Dataset.Func.Name)
+		}
+		if len(s.Returns) != len(r.Returns) {
+			return fmt.Errorf("campaign: record %d returns %d vs %d", i, len(s.Returns), len(r.Returns))
+		}
+		for j := range r.Returns {
+			if xm.RetCode(s.Returns[j]) != r.Returns[j] {
+				return fmt.Errorf("campaign: record %d return %d mismatch", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package campaign
+
+import (
+	"fmt"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// PhantomState is one value of the "phantom parameter" of paper §V: the
+// Ballista technique that extends the data type fault model to
+// parameter-less hypercalls by varying the *system state* the call fires
+// in instead of its (non-existent) arguments. "Phantom parameters could be
+// used in this case to set the separation kernel into a particular
+// stressful state before invoking the test calls."
+type PhantomState struct {
+	Name string
+	Desc string
+	// warmupFrames is how many major frames the setter runs before the
+	// test partition is armed.
+	warmupFrames int
+	// setup mutates the freshly booted system (attaching setter programs,
+	// arming timers) before the warm-up frames run.
+	setup func(k *xm.Kernel) error
+}
+
+// PhantomStates returns the phantom-parameter value set of the extension
+// campaign: the nominal state plus four loaded/degraded states.
+func PhantomStates() []PhantomState {
+	return []PhantomState{
+		{
+			Name: "nominal",
+			Desc: "freshly booted system",
+		},
+		{
+			Name:         "ipc-saturated",
+			Desc:         "queuing channels full, sampling messages pending",
+			warmupFrames: 3,
+			setup: func(k *xm.Kernel) error {
+				// With the FDIR consumer replaced by the (idle) setter,
+				// three frames of OBSW traffic saturate the downlink
+				// queue and leave fresh sampling messages everywhere.
+				return k.AttachProgram(eagleeye.FDIR, idleProgram{})
+			},
+		},
+		{
+			Name:         "hm-backlog",
+			Desc:         "health-monitor log loaded, one partition halted",
+			warmupFrames: 2,
+			setup: func(k *xm.Kernel) error {
+				if err := k.AttachProgram(eagleeye.Payload, &rogueProgram{}); err != nil {
+					return err
+				}
+				return k.AttachProgram(eagleeye.FDIR, idleProgram{})
+			},
+		},
+		{
+			Name:         "timer-armed",
+			Desc:         "periodic 10ms virtual timer live on the hardware clock",
+			warmupFrames: 1,
+			setup: func(k *xm.Kernel) error {
+				return k.AttachProgram(eagleeye.FDIR, armTimerProgram{})
+			},
+		},
+		{
+			Name:         "survival-plan",
+			Desc:         "system switched to the degraded scheduling plan",
+			warmupFrames: 1,
+			setup: func(k *xm.Kernel) error {
+				return k.AttachProgram(eagleeye.FDIR, switchPlanProgram{})
+			},
+		},
+	}
+}
+
+// idleProgram occupies a partition without doing anything.
+type idleProgram struct{}
+
+func (idleProgram) Boot(env xm.Env)      {}
+func (idleProgram) Step(env xm.Env) bool { env.Compute(100); return false }
+
+// rogueProgram violates spatial separation once, loading the HM log.
+type rogueProgram struct{ fired bool }
+
+func (r *rogueProgram) Boot(env xm.Env) {}
+
+func (r *rogueProgram) Step(env xm.Env) bool {
+	if !r.fired {
+		r.fired = true
+		env.Write(sparc.DefaultRAMBase, []byte{1}) // hypervisor image: trap
+	}
+	return false
+}
+
+// armTimerProgram arms a sane periodic timer from the FDIR slot.
+type armTimerProgram struct{}
+
+func (armTimerProgram) Boot(env xm.Env) {}
+
+func (armTimerProgram) Step(env xm.Env) bool {
+	env.Hypercall(xm.NrSetTimer, uint64(xm.HwClock), uint64(env.Now()+5000), 10000)
+	return false
+}
+
+// switchPlanProgram requests the survival plan (plan 1).
+type switchPlanProgram struct{}
+
+func (switchPlanProgram) Boot(env xm.Env) {}
+
+func (switchPlanProgram) Step(env xm.Env) bool {
+	area := sparc.DefaultRAMBase + sparc.Addr(0x100000*(eagleeye.FDIR+1))
+	env.Hypercall(xm.NrSwitchSchedPlan, 1, uint64(area))
+	return false
+}
+
+// PhantomDataset pairs a parameter-less hypercall with one phantom state.
+// It reuses testgen.Dataset so the analysis pipeline applies unchanged;
+// the state travels in the dataset's function Category/ValueSet-free form
+// via the State field of the result.
+type PhantomDataset struct {
+	Func  apispec.Function
+	State PhantomState
+}
+
+// String renders the phantom call.
+func (pd PhantomDataset) String() string {
+	return fmt.Sprintf("%s() @ %s", pd.Func.Name, pd.State.Name)
+}
+
+// GeneratePhantom builds the extension suite: every untested
+// parameter-less hypercall of the header crossed with every phantom state.
+func GeneratePhantom(h *apispec.Header) []PhantomDataset {
+	var out []PhantomDataset
+	for _, f := range h.Functions {
+		if len(f.Params) != 0 {
+			continue
+		}
+		for _, st := range PhantomStates() {
+			out = append(out, PhantomDataset{Func: f, State: st})
+		}
+	}
+	return out
+}
+
+// RunPhantom executes one phantom test: boot, apply the state setter, run
+// the warm-up schedules, then arm the fault placeholder and run the usual
+// observation frames.
+func RunPhantom(pd PhantomDataset, opts Options) Result {
+	opts = opts.withDefaults()
+	res := Result{Dataset: testgen.Dataset{Func: pd.Func}, TestPartition: eagleeye.FDIR}
+
+	spec, ok := xm.LookupName(pd.Func.Name)
+	if !ok {
+		res.RunErr = fmt.Sprintf("campaign: hypercall %q not in kernel ABI", pd.Func.Name)
+		return res
+	}
+	k, err := eagleeye.NewSystem(xm.WithFaults(opts.Faults))
+	if err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	if pd.State.setup != nil {
+		if err := pd.State.setup(k); err != nil {
+			res.RunErr = err.Error()
+			return res
+		}
+	}
+	if pd.State.warmupFrames > 0 {
+		if err := k.RunMajorFrames(pd.State.warmupFrames); err != nil {
+			res.RunErr = fmt.Sprintf("campaign: phantom warm-up: %v", err)
+			return res
+		}
+	}
+	prog := &testProg{nr: spec.Nr}
+	if err := k.AttachProgram(eagleeye.FDIR, prog); err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	var runErr error
+	for i := 0; i < opts.MAFs; i++ {
+		if runErr = k.RunMajorFrames(1); runErr != nil {
+			break
+		}
+	}
+	switch runErr {
+	case nil, xm.ErrHalted:
+	default:
+		if _, isCrash := runErr.(sparc.ErrCrashed); !isCrash {
+			res.RunErr = runErr.Error()
+		}
+	}
+	res.Invocations = prog.invocations
+	res.Returns = prog.returns
+	st := k.Status()
+	res.KernelState = st.State
+	res.KernelHalt = st.HaltDetail
+	res.ColdResets = st.ColdResets
+	res.WarmResets = st.WarmResets
+	res.HMEvents = k.HMEntries()
+	if ps, ok := k.PartitionStatus(eagleeye.FDIR); ok {
+		res.PartState = ps.State
+		res.PartDetail = ps.HaltDetail
+	}
+	res.SimCrashed, res.CrashReason = k.Machine().Crashed()
+	return res
+}
+
+// RunPhantomCampaign executes the whole extension suite.
+func RunPhantomCampaign(opts Options) []Result {
+	opts = opts.withDefaults()
+	suite := GeneratePhantom(opts.Header)
+	out := make([]Result, len(suite))
+	for i, pd := range suite {
+		out[i] = RunPhantom(pd, opts)
+	}
+	return out
+}

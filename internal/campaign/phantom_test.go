@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/xm"
+)
+
+func TestPhantomStatesInventory(t *testing.T) {
+	states := PhantomStates()
+	if len(states) != 5 {
+		t.Fatalf("phantom states = %d, want 5", len(states))
+	}
+	seen := map[string]bool{}
+	for _, st := range states {
+		if st.Name == "" || st.Desc == "" {
+			t.Errorf("state %+v lacks name/description", st)
+		}
+		if seen[st.Name] {
+			t.Errorf("duplicate state %q", st.Name)
+		}
+		seen[st.Name] = true
+	}
+	if !seen["nominal"] {
+		t.Error("the nominal state must anchor the comparison")
+	}
+}
+
+func TestGeneratePhantomCoversParameterlessCalls(t *testing.T) {
+	suite := GeneratePhantom(apispec.Default())
+	// 10 parameter-less hypercalls x 5 states.
+	if len(suite) != 50 {
+		t.Fatalf("suite = %d tests, want 50", len(suite))
+	}
+	fns := map[string]int{}
+	for _, pd := range suite {
+		if len(pd.Func.Params) != 0 {
+			t.Errorf("%s has parameters", pd.Func.Name)
+		}
+		fns[pd.Func.Name]++
+	}
+	if len(fns) != 10 {
+		t.Fatalf("functions = %d, want 10", len(fns))
+	}
+	for fn, n := range fns {
+		if n != 5 {
+			t.Errorf("%s tested under %d states, want 5", fn, n)
+		}
+	}
+}
+
+func phantomFor(t *testing.T, fn, state string) PhantomDataset {
+	t.Helper()
+	for _, pd := range GeneratePhantom(apispec.Default()) {
+		if pd.Func.Name == fn && pd.State.Name == state {
+			return pd
+		}
+	}
+	t.Fatalf("no phantom test %s @ %s", fn, state)
+	return PhantomDataset{}
+}
+
+func TestPhantomHaltSystem(t *testing.T) {
+	for _, state := range []string{"nominal", "ipc-saturated", "survival-plan"} {
+		pd := phantomFor(t, "XM_halt_system", state)
+		res := RunPhantom(pd, Options{})
+		if res.RunErr != "" {
+			t.Fatalf("%s: %s", state, res.RunErr)
+		}
+		if res.KernelState != xm.KStateHalted {
+			t.Errorf("%s: kernel %v, want HALTED", state, res.KernelState)
+		}
+		if res.Returned() {
+			t.Errorf("%s: XM_halt_system returned", state)
+		}
+	}
+}
+
+func TestPhantomSuspendSelf(t *testing.T) {
+	pd := phantomFor(t, "XM_suspend_self", "hm-backlog")
+	res := RunPhantom(pd, Options{})
+	if res.RunErr != "" {
+		t.Fatal(res.RunErr)
+	}
+	if res.PartState != xm.PStateSuspended {
+		t.Fatalf("partition %v, want SUSPENDED", res.PartState)
+	}
+	// The warm-up rogue's HM entry must be visible in the log.
+	if len(res.HMEvents) == 0 {
+		t.Fatal("hm-backlog state produced no HM entries")
+	}
+}
+
+func TestPhantomStateChangesContext(t *testing.T) {
+	// The ipc-saturated state must actually differ from nominal: under
+	// saturation, the TMTC partition has dropped frames.
+	nom := RunPhantom(phantomFor(t, "XM_hm_open", "nominal"), Options{})
+	sat := RunPhantom(phantomFor(t, "XM_hm_open", "ipc-saturated"), Options{})
+	if nom.RunErr != "" || sat.RunErr != "" {
+		t.Fatal(nom.RunErr, sat.RunErr)
+	}
+	rcN, _ := nom.LastReturn()
+	rcS, _ := sat.LastReturn()
+	if rcN != xm.OK || rcS != xm.OK {
+		t.Fatalf("hm_open = %v / %v", rcN, rcS)
+	}
+}
+
+func TestPhantomSurvivalPlanApplies(t *testing.T) {
+	pd := phantomFor(t, "XM_enable_irqs", "survival-plan")
+	res := RunPhantom(pd, Options{})
+	if res.RunErr != "" {
+		t.Fatal(res.RunErr)
+	}
+	rc, ok := res.LastReturn()
+	if !ok || rc != xm.OK {
+		t.Fatalf("enable_irqs under survival plan = %v %v", rc, ok)
+	}
+}
+
+func TestPhantomInvocationCadence(t *testing.T) {
+	pd := phantomFor(t, "XM_sparc_get_psr", "nominal")
+	res := RunPhantom(pd, Options{MAFs: 3})
+	if res.Invocations != 3 || len(res.Returns) != 3 {
+		t.Fatalf("invocations=%d returns=%d, want 3/3", res.Invocations, len(res.Returns))
+	}
+}

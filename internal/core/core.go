@@ -1,0 +1,127 @@
+// Package core is the toolset facade: it ties the API spec, the data-type
+// dictionaries, the test generator, the campaign runner and the log
+// analysis into the one-call workflow of paper Fig. 1 — Preparation, Test
+// Generation and Execution, Log Analysis.
+package core
+
+import (
+	"xmrobust/internal/analysis"
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// CampaignReport is the complete outcome of one robustness campaign.
+type CampaignReport struct {
+	Options    campaign.Options
+	Datasets   []testgen.Dataset
+	Results    []campaign.Result
+	Classified []analysis.Classified
+	Issues     []analysis.Issue
+}
+
+// RunCampaign executes the full pipeline with the given options (zero
+// value: the paper's campaign — legacy kernel, default spec and
+// dictionaries, two major frames per test).
+func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
+	rep := &CampaignReport{Options: opts}
+	results, err := campaign.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = results
+	for _, r := range results {
+		rep.Datasets = append(rep.Datasets, r.Dataset)
+	}
+	oracle := analysis.NewOracle(opts.Faults)
+	rep.Classified = analysis.ClassifyAll(results, oracle)
+	rep.Issues = analysis.Cluster(rep.Classified)
+	return rep, nil
+}
+
+// PhantomReport is the outcome of the §V extension campaign: the
+// parameter-less hypercalls exercised under the phantom-parameter states.
+type PhantomReport struct {
+	Results    []campaign.Result
+	Classified []analysis.Classified
+	Issues     []analysis.Issue
+}
+
+// RunPhantomCampaign executes the phantom-parameter extension: every
+// parameter-less hypercall under every phantom system state.
+func RunPhantomCampaign(opts campaign.Options) *PhantomReport {
+	rep := &PhantomReport{Results: campaign.RunPhantomCampaign(opts)}
+	oracle := analysis.NewOracle(opts.Faults)
+	rep.Classified = analysis.ClassifyAll(rep.Results, oracle)
+	rep.Issues = analysis.Cluster(rep.Classified)
+	return rep
+}
+
+// CategoryStats is one row of the paper's Table III.
+type CategoryStats struct {
+	Category        xm.Category
+	TotalHypercalls int
+	Tested          int
+	Tests           int
+	Issues          int
+}
+
+// TableIII aggregates the campaign into the paper's Table III rows, in
+// the paper's row order, with a trailing totals row.
+func (r *CampaignReport) TableIII() []CategoryStats {
+	byCat := map[xm.Category]*CategoryStats{}
+	var rows []*CategoryStats
+	for _, cat := range xm.Categories() {
+		cs := &CategoryStats{Category: cat, TotalHypercalls: len(xm.ByCategory(cat))}
+		byCat[cat] = cs
+		rows = append(rows, cs)
+	}
+	testedSeen := map[string]bool{}
+	for _, res := range r.Results {
+		spec, ok := xm.LookupName(res.Dataset.Func.Name)
+		if !ok {
+			continue
+		}
+		cs := byCat[spec.Category]
+		cs.Tests++
+		if !testedSeen[spec.Name] {
+			testedSeen[spec.Name] = true
+			cs.Tested++
+		}
+	}
+	for _, iss := range r.Issues {
+		if cs, ok := byCat[iss.Category]; ok {
+			cs.Issues++
+		}
+	}
+	total := CategoryStats{Category: "Total"}
+	out := make([]CategoryStats, 0, len(rows)+1)
+	for _, cs := range rows {
+		out = append(out, *cs)
+		total.TotalHypercalls += cs.TotalHypercalls
+		total.Tested += cs.Tested
+		total.Tests += cs.Tests
+		total.Issues += cs.Issues
+	}
+	return append(out, total)
+}
+
+// Failures returns the classified results with failing verdicts.
+func (r *CampaignReport) Failures() []analysis.Classified {
+	var out []analysis.Classified
+	for _, c := range r.Classified {
+		if c.Verdict.Failure() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// VerdictCounts tallies the CRASH scale over the whole campaign.
+func (r *CampaignReport) VerdictCounts() map[analysis.Verdict]int {
+	out := map[analysis.Verdict]int{}
+	for _, c := range r.Classified {
+		out[c.Verdict]++
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package dict
+
+// Builtin returns the dictionary of the XtratuM case study: the value sets
+// of paper Fig. 3 (xm_u32_t) and Table II (xm_s32_t), the pointer and
+// address sets built from boundary and "magic" addresses, and the named
+// override sets the campaign uses for context-narrowed parameters.
+//
+// Following paper §IV.B, each set mixes definitely-invalid boundary values
+// with values that are valid for at least some hypercalls, so that an
+// early parameter check cannot mask a later parameter's vulnerability
+// (Fig. 7).
+func Builtin() *Dictionary {
+	d := NewDictionary()
+
+	// Paper Fig. 3, verbatim: the xm_u32_t set.
+	d.AddType(TypeSet{
+		Name: "xm_u32_t", BasicType: "unsigned int",
+		Values: []Value{
+			{Raw: "0", Desc: "ZERO"},
+			{Raw: "1"},
+			{Raw: "2"},
+			{Raw: "16"},
+			{Raw: "4294967295", Desc: "MAX_U32", Validity: Invalid},
+		},
+	})
+
+	// Paper Table II, verbatim: the xm_s32_t set.
+	d.AddType(TypeSet{
+		Name: "xm_s32_t", BasicType: "signed int",
+		Values: []Value{
+			{Raw: "-2147483648", Desc: "MIN_S32", Validity: Invalid},
+			{Raw: "-16", Validity: Invalid},
+			{Raw: "-1", Validity: Invalid},
+			{Raw: "0", Desc: "ZERO"},
+			{Raw: "1"},
+			{Raw: "2"},
+			{Raw: "16"},
+			{Raw: "2147483647", Desc: "MAX_S32", Validity: Invalid},
+		},
+	})
+
+	// xmTime_t (xm_s64_t): the interval/instant values of the paper's
+	// Time Management tests — a small positive instant and LLONG_MIN.
+	d.AddType(TypeSet{
+		Name: "xm_s64_t", BasicType: "signed long long",
+		Values: []Value{
+			{Raw: "1"},
+			{Raw: "-9223372036854775808", Desc: "MIN_S64", Validity: Invalid},
+		},
+	})
+
+	// void*: the canonical invalid pointer plus two valid pointers into
+	// the test partition's data area (masking avoidance).
+	d.AddType(TypeSet{
+		Name: "void*", BasicType: "void *",
+		Values: []Value{
+			{Raw: SymNull, Desc: "null pointer", Validity: Invalid},
+			{Raw: SymValid, Desc: "data area base", Validity: Valid},
+			{Raw: SymValidMid, Desc: "data area middle", Validity: Valid},
+		},
+	})
+
+	// xmAddress_t: the rich address set the Memory Management sweep uses —
+	// boundary addresses of the partition's own area, other partitions'
+	// areas, kernel / PROM / I-O space, and unaligned and magic values.
+	d.AddType(TypeSet{
+		Name: "xmAddress_t", BasicType: "unsigned int",
+		Values: []Value{
+			{Raw: SymNull, Desc: "null", Validity: Invalid},
+			{Raw: "1", Desc: "unaligned low", Validity: Invalid},
+			{Raw: "3", Desc: "unaligned low", Validity: Invalid},
+			{Raw: "16", Desc: "inside PROM", Validity: Invalid},
+			{Raw: SymValid, Desc: "own area base", Validity: Valid},
+			{Raw: SymValidMid, Desc: "own area middle", Validity: Valid},
+			{Raw: SymValidLast, Desc: "own area last word"},
+			{Raw: SymValidEnd, Desc: "one past own area"},
+			{Raw: SymUnaligned, Desc: "own area base + 1"},
+			{Raw: SymOtherPart, Desc: "another partition's area", Validity: Invalid},
+			{Raw: SymKernel, Desc: "hypervisor image", Validity: Invalid},
+			{Raw: SymIO, Desc: "I/O bank", Validity: Invalid},
+			{Raw: "2147483647", Desc: "MAX_S32", Validity: Invalid},
+			{Raw: "4294967295", Desc: "MAX_U32", Validity: Invalid},
+		},
+	})
+
+	// xmSize_t: transfer sizes from empty to the full address space.
+	d.AddType(TypeSet{
+		Name: "xmSize_t", BasicType: "unsigned int",
+		Values: []Value{
+			{Raw: "0", Desc: "ZERO"},
+			{Raw: "1"},
+			{Raw: "16"},
+			{Raw: "4096", Desc: "one page"},
+			{Raw: "4294967295", Desc: "MAX_U32", Validity: Invalid},
+		},
+	})
+
+	// Named override sets for context-narrowed parameters (paper §V
+	// discusses hypercall-specific datasets as the refinement of the pure
+	// type-bound selection).
+	d.AddNamed(NamedSet{
+		Name: "plan_ids",
+		Values: []Value{
+			{Raw: "1", Desc: "configured plan", Validity: Valid},
+			{Raw: "4294967295", Desc: "MAX_U32", Validity: Invalid},
+		},
+	})
+	d.AddNamed(NamedSet{
+		Name:   "null_only",
+		Values: []Value{{Raw: SymNull, Desc: "null pointer", Validity: Invalid}},
+	})
+	d.AddNamed(NamedSet{
+		Name: "trace_bitmasks",
+		Values: []Value{
+			{Raw: "0", Desc: "no class selected"},
+			{Raw: "1"}, {Raw: "2"}, {Raw: "4"}, {Raw: "8"},
+			{Raw: "16"}, {Raw: "32"}, {Raw: "64"}, {Raw: "128"},
+			{Raw: "256"}, {Raw: "1024"}, {Raw: "65536"},
+			{Raw: "3", Desc: "adjacent bits"},
+			{Raw: "5", Desc: "split bits"},
+			{Raw: "15"},
+			{Raw: "255"},
+			{Raw: "65535"},
+			{Raw: "2147483648", Desc: "sign bit"},
+			{Raw: "2147483647", Desc: "MAX_S32"},
+			{Raw: "4294967295", Desc: "all classes"},
+		},
+	})
+	d.AddNamed(NamedSet{
+		Name: "irq_types",
+		Values: []Value{
+			{Raw: "0", Desc: "hw irq", Validity: Valid},
+			{Raw: "1", Desc: "extended irq", Validity: Valid},
+			{Raw: "2", Validity: Invalid},
+			{Raw: "16", Validity: Invalid},
+		},
+	})
+	return d
+}
+
+// WithoutValid returns a copy of the dictionary with every
+// definitely-valid value removed — the boundary-only selection the paper
+// warns against in §IV.B: without valid values, an early parameter check
+// masks every later parameter's handling (Fig. 7). Types whose values are
+// all valid keep their first value so no row goes empty.
+func WithoutValid(src *Dictionary) *Dictionary {
+	strip := func(vals []Value) []Value {
+		var out []Value
+		for _, v := range vals {
+			if v.Validity != Valid {
+				out = append(out, v)
+			}
+		}
+		if len(out) == 0 {
+			out = vals[:1]
+		}
+		return out
+	}
+	d := NewDictionary()
+	for _, ts := range src.Types() {
+		d.AddType(TypeSet{Name: ts.Name, BasicType: ts.BasicType, Values: strip(ts.Values)})
+	}
+	for _, ns := range src.NamedSets() {
+		d.AddNamed(NamedSet{Name: ns.Name, Values: strip(ns.Values)})
+	}
+	return d
+}

@@ -1,0 +1,365 @@
+// Package eagleeye provides the testbed of the paper's case study: a
+// synthetic stand-in for ESA's EagleEye TSP reference spacecraft — "an ESA
+// reference spacecraft mission representative of a typical earth
+// observation satellite" — hosted on the XtratuM-like kernel of package xm.
+//
+// The real EagleEye OBSW is ESA-proprietary; this package reproduces its
+// *structure* as the paper describes it: a LEON3 central node running XM
+// with the on-board software split into five partitions over a 250 ms
+// cyclic major frame, the FDIR partition being the only system partition
+// (and therefore the natural host for the fault-injection test partition).
+//
+// The synthetic on-board software exercises the same kernel services a
+// real OBSW would: the GNC partition publishes attitude state on a
+// sampling channel, PLATFORM consumes it and emits housekeeping telemetry,
+// PAYLOAD produces science frames, TMTC drains telemetry into a queuing
+// downlink, and FDIR polls partition health and the HM log.
+package eagleeye
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/xal"
+	"xmrobust/internal/xm"
+)
+
+// Partition ids of the EagleEye TSP configuration.
+const (
+	Platform = 0
+	Payload  = 1
+	GNC      = 2
+	TMTC     = 3
+	FDIR     = 4 // the only system partition
+
+	NumPartitions = 5
+)
+
+// MajorFrame is the cyclic major frame of the case study: 250 ms.
+const MajorFrame xm.Time = 250000
+
+// Channel names of the synthetic OBSW.
+const (
+	ChanAttitude = "gnc-attitude"  // GNC -> PLATFORM, sampling
+	ChanHKTM     = "platform-hktm" // PLATFORM -> TMTC, sampling
+	ChanScience  = "payload-sci"   // PAYLOAD -> TMTC, sampling
+	ChanDownlink = "tmtc-downlink" // TMTC -> FDIR, queuing (frame accounting)
+)
+
+// areaBase returns the RAM base of partition id's data area. Each
+// partition owns 64 KiB, spaced 1 MiB apart above the kernel image.
+func areaBase(id int) sparc.Addr {
+	return sparc.DefaultRAMBase + sparc.Addr(0x100000*(id+1))
+}
+
+// AreaSize is the size of each partition's data area.
+const AreaSize uint32 = 0x10000
+
+// Config returns the EagleEye TSP system definition: five partitions over
+// a 250 ms major frame, FDIR as the sole system partition, and the OBSW
+// channel set.
+func Config() xm.Config {
+	names := [NumPartitions]string{"PLATFORM", "PAYLOAD", "GNC", "TMTC", "FDIR"}
+	cfg := xm.Config{Name: "eagleeye-tsp"}
+	for id := 0; id < NumPartitions; id++ {
+		pc := xm.PartitionConfig{
+			ID:   id,
+			Name: names[id],
+			MemoryAreas: []sparc.Region{{
+				Name: "data", Base: areaBase(id), Size: AreaSize, Perm: sparc.PermRW,
+			}},
+			HwIrqLines: []int{3 + id},
+		}
+		if id == FDIR {
+			pc.System = true
+			pc.IOPorts = true
+		}
+		cfg.Partitions = append(cfg.Partitions, pc)
+	}
+	cfg.Plans = []xm.PlanConfig{
+		{
+			ID: 0, MajorFrame: MajorFrame,
+			Slots: []xm.SlotConfig{
+				{PartitionID: Platform, Start: 0, Duration: 60000},
+				{PartitionID: Payload, Start: 60000, Duration: 40000},
+				{PartitionID: GNC, Start: 100000, Duration: 50000},
+				{PartitionID: TMTC, Start: 150000, Duration: 40000},
+				{PartitionID: FDIR, Start: 190000, Duration: 50000},
+			},
+		},
+		{
+			// Survival plan: only PLATFORM and FDIR execute.
+			ID: 1, MajorFrame: MajorFrame,
+			Slots: []xm.SlotConfig{
+				{PartitionID: Platform, Start: 0, Duration: 100000},
+				{PartitionID: FDIR, Start: 150000, Duration: 80000},
+			},
+		},
+	}
+	cfg.Channels = []xm.ChannelConfig{
+		{Name: ChanAttitude, Type: xm.SamplingChannel, MaxMsgSize: 32, Source: GNC, Destination: Platform},
+		{Name: ChanHKTM, Type: xm.SamplingChannel, MaxMsgSize: 64, Source: Platform, Destination: TMTC},
+		{Name: ChanScience, Type: xm.SamplingChannel, MaxMsgSize: 64, Source: Payload, Destination: TMTC},
+		{Name: ChanDownlink, Type: xm.QueuingChannel, MaxMsgSize: 16, MaxNoMsgs: 16, Source: TMTC, Destination: FDIR},
+	}
+	return cfg
+}
+
+// NewSystem boots a kernel with the EagleEye configuration and the
+// synthetic OBSW attached to all five partitions.
+func NewSystem(opts ...xm.Option) (*xm.Kernel, error) {
+	k, err := xm.New(Config(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := AttachOBSW(k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// AttachOBSW hosts the synthetic on-board software in every partition of
+// an EagleEye-configured kernel.
+func AttachOBSW(k *xm.Kernel) error {
+	progs := map[int]xm.Program{
+		Platform: &platformProg{},
+		Payload:  &payloadProg{},
+		GNC:      &gncProg{},
+		TMTC:     &tmtcProg{},
+		FDIR:     &fdirProg{},
+	}
+	for id, prog := range progs {
+		if err := k.AttachProgram(id, prog); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dataRegion builds the region descriptor for partition id (for xal.New).
+func dataRegion(id int) sparc.Region {
+	return sparc.Region{Name: "data", Base: areaBase(id), Size: AreaSize, Perm: sparc.PermRW}
+}
+
+// --- GNC: publishes attitude quaternions -----------------------------------
+
+type gncProg struct {
+	ctx  *xal.Ctx
+	port *xal.Port
+	seq  uint32
+}
+
+func (g *gncProg) Boot(env xm.Env) {
+	g.ctx = xal.New(env, dataRegion(GNC))
+	g.port, _ = g.ctx.CreateSamplingPort(ChanAttitude, 32, xm.SourcePort)
+	g.seq = 0
+}
+
+func (g *gncProg) Step(env xm.Env) bool {
+	g.ctx.ResetHeap()
+	env.Compute(2000) // attitude determination & control iteration
+	if g.port == nil {
+		return false
+	}
+	g.seq++
+	msg := make([]byte, 32)
+	binary.BigEndian.PutUint32(msg[0:4], g.seq)
+	binary.BigEndian.PutUint64(msg[8:16], uint64(env.Now()))
+	// A synthetic quaternion derived from the sequence number.
+	binary.BigEndian.PutUint32(msg[16:20], g.seq%3600)
+	g.port.WriteSampling(msg)
+	return false // one control iteration per slot
+}
+
+// --- PLATFORM: consumes attitude, emits housekeeping telemetry -------------
+
+type platformProg struct {
+	ctx      *xal.Ctx
+	attitude *xal.Port
+	hktm     *xal.Port
+	cycles   uint32
+	lastAtt  uint32
+}
+
+func (p *platformProg) Boot(env xm.Env) {
+	p.ctx = xal.New(env, dataRegion(Platform))
+	p.attitude, _ = p.ctx.CreateSamplingPort(ChanAttitude, 32, xm.DestinationPort)
+	p.hktm, _ = p.ctx.CreateSamplingPort(ChanHKTM, 64, xm.SourcePort)
+}
+
+func (p *platformProg) Step(env xm.Env) bool {
+	p.ctx.ResetHeap()
+	env.Compute(3000) // thermal, power and mode management
+	p.cycles++
+	if p.attitude != nil {
+		if msg, rc := p.attitude.ReadSampling(32); rc == xm.OK && len(msg) >= 4 {
+			p.lastAtt = binary.BigEndian.Uint32(msg[0:4])
+		}
+	}
+	if p.hktm != nil {
+		tm := make([]byte, 64)
+		binary.BigEndian.PutUint32(tm[0:4], p.cycles)
+		binary.BigEndian.PutUint32(tm[4:8], p.lastAtt)
+		binary.BigEndian.PutUint64(tm[8:16], uint64(env.Now()))
+		p.hktm.WriteSampling(tm)
+	}
+	return false
+}
+
+// --- PAYLOAD: produces science frames ---------------------------------------
+
+type payloadProg struct {
+	ctx    *xal.Ctx
+	sci    *xal.Port
+	frames uint32
+}
+
+func (p *payloadProg) Boot(env xm.Env) {
+	p.ctx = xal.New(env, dataRegion(Payload))
+	p.sci, _ = p.ctx.CreateSamplingPort(ChanScience, 64, xm.SourcePort)
+}
+
+func (p *payloadProg) Step(env xm.Env) bool {
+	p.ctx.ResetHeap()
+	env.Compute(8000) // instrument readout and compression
+	if p.sci != nil {
+		p.frames++
+		frame := make([]byte, 64)
+		binary.BigEndian.PutUint32(frame[0:4], p.frames)
+		for i := 8; i < 64; i++ {
+			frame[i] = byte(p.frames + uint32(i)) // deterministic pseudo-payload
+		}
+		p.sci.WriteSampling(frame)
+	}
+	return false
+}
+
+// --- TMTC: drains telemetry into the downlink queue -------------------------
+
+type tmtcProg struct {
+	ctx      *xal.Ctx
+	hktm     *xal.Port
+	sci      *xal.Port
+	downlink *xal.Port
+	sent     uint32
+	overflow uint32
+}
+
+func (t *tmtcProg) Boot(env xm.Env) {
+	t.ctx = xal.New(env, dataRegion(TMTC))
+	t.hktm, _ = t.ctx.CreateSamplingPort(ChanHKTM, 64, xm.DestinationPort)
+	t.sci, _ = t.ctx.CreateSamplingPort(ChanScience, 64, xm.DestinationPort)
+	t.downlink, _ = t.ctx.CreateQueuingPort(ChanDownlink, 16, 16, xm.SourcePort)
+}
+
+func (t *tmtcProg) Step(env xm.Env) bool {
+	t.ctx.ResetHeap()
+	env.Compute(2500)
+	for _, src := range []*xal.Port{t.hktm, t.sci} {
+		if src == nil || t.downlink == nil {
+			continue
+		}
+		msg, rc := src.ReadSampling(64)
+		if rc != xm.OK || len(msg) < 4 {
+			continue
+		}
+		frame := make([]byte, 16)
+		copy(frame, msg[:16])
+		switch t.downlink.Send(frame) {
+		case xm.OK:
+			t.sent++
+		case xm.NotAvailable:
+			t.overflow++ // downlink queue full; frame dropped
+		}
+	}
+	return false
+}
+
+// --- FDIR: fault detection, isolation and recovery (system partition) -------
+
+// FDIRReport summarises what the FDIR partition observed; the host test
+// harness reads it back through Report().
+type FDIRReport struct {
+	Cycles        uint32
+	HMEntriesSeen int
+	KernelEvents  int
+	PartitionsUp  int
+	Recovered     int // partitions FDIR warm-reset after finding them halted
+	FramesDrained int
+}
+
+type fdirProg struct {
+	ctx      *xal.Ctx
+	downlink *xal.Port
+	report   FDIRReport
+}
+
+func (f *fdirProg) Boot(env xm.Env) {
+	f.ctx = xal.New(env, dataRegion(FDIR))
+	f.downlink, _ = f.ctx.CreateQueuingPort(ChanDownlink, 16, 16, xm.DestinationPort)
+}
+
+func (f *fdirProg) Step(env xm.Env) bool {
+	f.ctx.ResetHeap()
+	env.Compute(1500)
+	f.report.Cycles++
+	// Drain the HM log.
+	if entries, rc := f.ctx.ReadHM(8); rc == xm.OK {
+		f.report.HMEntriesSeen += len(entries)
+		for _, e := range entries {
+			if e.Partition < 0 {
+				f.report.KernelEvents++
+			}
+		}
+	}
+	// Poll partition health; warm-reset halted partitions (recovery).
+	up := 0
+	for id := int32(0); id < NumPartitions; id++ {
+		st, rc := f.ctx.GetPartitionStatus(id)
+		if rc != xm.OK {
+			continue
+		}
+		switch st.State {
+		case xm.PStateHalted:
+			if f.ctx.ResetPartition(id, xm.WarmReset) == xm.OK {
+				f.report.Recovered++
+			}
+		case xm.PStateNormal, xm.PStateBoot:
+			up++
+		}
+	}
+	f.report.PartitionsUp = up
+	// Account downlink frames.
+	if f.downlink != nil {
+		for {
+			_, rc := f.downlink.Receive(16)
+			if rc < 0 || rc == xm.NoAction {
+				break
+			}
+			f.report.FramesDrained++
+		}
+	}
+	f.ctx.Printf("[FDIR] cycle=%d up=%d hm=%d\n",
+		f.report.Cycles, f.report.PartitionsUp, f.report.HMEntriesSeen)
+	return false
+}
+
+// Report extracts the FDIR partition's accumulated observations from a
+// kernel built with NewSystem/AttachOBSW.
+func Report(k *xm.Kernel) (FDIRReport, error) {
+	f, ok := k.ProgramOf(FDIR).(*fdirProg)
+	if !ok {
+		return FDIRReport{}, fmt.Errorf("eagleeye: FDIR does not host the OBSW FDIR program")
+	}
+	return f.report, nil
+}
+
+// TMTCStats reports the telemetry partition's frame counters.
+func TMTCStats(k *xm.Kernel) (sent, overflow uint32, err error) {
+	t, ok := k.ProgramOf(TMTC).(*tmtcProg)
+	if !ok {
+		return 0, 0, fmt.Errorf("eagleeye: TMTC does not host the OBSW TMTC program")
+	}
+	return t.sent, t.overflow, nil
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"xmrobust/internal/core"
+	"xmrobust/internal/xm"
+)
+
+// PaperRow holds the published Table III numbers for one category.
+type PaperRow struct {
+	Total  int
+	Tested int
+	Tests  int
+	Issues int
+}
+
+// PaperTableIII returns the published Table III of the paper, keyed by
+// category (the ground truth this reproduction is compared against).
+func PaperTableIII() map[xm.Category]PaperRow {
+	return map[xm.Category]PaperRow{
+		xm.CatSystem:    {3, 2, 8, 3},
+		xm.CatPartition: {10, 6, 236, 0},
+		xm.CatTime:      {2, 2, 34, 3},
+		xm.CatPlan:      {2, 1, 2, 0},
+		xm.CatIPC:       {10, 8, 598, 0},
+		xm.CatMemory:    {2, 1, 991, 0},
+		xm.CatHM:        {5, 3, 64, 0},
+		xm.CatTrace:     {5, 4, 428, 0},
+		xm.CatInterrupt: {5, 4, 172, 0},
+		xm.CatMisc:      {5, 3, 41, 3},
+		xm.CatSparc:     {12, 5, 88, 0},
+	}
+}
+
+// PaperTotals returns the published campaign totals.
+func PaperTotals() PaperRow { return PaperRow{61, 39, 2662, 9} }
+
+// CompareTableIII renders the measured campaign side by side with the
+// published Table III: the paper-vs-measured record of EXPERIMENTS.md.
+func CompareTableIII(rep *core.CampaignReport) string {
+	paper := PaperTableIII()
+	var b strings.Builder
+	b.WriteString("TABLE III — PAPER vs MEASURED\n\n")
+	t := &table{header: []string{
+		"Hypercall Category",
+		"Tot(p)", "Tot(m)",
+		"Tst(p)", "Tst(m)",
+		"Tests(p)", "Tests(m)",
+		"Iss(p)", "Iss(m)",
+		"ok",
+	}}
+	okAll := true
+	for _, row := range rep.TableIII() {
+		var p PaperRow
+		if row.Category == "Total" {
+			p = PaperTotals()
+		} else {
+			p = paper[row.Category]
+		}
+		// Shape agreement: inventory, selection and issues exact; test
+		// counts within 10% (the paper's dictionaries are not published
+		// in full, so only the magnitudes are reconstructible).
+		ok := row.TotalHypercalls == p.Total && row.Tested == p.Tested &&
+			row.Issues == p.Issues && within10pct(row.Tests, p.Tests)
+		if !ok {
+			okAll = false
+		}
+		t.add(string(row.Category),
+			fmt.Sprintf("%d", p.Total), fmt.Sprintf("%d", row.TotalHypercalls),
+			fmt.Sprintf("%d", p.Tested), fmt.Sprintf("%d", row.Tested),
+			fmt.Sprintf("%d", p.Tests), fmt.Sprintf("%d", row.Tests),
+			fmt.Sprintf("%d", p.Issues), fmt.Sprintf("%d", row.Issues),
+			map[bool]string{true: "yes", false: "NO"}[ok])
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nshape reproduced: %v (inventory, tested selection and issues exact; test counts within 10%%)\n", okAll)
+	return b.String()
+}
+
+// ShapeReproduced reports whether the campaign reproduces the paper's
+// Table III shape: exact inventory, tested selection and issue counts,
+// test counts within 10% per category.
+func ShapeReproduced(rep *core.CampaignReport) bool {
+	paper := PaperTableIII()
+	for _, row := range rep.TableIII() {
+		var p PaperRow
+		if row.Category == "Total" {
+			p = PaperTotals()
+		} else {
+			p = paper[row.Category]
+		}
+		if row.TotalHypercalls != p.Total || row.Tested != p.Tested ||
+			row.Issues != p.Issues || !within10pct(row.Tests, p.Tests) {
+			return false
+		}
+	}
+	return true
+}
+
+func within10pct(measured, paper int) bool {
+	if paper == 0 {
+		return measured == 0
+	}
+	diff := measured - paper
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff*10 <= paper
+}

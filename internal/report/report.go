@@ -1,0 +1,203 @@
+// Package report renders the paper's tables and figures from campaign
+// outcomes: Table I (XM data types), Table II (a data-type test-value
+// set), Table III (the test campaign), Fig. 8 (the campaign distribution),
+// and the issue list of §IV.C. Each renderer produces aligned text for the
+// terminal; TableIIICSV produces machine-readable output for plots.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"xmrobust/internal/analysis"
+	"xmrobust/internal/core"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/xm"
+)
+
+// table is a minimal aligned-text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// TableI renders the paper's Table I: the XM interface data types.
+func TableI() string {
+	t := &table{header: []string{"XM Basic Type", "XM Extended Types", "Size (bits)", "ANSI C Type"}}
+	for _, dt := range xm.DataTypes() {
+		if dt.Pointer {
+			continue // Table I lists the value types
+		}
+		t.add(dt.Name, dt.Extended, fmt.Sprintf("%d", dt.Bits), dt.C)
+	}
+	return "TABLE I. XTRATUM DATA TYPES\n\n" + t.String()
+}
+
+// TableII renders the paper's Table II: the test-value set of one data
+// type from the dictionary (the paper shows xm_s32_t).
+func TableII(d *dict.Dictionary, typeName string) string {
+	ts, ok := d.Type(typeName)
+	if !ok {
+		return fmt.Sprintf("no dictionary for %s\n", typeName)
+	}
+	t := &table{header: []string{"Test Data", "Description", "Validity"}}
+	for _, v := range ts.Values {
+		t.add(v.Raw, v.Desc, v.Validity.String())
+	}
+	return fmt.Sprintf("TABLE II. DATA TYPE TEST-VALUE-SET (%s, range of %s)\n\n%s",
+		ts.Name, ts.BasicType, t.String())
+}
+
+// TableIII renders the paper's Table III: the campaign per category.
+func TableIII(rep *core.CampaignReport) string {
+	t := &table{header: []string{
+		"Hypercall Category", "Total Hypercalls", "Hypercalls tested", "No. of Tests", "Raised Issues",
+	}}
+	for _, row := range rep.TableIII() {
+		t.add(string(row.Category),
+			fmt.Sprintf("%d", row.TotalHypercalls),
+			fmt.Sprintf("%d", row.Tested),
+			fmt.Sprintf("%d", row.Tests),
+			fmt.Sprintf("%d", row.Issues))
+	}
+	return "TABLE III. XTRATUM TEST CAMPAIGN\n\n" + t.String()
+}
+
+// TableIIICSV renders Table III as CSV.
+func TableIIICSV(rep *core.CampaignReport) string {
+	var b strings.Builder
+	b.WriteString("category,total_hypercalls,hypercalls_tested,tests,raised_issues\n")
+	for _, row := range rep.TableIII() {
+		fmt.Fprintf(&b, "%q,%d,%d,%d,%d\n",
+			row.Category, row.TotalHypercalls, row.Tested, row.Tests, row.Issues)
+	}
+	return b.String()
+}
+
+// Distribution is the data behind the paper's Fig. 8: how the hypercall
+// inventory splits into tested, untested-with-parameters and untested
+// parameter-less calls.
+type Distribution struct {
+	Tested            int
+	UntestedWithParam int
+	UntestedNoParam   int
+}
+
+// Total returns the hypercall count.
+func (d Distribution) Total() int { return d.Tested + d.UntestedWithParam + d.UntestedNoParam }
+
+// Pct returns n as a percentage of the total.
+func (d Distribution) Pct(n int) float64 {
+	if d.Total() == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d.Total())
+}
+
+// ComputeDistribution derives the Fig. 8 shares from a campaign report.
+func ComputeDistribution(rep *core.CampaignReport) Distribution {
+	tested := map[string]bool{}
+	for _, r := range rep.Results {
+		tested[r.Dataset.Func.Name] = true
+	}
+	var d Distribution
+	for _, spec := range xm.Hypercalls() {
+		switch {
+		case tested[spec.Name]:
+			d.Tested++
+		case spec.NumParams() == 0:
+			d.UntestedNoParam++
+		default:
+			d.UntestedWithParam++
+		}
+	}
+	return d
+}
+
+// Fig8 renders the campaign distribution as a text bar chart.
+func Fig8(rep *core.CampaignReport) string {
+	d := ComputeDistribution(rep)
+	var b strings.Builder
+	b.WriteString("FIG. 8. XTRATUM TEST CAMPAIGN DISTRIBUTION\n\n")
+	bar := func(label string, n int) {
+		pct := d.Pct(n)
+		fmt.Fprintf(&b, "%-32s %2d (%5.1f%%) %s\n", label, n, pct,
+			strings.Repeat("#", int(pct/2)))
+	}
+	bar("Hypercalls tested", d.Tested)
+	bar("Untested (with parameters)", d.UntestedWithParam)
+	bar("Untested (no parameters)", d.UntestedNoParam)
+	untested := d.UntestedWithParam + d.UntestedNoParam
+	if untested > 0 {
+		fmt.Fprintf(&b, "\n%.0f%% of untested calls take no parameters\n",
+			100*float64(d.UntestedNoParam)/float64(untested))
+	}
+	return b.String()
+}
+
+// Issues renders the §IV.C findings section.
+func Issues(rep *core.CampaignReport) string {
+	return analysis.Summary(rep.Issues)
+}
+
+// Verdicts renders the CRASH-scale tally.
+func Verdicts(rep *core.CampaignReport) string {
+	counts := rep.VerdictCounts()
+	t := &table{header: []string{"CRASH verdict", "Tests"}}
+	for _, v := range []analysis.Verdict{
+		analysis.Catastrophic, analysis.Restart, analysis.Abort,
+		analysis.Silent, analysis.Hindering, analysis.Pass,
+	} {
+		t.add(v.String(), fmt.Sprintf("%d", counts[v]))
+	}
+	return "CRASH SEVERITY TALLY\n\n" + t.String()
+}
+
+// Full renders the complete campaign report.
+func Full(rep *core.CampaignReport) string {
+	var b strings.Builder
+	b.WriteString(TableIII(rep))
+	b.WriteByte('\n')
+	b.WriteString(Verdicts(rep))
+	b.WriteByte('\n')
+	b.WriteString(Fig8(rep))
+	b.WriteByte('\n')
+	b.WriteString(Issues(rep))
+	return b.String()
+}

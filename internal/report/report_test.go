@@ -1,0 +1,168 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/core"
+	"xmrobust/internal/dict"
+)
+
+// smallCampaign runs a reduced campaign (System + Time + Misc) once: it
+// contains all nine issues but runs in well under a second.
+var (
+	once sync.Once
+	rep  *core.CampaignReport
+	err  error
+)
+
+func smallCampaign(t *testing.T) *core.CampaignReport {
+	t.Helper()
+	once.Do(func() {
+		header := apispec.Default()
+		keep := map[string]bool{
+			"XM_reset_system": true, "XM_get_system_status": true,
+			"XM_get_time": true, "XM_set_timer": true,
+			"XM_multicall": true, "XM_write_console": true, "XM_get_gid_by_name": true,
+		}
+		for i := range header.Functions {
+			if !keep[header.Functions[i].Name] {
+				header.Functions[i].Tested = "NO"
+			}
+		}
+		rep, err = core.RunCampaign(campaign.Options{Header: header})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestTableIContainsAllTypes(t *testing.T) {
+	s := TableI()
+	for _, want := range []string{
+		"TABLE I", "xm_u8_t", "xm_s64_t", "xmTime_t", "xmAddress_t",
+		"unsigned long long", "signed int",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I lacks %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "void*") {
+		t.Error("Table I lists the pointer pseudo-type")
+	}
+}
+
+func TestTableIIShowsTableIIValues(t *testing.T) {
+	s := TableII(dict.Builtin(), "xm_s32_t")
+	for _, want := range []string{
+		"TABLE II", "xm_s32_t", "-2147483648", "MIN_S32", "2147483647", "MAX_S32", "ZERO",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table II lacks %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(TableII(dict.Builtin(), "nosuch_t"), "no dictionary") {
+		t.Error("unknown type not reported")
+	}
+}
+
+func TestTableIIIRendering(t *testing.T) {
+	s := TableIII(smallCampaign(t))
+	for _, want := range []string{
+		"TABLE III", "Hypercall Category", "System Management", "Raised Issues", "Total",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table III lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableIIICSV(t *testing.T) {
+	s := TableIIICSV(smallCampaign(t))
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 1+11+1 { // header + 11 categories + total
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), s)
+	}
+	if lines[0] != "category,total_hypercalls,hypercalls_tested,tests,raised_issues" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], `"Total",61,`) {
+		t.Fatalf("CSV total = %q", lines[len(lines)-1])
+	}
+}
+
+func TestDistributionFig8(t *testing.T) {
+	r := smallCampaign(t)
+	d := ComputeDistribution(r)
+	if d.Total() != 61 {
+		t.Fatalf("total = %d", d.Total())
+	}
+	if d.Tested != 7 {
+		t.Fatalf("tested = %d, want 7 (reduced campaign)", d.Tested)
+	}
+	if d.UntestedNoParam != 10 {
+		t.Fatalf("untested no-param = %d, want 10", d.UntestedNoParam)
+	}
+	s := Fig8(r)
+	if !strings.Contains(s, "FIG. 8") || !strings.Contains(s, "%") {
+		t.Fatalf("Fig8 output:\n%s", s)
+	}
+}
+
+func TestIssuesAndVerdictsRender(t *testing.T) {
+	r := smallCampaign(t)
+	s := Issues(r)
+	if !strings.Contains(s, "9 distinct robustness issues") {
+		t.Fatalf("reduced campaign should still surface all 9 issues:\n%s", s)
+	}
+	v := Verdicts(r)
+	for _, want := range []string{"Catastrophic", "Silent", "Pass"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verdict table lacks %q", want)
+		}
+	}
+}
+
+func TestFullReportComposes(t *testing.T) {
+	s := Full(smallCampaign(t))
+	for _, want := range []string{"TABLE III", "CRASH SEVERITY", "FIG. 8", "robustness issues"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("full report lacks %q", want)
+		}
+	}
+}
+
+func TestPaperTableIIIGroundTruth(t *testing.T) {
+	paper := PaperTableIII()
+	total := PaperRow{}
+	for _, r := range paper {
+		total.Total += r.Total
+		total.Tested += r.Tested
+		total.Tests += r.Tests
+		total.Issues += r.Issues
+	}
+	want := PaperTotals()
+	if total != want {
+		t.Fatalf("paper rows sum to %+v, published totals are %+v", total, want)
+	}
+}
+
+func TestCompareTableIIIOnReducedCampaign(t *testing.T) {
+	// The reduced campaign deliberately skips most categories, so the
+	// comparison must flag the shape as NOT reproduced — proving the
+	// check has teeth.
+	r := smallCampaign(t)
+	if ShapeReproduced(r) {
+		t.Fatal("a 7-hypercall campaign cannot reproduce the full Table III shape")
+	}
+	s := CompareTableIII(r)
+	for _, want := range []string{"PAPER vs MEASURED", "Tests(p)", "2662", "NO"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparison lacks %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package sparc
+
+import "fmt"
+
+// NumIRQLines is the number of interrupt lines of the IRQMP controller
+// model. Line 0 is unused on LEON3 (lines 1..15 are real interrupts), which
+// the model preserves.
+const NumIRQLines = 16
+
+// IRQController models the LEON3 IRQMP multiprocessor interrupt controller
+// (single-CPU view): pending, mask and force registers plus an acknowledge
+// operation. The separation kernel virtualises these lines for partitions.
+type IRQController struct {
+	pending uint16
+	mask    uint16
+	force   uint16
+	// raised counts deliveries per line for diagnostics.
+	raised [NumIRQLines]uint64
+}
+
+// validLine reports whether n addresses a real interrupt line.
+func validLine(n int) bool { return n >= 1 && n < NumIRQLines }
+
+// Raise marks line n pending. Out-of-range lines are ignored (a hardware
+// model cannot trap; the kernel validates hypercall arguments above this).
+func (c *IRQController) Raise(n int) {
+	if !validLine(n) {
+		return
+	}
+	c.pending |= 1 << uint(n)
+	c.raised[n]++
+}
+
+// Force sets the force register bit for line n, which makes the line
+// visible regardless of external sources.
+func (c *IRQController) Force(n int) {
+	if !validLine(n) {
+		return
+	}
+	c.force |= 1 << uint(n)
+}
+
+// Ack clears the pending and force bits of line n.
+func (c *IRQController) Ack(n int) {
+	if !validLine(n) {
+		return
+	}
+	bit := uint16(1) << uint(n)
+	c.pending &^= bit
+	c.force &^= bit
+}
+
+// SetMask replaces the interrupt mask register. Bit n enables line n.
+func (c *IRQController) SetMask(mask uint16) { c.mask = mask }
+
+// Mask returns the interrupt mask register.
+func (c *IRQController) Mask() uint16 { return c.mask }
+
+// Pending returns the pending|force set, before masking.
+func (c *IRQController) Pending() uint16 { return c.pending | c.force }
+
+// Deliverable returns the set of lines that are pending and enabled.
+func (c *IRQController) Deliverable() uint16 { return (c.pending | c.force) & c.mask }
+
+// Highest returns the highest-priority deliverable line (LEON3: higher line
+// number = higher priority), or 0 if none.
+func (c *IRQController) Highest() int {
+	d := c.Deliverable()
+	for n := NumIRQLines - 1; n >= 1; n-- {
+		if d&(1<<uint(n)) != 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// Raised returns the number of times line n has been raised.
+func (c *IRQController) Raised(n int) uint64 {
+	if !validLine(n) {
+		return 0
+	}
+	return c.raised[n]
+}
+
+func (c *IRQController) String() string {
+	return fmt.Sprintf("irqmp{pend=%04x mask=%04x force=%04x}", c.pending, c.mask, c.force)
+}

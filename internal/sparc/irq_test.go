@@ -1,0 +1,148 @@
+package sparc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIRQRaiseAndDeliver(t *testing.T) {
+	var c IRQController
+	c.Raise(5)
+	if c.Deliverable() != 0 {
+		t.Fatal("masked interrupt delivered")
+	}
+	c.SetMask(1 << 5)
+	if c.Deliverable() != 1<<5 {
+		t.Fatalf("Deliverable = %04x, want line 5", c.Deliverable())
+	}
+	if c.Highest() != 5 {
+		t.Fatalf("Highest = %d, want 5", c.Highest())
+	}
+}
+
+func TestIRQPriorityHigherLineWins(t *testing.T) {
+	var c IRQController
+	c.SetMask(0xFFFF)
+	c.Raise(3)
+	c.Raise(12)
+	if c.Highest() != 12 {
+		t.Fatalf("Highest = %d, want 12 (LEON3 priority order)", c.Highest())
+	}
+	c.Ack(12)
+	if c.Highest() != 3 {
+		t.Fatalf("Highest after ack = %d, want 3", c.Highest())
+	}
+}
+
+func TestIRQForceVisibleAndAcked(t *testing.T) {
+	var c IRQController
+	c.SetMask(0xFFFF)
+	c.Force(7)
+	if c.Pending()&(1<<7) == 0 {
+		t.Fatal("forced line not pending")
+	}
+	c.Ack(7)
+	if c.Pending() != 0 {
+		t.Fatal("ack did not clear force bit")
+	}
+}
+
+func TestIRQInvalidLinesIgnored(t *testing.T) {
+	var c IRQController
+	c.Raise(0)
+	c.Raise(16)
+	c.Raise(-1)
+	if c.Pending() != 0 {
+		t.Fatalf("invalid lines set pending bits: %04x", c.Pending())
+	}
+	if c.Raised(0) != 0 || c.Raised(99) != 0 {
+		t.Fatal("invalid lines counted")
+	}
+}
+
+func TestIRQRaisedCounter(t *testing.T) {
+	var c IRQController
+	c.Raise(4)
+	c.Raise(4)
+	c.Ack(4)
+	c.Raise(4)
+	if c.Raised(4) != 3 {
+		t.Fatalf("Raised(4) = %d, want 3", c.Raised(4))
+	}
+}
+
+// Property: after Ack(n), line n is no longer pending regardless of the
+// prior Raise/Force history.
+func TestPropertyAckClearsLine(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var c IRQController
+		for _, op := range ops {
+			line := int(op&0x0F) | 1
+			switch (op >> 4) % 3 {
+			case 0:
+				c.Raise(line)
+			case 1:
+				c.Force(line)
+			case 2:
+				c.Ack(line)
+			}
+		}
+		c.Ack(9)
+		return c.Pending()&(1<<9) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUARTRoundTrip(t *testing.T) {
+	var u UART
+	u.WriteString("hello\nworld\n")
+	if u.String() != "hello\nworld\n" {
+		t.Fatalf("String = %q", u.String())
+	}
+	lines := u.Lines()
+	if len(lines) != 2 || lines[0] != "hello" || lines[1] != "world" {
+		t.Fatalf("Lines = %v", lines)
+	}
+	if u.Written() != 12 {
+		t.Fatalf("Written = %d, want 12", u.Written())
+	}
+}
+
+func TestUARTWriterInterface(t *testing.T) {
+	var u UART
+	n, err := u.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+}
+
+func TestUARTBoundedBuffer(t *testing.T) {
+	var u UART
+	chunk := make([]byte, 64<<10)
+	for i := range chunk {
+		chunk[i] = 'x'
+	}
+	for i := 0; i < 40; i++ { // 2.5 MiB total, cap is 1 MiB
+		u.Write(chunk)
+	}
+	if got := len(u.Bytes()); got > uartCap+len(chunk) {
+		t.Fatalf("buffer grew to %d bytes, cap is %d", got, uartCap)
+	}
+	if u.Written() != uint64(40*len(chunk)) {
+		t.Fatalf("Written = %d, want %d", u.Written(), 40*len(chunk))
+	}
+}
+
+func TestUARTReset(t *testing.T) {
+	var u UART
+	u.WriteString("x")
+	u.Reset()
+	if u.String() != "" {
+		t.Fatal("Reset did not clear buffer")
+	}
+	if u.Written() != 1 {
+		t.Fatal("Reset cleared the written counter")
+	}
+}

@@ -1,0 +1,284 @@
+package sparc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Time is virtual time in microseconds since machine power-on. The whole
+// testbed is driven by this clock; nothing consults the host clock.
+type Time int64
+
+// Default physical memory layout, mirroring a typical LEON3 board: PROM at
+// 0x00000000, SDRAM at 0x40000000, APB I/O at 0x80000000.
+const (
+	DefaultROMBase Addr   = 0x00000000
+	DefaultROMSize uint32 = 1 << 20 // 1 MiB
+	DefaultRAMBase Addr   = 0x40000000
+	DefaultRAMSize uint32 = 16 << 20 // 16 MiB
+	DefaultIOBase  Addr   = 0x80000000
+	DefaultIOSize  uint32 = 1 << 20
+)
+
+// NumTimerUnits is the number of GPTIMER subtimers exposed by the machine.
+// XtratuM uses one for the hardware clock and one for the execution clock.
+const NumTimerUnits = 2
+
+// Config selects the physical memory layout of a Machine.
+type Config struct {
+	ROMBase Addr
+	ROMSize uint32
+	RAMBase Addr
+	RAMSize uint32
+	IOBase  Addr
+	IOSize  uint32
+}
+
+// DefaultConfig returns the canonical LEON3 layout used by the testbed.
+func DefaultConfig() Config {
+	return Config{
+		ROMBase: DefaultROMBase, ROMSize: DefaultROMSize,
+		RAMBase: DefaultRAMBase, RAMSize: DefaultRAMSize,
+		IOBase: DefaultIOBase, IOSize: DefaultIOSize,
+	}
+}
+
+// Machine is the simulated LEON3 target: byte-addressable ROM/RAM/IO, a
+// virtual clock, two timer units, an interrupt controller and a UART. It
+// plays the role of TSIM in the paper's test setup, including TSIM's
+// failure mode: Crash marks the simulator itself dead, distinct from any
+// guest or kernel failure.
+type Machine struct {
+	cfg Config
+	rom []byte
+	ram []byte
+	io  []byte
+
+	now    Time
+	timers [NumTimerUnits]TimerUnit
+	irqc   IRQController
+	uart   UART
+
+	crashed     bool
+	crashReason string
+
+	// stats
+	reads, writes, trapsRaised uint64
+}
+
+// NewMachine powers on a machine with the given layout. Memory is zeroed,
+// the clock is at 0, timers are disarmed.
+func NewMachine(cfg Config) *Machine {
+	m := &Machine{
+		cfg: cfg,
+		rom: make([]byte, cfg.ROMSize),
+		ram: make([]byte, cfg.RAMSize),
+		io:  make([]byte, cfg.IOSize),
+	}
+	for i := range m.timers {
+		m.timers[i].unit = i
+	}
+	return m
+}
+
+// NewDefaultMachine is NewMachine(DefaultConfig()).
+func NewDefaultMachine() *Machine { return NewMachine(DefaultConfig()) }
+
+// Config returns the memory layout the machine was built with.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() Time { return m.now }
+
+// UART returns the console device.
+func (m *Machine) UART() *UART { return &m.uart }
+
+// IRQ returns the interrupt controller.
+func (m *Machine) IRQ() *IRQController { return &m.irqc }
+
+// Timer returns timer unit i (0 or 1).
+func (m *Machine) Timer(i int) *TimerUnit { return &m.timers[i] }
+
+// Crash marks the simulator itself as dead — the analogue of TSIM
+// terminating, as the paper observed for XM_set_timer(1,1,1). After Crash,
+// AdvanceTo and memory operations return ErrCrashed and the embedding
+// harness must discard the machine.
+func (m *Machine) Crash(reason string) {
+	if !m.crashed {
+		m.crashed = true
+		m.crashReason = reason
+	}
+}
+
+// Crashed reports whether the simulator has crashed, and why.
+func (m *Machine) Crashed() (bool, string) { return m.crashed, m.crashReason }
+
+// ErrCrashed is returned by time/memory operations after the simulator has
+// crashed.
+type ErrCrashed struct{ Reason string }
+
+func (e ErrCrashed) Error() string { return "simulator crashed: " + e.Reason }
+
+// AdvanceTo moves virtual time forward to t, firing due timers in expiry
+// order. Timer callbacks run with the clock set to their expiry instant, so
+// a callback that re-arms its timer in the past is observed immediately —
+// this is the mechanism behind the paper's XM_set_timer stack-overflow
+// finding. Advancing backwards is a no-op.
+func (m *Machine) AdvanceTo(t Time) error {
+	if m.crashed {
+		return ErrCrashed{m.crashReason}
+	}
+	for {
+		unit, expiry := m.nextDue(t)
+		if unit < 0 {
+			break
+		}
+		if expiry > m.now {
+			m.now = expiry
+		}
+		m.timers[unit].fire(m)
+		if m.crashed {
+			return ErrCrashed{m.crashReason}
+		}
+	}
+	if t > m.now {
+		m.now = t
+	}
+	return nil
+}
+
+// Advance moves the clock forward by dt microseconds.
+func (m *Machine) Advance(dt Time) error { return m.AdvanceTo(m.now + dt) }
+
+// nextDue finds the armed timer with the earliest expiry not after limit.
+// Ties resolve to the lower unit number for determinism.
+func (m *Machine) nextDue(limit Time) (int, Time) {
+	best, bestAt := -1, Time(0)
+	for i := range m.timers {
+		tu := &m.timers[i]
+		if !tu.armed || tu.expiry > limit {
+			continue
+		}
+		if best < 0 || tu.expiry < bestAt {
+			best, bestAt = i, tu.expiry
+		}
+	}
+	return best, bestAt
+}
+
+// backing resolves a physical address range to its backing store, or nil if
+// the range is not backed (a bus error on real hardware).
+func (m *Machine) backing(addr Addr, size uint32) []byte {
+	type bank struct {
+		base Addr
+		mem  []byte
+	}
+	for _, b := range [...]bank{
+		{m.cfg.ROMBase, m.rom},
+		{m.cfg.RAMBase, m.ram},
+		{m.cfg.IOBase, m.io},
+	} {
+		off := uint64(addr) - uint64(b.base)
+		if uint64(addr) >= uint64(b.base) && off+uint64(size) <= uint64(len(b.mem)) {
+			return b.mem[off : off+uint64(size)]
+		}
+	}
+	return nil
+}
+
+// Read reads size bytes at addr into a fresh slice, returning a
+// data_access_exception trap for unbacked addresses. This is the raw bus
+// access; permission checks belong to Space.Check and are the caller's
+// (the kernel's) responsibility.
+func (m *Machine) Read(addr Addr, size uint32) ([]byte, *Trap) {
+	m.reads++
+	b := m.backing(addr, size)
+	if b == nil {
+		m.trapsRaised++
+		return nil, DataAccessTrap(addr, PermRead, "bus error: unbacked address")
+	}
+	out := make([]byte, size)
+	copy(out, b)
+	return out, nil
+}
+
+// Write stores data at addr, trapping on unbacked addresses. Writes to ROM
+// trap with a data_access_exception, as the PROM controller would.
+func (m *Machine) Write(addr Addr, data []byte) *Trap {
+	m.writes++
+	if uint64(addr) >= uint64(m.cfg.ROMBase) &&
+		uint64(addr)+uint64(len(data)) <= uint64(m.cfg.ROMBase)+uint64(m.cfg.ROMSize) {
+		m.trapsRaised++
+		return DataAccessTrap(addr, PermWrite, "write to PROM")
+	}
+	b := m.backing(addr, uint32(len(data)))
+	if b == nil {
+		m.trapsRaised++
+		return DataAccessTrap(addr, PermWrite, "bus error: unbacked address")
+	}
+	copy(b, data)
+	return nil
+}
+
+// Read32 loads a big-endian word (SPARC is big-endian).
+func (m *Machine) Read32(addr Addr) (uint32, *Trap) {
+	if uint32(addr)%4 != 0 {
+		m.trapsRaised++
+		return 0, AlignmentTrap(addr, PermRead)
+	}
+	b, tr := m.Read(addr, 4)
+	if tr != nil {
+		return 0, tr
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// Write32 stores a big-endian word.
+func (m *Machine) Write32(addr Addr, v uint32) *Trap {
+	if uint32(addr)%4 != 0 {
+		m.trapsRaised++
+		return AlignmentTrap(addr, PermWrite)
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return m.Write(addr, b[:])
+}
+
+// Read64 loads a big-endian doubleword.
+func (m *Machine) Read64(addr Addr) (uint64, *Trap) {
+	if uint32(addr)%8 != 0 {
+		m.trapsRaised++
+		return 0, AlignmentTrap(addr, PermRead)
+	}
+	b, tr := m.Read(addr, 8)
+	if tr != nil {
+		return 0, tr
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// Write64 stores a big-endian doubleword.
+func (m *Machine) Write64(addr Addr, v uint64) *Trap {
+	if uint32(addr)%8 != 0 {
+		m.trapsRaised++
+		return AlignmentTrap(addr, PermWrite)
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return m.Write(addr, b[:])
+}
+
+// Stats reports bus and trap counters, for the campaign's execution logs.
+func (m *Machine) Stats() (reads, writes, traps uint64) {
+	return m.reads, m.writes, m.trapsRaised
+}
+
+// RAMRegion returns a Region covering all of RAM (convenience for tests).
+func (m *Machine) RAMRegion(perm Perm) Region {
+	return Region{Name: "ram", Base: m.cfg.RAMBase, Size: m.cfg.RAMSize, Perm: perm}
+}
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("leon3{t=%dus rom=%dKiB ram=%dMiB crashed=%v}",
+		m.now, m.cfg.ROMSize>>10, m.cfg.RAMSize>>20, m.crashed)
+}

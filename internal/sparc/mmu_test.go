@@ -1,0 +1,186 @@
+package sparc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace() *Space {
+	return NewSpace("P0",
+		Region{Name: "code", Base: 0x40010000, Size: 0x10000, Perm: PermRX},
+		Region{Name: "data", Base: 0x40020000, Size: 0x10000, Perm: PermRW},
+	)
+}
+
+func TestSpaceCheckInsideRegion(t *testing.T) {
+	s := testSpace()
+	if tr := s.Check(0x40020000, 4, PermRead); tr != nil {
+		t.Fatalf("read inside data region trapped: %v", tr)
+	}
+	if tr := s.Check(0x4002FFFF, 1, PermWrite); tr != nil {
+		t.Fatalf("write of last byte trapped: %v", tr)
+	}
+}
+
+func TestSpaceCheckPermissionDenied(t *testing.T) {
+	s := testSpace()
+	tr := s.Check(0x40010000, 4, PermWrite)
+	if tr == nil {
+		t.Fatal("write to rx region did not trap")
+	}
+	if tr.Type != TrapDataAccessException {
+		t.Fatalf("trap type = %v, want data_access_exception", tr.Type)
+	}
+	if !strings.Contains(tr.Detail, "lacks") {
+		t.Fatalf("trap detail %q should name the missing permission", tr.Detail)
+	}
+}
+
+func TestSpaceCheckNoMapping(t *testing.T) {
+	s := testSpace()
+	if tr := s.Check(0x50000000, 4, PermRead); tr == nil {
+		t.Fatal("access outside all regions did not trap")
+	}
+	// NULL pointer dereference is the canonical invalid input of the
+	// paper's pointer dictionary.
+	if tr := s.Check(0, 4, PermRead); tr == nil {
+		t.Fatal("NULL access did not trap")
+	}
+}
+
+func TestSpaceCheckStraddleTraps(t *testing.T) {
+	s := testSpace()
+	// The two regions are contiguous but map through distinct descriptors;
+	// an access straddling the boundary must trap.
+	if tr := s.Check(0x4001FFFE, 4, PermRead); tr == nil {
+		t.Fatal("straddling access did not trap")
+	}
+}
+
+func TestSpaceCheckEndOfAddressSpaceWrap(t *testing.T) {
+	s := NewSpace("top", Region{Name: "top", Base: 0xFFFFFFF0, Size: 16, Perm: PermRW})
+	if tr := s.Check(0xFFFFFFF0, 16, PermRead); tr != nil {
+		t.Fatalf("access of topmost region trapped: %v", tr)
+	}
+	if tr := s.Check(0xFFFFFFFC, 8, PermRead); tr == nil {
+		t.Fatal("wrap past 2^32 did not trap")
+	}
+}
+
+func TestSpaceCheckZeroSizeProbesOneByte(t *testing.T) {
+	s := testSpace()
+	if tr := s.Check(0x40020000, 0, PermRead); tr != nil {
+		t.Fatalf("zero-size probe trapped: %v", tr)
+	}
+	if tr := s.Check(0x40030000, 0, PermRead); tr == nil {
+		t.Fatal("zero-size probe past the region did not trap")
+	}
+}
+
+func TestSpaceCheckAligned(t *testing.T) {
+	s := testSpace()
+	if tr := s.CheckAligned(0x40020002, 4, PermRead); tr == nil || tr.Type != TrapMemAddressNotAligned {
+		t.Fatalf("misaligned word access: trap = %v, want alignment trap", tr)
+	}
+	if tr := s.CheckAligned(0x40020004, 4, PermRead); tr != nil {
+		t.Fatalf("aligned access trapped: %v", tr)
+	}
+	// Byte accesses have no alignment requirement.
+	if tr := s.CheckAligned(0x40020003, 1, PermRead); tr != nil {
+		t.Fatalf("byte access trapped: %v", tr)
+	}
+}
+
+func TestRegionOverlaps(t *testing.T) {
+	a := Region{Base: 0x1000, Size: 0x100}
+	for _, tc := range []struct {
+		b    Region
+		want bool
+	}{
+		{Region{Base: 0x1000, Size: 0x100}, true},
+		{Region{Base: 0x10FF, Size: 1}, true},
+		{Region{Base: 0x1100, Size: 1}, false},
+		{Region{Base: 0x0FFF, Size: 1}, false},
+		{Region{Base: 0x0FFF, Size: 2}, true},
+		{Region{Base: 0x0F00, Size: 0x400}, true},
+	} {
+		if got := a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRegionContainsBoundaries(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 0x100}
+	if !r.Contains(0x1000, 0x100) {
+		t.Error("region should contain itself")
+	}
+	if r.Contains(0x1000, 0x101) {
+		t.Error("region should not contain one byte past its end")
+	}
+	if r.Contains(0x0FFF, 1) {
+		t.Error("region should not contain the byte before its base")
+	}
+}
+
+func TestSpaceAddRegion(t *testing.T) {
+	s := testSpace()
+	if tr := s.Check(0x80000000, 4, PermRead); tr == nil {
+		t.Fatal("I/O access allowed before grant")
+	}
+	s.AddRegion(Region{Name: "io", Base: 0x80000000, Size: 0x1000, Perm: PermRW})
+	if tr := s.Check(0x80000000, 4, PermRead); tr != nil {
+		t.Fatalf("I/O access denied after grant: %v", tr)
+	}
+}
+
+// Property: Check(addr,size) succeeds iff every byte of the range succeeds
+// individually with the same permission (no straddling in this generator:
+// single-region space).
+func TestPropertyCheckMatchesPerByte(t *testing.T) {
+	s := NewSpace("p", Region{Name: "r", Base: 0x2000, Size: 0x1000, Perm: PermRW})
+	f := func(addr16 uint16, size8 uint8) bool {
+		addr := Addr(0x1800 + uint32(addr16)%0x2000)
+		size := uint32(size8%64) + 1
+		whole := s.Check(addr, size, PermRead) == nil
+		all := true
+		for i := uint32(0); i < size; i++ {
+			if s.Check(addr+Addr(i), 1, PermRead) != nil {
+				all = false
+				break
+			}
+		}
+		return whole == all
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	for _, tc := range []struct {
+		p    Perm
+		want string
+	}{
+		{PermRead, "r--"},
+		{PermRW, "rw-"},
+		{PermRWX, "rwx"},
+		{PermRX, "r-x"},
+		{0, "---"},
+	} {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("Perm(%d).String() = %q, want %q", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestTrapString(t *testing.T) {
+	tr := DataAccessTrap(0x1234, PermWrite, "no mapping")
+	s := tr.String()
+	for _, want := range []string{"data_access_exception", "0x00001234", "-w-", "no mapping"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trap string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package sparc
+
+// TimerHandler is invoked when a timer unit expires. It runs with the
+// machine clock set to the expiry instant and may re-arm the timer — even
+// in the past, in which case the machine observes the new expiry
+// immediately on the same AdvanceTo call.
+type TimerHandler func(m *Machine, unit int, at Time)
+
+// TimerUnit models one GPTIMER subtimer programmed in one-shot mode with an
+// absolute expiry. The separation kernel multiplexes its per-partition
+// software timers on top of these units.
+type TimerUnit struct {
+	unit    int
+	armed   bool
+	expiry  Time
+	handler TimerHandler
+	fired   uint64
+}
+
+// Arm programs the unit to expire at the absolute instant at, replacing any
+// previous programming. A nil handler disarms the unit.
+func (t *TimerUnit) Arm(at Time, h TimerHandler) {
+	if h == nil {
+		t.Disarm()
+		return
+	}
+	t.armed = true
+	t.expiry = at
+	t.handler = h
+}
+
+// Disarm cancels any pending expiry.
+func (t *TimerUnit) Disarm() {
+	t.armed = false
+	t.handler = nil
+}
+
+// Armed reports whether the unit is programmed, and for when.
+func (t *TimerUnit) Armed() (bool, Time) { return t.armed, t.expiry }
+
+// Fired returns the number of expiries delivered since power-on.
+func (t *TimerUnit) Fired() uint64 { return t.fired }
+
+// fire delivers one expiry. The unit is disarmed before the handler runs so
+// the handler can re-arm it.
+func (t *TimerUnit) fire(m *Machine) {
+	h := t.handler
+	at := t.expiry
+	t.armed = false
+	t.handler = nil
+	t.fired++
+	if h != nil {
+		h(m, t.unit, at)
+	}
+}

@@ -1,0 +1,100 @@
+// Package sparc implements a deterministic, simulation-grade model of a
+// SPARC V8 LEON3 target as seen by a separation kernel: physical memory,
+// permission-checked address spaces, a trap model, two hardware timer units,
+// an IRQMP-style interrupt controller, a UART console, and a virtual
+// microsecond clock.
+//
+// The model plays the role TSIM (the Aeroflex Gaisler LEON simulator) plays
+// in the paper's testbed: it is the substrate on which the XtratuM-like
+// kernel in package xm runs, and it is the component whose "crash" models
+// the paper's observation that XM_set_timer(1,1,1) crashed the TSIM
+// simulator itself. Everything is single-threaded and deterministic; no
+// wall-clock time is consulted anywhere.
+package sparc
+
+import "fmt"
+
+// TrapType enumerates the SPARC V8 trap numbers the kernel model cares
+// about. The numeric values follow The SPARC Architecture Manual V8,
+// table 7-1, so logs read like real LEON3 trap dumps.
+type TrapType uint8
+
+// SPARC V8 trap numbers (precise traps used by the model).
+const (
+	TrapReset                 TrapType = 0x00
+	TrapInstructionAccess     TrapType = 0x01
+	TrapIllegalInstruction    TrapType = 0x02
+	TrapPrivilegedInstruction TrapType = 0x03
+	TrapWindowOverflow        TrapType = 0x05
+	TrapWindowUnderflow       TrapType = 0x06
+	TrapMemAddressNotAligned  TrapType = 0x07
+	TrapFPException           TrapType = 0x08
+	TrapDataAccessException   TrapType = 0x09
+	TrapTagOverflow           TrapType = 0x0A
+	TrapDivisionByZero        TrapType = 0x2A
+)
+
+// trapNames maps trap types to the mnemonic used by the SPARC V8 manual.
+var trapNames = map[TrapType]string{
+	TrapReset:                 "reset",
+	TrapInstructionAccess:     "instruction_access_exception",
+	TrapIllegalInstruction:    "illegal_instruction",
+	TrapPrivilegedInstruction: "privileged_instruction",
+	TrapWindowOverflow:        "window_overflow",
+	TrapWindowUnderflow:       "window_underflow",
+	TrapMemAddressNotAligned:  "mem_address_not_aligned",
+	TrapFPException:           "fp_exception",
+	TrapDataAccessException:   "data_access_exception",
+	TrapTagOverflow:           "tag_overflow",
+	TrapDivisionByZero:        "division_by_zero",
+}
+
+// String returns the SPARC V8 mnemonic for the trap type.
+func (t TrapType) String() string {
+	if n, ok := trapNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("trap_0x%02x", uint8(t))
+}
+
+// Trap describes a synchronous processor trap raised by a memory access or
+// instruction. A nil *Trap means the operation completed without trapping.
+type Trap struct {
+	Type TrapType
+	// Addr is the faulting address for memory traps.
+	Addr Addr
+	// Access describes the attempted access (read/write/exec) for memory
+	// traps; zero otherwise.
+	Access Perm
+	// Detail is a human-readable elaboration (region name, reason).
+	Detail string
+}
+
+// Error implements the error interface so traps can flow through error
+// plumbing where convenient. Traps are still normally handled by type.
+func (t *Trap) Error() string { return t.String() }
+
+// String renders the trap in a LEON3-log-like form.
+func (t *Trap) String() string {
+	if t == nil {
+		return "<no trap>"
+	}
+	s := fmt.Sprintf("%s at 0x%08X", t.Type, uint32(t.Addr))
+	if t.Access != 0 {
+		s += " (" + t.Access.String() + ")"
+	}
+	if t.Detail != "" {
+		s += ": " + t.Detail
+	}
+	return s
+}
+
+// DataAccessTrap builds the common data_access_exception trap.
+func DataAccessTrap(addr Addr, access Perm, detail string) *Trap {
+	return &Trap{Type: TrapDataAccessException, Addr: addr, Access: access, Detail: detail}
+}
+
+// AlignmentTrap builds a mem_address_not_aligned trap.
+func AlignmentTrap(addr Addr, access Perm) *Trap {
+	return &Trap{Type: TrapMemAddressNotAligned, Addr: addr, Access: access}
+}

@@ -1,0 +1,76 @@
+package sparc
+
+import (
+	"bytes"
+	"strings"
+)
+
+// uartCap bounds the console buffer so a partition spinning on console
+// writes cannot exhaust host memory. The oldest bytes are dropped, like a
+// scrollback buffer.
+const uartCap = 1 << 20
+
+// UART models the APBUART console device: a byte sink whose content the
+// test harness reads back as the "serial log" of a campaign run.
+type UART struct {
+	buf     bytes.Buffer
+	written uint64
+	dropped uint64
+}
+
+// writeByte appends one byte to the console stream.
+func (u *UART) writeByte(b byte) {
+	u.written++
+	if u.buf.Len() >= uartCap {
+		// Drop the oldest half to amortise the trimming cost.
+		half := u.buf.Bytes()[uartCap/2:]
+		rest := make([]byte, len(half))
+		copy(rest, half)
+		u.dropped += uint64(u.buf.Len() - len(rest))
+		u.buf.Reset()
+		u.buf.Write(rest)
+	}
+	u.buf.WriteByte(b)
+}
+
+// Write appends a byte slice to the console stream.
+func (u *UART) Write(p []byte) (int, error) {
+	for _, b := range p {
+		u.writeByte(b)
+	}
+	return len(p), nil
+}
+
+// WriteString appends a string to the console stream.
+func (u *UART) WriteString(s string) {
+	for i := 0; i < len(s); i++ {
+		u.writeByte(s[i])
+	}
+}
+
+// Bytes returns the current console contents.
+func (u *UART) Bytes() []byte { return append([]byte(nil), u.buf.Bytes()...) }
+
+// String returns the current console contents as a string.
+func (u *UART) String() string { return u.buf.String() }
+
+// Lines splits the console contents into lines, dropping a trailing empty
+// line.
+func (u *UART) Lines() []string {
+	s := u.buf.String()
+	if s == "" {
+		return nil
+	}
+	lines := strings.Split(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// Written returns the total number of bytes ever written, including any
+// that were dropped from the buffer.
+func (u *UART) Written() uint64 { return u.written }
+
+// Reset clears the console buffer (counters are preserved).
+func (u *UART) Reset() { u.buf.Reset() }

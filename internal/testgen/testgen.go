@@ -1,0 +1,194 @@
+// Package testgen implements the test-generation pipeline of paper
+// Fig. 4/Fig. 5: from a hypercall signature (apispec) and the data-type
+// dictionaries (dict), it builds the test_value_matrix, enumerates every
+// dataset combination (Eq. 1: combinations = Π n_i over the parameters),
+// and renders each dataset as a mutant source — the single-hypercall fault
+// placeholder compiled into the test partition.
+package testgen
+
+import (
+	"fmt"
+	"strings"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+)
+
+// Matrix is the test_value_matrix of paper Fig. 5: one row of candidate
+// values per parameter of the hypercall under test.
+type Matrix struct {
+	Func apispec.Function
+	Rows [][]dict.Value
+}
+
+// BuildMatrix resolves each parameter of the function to its value row:
+// the named override set when the spec requests one, the parameter type's
+// dictionary set otherwise.
+func BuildMatrix(f apispec.Function, d *dict.Dictionary) (Matrix, error) {
+	m := Matrix{Func: f}
+	for _, p := range f.Params {
+		var vals []dict.Value
+		if p.ValueSet != "" {
+			ns, ok := d.Named(p.ValueSet)
+			if !ok {
+				return Matrix{}, fmt.Errorf("testgen: %s/%s: unknown value set %q", f.Name, p.Name, p.ValueSet)
+			}
+			vals = ns.Values
+		} else {
+			ts, ok := d.Type(p.Type)
+			if !ok {
+				return Matrix{}, fmt.Errorf("testgen: %s/%s: no dictionary for type %q", f.Name, p.Name, p.Type)
+			}
+			vals = ts.Values
+		}
+		if len(vals) == 0 {
+			return Matrix{}, fmt.Errorf("testgen: %s/%s: empty value row", f.Name, p.Name)
+		}
+		m.Rows = append(m.Rows, vals)
+	}
+	return m, nil
+}
+
+// Combinations returns Eq. 1 of the paper: the product of the row sizes.
+// A parameter-less hypercall has exactly one (empty) dataset.
+func (m Matrix) Combinations() int {
+	n := 1
+	for _, row := range m.Rows {
+		n *= len(row)
+	}
+	return n
+}
+
+// Dataset is one generated test dataset: one value per parameter.
+type Dataset struct {
+	Func   apispec.Function
+	Index  int // position in generation order
+	Values []dict.Value
+}
+
+// String renders the dataset as the call it encodes.
+func (ds Dataset) String() string {
+	args := make([]string, 0, len(ds.Values))
+	for _, v := range ds.Values {
+		args = append(args, v.String())
+	}
+	return ds.Func.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// InvalidParams returns the names of parameters carrying a
+// definitely-invalid dictionary value, in parameter order — the input to
+// the blame analysis of the log-analysis phase.
+func (ds Dataset) InvalidParams() []string {
+	var out []string
+	for i, v := range ds.Values {
+		if v.Validity == dict.Invalid && i < len(ds.Func.Params) {
+			out = append(out, ds.Func.Params[i].Name)
+		}
+	}
+	return out
+}
+
+// Datasets enumerates every combination of the matrix in deterministic
+// order: the last parameter varies fastest, exactly like the nested loops
+// of the paper's generator.
+func (m Matrix) Datasets() []Dataset {
+	total := m.Combinations()
+	out := make([]Dataset, 0, total)
+	idx := make([]int, len(m.Rows))
+	for n := 0; n < total; n++ {
+		vals := make([]dict.Value, len(m.Rows))
+		for i, row := range m.Rows {
+			vals[i] = row[idx[i]]
+		}
+		out = append(out, Dataset{Func: m.Func, Index: n, Values: vals})
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(m.Rows[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// Generate builds the full test suite for every tested function of the
+// header, in document order.
+func Generate(h *apispec.Header, d *dict.Dictionary) ([]Dataset, error) {
+	var out []Dataset
+	for _, f := range h.Tested() {
+		m, err := BuildMatrix(f, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m.Datasets()...)
+	}
+	return out, nil
+}
+
+// CountByFunction returns Eq. 1 per tested function without materialising
+// the datasets.
+func CountByFunction(h *apispec.Header, d *dict.Dictionary) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, f := range h.Tested() {
+		m, err := BuildMatrix(f, d)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Name] = m.Combinations()
+	}
+	return out, nil
+}
+
+// RenderMutantC renders the dataset as the C mutant source of paper
+// Fig. 5: a test partition main that invokes the fault placeholder once
+// per major frame and reports the return code. The rendering is a faithful
+// artefact of the original toolchain; the Go campaign executes the same
+// dataset directly.
+func RenderMutantC(ds Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* mutant %04d: %s */\n", ds.Index, ds.String())
+	b.WriteString("#include <xm.h>\n#include <stdio.h>\n\n")
+	b.WriteString("void PartitionMain(void)\n{\n")
+	b.WriteString("    xm_s32_t ret;\n\n")
+	b.WriteString("    for (;;) {\n")
+	args := make([]string, 0, len(ds.Values))
+	for i, v := range ds.Values {
+		p := ds.Func.Params[i]
+		arg := v.Raw
+		switch v.Raw {
+		case dict.SymNull:
+			arg = "(void *)0"
+		case dict.SymValid:
+			arg = "(void *)test_buffer"
+		case dict.SymValidMid:
+			arg = "(void *)(test_buffer + sizeof(test_buffer) / 2)"
+		case dict.SymValidLast:
+			arg = "(void *)(test_buffer + sizeof(test_buffer) - 4)"
+		case dict.SymValidEnd:
+			arg = "(void *)(test_buffer + sizeof(test_buffer))"
+		case dict.SymUnaligned:
+			arg = "(void *)(test_buffer + 1)"
+		case dict.SymOtherPart:
+			arg = "(void *)OTHER_PARTITION_BASE"
+		case dict.SymKernel:
+			arg = "(void *)XM_IMAGE_BASE"
+		case dict.SymROM:
+			arg = "(void *)PROM_BASE"
+		case dict.SymIO:
+			arg = "(void *)APB_IO_BASE"
+		default:
+			if p.Pointer() {
+				arg = "(void *)" + v.Raw
+			} else if strings.HasPrefix(v.Raw, "-") {
+				arg = "(" + p.Type + ")(" + v.Raw + "LL)"
+			}
+		}
+		args = append(args, arg)
+	}
+	fmt.Fprintf(&b, "        ret = %s(%s);\n", ds.Func.Name, strings.Join(args, ", "))
+	b.WriteString("        printf(\"[test] ret=%d\\n\", ret);\n")
+	b.WriteString("        XM_idle_self(); /* one invocation per major frame */\n")
+	b.WriteString("    }\n}\n")
+	return b.String()
+}

@@ -1,0 +1,268 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+)
+
+func defaultInputs() (*apispec.Header, *dict.Dictionary) {
+	return apispec.Default(), dict.Builtin()
+}
+
+func TestEq1CombinationCounts(t *testing.T) {
+	h, d := defaultInputs()
+	counts, err := CountByFunction(h, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot checks: Eq. 1 = product of the per-parameter set sizes.
+	want := map[string]int{
+		"XM_reset_system":          5,       // u32
+		"XM_get_system_status":     3,       // ptr
+		"XM_reset_partition":       8 * 25,  // s32 × u32 × u32
+		"XM_set_timer":             5 * 4,   // u32 × time² (2 values each)
+		"XM_switch_sched_plan":     2,       // override sets 2 × 1
+		"XM_memory_copy":           14 * 70, // addr × addr × size = 14·14·5
+		"XM_multicall":             9,       // ptr × ptr
+		"XM_route_irq":             4 * 25,  // override 4 × u32 × u32
+		"XM_trace_seek":            320,     // s32 × s32 × u32
+		"XM_read_sampling_message": 120,     // s32 × ptr × u32
+	}
+	for fn, n := range want {
+		if counts[fn] != n {
+			t.Errorf("%s: %d combinations, want %d", fn, counts[fn], n)
+		}
+	}
+}
+
+func TestCampaignTotalMatchesDesign(t *testing.T) {
+	h, d := defaultInputs()
+	counts, err := CountByFunction(h, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	// The design target of DESIGN.md §4: 2661 tests (paper: 2662).
+	if total != 2661 {
+		t.Fatalf("campaign total = %d, want 2661", total)
+	}
+	if len(counts) != 39 {
+		t.Fatalf("tested functions = %d, want 39", len(counts))
+	}
+}
+
+func TestDatasetsExactCartesianProduct(t *testing.T) {
+	h, d := defaultInputs()
+	f, _ := h.Function("XM_set_timer")
+	m, err := BuildMatrix(f, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets := m.Datasets()
+	if len(datasets) != m.Combinations() {
+		t.Fatalf("datasets = %d, combinations = %d", len(datasets), m.Combinations())
+	}
+	// All distinct.
+	seen := map[string]bool{}
+	for _, ds := range datasets {
+		s := ds.String()
+		if seen[s] {
+			t.Fatalf("duplicate dataset %s", s)
+		}
+		seen[s] = true
+	}
+	// Deterministic order: last parameter varies fastest.
+	if datasets[0].Values[2].Raw != "1" || datasets[1].Values[2].Raw == "1" {
+		t.Fatalf("ordering wrong: %s then %s", datasets[0], datasets[1])
+	}
+	// Indexes are positional.
+	for i, ds := range datasets {
+		if ds.Index != i {
+			t.Fatalf("dataset %d has index %d", i, ds.Index)
+		}
+	}
+}
+
+func TestParameterlessFunctionOneEmptyDataset(t *testing.T) {
+	f := apispec.Function{Name: "XM_halt_system", ReturnType: "xm_s32_t"}
+	m, err := BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Combinations() != 1 {
+		t.Fatalf("combinations = %d, want 1", m.Combinations())
+	}
+	ds := m.Datasets()
+	if len(ds) != 1 || len(ds[0].Values) != 0 {
+		t.Fatalf("datasets = %+v", ds)
+	}
+}
+
+func TestBuildMatrixErrors(t *testing.T) {
+	d := dict.Builtin()
+	if _, err := BuildMatrix(apispec.Function{
+		Name:   "F",
+		Params: []apispec.Parameter{{Name: "x", Type: "mystery_t"}},
+	}, d); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := BuildMatrix(apispec.Function{
+		Name:   "F",
+		Params: []apispec.Parameter{{Name: "x", Type: "xm_u32_t", ValueSet: "nope"}},
+	}, d); err == nil {
+		t.Error("unknown value set accepted")
+	}
+}
+
+func TestGenerateOrderFollowsHeader(t *testing.T) {
+	h, d := defaultInputs()
+	all, err := Generate(h, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2661 {
+		t.Fatalf("generated %d datasets", len(all))
+	}
+	// Function blocks appear in header order.
+	var order []string
+	for _, ds := range all {
+		if len(order) == 0 || order[len(order)-1] != ds.Func.Name {
+			order = append(order, ds.Func.Name)
+		}
+	}
+	if len(order) != 39 {
+		t.Fatalf("function blocks = %d (datasets of one function must be contiguous)", len(order))
+	}
+	if order[0] != "XM_reset_system" {
+		t.Fatalf("first block = %s", order[0])
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	h, d := defaultInputs()
+	f, _ := h.Function("XM_multicall")
+	m, _ := BuildMatrix(f, d)
+	for _, ds := range m.Datasets() {
+		inv := ds.InvalidParams()
+		wantStart := ds.Values[0].Raw == dict.SymNull
+		wantEnd := ds.Values[1].Raw == dict.SymNull
+		got := strings.Join(inv, ",")
+		want := ""
+		switch {
+		case wantStart && wantEnd:
+			want = "startAddr,endAddr"
+		case wantStart:
+			want = "startAddr"
+		case wantEnd:
+			want = "endAddr"
+		}
+		if got != want {
+			t.Errorf("%s: invalid params %q, want %q", ds, got, want)
+		}
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	h, d := defaultInputs()
+	f, _ := h.Function("XM_reset_system")
+	m, _ := BuildMatrix(f, d)
+	ds := m.Datasets()
+	if s := ds[0].String(); s != "XM_reset_system(0(ZERO))" {
+		t.Errorf("String = %q", s)
+	}
+	if s := ds[4].String(); s != "XM_reset_system(4294967295(MAX_U32))" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRenderMutantC(t *testing.T) {
+	h, d := defaultInputs()
+	f, _ := h.Function("XM_multicall")
+	m, _ := BuildMatrix(f, d)
+	var nullValid Dataset
+	found := false
+	for _, ds := range m.Datasets() {
+		if ds.Values[0].Raw == dict.SymNull && ds.Values[1].Raw == dict.SymValid {
+			nullValid, found = ds, true
+		}
+	}
+	if !found {
+		t.Fatal("no (NULL, VALID) dataset")
+	}
+	src := RenderMutantC(nullValid)
+	for _, want := range []string{
+		"XM_multicall((void *)0, (void *)test_buffer)",
+		"xm_s32_t ret;",
+		"XM_idle_self()",
+		"#include <xm.h>",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("mutant source lacks %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestRenderMutantCNegativeLiteral(t *testing.T) {
+	h, d := defaultInputs()
+	f, _ := h.Function("XM_set_timer")
+	m, _ := BuildMatrix(f, d)
+	var ds Dataset
+	for _, cand := range m.Datasets() {
+		if cand.Values[2].Desc == "MIN_S64" {
+			ds = cand
+			break
+		}
+	}
+	src := RenderMutantC(ds)
+	if !strings.Contains(src, "(xmTime_t)(-9223372036854775808LL)") {
+		t.Errorf("negative 64-bit literal rendered wrong:\n%s", src)
+	}
+}
+
+// Property: Eq. 1 holds for arbitrary matrices — the dataset count equals
+// the product of row sizes, and every dataset is unique.
+func TestPropertyEq1(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) > 4 {
+			sizes = sizes[:4]
+		}
+		m := Matrix{Func: apispec.Function{Name: "F"}}
+		prod := 1
+		for i, s := range sizes {
+			n := int(s%4) + 1
+			prod *= n
+			row := make([]dict.Value, n)
+			for j := range row {
+				row[j] = dict.Value{Raw: fmtIdx(i, j)}
+			}
+			m.Rows = append(m.Rows, row)
+		}
+		ds := m.Datasets()
+		if len(ds) != prod || m.Combinations() != prod {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, d := range ds {
+			s := d.String()
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtIdx(i, j int) string {
+	return string(rune('a'+i)) + string(rune('0'+j))
+}

@@ -1,0 +1,307 @@
+// Package xal is the guest-side runtime partition code is written against
+// — the analogue of the XtratuM Abstraction Layer (XAL), the single-
+// threaded C runtime the paper lists among the guest environments XM
+// supports.
+//
+// It wraps the raw hypercall ABI (xm.Env) in typed bindings, provides a
+// bump allocator over the partition's data area, and offers a console
+// printf. Everything stays inside the partition's own address space; a
+// buggy or malicious program can still attempt arbitrary addresses through
+// the raw Env, which is exactly what the fault-injection harness does.
+package xal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/xm"
+)
+
+// Ctx wraps the kernel-provided environment with the XAL conveniences.
+type Ctx struct {
+	Env xm.Env
+	// heap is the bump-allocation cursor inside the data area.
+	heapBase sparc.Addr
+	heapEnd  sparc.Addr
+	heapCur  sparc.Addr
+}
+
+// New builds a XAL context over a raw environment. dataArea is the
+// partition's writable area (from the configuration, or discovered with
+// XM_get_partition_mmap); the allocator serves from its upper half so the
+// lower half stays free for static program data.
+func New(env xm.Env, dataArea sparc.Region) *Ctx {
+	half := dataArea.Size / 2
+	return &Ctx{
+		Env:      env,
+		heapBase: dataArea.Base + sparc.Addr(half),
+		heapEnd:  dataArea.Base + sparc.Addr(dataArea.Size),
+		heapCur:  dataArea.Base + sparc.Addr(half),
+	}
+}
+
+// ResetHeap rewinds the bump allocator. Long-running programs call it at
+// the top of each processing cycle; buffers from earlier cycles are
+// forgotten wholesale, which is the usual static-allocation discipline of
+// single-threaded flight software.
+func (c *Ctx) ResetHeap() { c.heapCur = c.heapBase }
+
+// Alloc reserves size bytes in the data area, 8-byte aligned. It returns
+// 0 when the heap is exhausted (the XAL has no free()).
+func (c *Ctx) Alloc(size uint32) sparc.Addr {
+	cur := (uint32(c.heapCur) + 7) &^ 7
+	if uint64(cur)+uint64(size) > uint64(c.heapEnd) {
+		return 0
+	}
+	c.heapCur = sparc.Addr(cur + size)
+	return sparc.Addr(cur)
+}
+
+// AllocBytes allocates and initialises a guest buffer, returning its
+// address (0 on exhaustion or write failure).
+func (c *Ctx) AllocBytes(data []byte) sparc.Addr {
+	addr := c.Alloc(uint32(len(data)))
+	if addr == 0 {
+		return 0
+	}
+	if !c.Env.Write(addr, data) {
+		return 0
+	}
+	return addr
+}
+
+// AllocString allocates a NUL-terminated guest string.
+func (c *Ctx) AllocString(s string) sparc.Addr {
+	return c.AllocBytes(append([]byte(s), 0))
+}
+
+// --- Time management -------------------------------------------------------
+
+// GetTime reads one of the two kernel clocks.
+func (c *Ctx) GetTime(clock uint32) (xm.Time, xm.RetCode) {
+	ptr := c.Alloc(8)
+	if ptr == 0 {
+		return 0, xm.InvalidParam
+	}
+	rc := c.Env.Hypercall(xm.NrGetTime, uint64(clock), uint64(ptr))
+	if rc != xm.OK {
+		return 0, rc
+	}
+	b, ok := c.Env.Read(ptr, 8)
+	if !ok {
+		return 0, xm.InvalidParam
+	}
+	return xm.Time(binary.BigEndian.Uint64(b)), xm.OK
+}
+
+// SetTimer arms the partition's timer on the given clock.
+func (c *Ctx) SetTimer(clock uint32, absTime, interval xm.Time) xm.RetCode {
+	return c.Env.Hypercall(xm.NrSetTimer, uint64(clock), uint64(absTime), uint64(interval))
+}
+
+// --- Console ----------------------------------------------------------------
+
+// Print writes a string to the hypervisor console.
+func (c *Ctx) Print(s string) xm.RetCode {
+	if s == "" {
+		return xm.NoAction
+	}
+	buf := c.AllocBytes([]byte(s))
+	if buf == 0 {
+		return xm.InvalidParam
+	}
+	return c.Env.Hypercall(xm.NrWriteConsole, uint64(buf), uint64(len(s)))
+}
+
+// Printf formats and writes to the hypervisor console.
+func (c *Ctx) Printf(format string, args ...any) xm.RetCode {
+	return c.Print(fmt.Sprintf(format, args...))
+}
+
+// --- IPC ---------------------------------------------------------------------
+
+// Port is an open IPC port descriptor.
+type Port struct {
+	ctx *Ctx
+	ID  int32
+}
+
+// CreateSamplingPort attaches to a sampling channel.
+func (c *Ctx) CreateSamplingPort(name string, maxMsgSize, direction uint32) (*Port, xm.RetCode) {
+	namePtr := c.AllocString(name)
+	if namePtr == 0 {
+		return nil, xm.InvalidParam
+	}
+	rc := c.Env.Hypercall(xm.NrCreateSamplingPort, uint64(namePtr), uint64(maxMsgSize), uint64(direction))
+	if rc < 0 {
+		return nil, rc
+	}
+	return &Port{ctx: c, ID: int32(rc)}, xm.OK
+}
+
+// CreateQueuingPort attaches to a queuing channel.
+func (c *Ctx) CreateQueuingPort(name string, maxNoMsgs, maxMsgSize, direction uint32) (*Port, xm.RetCode) {
+	namePtr := c.AllocString(name)
+	if namePtr == 0 {
+		return nil, xm.InvalidParam
+	}
+	rc := c.Env.Hypercall(xm.NrCreateQueuingPort,
+		uint64(namePtr), uint64(maxNoMsgs), uint64(maxMsgSize), uint64(direction))
+	if rc < 0 {
+		return nil, rc
+	}
+	return &Port{ctx: c, ID: int32(rc)}, xm.OK
+}
+
+// WriteSampling publishes a message on a sampling port.
+func (p *Port) WriteSampling(msg []byte) xm.RetCode {
+	buf := p.ctx.AllocBytes(msg)
+	if buf == 0 {
+		return xm.InvalidParam
+	}
+	return p.ctx.Env.Hypercall(xm.NrWriteSamplingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(len(msg)))
+}
+
+// ReadSampling reads the freshest message (nil, XM_NO_ACTION when none).
+func (p *Port) ReadSampling(maxSize uint32) ([]byte, xm.RetCode) {
+	buf := p.ctx.Alloc(maxSize)
+	if buf == 0 {
+		return nil, xm.InvalidParam
+	}
+	rc := p.ctx.Env.Hypercall(xm.NrReadSamplingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(maxSize))
+	if rc < 0 {
+		return nil, rc
+	}
+	b, ok := p.ctx.Env.Read(buf, uint32(rc))
+	if !ok {
+		return nil, xm.InvalidParam
+	}
+	return b, xm.OK
+}
+
+// Send enqueues a message on a queuing port.
+func (p *Port) Send(msg []byte) xm.RetCode {
+	buf := p.ctx.AllocBytes(msg)
+	if buf == 0 {
+		return xm.InvalidParam
+	}
+	return p.ctx.Env.Hypercall(xm.NrSendQueuingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(len(msg)))
+}
+
+// Receive dequeues the oldest message (nil, XM_NO_ACTION when empty).
+func (p *Port) Receive(maxSize uint32) ([]byte, xm.RetCode) {
+	buf := p.ctx.Alloc(maxSize)
+	if buf == 0 {
+		return nil, xm.InvalidParam
+	}
+	rc := p.ctx.Env.Hypercall(xm.NrReceiveQueuingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(maxSize))
+	if rc < 0 {
+		return nil, rc
+	}
+	b, ok := p.ctx.Env.Read(buf, uint32(rc))
+	if !ok {
+		return nil, xm.InvalidParam
+	}
+	return b, xm.OK
+}
+
+// Close releases the port descriptor.
+func (p *Port) Close() xm.RetCode {
+	return p.ctx.Env.Hypercall(xm.NrClosePort, uint64(uint32(p.ID)))
+}
+
+// --- Health monitoring & partition management (system partitions) -----------
+
+// HMEntry is one decoded health-monitor record as read by XM_hm_read.
+type HMEntry struct {
+	Seq       uint32
+	Event     xm.HMEvent
+	Partition int32 // -1 for kernel scope
+	Action    xm.HMAction
+	Time      xm.Time
+}
+
+// hmEntrySize mirrors the kernel's guest serialisation (24 bytes).
+const hmEntrySize = 24
+
+// ReadHM drains up to max health-monitor entries.
+func (c *Ctx) ReadHM(max uint32) ([]HMEntry, xm.RetCode) {
+	if max == 0 {
+		return nil, xm.NoAction
+	}
+	buf := c.Alloc(max * hmEntrySize)
+	if buf == 0 {
+		return nil, xm.InvalidParam
+	}
+	rc := c.Env.Hypercall(xm.NrHmRead, uint64(buf), uint64(max))
+	if rc < 0 {
+		return nil, rc
+	}
+	n := uint32(rc)
+	raw, ok := c.Env.Read(buf, n*hmEntrySize)
+	if !ok {
+		return nil, xm.InvalidParam
+	}
+	out := make([]HMEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		rec := raw[i*hmEntrySize:]
+		out = append(out, HMEntry{
+			Seq:       binary.BigEndian.Uint32(rec[0:4]),
+			Event:     xm.HMEvent(binary.BigEndian.Uint32(rec[4:8])),
+			Partition: int32(binary.BigEndian.Uint32(rec[8:12])),
+			Action:    xm.HMAction(binary.BigEndian.Uint32(rec[12:16])),
+			Time:      xm.Time(binary.BigEndian.Uint64(rec[16:24])),
+		})
+	}
+	return out, xm.OK
+}
+
+// PartitionState is the decoded result of XM_get_partition_status.
+type PartitionState struct {
+	ID        uint32
+	State     xm.PState
+	BootCount uint32
+	Pending   uint32
+	ExecClock xm.Time
+	System    bool
+}
+
+// GetPartitionStatus queries another partition's state (system partitions
+// only).
+func (c *Ctx) GetPartitionStatus(id int32) (PartitionState, xm.RetCode) {
+	buf := c.Alloc(32)
+	if buf == 0 {
+		return PartitionState{}, xm.InvalidParam
+	}
+	rc := c.Env.Hypercall(xm.NrGetPartitionStatus, uint64(uint32(id)), uint64(buf))
+	if rc != xm.OK {
+		return PartitionState{}, rc
+	}
+	b, ok := c.Env.Read(buf, 32)
+	if !ok {
+		return PartitionState{}, xm.InvalidParam
+	}
+	return PartitionState{
+		ID:        binary.BigEndian.Uint32(b[0:4]),
+		State:     xm.PState(binary.BigEndian.Uint32(b[4:8])),
+		BootCount: binary.BigEndian.Uint32(b[8:12]),
+		Pending:   binary.BigEndian.Uint32(b[12:16]),
+		ExecClock: xm.Time(binary.BigEndian.Uint64(b[16:24])),
+		System:    binary.BigEndian.Uint32(b[24:28]) == 1,
+	}, xm.OK
+}
+
+// ResetPartition restarts another partition (system partitions only).
+func (c *Ctx) ResetPartition(id int32, mode uint32) xm.RetCode {
+	return c.Env.Hypercall(xm.NrResetPartition, uint64(uint32(id)), uint64(mode), 0)
+}
+
+// TraceEvent stores a 16-byte trace record in the caller's stream.
+func (c *Ctx) TraceEvent(bitmask uint32, payload [16]byte) xm.RetCode {
+	buf := c.AllocBytes(payload[:])
+	if buf == 0 {
+		return xm.InvalidParam
+	}
+	return c.Env.Hypercall(xm.NrTraceEvent, uint64(bitmask), uint64(buf))
+}

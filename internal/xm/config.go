@@ -1,0 +1,187 @@
+package xm
+
+import (
+	"fmt"
+
+	"xmrobust/internal/sparc"
+)
+
+// ChannelType selects the IPC semantics of a configured channel.
+type ChannelType int
+
+// Channel types, as in the XM_CF configuration schema.
+const (
+	SamplingChannel ChannelType = iota
+	QueuingChannel
+)
+
+func (t ChannelType) String() string {
+	if t == SamplingChannel {
+		return "sampling"
+	}
+	return "queuing"
+}
+
+// PartitionConfig is the static definition of one partition: identity,
+// privilege, memory areas, interrupt lines and console rights. It is the
+// Go form of a <Partition> element of the XM_CF configuration file.
+type PartitionConfig struct {
+	ID     int
+	Name   string
+	System bool // system partition: may manage other partitions and the kernel
+	// MemoryAreas are the physical regions the partition may touch. The
+	// first writable area is also where the guest runtime places its data.
+	MemoryAreas []sparc.Region
+	// HwIrqLines are the hardware interrupt lines allocated to the
+	// partition (IRQ hypercalls reject lines outside this set).
+	HwIrqLines []int
+	// IOPorts grants access to the simulated I/O register bank
+	// (XM_sparc_inport / XM_sparc_outport).
+	IOPorts bool
+}
+
+// SlotConfig is one execution window inside a scheduling plan's major
+// frame. Offsets and durations are microseconds.
+type SlotConfig struct {
+	PartitionID int
+	Start       Time
+	Duration    Time
+}
+
+// PlanConfig is one cyclic scheduling plan.
+type PlanConfig struct {
+	ID         int
+	MajorFrame Time
+	Slots      []SlotConfig
+}
+
+// ChannelConfig statically defines one IPC channel linking a source
+// partition to one destination partition.
+type ChannelConfig struct {
+	Name        string
+	Type        ChannelType
+	MaxMsgSize  uint32
+	MaxNoMsgs   uint32 // queuing only
+	Source      int    // partition id
+	Destination int    // partition id
+}
+
+// Config is the complete static system definition the kernel boots from —
+// the role the XM_CF XML plays for real XtratuM. Package xmcfg parses that
+// XML into this structure.
+type Config struct {
+	Name       string
+	Partitions []PartitionConfig
+	Plans      []PlanConfig
+	Channels   []ChannelConfig
+	// HMActions overrides the default health-monitor table
+	// (DefaultHMActions) per event.
+	HMActions map[HMEvent]HMAction
+}
+
+// Validate checks the structural invariants the kernel relies on:
+// contiguous partition ids, non-overlapping memory areas across partitions,
+// slots inside the major frame referencing defined partitions, channel
+// endpoints referencing defined partitions, and at least one plan.
+func (c *Config) Validate() error {
+	if len(c.Partitions) == 0 {
+		return fmt.Errorf("config %q: no partitions", c.Name)
+	}
+	if len(c.Plans) == 0 {
+		return fmt.Errorf("config %q: no scheduling plans", c.Name)
+	}
+	for i, pc := range c.Partitions {
+		if pc.ID != i {
+			return fmt.Errorf("partition %q: id %d out of order (want %d)", pc.Name, pc.ID, i)
+		}
+		if pc.Name == "" {
+			return fmt.Errorf("partition %d: empty name", pc.ID)
+		}
+		if len(pc.MemoryAreas) == 0 {
+			return fmt.Errorf("partition %q: no memory areas", pc.Name)
+		}
+	}
+	// Spatial separation at configuration time: writable areas must not
+	// overlap any other partition's areas.
+	for i, a := range c.Partitions {
+		for _, ra := range a.MemoryAreas {
+			if ra.Size == 0 {
+				return fmt.Errorf("partition %q: zero-size area %q", a.Name, ra.Name)
+			}
+			for j, b := range c.Partitions {
+				if i >= j {
+					continue
+				}
+				for _, rb := range b.MemoryAreas {
+					if ra.Overlaps(rb) && (ra.Perm&sparc.PermWrite != 0 || rb.Perm&sparc.PermWrite != 0) {
+						return fmt.Errorf("writable overlap: %q/%s vs %q/%s", a.Name, ra.Name, b.Name, rb.Name)
+					}
+				}
+			}
+		}
+	}
+	for pi, plan := range c.Plans {
+		if plan.ID != pi {
+			return fmt.Errorf("plan %d: id %d out of order", pi, plan.ID)
+		}
+		if plan.MajorFrame <= 0 {
+			return fmt.Errorf("plan %d: non-positive major frame", plan.ID)
+		}
+		prevEnd := Time(0)
+		for si, s := range plan.Slots {
+			if s.PartitionID < 0 || s.PartitionID >= len(c.Partitions) {
+				return fmt.Errorf("plan %d slot %d: unknown partition %d", plan.ID, si, s.PartitionID)
+			}
+			if s.Duration <= 0 {
+				return fmt.Errorf("plan %d slot %d: non-positive duration", plan.ID, si)
+			}
+			if s.Start < prevEnd {
+				return fmt.Errorf("plan %d slot %d: overlaps previous slot", plan.ID, si)
+			}
+			if s.Start+s.Duration > plan.MajorFrame {
+				return fmt.Errorf("plan %d slot %d: exceeds major frame", plan.ID, si)
+			}
+			prevEnd = s.Start + s.Duration
+		}
+	}
+	seen := map[string]bool{}
+	for _, ch := range c.Channels {
+		if ch.Name == "" {
+			return fmt.Errorf("channel with empty name")
+		}
+		if seen[ch.Name] {
+			return fmt.Errorf("duplicate channel %q", ch.Name)
+		}
+		seen[ch.Name] = true
+		if ch.MaxMsgSize == 0 {
+			return fmt.Errorf("channel %q: zero MaxMsgSize", ch.Name)
+		}
+		if ch.Type == QueuingChannel && ch.MaxNoMsgs == 0 {
+			return fmt.Errorf("channel %q: queuing channel with zero MaxNoMsgs", ch.Name)
+		}
+		for _, end := range [...]int{ch.Source, ch.Destination} {
+			if end < 0 || end >= len(c.Partitions) {
+				return fmt.Errorf("channel %q: unknown partition %d", ch.Name, end)
+			}
+		}
+	}
+	return nil
+}
+
+// Partition looks up a partition configuration by id.
+func (c *Config) Partition(id int) (PartitionConfig, bool) {
+	if id < 0 || id >= len(c.Partitions) {
+		return PartitionConfig{}, false
+	}
+	return c.Partitions[id], true
+}
+
+// PartitionByName looks up a partition configuration by name.
+func (c *Config) PartitionByName(name string) (PartitionConfig, bool) {
+	for _, p := range c.Partitions {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PartitionConfig{}, false
+}

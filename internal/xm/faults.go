@@ -1,0 +1,59 @@
+package xm
+
+// FaultSet selects which of the paper's nine §IV.C vulnerabilities are
+// present in the kernel. Each field is named after the *check* the patched
+// kernel performs; a false value means the check is missing, i.e. the
+// vulnerability is live.
+//
+// The default for the reproduction campaign is LegacyFaults — the XtratuM
+// 3.x behaviour the paper tested. PatchedFaults reflects the revisions the
+// XM development team applied after the campaign.
+type FaultSet struct {
+	// ResetSystemModeCheck: when false, XM_reset_system decides cold/warm
+	// from bit 0 of the mode word without validating the rest, so modes 2
+	// and 16 cold-reset and mode 4294967295 warm-resets the kernel
+	// (issues SYS-1..3). When true, modes other than 0/1 return
+	// XM_INVALID_PARAM.
+	ResetSystemModeCheck bool
+
+	// TimerMinInterval: when false, XM_set_timer accepts intervals below
+	// 50µs; the next expiry is always already in the past when the timer
+	// handler re-arms, and the recursive handler overflows the kernel
+	// stack (issue TMR-1 on the hardware clock) or escapes as a timer
+	// trap that kills the simulator (issue TMR-2 on the execution clock).
+	// When true, intervals in (0, 50µs) return XM_INVALID_PARAM.
+	TimerMinInterval bool
+
+	// TimerNegativeCheck: when false, XM_set_timer accepts negative
+	// intervals and reports success (issue TMR-3). When true they return
+	// XM_INVALID_PARAM.
+	TimerNegativeCheck bool
+
+	// MulticallRemoved: when true, XM_multicall returns
+	// XM_OP_NOT_ALLOWED — the XM team's interim fix ("this service has
+	// been temporarily removed"). When false the legacy implementation
+	// runs: batch pointers are not validated (issues MSC-1/MSC-2) and the
+	// batch length is not bounded against the remaining slot time
+	// (issue MSC-3).
+	MulticallRemoved bool
+}
+
+// LegacyFaults returns the fault set of the kernel version the paper
+// tested: all nine vulnerabilities live.
+func LegacyFaults() FaultSet { return FaultSet{} }
+
+// PatchedFaults returns the fault set of the revised kernel: every check
+// present, XM_multicall removed.
+func PatchedFaults() FaultSet {
+	return FaultSet{
+		ResetSystemModeCheck: true,
+		TimerMinInterval:     true,
+		TimerNegativeCheck:   true,
+		MulticallRemoved:     true,
+	}
+}
+
+// Patched reports whether all checks are enabled.
+func (f FaultSet) Patched() bool {
+	return f.ResetSystemModeCheck && f.TimerMinInterval && f.TimerNegativeCheck && f.MulticallRemoved
+}

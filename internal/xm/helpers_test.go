@@ -1,0 +1,162 @@
+package xm
+
+import (
+	"testing"
+
+	"xmrobust/internal/sparc"
+)
+
+// progFunc adapts a plain function to the Program interface (no-op Boot).
+type progFunc func(env Env) bool
+
+func (f progFunc) Boot(env Env)      {}
+func (f progFunc) Step(env Env) bool { return f(env) }
+
+// bootProg is a Program with explicit Boot and Step hooks.
+type bootProg struct {
+	boot func(env Env)
+	step func(env Env) bool
+}
+
+func (b *bootProg) Boot(env Env) {
+	if b.boot != nil {
+		b.boot(env)
+	}
+}
+
+func (b *bootProg) Step(env Env) bool {
+	if b.step != nil {
+		return b.step(env)
+	}
+	return false
+}
+
+// Test layout: two partitions in RAM, P1 is the system partition (the
+// FDIR analogue the campaign injects from).
+const (
+	tpUserBase   sparc.Addr = 0x40100000
+	tpSystemBase sparc.Addr = 0x40200000
+	tpAreaSize   uint32     = 0x10000 // 64 KiB
+)
+
+// testConfig builds a two-partition system: P0 "USER" (normal), P1 "SYS"
+// (system partition), 250 ms major frame with 50 ms slots each.
+func testConfig() Config {
+	return Config{
+		Name: "two-part-test",
+		Partitions: []PartitionConfig{
+			{
+				ID: 0, Name: "USER",
+				MemoryAreas: []sparc.Region{
+					{Name: "data", Base: tpUserBase, Size: tpAreaSize, Perm: sparc.PermRW},
+				},
+				HwIrqLines: []int{4},
+			},
+			{
+				ID: 1, Name: "SYS", System: true,
+				MemoryAreas: []sparc.Region{
+					{Name: "data", Base: tpSystemBase, Size: tpAreaSize, Perm: sparc.PermRW},
+				},
+				HwIrqLines: []int{5},
+				IOPorts:    true,
+			},
+		},
+		Plans: []PlanConfig{
+			{ID: 0, MajorFrame: 250000, Slots: []SlotConfig{
+				{PartitionID: 0, Start: 0, Duration: 50000},
+				{PartitionID: 1, Start: 100000, Duration: 50000},
+			}},
+			{ID: 1, MajorFrame: 250000, Slots: []SlotConfig{
+				{PartitionID: 1, Start: 0, Duration: 200000},
+			}},
+		},
+		Channels: []ChannelConfig{
+			{Name: "tm", Type: SamplingChannel, MaxMsgSize: 64, Source: 0, Destination: 1},
+			{Name: "tc", Type: QueuingChannel, MaxMsgSize: 32, MaxNoMsgs: 4, Source: 1, Destination: 0},
+		},
+	}
+}
+
+// newTestKernel boots a kernel over testConfig with the given faults.
+func newTestKernel(t *testing.T, faults FaultSet) *Kernel {
+	t.Helper()
+	k, err := New(testConfig(), WithFaults(faults))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return k
+}
+
+// callResult is the outcome of one scripted hypercall as observed by the
+// guest.
+type callResult struct {
+	ret      RetCode
+	returned bool // false when control never came back to the guest
+}
+
+// runSystemCall runs one hypercall from the system partition (P1) inside
+// its slot and reports the guest-observed outcome plus the run error.
+func runSystemCall(t *testing.T, k *Kernel, nr Nr, args ...uint64) (callResult, error) {
+	t.Helper()
+	return runCallFrom(t, k, 1, nr, args...)
+}
+
+// runCallFrom runs one hypercall from partition pid. The other partition
+// idles. The kernel runs one major frame.
+func runCallFrom(t *testing.T, k *Kernel, pid int, nr Nr, args ...uint64) (callResult, error) {
+	t.Helper()
+	var res callResult
+	attempted := false
+	idle := progFunc(func(env Env) bool { env.Compute(100); return false })
+	caller := progFunc(func(env Env) bool {
+		if attempted {
+			return false // invoke exactly once, even if it never returned
+		}
+		attempted = true
+		ret := env.Hypercall(nr, args...)
+		res.ret = ret
+		res.returned = true
+		return false
+	})
+	for id := 0; id < k.NumPartitions(); id++ {
+		prog := Program(idle)
+		if id == pid {
+			prog = caller
+		}
+		if err := k.AttachProgram(id, prog); err != nil {
+			t.Fatalf("AttachProgram: %v", err)
+		}
+	}
+	err := k.RunMajorFrames(1)
+	return res, err
+}
+
+// sysArea returns the system partition's data area as (base, end).
+func sysArea(k *Kernel) (sparc.Addr, sparc.Addr) {
+	r, ok := k.PartitionDataArea(1)
+	if !ok {
+		panic("no data area")
+	}
+	return r.Base, r.Base + sparc.Addr(r.Size)
+}
+
+// mustRet asserts the guest observed the expected return code.
+func mustRet(t *testing.T, res callResult, want RetCode) {
+	t.Helper()
+	if !res.returned {
+		t.Fatalf("hypercall did not return to the guest (want %v)", want)
+	}
+	if res.ret != want {
+		t.Fatalf("ret = %v, want %v", res.ret, want)
+	}
+}
+
+// hmHas reports whether the HM log contains an event of the given class.
+func hmHas(k *Kernel, ev HMEvent) bool {
+	for _, e := range k.HMEntries() {
+		if e.Event == ev {
+			return true
+		}
+	}
+	return false
+}

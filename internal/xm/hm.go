@@ -1,0 +1,192 @@
+package xm
+
+import "fmt"
+
+// HMEvent identifies one class of irregular event the health monitor
+// detects (paper §II: "fault monitor and handling mechanism").
+type HMEvent int
+
+// Health monitor events.
+const (
+	// HMEvMemProtection: a partition (or the kernel on a partition's
+	// behalf) attempted an access outside the partition's areas.
+	HMEvMemProtection HMEvent = iota
+	// HMEvSchedOverrun: a partition overran its scheduling slot — a
+	// temporal-separation violation.
+	HMEvSchedOverrun
+	// HMEvPartitionError: a partition-scope irregular event (unexpected
+	// trap, bad self-call).
+	HMEvPartitionError
+	// HMEvFatalError: an unrecoverable kernel-scope error (e.g. kernel
+	// stack overflow in the timer trap handler).
+	HMEvFatalError
+	// HMEvInternalError: a kernel invariant violation that is contained.
+	HMEvInternalError
+	// HMEvWatchdog: the kernel watchdog expired.
+	HMEvWatchdog
+
+	numHMEvents
+)
+
+var hmEventNames = [...]string{
+	HMEvMemProtection:  "XM_HM_EV_MEM_PROTECTION",
+	HMEvSchedOverrun:   "XM_HM_EV_SCHED_OVERRUN",
+	HMEvPartitionError: "XM_HM_EV_PARTITION_ERROR",
+	HMEvFatalError:     "XM_HM_EV_FATAL_ERROR",
+	HMEvInternalError:  "XM_HM_EV_INTERNAL_ERROR",
+	HMEvWatchdog:       "XM_HM_EV_WATCHDOG",
+}
+
+func (e HMEvent) String() string {
+	if e >= 0 && int(e) < len(hmEventNames) {
+		return hmEventNames[e]
+	}
+	return fmt.Sprintf("XM_HM_EV(%d)", int(e))
+}
+
+// HMAction is the configured reaction to a health-monitor event.
+type HMAction int
+
+// Health monitor actions.
+const (
+	HMActIgnore HMAction = iota
+	HMActLog
+	HMActSuspendPartition
+	HMActHaltPartition
+	HMActColdResetPartition
+	HMActWarmResetPartition
+	HMActHaltHypervisor
+	HMActColdResetHypervisor
+	HMActWarmResetHypervisor
+	HMActPropagate // forward to the partition as a virtual trap
+)
+
+var hmActionNames = [...]string{
+	HMActIgnore:              "XM_HM_AC_IGNORE",
+	HMActLog:                 "XM_HM_AC_LOG",
+	HMActSuspendPartition:    "XM_HM_AC_SUSPEND",
+	HMActHaltPartition:       "XM_HM_AC_HALT",
+	HMActColdResetPartition:  "XM_HM_AC_PARTITION_COLD_RESET",
+	HMActWarmResetPartition:  "XM_HM_AC_PARTITION_WARM_RESET",
+	HMActHaltHypervisor:      "XM_HM_AC_HYPERVISOR_HALT",
+	HMActColdResetHypervisor: "XM_HM_AC_HYPERVISOR_COLD_RESET",
+	HMActWarmResetHypervisor: "XM_HM_AC_HYPERVISOR_WARM_RESET",
+	HMActPropagate:           "XM_HM_AC_PROPAGATE",
+}
+
+func (a HMAction) String() string {
+	if a >= 0 && int(a) < len(hmActionNames) {
+		return hmActionNames[a]
+	}
+	return fmt.Sprintf("XM_HM_AC(%d)", int(a))
+}
+
+// DefaultHMActions returns the health-monitor table of the EagleEye-style
+// testbed: spatial violations halt the offending partition, temporal
+// violations suspend it, kernel-fatal errors halt the hypervisor.
+func DefaultHMActions() map[HMEvent]HMAction {
+	return map[HMEvent]HMAction{
+		HMEvMemProtection:  HMActHaltPartition,
+		HMEvSchedOverrun:   HMActSuspendPartition,
+		HMEvPartitionError: HMActLog,
+		HMEvFatalError:     HMActHaltHypervisor,
+		HMEvInternalError:  HMActLog,
+		HMEvWatchdog:       HMActWarmResetHypervisor,
+	}
+}
+
+// HMLogEntry is one record of the health monitor log. SystemScope marks
+// kernel-scope events; otherwise PartitionID names the offender.
+type HMLogEntry struct {
+	Seq         uint32
+	Time        Time
+	Event       HMEvent
+	Action      HMAction
+	SystemScope bool
+	PartitionID int
+	Detail      string
+}
+
+func (e HMLogEntry) String() string {
+	scope := fmt.Sprintf("P%d", e.PartitionID)
+	if e.SystemScope {
+		scope = "XM"
+	}
+	return fmt.Sprintf("#%d t=%dus %s %s -> %s: %s", e.Seq, e.Time, scope, e.Event, e.Action, e.Detail)
+}
+
+// hmLogCap is the capacity of the health-monitor event log. Real XtratuM
+// keeps a small ring; overflow drops the oldest entries and counts them.
+const hmLogCap = 64
+
+// healthMonitor is the kernel-side fault monitoring and handling mechanism.
+type healthMonitor struct {
+	actions map[HMEvent]HMAction
+	log     []HMLogEntry
+	seq     uint32
+	dropped uint32
+	// readCursor is the position XM_hm_read/XM_hm_seek operate on.
+	readCursor int
+	// counters per event class, preserved across warm resets.
+	counts [numHMEvents]uint32
+}
+
+func newHealthMonitor(overrides map[HMEvent]HMAction) *healthMonitor {
+	actions := DefaultHMActions()
+	for ev, ac := range overrides {
+		actions[ev] = ac
+	}
+	return &healthMonitor{actions: actions}
+}
+
+// record logs an event and returns the configured action.
+func (h *healthMonitor) record(now Time, ev HMEvent, systemScope bool, part int, detail string) HMAction {
+	action, ok := h.actions[ev]
+	if !ok {
+		action = HMActLog
+	}
+	h.seq++
+	if ev >= 0 && ev < numHMEvents {
+		h.counts[ev]++
+	}
+	entry := HMLogEntry{
+		Seq: h.seq, Time: now, Event: ev, Action: action,
+		SystemScope: systemScope, PartitionID: part, Detail: detail,
+	}
+	if len(h.log) >= hmLogCap {
+		copy(h.log, h.log[1:])
+		h.log[len(h.log)-1] = entry
+		h.dropped++
+		if h.readCursor > 0 {
+			h.readCursor--
+		}
+	} else {
+		h.log = append(h.log, entry)
+	}
+	return action
+}
+
+// entries returns a copy of the current log.
+func (h *healthMonitor) entries() []HMLogEntry {
+	return append([]HMLogEntry(nil), h.log...)
+}
+
+// reset applies hypervisor-reset semantics to the log: a cold reset wipes
+// all health-monitor history; a warm reset preserves the log and counters
+// so a system partition can read them post-mortem after reboot.
+func (h *healthMonitor) reset(cold bool) {
+	if !cold {
+		return
+	}
+	h.log = nil
+	h.readCursor = 0
+	h.seq = 0
+	h.dropped = 0
+	h.counts = [numHMEvents]uint32{}
+}
+
+// clearLog empties the log on behalf of XM_hm_reset (counters persist).
+func (h *healthMonitor) clearLog() {
+	h.log = nil
+	h.readCursor = 0
+}

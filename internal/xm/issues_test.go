@@ -1,0 +1,372 @@
+package xm
+
+// Tests for the nine seeded vulnerabilities of paper §IV.C, legacy vs
+// patched. These pin the exact behaviours the robustness campaign must
+// rediscover.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// --- SYS-1..3: XM_reset_system mode checking ------------------------------
+
+func TestIssueSYS1ResetSystemMode2ColdResets(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	res, err := runSystemCall(t, k, NrResetSystem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatal("XM_reset_system(2) returned; it must have reset the kernel")
+	}
+	if st := k.Status(); st.ColdResets != 1 || st.WarmResets != 0 {
+		t.Fatalf("resets = cold %d warm %d, want cold 1 (paper: unexpected cold reset)",
+			st.ColdResets, st.WarmResets)
+	}
+}
+
+func TestIssueSYS2ResetSystemMode16ColdResets(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	res, err := runSystemCall(t, k, NrResetSystem, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatal("XM_reset_system(16) returned")
+	}
+	if st := k.Status(); st.ColdResets != 1 {
+		t.Fatalf("ColdResets = %d, want 1", st.ColdResets)
+	}
+}
+
+func TestIssueSYS3ResetSystemModeMaxWarmResets(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	res, err := runSystemCall(t, k, NrResetSystem, 4294967295)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatal("XM_reset_system(4294967295) returned")
+	}
+	if st := k.Status(); st.WarmResets != 1 || st.ColdResets != 0 {
+		t.Fatalf("resets = cold %d warm %d, want warm 1 (paper: unexpected warm reset)",
+			st.ColdResets, st.WarmResets)
+	}
+}
+
+func TestPatchedResetSystemRejectsInvalidModes(t *testing.T) {
+	for _, mode := range []uint64{2, 16, 4294967295} {
+		k := newTestKernel(t, PatchedFaults())
+		res, err := runSystemCall(t, k, NrResetSystem, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRet(t, res, InvalidParam)
+		if st := k.Status(); st.ColdResets+st.WarmResets != 0 {
+			t.Fatalf("mode %d reset the patched kernel", mode)
+		}
+	}
+}
+
+func TestResetSystemValidModesStillWork(t *testing.T) {
+	for _, faults := range []FaultSet{LegacyFaults(), PatchedFaults()} {
+		k := newTestKernel(t, faults)
+		res, err := runSystemCall(t, k, NrResetSystem, uint64(ColdReset))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.returned {
+			t.Fatal("valid cold reset returned")
+		}
+		if k.Status().ColdResets != 1 {
+			t.Fatal("valid cold reset did not reset")
+		}
+	}
+}
+
+// --- TMR-1: XM_set_timer(0,1,1) — kernel stack overflow, XM halt ----------
+
+func TestIssueTMR1SetTimerSmallIntervalHaltsKernel(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	_, err := runSystemCall(t, k, NrSetTimer, uint64(HwClock), 1, 1)
+	if err != ErrHalted {
+		t.Fatalf("err = %v, want ErrHalted (paper: system fatal error leading to an XM halt)", err)
+	}
+	if st := k.Status(); st.State != KStateHalted {
+		t.Fatalf("kernel state = %v, want HALTED", st.State)
+	}
+	found := false
+	for _, e := range k.HMEntries() {
+		if e.Event == HMEvFatalError && e.SystemScope &&
+			strings.Contains(e.Detail, "stack overflow") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("HM log lacks the kernel stack-overflow fatal error: %v", k.HMEntries())
+	}
+}
+
+// --- TMR-2: XM_set_timer(1,1,1) — timer trap crashes the simulator --------
+
+func TestIssueTMR2SetTimerExecClockCrashesSimulator(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	_, err := runSystemCall(t, k, NrSetTimer, uint64(ExecClock), 1, 1)
+	if err == nil || err == ErrHalted {
+		t.Fatalf("err = %v, want a simulator crash (paper: timer trap crashes TSIM)", err)
+	}
+	crashed, reason := k.Machine().Crashed()
+	if !crashed {
+		t.Fatal("machine did not crash")
+	}
+	if !strings.Contains(reason, "timer trap") {
+		t.Fatalf("crash reason = %q", reason)
+	}
+}
+
+// --- TMR-3: XM_set_timer(·,1,LLONG_MIN) — silent success -------------------
+
+func TestIssueTMR3NegativeIntervalSilentlySucceeds(t *testing.T) {
+	for _, clock := range []uint32{HwClock, ExecClock} {
+		k := newTestKernel(t, LegacyFaults())
+		res, err := runSystemCall(t, k, NrSetTimer, uint64(clock), 1, uint64(uint64(math.MaxInt64)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper: "incorrectly returned a successful operation code
+		// when invoked with a negative interval".
+		mustRet(t, res, OK)
+		if st := k.Status(); st.State != KStateRunning {
+			t.Fatalf("clock %d: kernel state = %v, want RUNNING", clock, st.State)
+		}
+	}
+}
+
+func TestPatchedSetTimerRejectsBadIntervals(t *testing.T) {
+	cases := []struct {
+		name              string
+		clock             uint32
+		absTime, interval int64
+	}{
+		{"small interval hw", HwClock, 1, 1},
+		{"small interval exec", ExecClock, 1, 1},
+		{"below 50us", HwClock, 1, 49},
+		{"negative interval hw", HwClock, 1, math.MinInt64},
+		{"negative interval exec", ExecClock, 1, math.MinInt64},
+		{"negative absTime", HwClock, math.MinInt64, 100},
+	}
+	for _, tc := range cases {
+		k := newTestKernel(t, PatchedFaults())
+		res, err := runSystemCall(t, k, NrSetTimer,
+			uint64(tc.clock), uint64(tc.absTime), uint64(tc.interval))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.ret != InvalidParam || !res.returned {
+			t.Fatalf("%s: ret = %v returned=%v, want XM_INVALID_PARAM", tc.name, res.ret, res.returned)
+		}
+	}
+}
+
+func TestSetTimerValidIntervalWorks(t *testing.T) {
+	for _, faults := range []FaultSet{LegacyFaults(), PatchedFaults()} {
+		k := newTestKernel(t, faults)
+		var fired bool
+		if err := k.AttachProgram(1, progFunc(func(env Env) bool {
+			st, _ := k.PartitionStatus(1)
+			if st.Pending&(1<<vtimerVIRQ) != 0 {
+				fired = true
+				return false
+			}
+			if env.Now() < 150000 {
+				// Arm 10ms from now, one-shot, in the first slot.
+				env.Hypercall(NrSetTimer, uint64(HwClock), uint64(env.Now()+10000), 0)
+			}
+			env.Compute(1000)
+			return true
+		})); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.RunMajorFrames(2); err != nil {
+			t.Fatal(err)
+		}
+		if !fired {
+			t.Fatal("valid one-shot timer never delivered its virtual interrupt")
+		}
+	}
+}
+
+func TestSetTimerInvalidClockRejectedBothKernels(t *testing.T) {
+	for _, faults := range []FaultSet{LegacyFaults(), PatchedFaults()} {
+		for _, clock := range []uint64{2, 16, 4294967295} {
+			k := newTestKernel(t, faults)
+			res, err := runSystemCall(t, k, NrSetTimer, clock, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustRet(t, res, InvalidParam)
+		}
+	}
+}
+
+// --- MSC-1/2/3: XM_multicall --------------------------------------------
+
+func TestIssueMSC1MulticallInvalidStartKernelException(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	_, end := sysArea(k)
+	res, err := runSystemCall(t, k, NrMulticall, 0, uint64(end))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatal("XM_multicall(NULL, end) returned; the kernel should have faulted")
+	}
+	found := false
+	for _, e := range k.HMEntries() {
+		if e.Event == HMEvMemProtection && strings.Contains(e.Detail, "XM_multicall") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("HM log lacks the multicall data-access exception: %v", k.HMEntries())
+	}
+	st, _ := k.PartitionStatus(1)
+	if st.State != PStateHalted {
+		t.Fatalf("partition state = %v, want HALTED (abort)", st.State)
+	}
+}
+
+func TestIssueMSC2MulticallWrappedEndOverruns(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	base, _ := sysArea(k)
+	// end < start wraps the unsigned entry count: a huge batch.
+	res, err := runSystemCall(t, k, NrMulticall, uint64(base), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatal("XM_multicall(base, NULL) returned")
+	}
+	if !hmHas(k, HMEvSchedOverrun) {
+		t.Fatalf("HM log lacks the slot overrun: %v", k.HMEntries())
+	}
+	st, _ := k.PartitionStatus(1)
+	if st.State != PStateSuspended {
+		t.Fatalf("partition state = %v, want SUSPENDED (temporal violation)", st.State)
+	}
+}
+
+func TestIssueMSC3MulticallValidBatchBreaksTemporalIsolation(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	base, end := sysArea(k)
+	// A fully valid 64 KiB batch: 4096 entries of ~17µs exceed the 50ms
+	// slot. Paper: "preventing nominal context switching as required by
+	// the scheduling plan".
+	res, err := runSystemCall(t, k, NrMulticall, uint64(base), uint64(end))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatal("oversized multicall returned within its slot")
+	}
+	if !hmHas(k, HMEvSchedOverrun) {
+		t.Fatal("no temporal-isolation violation recorded")
+	}
+	// Temporal isolation: the other partition's next slot must still
+	// start on schedule in the following frame.
+	ran := false
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool { ran = true; return false })); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("victim partition lost its slot after the multicall overrun")
+	}
+}
+
+func TestMulticallEmptyRangeIsNoAction(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	base, _ := sysArea(k)
+	for _, addr := range []uint64{0, uint64(base)} {
+		res, err := runSystemCall(t, k, NrMulticall, addr, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRet(t, res, NoAction)
+		k2 := newTestKernel(t, LegacyFaults())
+		k = k2
+	}
+}
+
+func TestMulticallExecutesValidBatch(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	base, _ := sysArea(k)
+	// Two entries: XM_sparc_flush_regwin twice (nr 58, no args).
+	var img []byte
+	for i := 0; i < 2; i++ {
+		img = append(img, be32(uint32(NrSparcFlushRegWin))...)
+		img = append(img, be32(0)...)
+		img = append(img, be32(0)...)
+		img = append(img, be32(0)...)
+	}
+	if err := k.WriteGuest(1, base, img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runSystemCall(t, k, NrMulticall, uint64(base), uint64(base)+uint64(len(img)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, RetCode(2))
+	// 1 outer + 2 inner hypercalls.
+	if k.HypercallCount() != 3 {
+		t.Fatalf("HypercallCount = %d, want 3", k.HypercallCount())
+	}
+}
+
+func TestPatchedMulticallRemoved(t *testing.T) {
+	k := newTestKernel(t, PatchedFaults())
+	base, end := sysArea(k)
+	for _, args := range [][2]uint64{{0, uint64(end)}, {uint64(base), 0}, {uint64(base), uint64(end)}} {
+		res, err := runSystemCall(t, k, NrMulticall, args[0], args[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRet(t, res, OpNotAllowed)
+		k = newTestKernel(t, PatchedFaults())
+	}
+}
+
+func TestAllNineIssuesAbsentInPatchedKernel(t *testing.T) {
+	// Drive every §IV.C trigger against the patched kernel: no resets, no
+	// halts, no crashes, no HM escalations.
+	triggers := []struct {
+		nr   Nr
+		args []uint64
+	}{
+		{NrResetSystem, []uint64{2}},
+		{NrResetSystem, []uint64{16}},
+		{NrResetSystem, []uint64{4294967295}},
+		{NrSetTimer, []uint64{uint64(HwClock), 1, 1}},
+		{NrSetTimer, []uint64{uint64(ExecClock), 1, 1}},
+		{NrSetTimer, []uint64{uint64(HwClock), 1, uint64(uint64(math.MaxInt64) + 1)}},
+	}
+	for _, tr := range triggers {
+		k := newTestKernel(t, PatchedFaults())
+		res, err := runSystemCall(t, k, tr.nr, tr.args...)
+		if err != nil {
+			t.Fatalf("%v%v: %v", tr.nr, tr.args, err)
+		}
+		mustRet(t, res, InvalidParam)
+		st := k.Status()
+		if st.State != KStateRunning || st.ColdResets+st.WarmResets != 0 {
+			t.Fatalf("%v%v left the patched kernel in %+v", tr.nr, tr.args, st)
+		}
+		if crashed, _ := k.Machine().Crashed(); crashed {
+			t.Fatalf("%v%v crashed the simulator under the patched kernel", tr.nr, tr.args)
+		}
+	}
+}

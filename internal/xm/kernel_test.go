@@ -1,0 +1,449 @@
+package xm
+
+import (
+	"testing"
+
+	"xmrobust/internal/sparc"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	_, err := New(Config{Name: "empty"})
+	if err == nil {
+		t.Fatal("New accepted an empty config")
+	}
+}
+
+func TestNewRejectsOverlappingWritableAreas(t *testing.T) {
+	cfg := testConfig()
+	cfg.Partitions[1].MemoryAreas[0].Base = tpUserBase + 0x1000 // overlap P0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted overlapping writable areas (spatial separation)")
+	}
+}
+
+func TestSchedulerRunsSlotsInOrder(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	var order []int
+	for id := 0; id < 2; id++ {
+		id := id
+		if err := k.AttachProgram(id, progFunc(func(env Env) bool {
+			order = append(order, env.PartitionID())
+			return false
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.RunMajorFrames(2); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1}
+	if len(order) != len(want) {
+		t.Fatalf("execution order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+	if st := k.Status(); st.MAFCount != 2 {
+		t.Fatalf("MAFCount = %d, want 2", st.MAFCount)
+	}
+}
+
+func TestSchedulerAdvancesVirtualTime(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	if err := k.RunMajorFrames(3); err != nil {
+		t.Fatal(err)
+	}
+	if now := k.Machine().Now(); now != 3*250000 {
+		t.Fatalf("machine time after 3 MAFs = %d, want 750000", now)
+	}
+}
+
+func TestSlotBudgetLimitsSteps(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	steps := 0
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		steps++
+		env.Compute(10000) // 10ms per step, 50ms slot
+		return true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	if steps < 4 || steps > 6 {
+		t.Fatalf("steps in a 50ms slot at 10ms each = %d, want ~5", steps)
+	}
+}
+
+func TestGuestComputeAccumulatesExecClock(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		env.Compute(1000)
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(2); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := k.PartitionStatus(0)
+	// Two steps of ~1ms plus boot overhead.
+	if st.ExecClock < 2000 || st.ExecClock > 3000 {
+		t.Fatalf("ExecClock = %d, want ~2000-3000", st.ExecClock)
+	}
+	if st.BootCount != 1 {
+		t.Fatalf("BootCount = %d, want 1", st.BootCount)
+	}
+}
+
+func TestBootRunsOncePerIncarnation(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	boots, steps := 0, 0
+	if err := k.AttachProgram(0, &bootProg{
+		boot: func(env Env) { boots++ },
+		step: func(env Env) bool { steps++; return false },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(3); err != nil {
+		t.Fatal(err)
+	}
+	if boots != 1 {
+		t.Fatalf("boots = %d, want 1", boots)
+	}
+	if steps != 3 {
+		t.Fatalf("steps = %d, want 3", steps)
+	}
+}
+
+func TestGuestMemoryAccessWithinAreas(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	var readBack []byte
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		if !env.Write(tpUserBase+16, []byte{1, 2, 3, 4}) {
+			t.Error("in-area write failed")
+		}
+		readBack, _ = env.Read(tpUserBase+16, 4)
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(readBack) != 4 || readBack[0] != 1 || readBack[3] != 4 {
+		t.Fatalf("readBack = %v", readBack)
+	}
+}
+
+func TestSpatialViolationHaltsPartition(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		// P0 writes into P1's area: a spatial separation violation.
+		env.Write(tpSystemBase, []byte{0xFF})
+		t.Error("control returned to the guest after a spatial violation")
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := k.PartitionStatus(0)
+	if st.State != PStateHalted {
+		t.Fatalf("partition state = %v, want HALTED", st.State)
+	}
+	if !hmHas(k, HMEvMemProtection) {
+		t.Fatal("no XM_HM_EV_MEM_PROTECTION in the HM log")
+	}
+	// The victim partition's memory must be untouched.
+	b, err := k.ReadGuest(1, tpSystemBase, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Fatal("spatial violation leaked a write into the victim partition")
+	}
+}
+
+func TestHaltedPartitionGetsNoSlots(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	steps := 0
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		steps++
+		env.Write(tpSystemBase, []byte{1}) // halts on first step
+		return true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(3); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 {
+		t.Fatalf("halted partition stepped %d times, want 1", steps)
+	}
+}
+
+func TestHypercallCostCharged(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	calls := 0
+	if err := k.AttachProgram(1, progFunc(func(env Env) bool {
+		calls++
+		env.Hypercall(NrSparcFlushRegWin)
+		return calls < 3
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := k.PartitionStatus(1)
+	if st.ExecClock < 3*HypercallCost {
+		t.Fatalf("ExecClock = %d, want >= %d", st.ExecClock, 3*HypercallCost)
+	}
+	if k.HypercallCount() != 3 {
+		t.Fatalf("HypercallCount = %d, want 3", k.HypercallCount())
+	}
+}
+
+func TestUnknownHypercall(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	res, err := runSystemCall(t, k, Nr(9999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, UnknownHypercall)
+}
+
+func TestSystemOnlyHypercallFromNormalPartition(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	res, err := runCallFrom(t, k, 0, NrResetSystem, uint64(ColdReset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, PermError)
+	if st := k.Status(); st.ColdResets != 0 {
+		t.Fatal("normal partition managed to reset the system")
+	}
+}
+
+func TestHaltSystemStopsKernel(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	res, err := runSystemCall(t, k, NrHaltSystem)
+	if err != ErrHalted {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	if res.returned {
+		t.Fatal("XM_halt_system returned to the guest")
+	}
+	if st := k.Status(); st.State != KStateHalted {
+		t.Fatalf("kernel state = %v, want HALTED", st.State)
+	}
+}
+
+func TestSystemResetRestartsPartitions(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	res, err := runSystemCall(t, k, NrResetSystem, uint64(ColdReset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatal("XM_reset_system returned to the caller")
+	}
+	st := k.Status()
+	if st.ColdResets != 1 {
+		t.Fatalf("ColdResets = %d, want 1", st.ColdResets)
+	}
+	// Partitions reboot on their next slot.
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := k.PartitionStatus(0)
+	if p0.BootCount != 2 {
+		t.Fatalf("P0 BootCount after system reset = %d, want 2", p0.BootCount)
+	}
+}
+
+func TestWarmResetPreservesHMLog(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	// Generate an HM event first.
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		env.Write(0x50000000, []byte{1})
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.HMEntries()) == 0 {
+		t.Fatal("setup: no HM entries")
+	}
+	res, err := runSystemCall(t, k, NrResetSystem, uint64(WarmReset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatal("reset returned")
+	}
+	if len(k.HMEntries()) == 0 {
+		t.Fatal("warm reset cleared the HM log; it must be preserved for post-mortem")
+	}
+	st := k.Status()
+	if st.WarmResets != 1 || st.ColdResets != 0 {
+		t.Fatalf("resets = cold %d warm %d, want 0/1", st.ColdResets, st.WarmResets)
+	}
+}
+
+func TestColdResetClearsHMLog(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		env.Write(0x50000000, []byte{1})
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runSystemCall(t, k, NrResetSystem, uint64(ColdReset)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(k.HMEntries()); n != 0 {
+		t.Fatalf("cold reset left %d HM entries", n)
+	}
+}
+
+func TestPlanSwitchTakesEffectAtFrameBoundary(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	base, _ := sysArea(k)
+	res, err := runSystemCall(t, k, NrSwitchSchedPlan, 1, uint64(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	// The previous plan id (0) must be in guest memory.
+	b, err := k.ReadGuest(1, base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[3] != 0 {
+		t.Fatalf("prevPlanId = %v, want 0", b)
+	}
+	if k.Status().CurrentPlan != 1 {
+		t.Fatalf("plan after frame boundary = %d, want 1", k.Status().CurrentPlan)
+	}
+}
+
+func TestGuestStopDoesNotLeakPanics(t *testing.T) {
+	// A program panicking with a non-guestStop value must crash the test,
+	// not be swallowed. Here we check the inverse: normal runs never
+	// panic outwards.
+	k := newTestKernel(t, LegacyFaults())
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic escaped the scheduler: %v", r)
+		}
+	}()
+	if err := k.AttachProgram(1, progFunc(func(env Env) bool {
+		env.Hypercall(NrSuspendSelf)
+		return true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := k.PartitionStatus(1)
+	if st.State != PStateSuspended {
+		t.Fatalf("state = %v, want SUSPENDED", st.State)
+	}
+}
+
+func TestWriteGuestReadGuestRoundTrip(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	if err := k.WriteGuest(0, tpUserBase+64, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.ReadGuest(0, tpUserBase+64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "abc" {
+		t.Fatalf("read back %q", b)
+	}
+	// Outside the partition's space must fail.
+	if err := k.WriteGuest(0, tpSystemBase, []byte{1}); err == nil {
+		t.Fatal("WriteGuest crossed partition boundaries")
+	}
+}
+
+func TestPartitionDataArea(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	r, ok := k.PartitionDataArea(1)
+	if !ok || r.Base != tpSystemBase || r.Size != tpAreaSize {
+		t.Fatalf("data area = %v %v", r, ok)
+	}
+	if _, ok := k.PartitionDataArea(99); ok {
+		t.Fatal("data area for unknown partition")
+	}
+}
+
+func TestIdleSelfYieldsSlot(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	steps := 0
+	if err := k.AttachProgram(1, progFunc(func(env Env) bool {
+		steps++
+		env.Hypercall(NrIdleSelf)
+		t.Error("control returned after XM_idle_self within the slot")
+		return true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(2); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 {
+		t.Fatalf("steps = %d, want 2 (one per slot)", steps)
+	}
+	st, _ := k.PartitionStatus(1)
+	if st.State != PStateNormal {
+		t.Fatalf("state = %v, want NORMAL (idle_self is per-slot)", st.State)
+	}
+}
+
+func TestHMActionPartitionColdReset(t *testing.T) {
+	cfg := testConfig()
+	cfg.HMActions = map[HMEvent]HMAction{HMEvMemProtection: HMActColdResetPartition}
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		env.Write(0x50000000, []byte{1})
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(2); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := k.PartitionStatus(0)
+	if st.BootCount < 2 {
+		t.Fatalf("BootCount = %d, want >= 2 (HM cold-reset action)", st.BootCount)
+	}
+}
+
+func TestMachineOptionIsUsed(t *testing.T) {
+	m := sparc.NewDefaultMachine()
+	k, err := New(testConfig(), WithMachine(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Machine() != m {
+		t.Fatal("WithMachine ignored")
+	}
+}

@@ -1,0 +1,230 @@
+package xm
+
+import (
+	"fmt"
+
+	"xmrobust/internal/sparc"
+)
+
+// PState is the execution state of a partition.
+type PState int
+
+// Partition states.
+const (
+	PStateBoot PState = iota
+	PStateNormal
+	PStateIdle // parked until its next slot
+	PStateSuspended
+	PStateHalted
+	PStateShutdown
+)
+
+var pstateNames = [...]string{
+	PStateBoot:      "BOOT",
+	PStateNormal:    "NORMAL",
+	PStateIdle:      "IDLE",
+	PStateSuspended: "SUSPENDED",
+	PStateHalted:    "HALTED",
+	PStateShutdown:  "SHUTDOWN",
+}
+
+func (s PState) String() string {
+	if s >= 0 && int(s) < len(pstateNames) {
+		return pstateNames[s]
+	}
+	return fmt.Sprintf("PSTATE(%d)", int(s))
+}
+
+// Runnable reports whether a partition in this state receives CPU time in
+// its slot.
+func (s PState) Runnable() bool { return s == PStateBoot || s == PStateNormal || s == PStateIdle }
+
+// Env is the view the kernel offers a guest program while it executes
+// inside its slot: hypercall invocation, memory access through the
+// partition's MMU view, and virtual-time accounting. It is the Go analogue
+// of the XAL runtime environment partition code is written against.
+type Env interface {
+	// PartitionID returns the caller's partition id.
+	PartitionID() int
+	// Hypercall invokes a kernel service. Missing arguments are zero.
+	Hypercall(nr Nr, args ...uint64) RetCode
+	// Read copies size bytes from the partition's address space. ok is
+	// false (and the access is reported to the health monitor) if the
+	// access violates spatial separation.
+	Read(addr sparc.Addr, size uint32) (data []byte, ok bool)
+	// Write copies data into the partition's address space.
+	Write(addr sparc.Addr, data []byte) bool
+	// Compute burns d microseconds of the slot on guest computation.
+	Compute(d Time)
+	// Now returns current machine time.
+	Now() Time
+	// SlotRemaining returns the budget left in the current slot.
+	SlotRemaining() Time
+}
+
+// Program is guest software hosted in a partition. The scheduler calls
+// Step repeatedly during the partition's slot; a false return parks the
+// partition until its next slot. Boot runs at (re)boot before the first
+// Step of a partition incarnation.
+type Program interface {
+	Boot(env Env)
+	Step(env Env) bool
+}
+
+// vTimer is one armed virtual timer of a partition.
+type vTimer struct {
+	armed    bool
+	expiry   Time // absolute, in the owning clock's timebase
+	interval Time // 0: one-shot
+	fires    uint64
+}
+
+// Partition is the runtime state of one partition.
+type Partition struct {
+	cfg   PartitionConfig
+	state PState
+	space *sparc.Space
+
+	// bootCount counts incarnations (boot + every reset).
+	bootCount uint32
+	// booted marks whether Boot ran for the current incarnation.
+	booted bool
+	// program is the hosted guest software (may be nil: an empty
+	// partition idles).
+	program Program
+
+	// execClock is the accumulated execution time (XM_EXEC_CLOCK).
+	execClock Time
+	// timers[0] runs on the hardware clock, timers[1] on the exec clock.
+	timers [2]vTimer
+	// pendingVIRQs is the virtual interrupt pending mask.
+	pendingVIRQs uint32
+	virqMask     uint32
+	// psr/tbr model the Sparc V8 privileged registers the sparc-specific
+	// hypercalls touch.
+	psr, tbr uint32
+	// trace is the partition's trace stream (Trace Management services).
+	trace traceStream
+	// irqRoutes records XM_route_irq programming: line -> vector.
+	irqRoutes map[uint32]uint32
+	// haltDetail records why the partition halted/suspended.
+	haltDetail string
+}
+
+func newPartition(cfg PartitionConfig) *Partition {
+	p := &Partition{cfg: cfg}
+	p.rebuildSpace()
+	return p
+}
+
+func (p *Partition) rebuildSpace() {
+	p.space = sparc.NewSpace(fmt.Sprintf("P%d:%s", p.cfg.ID, p.cfg.Name), p.cfg.MemoryAreas...)
+}
+
+// ID returns the partition id.
+func (p *Partition) ID() int { return p.cfg.ID }
+
+// Name returns the configured partition name.
+func (p *Partition) Name() string { return p.cfg.Name }
+
+// System reports whether this is a system partition.
+func (p *Partition) System() bool { return p.cfg.System }
+
+// State returns the current partition state.
+func (p *Partition) State() PState { return p.state }
+
+// BootCount returns the number of incarnations so far.
+func (p *Partition) BootCount() uint32 { return p.bootCount }
+
+// ExecClock returns accumulated execution time.
+func (p *Partition) ExecClock() Time { return p.execClock }
+
+// HaltDetail returns the reason for the last halt/suspend, if any.
+func (p *Partition) HaltDetail() string { return p.haltDetail }
+
+// Space returns the partition's MMU view.
+func (p *Partition) Space() *sparc.Space { return p.space }
+
+// dataArea returns the first writable memory area — where the guest
+// runtime keeps its data, and where the fuzz harness places test buffers.
+func (p *Partition) dataArea() (sparc.Region, bool) {
+	for _, r := range p.cfg.MemoryAreas {
+		if r.Perm&sparc.PermWrite != 0 {
+			return r, true
+		}
+	}
+	return sparc.Region{}, false
+}
+
+// reset re-initialises the partition for a new incarnation. A cold reset
+// also clears the execution clock and pending interrupts.
+func (p *Partition) reset(cold bool) {
+	p.state = PStateBoot
+	p.booted = false
+	p.bootCount++
+	p.timers = [2]vTimer{}
+	p.haltDetail = ""
+	p.irqRoutes = nil
+	if cold {
+		p.execClock = 0
+		p.pendingVIRQs = 0
+		p.virqMask = 0
+		p.psr, p.tbr = 0, 0
+		p.trace = traceStream{}
+	}
+}
+
+// halt stops the partition until an external reset.
+func (p *Partition) halt(detail string) {
+	p.state = PStateHalted
+	p.haltDetail = detail
+}
+
+// suspend stops the partition until XM_resume_partition.
+func (p *Partition) suspend(detail string) {
+	p.state = PStateSuspended
+	p.haltDetail = detail
+}
+
+// raiseVIRQ marks a virtual interrupt pending.
+func (p *Partition) raiseVIRQ(line uint32) {
+	if line < 32 {
+		p.pendingVIRQs |= 1 << line
+	}
+}
+
+// allowedHwMask returns the mask of hardware IRQ lines the configuration
+// grants this partition.
+func (p *Partition) allowedHwMask() uint32 {
+	var m uint32
+	for _, l := range p.cfg.HwIrqLines {
+		if l >= 0 && l < 32 {
+			m |= 1 << uint(l)
+		}
+	}
+	return m
+}
+
+// vtimerVIRQ is the virtual interrupt line timers fire on.
+const vtimerVIRQ = 0
+
+// PartitionStatus is the host-side snapshot of a partition, also
+// serialised to guest memory by XM_get_partition_status.
+type PartitionStatus struct {
+	ID         int
+	Name       string
+	State      PState
+	BootCount  uint32
+	ExecClock  Time
+	Pending    uint32
+	HaltDetail string
+}
+
+// status snapshots the partition.
+func (p *Partition) status() PartitionStatus {
+	return PartitionStatus{
+		ID: p.cfg.ID, Name: p.cfg.Name, State: p.state,
+		BootCount: p.bootCount, ExecClock: p.execClock,
+		Pending: p.pendingVIRQs, HaltDetail: p.haltDetail,
+	}
+}

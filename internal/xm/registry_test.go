@@ -1,0 +1,274 @@
+package xm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableIIIHypercallInventory pins the category totals of the paper's
+// Table III "Total Hypercalls" column.
+func TestTableIIIHypercallInventory(t *testing.T) {
+	want := map[Category]int{
+		CatSystem:    3,
+		CatPartition: 10,
+		CatTime:      2,
+		CatPlan:      2,
+		CatIPC:       10,
+		CatMemory:    2,
+		CatHM:        5,
+		CatTrace:     5,
+		CatInterrupt: 5,
+		CatMisc:      5,
+		CatSparc:     12,
+	}
+	total := 0
+	for cat, n := range want {
+		got := len(ByCategory(cat))
+		if got != n {
+			t.Errorf("%s: %d hypercalls, want %d (Table III)", cat, got, n)
+		}
+		total += got
+	}
+	if total != 61 {
+		t.Fatalf("total hypercalls = %d, want 61", total)
+	}
+	if len(Hypercalls()) != 61 {
+		t.Fatalf("Hypercalls() = %d entries", len(Hypercalls()))
+	}
+}
+
+// TestFig8ParameterlessShare pins Fig. 8: "just below 50 per cent of
+// untested calls are hypercalls with no parameters". 10 of the 61 calls
+// take no parameters.
+func TestFig8ParameterlessShare(t *testing.T) {
+	noParam := 0
+	for _, s := range Hypercalls() {
+		if s.NumParams() == 0 {
+			noParam++
+		}
+	}
+	if noParam != 10 {
+		t.Fatalf("parameter-less hypercalls = %d, want 10", noParam)
+	}
+}
+
+func TestHypercallNumbersDenseAndUnique(t *testing.T) {
+	seen := map[Nr]string{}
+	for _, s := range Hypercalls() {
+		if s.Nr < 1 || s.Nr > NumHypercalls {
+			t.Errorf("%s: number %d out of range", s.Name, s.Nr)
+		}
+		if prev, dup := seen[s.Nr]; dup {
+			t.Errorf("number %d used by %s and %s", s.Nr, prev, s.Name)
+		}
+		seen[s.Nr] = s.Name
+	}
+	if len(seen) != NumHypercalls {
+		t.Fatalf("numbers are not dense: %d distinct of %d", len(seen), NumHypercalls)
+	}
+}
+
+func TestHypercallNamingConvention(t *testing.T) {
+	for _, s := range Hypercalls() {
+		if !strings.HasPrefix(s.Name, "XM_") {
+			t.Errorf("%s: hypercall names carry the XM_ prefix", s.Name)
+		}
+		if s.ReturnType != "xm_s32_t" {
+			t.Errorf("%s: return type %q, want xm_s32_t", s.Name, s.ReturnType)
+		}
+		for _, p := range s.Params {
+			if p.Name == "" {
+				t.Errorf("%s: unnamed parameter", s.Name)
+			}
+			if p.Pointer != (p.Type == "void*") {
+				t.Errorf("%s/%s: pointer flag inconsistent with type %q", s.Name, p.Name, p.Type)
+			}
+		}
+	}
+}
+
+func TestHypercallParamTypesAreTableITypes(t *testing.T) {
+	valid := map[string]bool{"void*": true}
+	for _, dt := range DataTypes() {
+		valid[dt.Name] = true
+		for _, ext := range strings.Fields(dt.Extended) {
+			if ext != "-" {
+				valid[ext] = true
+			}
+		}
+	}
+	for _, s := range Hypercalls() {
+		for _, p := range s.Params {
+			if !valid[p.Type] {
+				t.Errorf("%s/%s: type %q is not a Table I type", s.Name, p.Name, p.Type)
+			}
+		}
+	}
+}
+
+func TestLookupAndLookupName(t *testing.T) {
+	s, ok := Lookup(NrSetTimer)
+	if !ok || s.Name != "XM_set_timer" || len(s.Params) != 3 {
+		t.Fatalf("Lookup(NrSetTimer) = %+v %v", s, ok)
+	}
+	s2, ok := LookupName("XM_set_timer")
+	if !ok || s2.Nr != NrSetTimer {
+		t.Fatalf("LookupName = %+v %v", s2, ok)
+	}
+	if _, ok := Lookup(0); ok {
+		t.Fatal("Lookup(0) succeeded")
+	}
+	if _, ok := LookupName("XM_nope"); ok {
+		t.Fatal("LookupName(XM_nope) succeeded")
+	}
+}
+
+func TestSystemOnlyFlags(t *testing.T) {
+	// The privileged services of the reference manual.
+	sysOnly := []string{
+		"XM_halt_system", "XM_reset_system", "XM_get_system_status",
+		"XM_halt_partition", "XM_reset_partition", "XM_suspend_partition",
+		"XM_resume_partition", "XM_shutdown_partition", "XM_get_partition_status",
+		"XM_switch_sched_plan", "XM_update_page32",
+		"XM_hm_read", "XM_hm_seek", "XM_hm_status", "XM_hm_open", "XM_hm_reset",
+		"XM_multicall",
+	}
+	want := map[string]bool{}
+	for _, n := range sysOnly {
+		want[n] = true
+	}
+	for _, s := range Hypercalls() {
+		if s.SystemOnly != want[s.Name] {
+			t.Errorf("%s: SystemOnly = %v, want %v", s.Name, s.SystemOnly, want[s.Name])
+		}
+	}
+}
+
+// TestTableIDataTypes pins the paper's Table I rows.
+func TestTableIDataTypes(t *testing.T) {
+	dts := DataTypes()
+	byName := map[string]DataType{}
+	for _, dt := range dts {
+		byName[dt.Name] = dt
+	}
+	cases := []struct {
+		name string
+		bits int
+		c    string
+	}{
+		{"xm_u8_t", 8, "unsigned char"},
+		{"xm_s8_t", 8, "signed char"},
+		{"xm_u16_t", 16, "unsigned short"},
+		{"xm_s16_t", 16, "signed short"},
+		{"xm_u32_t", 32, "unsigned int"},
+		{"xm_s32_t", 32, "signed int"},
+		{"xm_u64_t", 64, "unsigned long long"},
+		{"xm_s64_t", 64, "signed long long"},
+	}
+	for _, c := range cases {
+		dt, ok := byName[c.name]
+		if !ok {
+			t.Errorf("Table I type %s missing", c.name)
+			continue
+		}
+		if dt.Bits != c.bits || dt.C != c.c {
+			t.Errorf("%s: %d bits %q, want %d bits %q", c.name, dt.Bits, dt.C, c.bits, c.c)
+		}
+	}
+	// Extended aliases of Table I.
+	if !strings.Contains(byName["xm_u32_t"].Extended, "xmAddress_t") {
+		t.Error("xm_u32_t must alias xmAddress_t")
+	}
+	if !strings.Contains(byName["xm_s64_t"].Extended, "xmTime_t") {
+		t.Error("xm_s64_t must alias xmTime_t")
+	}
+}
+
+func TestRetCodeStrings(t *testing.T) {
+	for rc, want := range map[RetCode]string{
+		OK:               "XM_OK",
+		NoAction:         "XM_NO_ACTION",
+		UnknownHypercall: "XM_UNKNOWN_HYPERCALL",
+		InvalidParam:     "XM_INVALID_PARAM",
+		PermError:        "XM_PERM_ERROR",
+		InvalidConfig:    "XM_INVALID_CONFIG",
+		InvalidMode:      "XM_INVALID_MODE",
+		NotAvailable:     "XM_NOT_AVAILABLE",
+		OpNotAllowed:     "XM_OP_NOT_ALLOWED",
+	} {
+		if rc.String() != want {
+			t.Errorf("RetCode(%d).String() = %q, want %q", rc, rc.String(), want)
+		}
+	}
+	if RetCode(3).String() != "XM_OK+3" {
+		t.Errorf("positive retcode renders as %q", RetCode(3).String())
+	}
+	if RetCode(-99).String() != "XM_ERR(-99)" {
+		t.Errorf("unknown negative renders as %q", RetCode(-99).String())
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	mk := func(mut func(*Config)) error {
+		cfg := testConfig()
+		mut(&cfg)
+		return cfg.Validate()
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no plans", func(c *Config) { c.Plans = nil }},
+		{"bad slot partition", func(c *Config) { c.Plans[0].Slots[0].PartitionID = 9 }},
+		{"slot past frame", func(c *Config) { c.Plans[0].Slots[1].Duration = 300000 }},
+		{"overlapping slots", func(c *Config) { c.Plans[0].Slots[1].Start = 10000 }},
+		{"zero duration", func(c *Config) { c.Plans[0].Slots[0].Duration = 0 }},
+		{"zero msg size", func(c *Config) { c.Channels[0].MaxMsgSize = 0 }},
+		{"queuing no depth", func(c *Config) { c.Channels[1].MaxNoMsgs = 0 }},
+		{"dup channel", func(c *Config) { c.Channels[1].Name = "tm" }},
+		{"bad channel endpoint", func(c *Config) { c.Channels[0].Source = 7 }},
+		{"unnamed partition", func(c *Config) { c.Partitions[0].Name = "" }},
+		{"no memory areas", func(c *Config) { c.Partitions[0].MemoryAreas = nil }},
+		{"zero-size area", func(c *Config) { c.Partitions[0].MemoryAreas[0].Size = 0 }},
+		{"ids out of order", func(c *Config) { c.Partitions[0].ID = 5 }},
+	}
+	for _, c := range cases {
+		if err := mk(c.mut); err == nil {
+			t.Errorf("%s: Validate accepted a broken config", c.name)
+		}
+	}
+	base := testConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("baseline config invalid: %v", err)
+	}
+}
+
+func TestConfigLookups(t *testing.T) {
+	cfg := testConfig()
+	if p, ok := cfg.Partition(1); !ok || p.Name != "SYS" {
+		t.Fatalf("Partition(1) = %+v %v", p, ok)
+	}
+	if _, ok := cfg.Partition(5); ok {
+		t.Fatal("Partition(5) found")
+	}
+	if p, ok := cfg.PartitionByName("USER"); !ok || p.ID != 0 {
+		t.Fatalf("PartitionByName = %+v %v", p, ok)
+	}
+	if _, ok := cfg.PartitionByName("NOPE"); ok {
+		t.Fatal("PartitionByName(NOPE) found")
+	}
+}
+
+func TestFaultSetPatched(t *testing.T) {
+	if LegacyFaults().Patched() {
+		t.Fatal("LegacyFaults reports patched")
+	}
+	if !PatchedFaults().Patched() {
+		t.Fatal("PatchedFaults reports unpatched")
+	}
+	half := PatchedFaults()
+	half.MulticallRemoved = false
+	if half.Patched() {
+		t.Fatal("partial fault set reports patched")
+	}
+}

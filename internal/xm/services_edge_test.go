@@ -1,0 +1,245 @@
+package xm
+
+// Edge-case coverage for service behaviours the main suites do not touch:
+// partial reads, too-small receive buffers, info lookups, cursor motion.
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestReceiveBufferTooSmallForHeadMessage(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	name := putName(t, k, 1, 0, "tc")
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		id := env.Hypercall(NrCreateQueuingPort, name, 4, 32, uint64(SourcePort))
+		if id < 0 {
+			t.Fatalf("create: %v", id)
+		}
+		env.Write(area.Base, make([]byte, 24))
+		if rc := env.Hypercall(NrSendQueuingMsg, uint64(int32(id)), uint64(area.Base), 24); rc != OK {
+			t.Fatalf("send: %v", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameP0 := putName(t, k, 0, 0, "tc")
+	areaP0, _ := k.PartitionDataArea(0)
+	err = runScript(t, k, 0, func(env Env) {
+		id := env.Hypercall(NrCreateQueuingPort, nameP0, 4, 32, uint64(DestinationPort))
+		if id < 0 {
+			t.Fatalf("create dest: %v", id)
+		}
+		// A 16-byte buffer cannot hold the 24-byte head message; the
+		// message must stay queued.
+		if rc := env.Hypercall(NrReceiveQueuingMsg, uint64(int32(id)), uint64(areaP0.Base), 16); rc != InvalidParam {
+			t.Errorf("undersized receive = %v, want XM_INVALID_PARAM", rc)
+		}
+		if rc := env.Hypercall(NrReceiveQueuingMsg, uint64(int32(id)), uint64(areaP0.Base), 32); rc != RetCode(24) {
+			t.Errorf("full receive = %v, want 24 (message must survive the failed receive)", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetPortInfoSuccess(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	name := putName(t, k, 1, 0, "tc")
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrGetPortInfo, name, uint64(area.Base)); rc != OK {
+			t.Fatalf("get_port_info: %v", rc)
+		}
+		b, _ := env.Read(area.Base, portInfoSize)
+		if ChannelType(binary.BigEndian.Uint32(b[0:4])) != QueuingChannel {
+			t.Errorf("type = %d", binary.BigEndian.Uint32(b[0:4]))
+		}
+		if binary.BigEndian.Uint32(b[4:8]) != 32 {
+			t.Errorf("maxMsgSize = %d", binary.BigEndian.Uint32(b[4:8]))
+		}
+		if binary.BigEndian.Uint32(b[8:12]) != 4 {
+			t.Errorf("maxNoMsgs = %d", binary.BigEndian.Uint32(b[8:12]))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetPlanStatus(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		// Request a switch, then read the plan status: current 0, next 1.
+		if rc := env.Hypercall(NrSwitchSchedPlan, 1, uint64(area.Base)+64); rc != OK {
+			t.Fatalf("switch: %v", rc)
+		}
+		if rc := env.Hypercall(NrGetPlanStatus, uint64(area.Base)); rc != OK {
+			t.Fatalf("get_plan_status: %v", rc)
+		}
+		b, _ := env.Read(area.Base, planStatusSize)
+		if cur := binary.BigEndian.Uint32(b[0:4]); cur != 0 {
+			t.Errorf("current plan = %d, want 0 (switch applies at the frame boundary)", cur)
+		}
+		if next := int32(binary.BigEndian.Uint32(b[4:8])); next != 1 {
+			t.Errorf("next plan = %d, want 1", next)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Status().CurrentPlan != 1 {
+		t.Fatal("plan did not switch at the frame boundary")
+	}
+}
+
+func TestSwitchSchedPlanToCurrentIsNoAction(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	res, err := runSystemCall(t, k, NrSwitchSchedPlan, 0, uint64(area.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, NoAction)
+	if k.Status().CurrentPlan != 0 {
+		t.Fatal("no-op switch changed the plan")
+	}
+}
+
+func TestHmReadAdvancesCursor(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	// Two violations from P0 in one frame need two steps.
+	hits := 0
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		hits++
+		env.Write(0x60000000, []byte{1}) // halted after the first
+		return true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect P0 for a second violation (runScript touches only P1's
+	// program, keeping the violator attached to P0).
+	if err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrResetPartition, 0, uint64(WarmReset), 0); rc != OK {
+			t.Fatalf("reset: %v", rc)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.HMEntries()) != 2 {
+		t.Fatalf("HM entries = %d, want 2", len(k.HMEntries()))
+	}
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrHmRead, uint64(area.Base), 1); rc != RetCode(1) {
+			t.Fatalf("first hm_read = %v, want 1", rc)
+		}
+		if rc := env.Hypercall(NrHmRead, uint64(area.Base), 8); rc != RetCode(1) {
+			t.Fatalf("second hm_read = %v, want 1 (cursor advanced)", rc)
+		}
+		if rc := env.Hypercall(NrHmRead, uint64(area.Base), 8); rc != NoAction {
+			t.Fatalf("third hm_read = %v, want XM_NO_ACTION (drained)", rc)
+		}
+		// Rewind and read both.
+		if rc := env.Hypercall(NrHmSeek, 0, uint64(SeekSet)); rc != RetCode(0) {
+			t.Fatalf("hm_seek: %v", rc)
+		}
+		if rc := env.Hypercall(NrHmRead, uint64(area.Base), 8); rc != RetCode(2) {
+			t.Fatalf("post-seek hm_read = %v, want 2", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplingOverwriteSemantics(t *testing.T) {
+	// A sampling channel holds only the freshest message.
+	k := newTestKernel(t, LegacyFaults())
+	name := putName(t, k, 0, 0, "tm")
+	area, _ := k.PartitionDataArea(0)
+	err := runScript(t, k, 0, func(env Env) {
+		id := env.Hypercall(NrCreateSamplingPort, name, 64, uint64(SourcePort))
+		env.Write(area.Base, []byte("old!new!"))
+		env.Hypercall(NrWriteSamplingMsg, uint64(int32(id)), uint64(area.Base), 4)
+		env.Hypercall(NrWriteSamplingMsg, uint64(int32(id)), uint64(area.Base)+4, 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameP1 := putName(t, k, 1, 0, "tm")
+	areaP1, _ := k.PartitionDataArea(1)
+	err = runScript(t, k, 1, func(env Env) {
+		id := env.Hypercall(NrCreateSamplingPort, nameP1, 64, uint64(DestinationPort))
+		n := env.Hypercall(NrReadSamplingMsg, uint64(int32(id)), uint64(areaP1.Base), 64)
+		if n != RetCode(4) {
+			t.Fatalf("read = %v", n)
+		}
+		b, _ := env.Read(areaP1.Base, 4)
+		if string(b) != "new!" {
+			t.Fatalf("sampling read %q, want the freshest message", b)
+		}
+		// Sampling reads are non-destructive.
+		if n := env.Hypercall(NrReadSamplingMsg, uint64(int32(id)), uint64(areaP1.Base), 64); n != RetCode(4) {
+			t.Fatalf("re-read = %v, want 4", n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticallInnerSystemOnlyStillChecked(t *testing.T) {
+	// Batch entries execute with the caller's privilege: a batch from the
+	// system partition may carry privileged calls.
+	k := newTestKernel(t, LegacyFaults())
+	base, _ := sysArea(k)
+	var img []byte
+	img = append(img, be32(uint32(NrSuspendPartition))...)
+	img = append(img, be32(0)...)
+	img = append(img, be32(0)...) // arg0: partition 0
+	img = append(img, be32(0)...)
+	if err := k.WriteGuest(1, base, img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runSystemCall(t, k, NrMulticall, uint64(base), uint64(base)+MulticallEntrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, RetCode(1))
+	st, _ := k.PartitionStatus(0)
+	if st.State != PStateSuspended {
+		t.Fatalf("P0 state = %v, want SUSPENDED via multicall batch", st.State)
+	}
+}
+
+func TestShutdownPartitionGetsNoSlots(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	steps := 0
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		steps++
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runSystemCall(t, k, NrShutdownPartition, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := steps
+	if err := k.RunMajorFrames(2); err != nil {
+		t.Fatal(err)
+	}
+	if steps != before {
+		t.Fatalf("shutdown partition stepped %d more times", steps-before)
+	}
+}

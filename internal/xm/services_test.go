@@ -1,0 +1,934 @@
+package xm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"xmrobust/internal/sparc"
+)
+
+// runScript executes fn once inside partition pid's slot and returns the
+// run error. fn runs with a live Env.
+func runScript(t *testing.T, k *Kernel, pid int, fn func(env Env)) error {
+	t.Helper()
+	done := false
+	err := k.AttachProgram(pid, progFunc(func(env Env) bool {
+		if done {
+			return false
+		}
+		done = true
+		fn(env)
+		return false
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k.RunMajorFrames(1)
+}
+
+// --- IPC -------------------------------------------------------------------
+
+// putName writes a NUL-terminated string into a partition's data area and
+// returns its guest address.
+func putName(t *testing.T, k *Kernel, pid int, off uint32, name string) uint64 {
+	t.Helper()
+	area, _ := k.PartitionDataArea(pid)
+	addr := area.Base + 0x8000 + sparc.Addr(off)
+	if err := k.WriteGuest(pid, addr, append([]byte(name), 0)); err != nil {
+		t.Fatal(err)
+	}
+	return uint64(addr)
+}
+
+func TestIPCSamplingEndToEnd(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	nameP0 := putName(t, k, 0, 0, "tm")
+	nameP1 := putName(t, k, 1, 0, "tm")
+	areaP0, _ := k.PartitionDataArea(0)
+	areaP1, _ := k.PartitionDataArea(1)
+
+	var got []byte
+	if err := k.AttachProgram(0, progFunc(func(env Env) bool {
+		id := env.Hypercall(NrCreateSamplingPort, nameP0, 64, uint64(SourcePort))
+		if id < 0 {
+			t.Errorf("create source port: %v", id)
+			return false
+		}
+		env.Write(areaP0.Base, []byte("hello-tm"))
+		if rc := env.Hypercall(NrWriteSamplingMsg, uint64(int32(id)), uint64(areaP0.Base), 8); rc != OK {
+			t.Errorf("write sampling: %v", rc)
+		}
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AttachProgram(1, progFunc(func(env Env) bool {
+		id := env.Hypercall(NrCreateSamplingPort, nameP1, 64, uint64(DestinationPort))
+		if id < 0 {
+			t.Errorf("create dest port: %v", id)
+			return false
+		}
+		n := env.Hypercall(NrReadSamplingMsg, uint64(int32(id)), uint64(areaP1.Base), 64)
+		if n != RetCode(8) {
+			t.Errorf("read sampling = %v, want 8", n)
+			return false
+		}
+		got, _ = env.Read(areaP1.Base, 8)
+		return false
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello-tm" {
+		t.Fatalf("message across partitions = %q, want %q", got, "hello-tm")
+	}
+}
+
+func TestIPCQueuingFIFOAndBackpressure(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	name := putName(t, k, 1, 0, "tc")
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		id := env.Hypercall(NrCreateQueuingPort, name, 4, 32, uint64(SourcePort))
+		if id < 0 {
+			t.Errorf("create queuing port: %v", id)
+			return
+		}
+		env.Write(area.Base, []byte("msg0msg1msg2msg3extra"))
+		for i := 0; i < 4; i++ {
+			if rc := env.Hypercall(NrSendQueuingMsg, uint64(int32(id)), uint64(area.Base)+uint64(4*i), 4); rc != OK {
+				t.Errorf("send %d: %v", i, rc)
+			}
+		}
+		// Queue is full (MaxNoMsgs=4): the fifth send must not block.
+		if rc := env.Hypercall(NrSendQueuingMsg, uint64(int32(id)), uint64(area.Base)+16, 4); rc != NotAvailable {
+			t.Errorf("send to full queue = %v, want XM_NOT_AVAILABLE", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain from the destination partition (P0).
+	nameP0 := putName(t, k, 0, 0, "tc")
+	areaP0, _ := k.PartitionDataArea(0)
+	err = runScript(t, k, 0, func(env Env) {
+		id := env.Hypercall(NrCreateQueuingPort, nameP0, 4, 32, uint64(DestinationPort))
+		if id < 0 {
+			t.Errorf("create dest queuing port: %v", id)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			n := env.Hypercall(NrReceiveQueuingMsg, uint64(int32(id)), uint64(areaP0.Base), 32)
+			if n != RetCode(4) {
+				t.Errorf("receive %d = %v, want 4", i, n)
+				return
+			}
+			b, _ := env.Read(areaP0.Base, 4)
+			want := []byte("msg0")
+			want[3] = byte('0' + i)
+			if string(b) != string(want) {
+				t.Errorf("receive %d = %q, want %q (FIFO order)", i, b, want)
+			}
+		}
+		if rc := env.Hypercall(NrReceiveQueuingMsg, uint64(int32(id)), uint64(areaP0.Base), 32); rc != NoAction {
+			t.Errorf("receive from empty queue = %v, want XM_NO_ACTION", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPCValidationMatrix(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	name := putName(t, k, 1, 0, "tm")
+	badName := putName(t, k, 1, 64, "nosuch")
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		cases := []struct {
+			name string
+			got  RetCode
+			want RetCode
+		}{
+			{"null name ptr", env.Hypercall(NrCreateSamplingPort, 0, 64, uint64(SourcePort)), InvalidParam},
+			{"unknown channel", env.Hypercall(NrCreateSamplingPort, badName, 64, uint64(SourcePort)), InvalidConfig},
+			{"size mismatch", env.Hypercall(NrCreateSamplingPort, name, 16, uint64(SourcePort)), InvalidConfig},
+			{"bad direction", env.Hypercall(NrCreateSamplingPort, name, 64, 7), InvalidParam},
+			{"wrong endpoint", env.Hypercall(NrCreateSamplingPort, name, 64, uint64(SourcePort)), PermError},
+			{"bad port id write", env.Hypercall(NrWriteSamplingMsg, uint64(uint32(0xFFFFFFFF)), uint64(area.Base), 8), InvalidParam},
+			{"closed port read", env.Hypercall(NrReadSamplingMsg, 17, uint64(area.Base), 8), InvalidParam},
+			{"close bad id", env.Hypercall(NrClosePort, uint64(uint32(0x80000000))), InvalidParam},
+			{"flush bad id", env.Hypercall(NrFlushPort, 99), InvalidParam},
+			{"port status bad id", env.Hypercall(NrGetPortStatus, 5, uint64(area.Base)), InvalidParam},
+			{"port info unknown", env.Hypercall(NrGetPortInfo, badName, uint64(area.Base)), InvalidConfig},
+		}
+		for _, c := range cases {
+			if c.got != c.want {
+				t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPCPortStatusAndLifecycle(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	name := putName(t, k, 0, 0, "tm")
+	area, _ := k.PartitionDataArea(0)
+	err := runScript(t, k, 0, func(env Env) {
+		id := env.Hypercall(NrCreateSamplingPort, name, 64, uint64(SourcePort))
+		if id < 0 {
+			t.Errorf("create: %v", id)
+			return
+		}
+		// Re-creating returns the same descriptor.
+		if id2 := env.Hypercall(NrCreateSamplingPort, name, 64, uint64(SourcePort)); id2 != id {
+			t.Errorf("re-create = %v, want %v", id2, id)
+		}
+		env.Write(area.Base, []byte("x"))
+		env.Hypercall(NrWriteSamplingMsg, uint64(int32(id)), uint64(area.Base), 1)
+		if rc := env.Hypercall(NrGetPortStatus, uint64(int32(id)), uint64(area.Base)+256); rc != OK {
+			t.Errorf("status: %v", rc)
+		}
+		b, _ := env.Read(area.Base+256, 16)
+		if binary.BigEndian.Uint32(b[12:16]) != 1 {
+			t.Errorf("pending = %d, want 1", binary.BigEndian.Uint32(b[12:16]))
+		}
+		if rc := env.Hypercall(NrClosePort, uint64(int32(id))); rc != OK {
+			t.Errorf("close: %v", rc)
+		}
+		if rc := env.Hypercall(NrWriteSamplingMsg, uint64(int32(id)), uint64(area.Base), 1); rc != InvalidParam {
+			t.Errorf("write to closed port = %v, want XM_INVALID_PARAM", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Memory ------------------------------------------------------------------
+
+func TestMemoryCopyWithinPartition(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	if err := k.WriteGuest(1, area.Base, []byte("copyme")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runSystemCall(t, k, NrMemoryCopy, uint64(area.Base)+0x100, uint64(area.Base), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	b, _ := k.ReadGuest(1, area.Base+0x100, 6)
+	if string(b) != "copyme" {
+		t.Fatalf("copied = %q", b)
+	}
+}
+
+func TestMemoryCopyValidation(t *testing.T) {
+	area1Base := uint64(tpSystemBase)
+	cases := []struct {
+		name          string
+		dst, src, len uint64
+		want          RetCode
+	}{
+		{"zero size", area1Base, area1Base + 8, 0, NoAction},
+		{"null src", area1Base, 0, 4, InvalidParam},
+		{"null dst", 0, area1Base, 4, InvalidParam},
+		{"src other partition", area1Base, uint64(tpUserBase), 4, InvalidParam},
+		{"dst other partition", uint64(tpUserBase), area1Base, 4, InvalidParam},
+		{"size past end", area1Base, area1Base + 8, uint64(tpAreaSize), InvalidParam},
+		{"huge size", area1Base, area1Base + 8, 0xFFFFFFFF, InvalidParam},
+	}
+	for _, c := range cases {
+		k := newTestKernel(t, LegacyFaults())
+		res, err := runSystemCall(t, k, NrMemoryCopy, c.dst, c.src, c.len)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !res.returned || res.ret != c.want {
+			t.Errorf("%s: ret=%v returned=%v, want %v", c.name, res.ret, res.returned, c.want)
+		}
+	}
+}
+
+func TestMemoryCopyOverlappingIsMemmove(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	if err := k.WriteGuest(1, area.Base, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runSystemCall(t, k, NrMemoryCopy, uint64(area.Base)+2, uint64(area.Base), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	b, _ := k.ReadGuest(1, area.Base, 6)
+	if string(b) != "ababcd" {
+		t.Fatalf("overlapping copy = %q, want %q", b, "ababcd")
+	}
+}
+
+func TestUpdatePage32(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	res, err := runSystemCall(t, k, NrUpdatePage32, uint64(area.Base)+8, 0xCAFEBABE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	b, _ := k.ReadGuest(1, area.Base+8, 4)
+	if binary.BigEndian.Uint32(b) != 0xCAFEBABE {
+		t.Fatal("update_page32 did not write")
+	}
+	// Misaligned must be rejected.
+	k2 := newTestKernel(t, LegacyFaults())
+	res, err = runSystemCall(t, k2, NrUpdatePage32, uint64(area.Base)+2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, InvalidParam)
+}
+
+// --- Health Monitor services -------------------------------------------------
+
+// provoke generates one MemProtection HM event from P0.
+func provoke(t *testing.T, k *Kernel) {
+	t.Helper()
+	if err := runScript(t, k, 0, func(env Env) {
+		env.Write(0x60000000, []byte{1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHmReadReturnsEntries(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	provoke(t, k)
+	area, _ := k.PartitionDataArea(1)
+	res, err := runSystemCall(t, k, NrHmRead, uint64(area.Base), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ret < 1 {
+		t.Fatalf("hm_read = %v, want >= 1 entries", res.ret)
+	}
+	b, _ := k.ReadGuest(1, area.Base, hmEntrySize)
+	if ev := HMEvent(binary.BigEndian.Uint32(b[4:8])); ev != HMEvMemProtection {
+		t.Fatalf("first HM entry event = %v, want MEM_PROTECTION", ev)
+	}
+}
+
+func TestHmReadValidation(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	provoke(t, k)
+	area, _ := k.PartitionDataArea(1)
+	for _, c := range []struct {
+		name       string
+		ptr, count uint64
+		want       RetCode
+	}{
+		{"zero count", uint64(area.Base), 0, NoAction},
+		{"null ptr", 0, 4, InvalidParam},
+		{"ptr outside", uint64(tpUserBase), 4, InvalidParam},
+	} {
+		k2 := newTestKernel(t, LegacyFaults())
+		provoke(t, k2)
+		res, err := runSystemCall(t, k2, NrHmRead, c.ptr, c.count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ret != c.want {
+			t.Errorf("%s: %v, want %v", c.name, res.ret, c.want)
+		}
+	}
+}
+
+func TestHmSeekWhence(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	provoke(t, k)
+	for _, c := range []struct {
+		offset int64
+		whence uint64
+		want   RetCode
+	}{
+		{0, uint64(SeekSet), 0},
+		{0, uint64(SeekEnd), 1}, // one event logged
+		{-1, uint64(SeekEnd), 0},
+		{0, uint64(SeekCur), 0},
+		{5, uint64(SeekSet), InvalidParam},  // past end
+		{-1, uint64(SeekSet), InvalidParam}, // negative
+		{0, 3, InvalidParam},                // bad whence
+	} {
+		res, err := runSystemCall(t, k, NrHmSeek, uint64(c.offset), c.whence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ret != c.want {
+			t.Errorf("hm_seek(%d,%d) = %v, want %v", c.offset, c.whence, res.ret, c.want)
+		}
+		// fresh kernel per case to keep cursor state predictable
+		k = newTestKernel(t, LegacyFaults())
+		provoke(t, k)
+	}
+}
+
+func TestHmStatusCountsEvents(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	provoke(t, k)
+	area, _ := k.PartitionDataArea(1)
+	res, err := runSystemCall(t, k, NrHmStatus, uint64(area.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	b, _ := k.ReadGuest(1, area.Base, hmStatusSize)
+	if total := binary.BigEndian.Uint32(b[0:4]); total != 1 {
+		t.Fatalf("hm total events = %d, want 1", total)
+	}
+}
+
+func TestHmHypercallsAreSystemOnly(t *testing.T) {
+	for _, nr := range []Nr{NrHmRead, NrHmSeek, NrHmStatus, NrHmOpen, NrHmReset} {
+		k := newTestKernel(t, LegacyFaults())
+		res, err := runCallFrom(t, k, 0, nr, uint64(tpUserBase), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ret != PermError {
+			t.Errorf("%d from normal partition = %v, want XM_PERM_ERROR", nr, res.ret)
+		}
+	}
+}
+
+// --- Trace services -----------------------------------------------------------
+
+func TestTraceEventAndReadBack(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		env.Write(area.Base, []byte("0123456789abcdef"))
+		if rc := env.Hypercall(NrTraceEvent, 1, uint64(area.Base)); rc != OK {
+			t.Errorf("trace_event: %v", rc)
+		}
+		if rc := env.Hypercall(NrTraceEvent, 0, uint64(area.Base)); rc != NoAction {
+			t.Errorf("trace_event with zero bitmask = %v, want XM_NO_ACTION", rc)
+		}
+		if rc := env.Hypercall(NrTraceRead, 1, uint64(area.Base)+64); rc != OK {
+			t.Errorf("trace_read: %v", rc)
+		}
+		b, _ := env.Read(area.Base+64, 16)
+		if string(b) != "0123456789abcdef" {
+			t.Errorf("trace payload = %q", b)
+		}
+		if rc := env.Hypercall(NrTraceRead, 1, uint64(area.Base)+64); rc != NoAction {
+			t.Errorf("trace_read past end = %v, want XM_NO_ACTION", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracePrivilege(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(0)
+	err := runScript(t, k, 0, func(env Env) {
+		// Normal partition reading another partition's stream.
+		if rc := env.Hypercall(NrTraceRead, 1, uint64(area.Base)); rc != PermError {
+			t.Errorf("cross-partition trace_read = %v, want XM_PERM_ERROR", rc)
+		}
+		if rc := env.Hypercall(NrTraceRead, uint64(uint32(0xFFFFFFFF)), uint64(area.Base)); rc != InvalidParam {
+			t.Errorf("trace_read(-1) = %v, want XM_INVALID_PARAM", rc)
+		}
+		if rc := env.Hypercall(NrTraceOpen, 0); rc != RetCode(0) {
+			t.Errorf("trace_open own = %v, want 0", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// System partition may read any stream.
+	k2 := newTestKernel(t, LegacyFaults())
+	res, err := runSystemCall(t, k2, NrTraceRead, 0, uint64(tpSystemBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, NoAction) // empty stream, but permitted
+}
+
+func TestTraceSeekAndStatus(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		env.Write(area.Base, make([]byte, 16))
+		for i := 0; i < 3; i++ {
+			env.Hypercall(NrTraceEvent, 1, uint64(area.Base))
+		}
+		if rc := env.Hypercall(NrTraceSeek, 1, 1, uint64(SeekSet)); rc != RetCode(1) {
+			t.Errorf("trace_seek set 1 = %v", rc)
+		}
+		if rc := env.Hypercall(NrTraceSeek, 1, uint64(uint32(0xFFFFFFFE)), uint64(SeekEnd)); rc != RetCode(1) {
+			t.Errorf("trace_seek end-2 = %v", rc)
+		}
+		if rc := env.Hypercall(NrTraceSeek, 1, 9, uint64(SeekSet)); rc != InvalidParam {
+			t.Errorf("trace_seek past end = %v, want XM_INVALID_PARAM", rc)
+		}
+		if rc := env.Hypercall(NrTraceStatus, 1, uint64(area.Base)+128); rc != OK {
+			t.Errorf("trace_status: %v", rc)
+		}
+		b, _ := env.Read(area.Base+128, 4)
+		if binary.BigEndian.Uint32(b) != 3 {
+			t.Errorf("trace count = %d, want 3", binary.BigEndian.Uint32(b))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRingDropsOldest(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		env.Write(area.Base, make([]byte, 16))
+		for i := 0; i < traceCap+5; i++ {
+			env.Hypercall(NrTraceEvent, 1, uint64(area.Base))
+		}
+		env.Hypercall(NrTraceStatus, 1, uint64(area.Base)+128)
+		b, _ := env.Read(area.Base+128, 12)
+		if n := binary.BigEndian.Uint32(b[0:4]); n != traceCap {
+			t.Errorf("trace count = %d, want cap %d", n, traceCap)
+		}
+		if d := binary.BigEndian.Uint32(b[8:12]); d != 5 {
+			t.Errorf("trace dropped = %d, want 5", d)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Interrupt services --------------------------------------------------------
+
+func TestIrqMaskValidation(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	err := runScript(t, k, 1, func(env Env) {
+		// P1 owns line 5 only.
+		if rc := env.Hypercall(NrSetIrqMask, 1<<5, 0); rc != OK {
+			t.Errorf("mask own line = %v", rc)
+		}
+		if rc := env.Hypercall(NrSetIrqMask, 1<<4, 0); rc != PermError {
+			t.Errorf("mask foreign line = %v, want XM_PERM_ERROR", rc)
+		}
+		if rc := env.Hypercall(NrClearIrqMask, 1<<5, 0xFFFFFFFF); rc != OK {
+			t.Errorf("clear mask = %v", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetIrqPend(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrSetIrqPend, 1<<5, 0); rc != OK {
+			t.Errorf("set_irqpend own hw line = %v", rc)
+		}
+		if rc := env.Hypercall(NrSetIrqPend, 1, 0); rc != InvalidParam {
+			t.Errorf("set_irqpend line 0 = %v, want XM_INVALID_PARAM", rc)
+		}
+		if rc := env.Hypercall(NrSetIrqPend, 1<<16, 0); rc != InvalidParam {
+			t.Errorf("set_irqpend line 16 = %v, want XM_INVALID_PARAM", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Machine().IRQ().Raised(5) != 1 {
+		t.Fatal("set_irqpend did not raise the hardware line")
+	}
+	// Normal partitions may not inject.
+	k2 := newTestKernel(t, LegacyFaults())
+	res, err := runCallFrom(t, k2, 0, NrSetIrqPend, 1<<4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, PermError)
+}
+
+func TestRouteIrqValidation(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	err := runScript(t, k, 1, func(env Env) {
+		for _, c := range []struct {
+			typ, irq, vec uint64
+			want          RetCode
+		}{
+			{0, 5, 0x40, OK},
+			{0, 4, 0x40, PermError},    // not P1's line
+			{0, 0, 0x40, InvalidParam}, // line 0 invalid
+			{0, 16, 0x40, InvalidParam},
+			{1, 31, 0x80, OK},
+			{1, 32, 0x80, InvalidParam},
+			{2, 5, 0x40, InvalidParam},  // bad type
+			{0, 5, 256, InvalidParam},   // bad vector
+			{16, 5, 0x40, InvalidParam}, // bad type (dictionary value)
+		} {
+			if rc := env.Hypercall(NrRouteIrq, c.typ, c.irq, c.vec); rc != c.want {
+				t.Errorf("route_irq(%d,%d,%d) = %v, want %v", c.typ, c.irq, c.vec, rc, c.want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Sparc V8 services ----------------------------------------------------------
+
+func TestSparcAtomics(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		env.Write(area.Base, []byte{0, 0, 0, 10})
+		if rc := env.Hypercall(NrSparcAtomicAdd, uint64(area.Base), 5); rc != RetCode(15) {
+			t.Errorf("atomic_add = %v, want 15", rc)
+		}
+		if rc := env.Hypercall(NrSparcAtomicAnd, uint64(area.Base), 0xC); rc != RetCode(12) {
+			t.Errorf("atomic_and = %v, want 12", rc)
+		}
+		if rc := env.Hypercall(NrSparcAtomicOr, uint64(area.Base), 0x1); rc != RetCode(13) {
+			t.Errorf("atomic_or = %v, want 13", rc)
+		}
+		// Validation: null, misaligned, foreign.
+		if rc := env.Hypercall(NrSparcAtomicAdd, 0, 1); rc != InvalidParam {
+			t.Errorf("atomic_add(NULL) = %v", rc)
+		}
+		if rc := env.Hypercall(NrSparcAtomicAdd, uint64(area.Base)+2, 1); rc != InvalidParam {
+			t.Errorf("atomic_add(misaligned) = %v", rc)
+		}
+		if rc := env.Hypercall(NrSparcAtomicAdd, uint64(tpUserBase), 1); rc != InvalidParam {
+			t.Errorf("atomic_add(foreign) = %v", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparcPortIO(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrSparcOutPort, 3, 0xABCD); rc != OK {
+			t.Errorf("outport: %v", rc)
+		}
+		if rc := env.Hypercall(NrSparcInPort, 3, uint64(area.Base)); rc != OK {
+			t.Errorf("inport: %v", rc)
+		}
+		b, _ := env.Read(area.Base, 4)
+		if binary.BigEndian.Uint32(b) != 0xABCD {
+			t.Errorf("inport read back %#x", binary.BigEndian.Uint32(b))
+		}
+		if rc := env.Hypercall(NrSparcInPort, uint64(numIOPorts), uint64(area.Base)); rc != InvalidParam {
+			t.Errorf("inport(bad port) = %v", rc)
+		}
+		if rc := env.Hypercall(NrSparcInPort, 3, 0); rc != InvalidParam {
+			t.Errorf("inport(NULL) = %v", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P0 has no I/O rights.
+	k2 := newTestKernel(t, LegacyFaults())
+	res, err := runCallFrom(t, k2, 0, NrSparcOutPort, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, PermError)
+}
+
+func TestSparcPsrTbr(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrSparcSetPsr, uint64(psrWritableMask)); rc != OK {
+			t.Errorf("set_psr(writable bits) = %v", rc)
+		}
+		if rc := env.Hypercall(NrSparcGetPsr); rc != RetCode(psrWritableMask&0x7FFFFFFF) {
+			t.Errorf("get_psr = %#x", uint32(rc))
+		}
+		if rc := env.Hypercall(NrSparcSetPsr, 0x80); rc != InvalidParam {
+			t.Errorf("set_psr(supervisor bit) = %v, want XM_INVALID_PARAM", rc)
+		}
+		if rc := env.Hypercall(NrSparcWriteTbr, uint64(tpSystemBase)); rc != OK {
+			t.Errorf("write_tbr = %v", rc)
+		}
+		if rc := env.Hypercall(NrSparcWriteTbr, uint64(tpSystemBase)+4); rc != InvalidParam {
+			t.Errorf("write_tbr(unaligned) = %v", rc)
+		}
+		if rc := env.Hypercall(NrSparcIFlush, uint64(tpSystemBase)); rc != OK {
+			t.Errorf("iflush = %v", rc)
+		}
+		if rc := env.Hypercall(NrSparcIFlush, 0); rc != InvalidParam {
+			t.Errorf("iflush(NULL) = %v", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Misc services ----------------------------------------------------------------
+
+func TestWriteConsole(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	if err := k.WriteGuest(1, area.Base, []byte("hello console\n")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runSystemCall(t, k, NrWriteConsole, uint64(area.Base), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, RetCode(14))
+	if !strings.Contains(k.Machine().UART().String(), "hello console") {
+		t.Fatalf("console = %q", k.Machine().UART().String())
+	}
+}
+
+func TestWriteConsoleValidation(t *testing.T) {
+	for _, c := range []struct {
+		ptr, length uint64
+		want        RetCode
+	}{
+		{0, 4, InvalidParam},
+		{uint64(tpSystemBase), 0, NoAction},
+		{uint64(tpSystemBase), maxConsoleWrite + 1, InvalidParam},
+		{uint64(tpUserBase), 4, InvalidParam}, // foreign buffer
+	} {
+		k := newTestKernel(t, LegacyFaults())
+		res, err := runSystemCall(t, k, NrWriteConsole, c.ptr, c.length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ret != c.want {
+			t.Errorf("write_console(%#x,%d) = %v, want %v", c.ptr, c.length, res.ret, c.want)
+		}
+	}
+}
+
+func TestGetGidByName(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	nameSys := putName(t, k, 1, 0, "SYS")
+	nameTc := putName(t, k, 1, 64, "tc")
+	nameBad := putName(t, k, 1, 128, "nobody")
+	err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrGetGidByName, nameSys, uint64(EntityPartition)); rc != RetCode(1) {
+			t.Errorf("gid(SYS) = %v, want 1", rc)
+		}
+		if rc := env.Hypercall(NrGetGidByName, nameTc, uint64(EntityChannel)); rc != RetCode(1) {
+			t.Errorf("gid(tc) = %v, want 1", rc)
+		}
+		if rc := env.Hypercall(NrGetGidByName, nameBad, uint64(EntityPartition)); rc != InvalidConfig {
+			t.Errorf("gid(nobody) = %v, want XM_INVALID_CONFIG", rc)
+		}
+		if rc := env.Hypercall(NrGetGidByName, nameSys, 16); rc != InvalidParam {
+			t.Errorf("gid(bad entity) = %v, want XM_INVALID_PARAM", rc)
+		}
+		if rc := env.Hypercall(NrGetGidByName, 0, uint64(EntityPartition)); rc != InvalidParam {
+			t.Errorf("gid(NULL) = %v, want XM_INVALID_PARAM", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushCacheAndGetParams(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrFlushCache, uint64(cacheICache|cacheDCache)); rc != OK {
+			t.Errorf("flush_cache = %v", rc)
+		}
+		if rc := env.Hypercall(NrFlushCache, 0); rc != NoAction {
+			t.Errorf("flush_cache(0) = %v", rc)
+		}
+		if rc := env.Hypercall(NrFlushCache, 16); rc != InvalidParam {
+			t.Errorf("flush_cache(16) = %v", rc)
+		}
+		if rc := env.Hypercall(NrGetParams, uint64(area.Base)); rc != OK {
+			t.Errorf("get_params = %v", rc)
+		}
+		b, _ := env.Read(area.Base, 12)
+		if binary.BigEndian.Uint32(b[0:4]) != 1 {
+			t.Errorf("params partition id = %d, want 1", binary.BigEndian.Uint32(b[0:4]))
+		}
+		if binary.BigEndian.Uint32(b[8:12]) != 1 {
+			t.Errorf("params system flag = %d, want 1", binary.BigEndian.Uint32(b[8:12]))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Partition management extra coverage -------------------------------------------
+
+func TestPartitionLifecycleHypercalls(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	err := runScript(t, k, 1, func(env Env) {
+		if rc := env.Hypercall(NrSuspendPartition, 0); rc != OK {
+			t.Errorf("suspend: %v", rc)
+		}
+		if st, _ := k.PartitionStatus(0); st.State != PStateSuspended {
+			t.Errorf("state after suspend = %v", st.State)
+		}
+		if rc := env.Hypercall(NrSuspendPartition, 0); rc != NoAction {
+			t.Errorf("double suspend = %v, want XM_NO_ACTION", rc)
+		}
+		if rc := env.Hypercall(NrResumePartition, 0); rc != OK {
+			t.Errorf("resume: %v", rc)
+		}
+		if rc := env.Hypercall(NrResumePartition, 0); rc != NoAction {
+			t.Errorf("resume of running = %v, want XM_NO_ACTION", rc)
+		}
+		if rc := env.Hypercall(NrHaltPartition, 0); rc != OK {
+			t.Errorf("halt: %v", rc)
+		}
+		if rc := env.Hypercall(NrResetPartition, 0, uint64(ColdReset), 0); rc != OK {
+			t.Errorf("reset after halt: %v", rc)
+		}
+		if st, _ := k.PartitionStatus(0); st.State != PStateBoot {
+			t.Errorf("state after reset = %v, want BOOT", st.State)
+		}
+		if rc := env.Hypercall(NrShutdownPartition, 0); rc != OK {
+			t.Errorf("shutdown: %v", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionIdValidation(t *testing.T) {
+	for _, nr := range []Nr{NrHaltPartition, NrSuspendPartition, NrResumePartition, NrShutdownPartition} {
+		for _, id := range []uint64{uint64(uint32(0x80000000)), uint64(uint32(0xFFFFFFF0)), 16, 2147483647} {
+			k := newTestKernel(t, LegacyFaults())
+			res, err := runSystemCall(t, k, nr, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ret != InvalidParam {
+				t.Errorf("hypercall %d id %#x = %v, want XM_INVALID_PARAM", nr, id, res.ret)
+			}
+		}
+	}
+}
+
+func TestResetPartitionModeValidated(t *testing.T) {
+	// Unlike XM_reset_system, the partition reset mode is checked even in
+	// the legacy kernel (the paper found 0 Partition Management issues).
+	for _, mode := range []uint64{2, 16, 4294967295} {
+		k := newTestKernel(t, LegacyFaults())
+		res, err := runSystemCall(t, k, NrResetPartition, 0, mode, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRet(t, res, InvalidParam)
+		if st, _ := k.PartitionStatus(0); st.BootCount != 1 {
+			t.Fatalf("mode %d reset the partition", mode)
+		}
+	}
+}
+
+func TestGetPartitionStatusSerialization(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	res, err := runSystemCall(t, k, NrGetPartitionStatus, 0, uint64(area.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	b, _ := k.ReadGuest(1, area.Base, partitionStatusSize)
+	if id := binary.BigEndian.Uint32(b[0:4]); id != 0 {
+		t.Fatalf("status id = %d", id)
+	}
+	if state := binary.BigEndian.Uint32(b[4:8]); PState(state) != PStateNormal {
+		t.Fatalf("status state = %d", state)
+	}
+}
+
+func TestGetSystemStatusSerialization(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	res, err := runSystemCall(t, k, NrGetSystemStatus, uint64(area.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	b, _ := k.ReadGuest(1, area.Base, systemStatusSize)
+	if state := binary.BigEndian.Uint32(b[0:4]); KState(state) != KStateRunning {
+		t.Fatalf("system state = %d", state)
+	}
+	if parts := binary.BigEndian.Uint32(b[28:32]); parts != 2 {
+		t.Fatalf("partition count = %d, want 2", parts)
+	}
+}
+
+func TestGetTimeBothClocks(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	err := runScript(t, k, 1, func(env Env) {
+		env.Compute(500)
+		if rc := env.Hypercall(NrGetTime, uint64(HwClock), uint64(area.Base)); rc != OK {
+			t.Errorf("get_time(hw): %v", rc)
+		}
+		if rc := env.Hypercall(NrGetTime, uint64(ExecClock), uint64(area.Base)+8); rc != OK {
+			t.Errorf("get_time(exec): %v", rc)
+		}
+		hw, _ := env.Read(area.Base, 8)
+		ex, _ := env.Read(area.Base+8, 8)
+		hwT := int64(binary.BigEndian.Uint64(hw))
+		exT := int64(binary.BigEndian.Uint64(ex))
+		if hwT < 100000 {
+			t.Errorf("hw clock = %d, want >= slot start (100000)", hwT)
+		}
+		if exT < 500 || exT > 5000 {
+			t.Errorf("exec clock = %d, want ~500-5000", exT)
+		}
+		if rc := env.Hypercall(NrGetTime, 2, uint64(area.Base)); rc != InvalidParam {
+			t.Errorf("get_time(2) = %v, want XM_INVALID_PARAM", rc)
+		}
+		if rc := env.Hypercall(NrGetTime, uint64(HwClock), 0); rc != InvalidParam {
+			t.Errorf("get_time(NULL) = %v, want XM_INVALID_PARAM", rc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetPartitionMmap(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	area, _ := k.PartitionDataArea(1)
+	res, err := runSystemCall(t, k, NrGetPartitionMmap, uint64(area.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	b, _ := k.ReadGuest(1, area.Base, 12)
+	if n := binary.BigEndian.Uint32(b[0:4]); n != 1 {
+		t.Fatalf("mmap count = %d, want 1", n)
+	}
+	if base := binary.BigEndian.Uint32(b[4:8]); base != uint32(tpSystemBase) {
+		t.Fatalf("mmap base = %#x", base)
+	}
+}

@@ -1,0 +1,87 @@
+package xm
+
+import "xmrobust/internal/sparc"
+
+// --- Health Monitor Management --------------------------------------------
+
+// hmEntrySize is the guest-serialised size of one health-monitor log
+// record: seq, event, partition, action (words) followed by the 64-bit
+// timestamp.
+const hmEntrySize = 24
+
+// serializeHMEntry encodes one log record for guest consumption.
+func serializeHMEntry(e HMLogEntry) []byte {
+	pid := int32(e.PartitionID)
+	if e.SystemScope {
+		pid = -1
+	}
+	img := packWords(e.Seq, uint32(e.Event), uint32(pid), uint32(e.Action))
+	return append(img, be64(uint64(e.Time))...)
+}
+
+// hcHmRead implements XM_hm_read(hmLogPtr, count): copies up to count log
+// entries from the health-monitor read cursor into guest memory and
+// returns the number copied.
+func (k *Kernel) hcHmRead(caller *Partition, ptr sparc.Addr, count uint32) RetCode {
+	if count == 0 {
+		return NoAction
+	}
+	avail := uint32(len(k.hm.log) - k.hm.readCursor)
+	if avail == 0 {
+		return NoAction
+	}
+	n := count
+	if n > avail {
+		n = avail
+	}
+	if !k.guestWritable(caller, ptr, n*hmEntrySize) {
+		return InvalidParam
+	}
+	img := make([]byte, 0, n*hmEntrySize)
+	for i := uint32(0); i < n; i++ {
+		img = append(img, serializeHMEntry(k.hm.log[k.hm.readCursor+int(i)])...)
+	}
+	if !k.copyToGuest(caller, ptr, img) {
+		return InvalidParam
+	}
+	k.hm.readCursor += int(n)
+	k.charge(Time(n))
+	return RetCode(n)
+}
+
+// hcHmSeek implements XM_hm_seek(offset, whence): repositions the
+// health-monitor read cursor and returns the new position.
+func (k *Kernel) hcHmSeek(caller *Partition, offset int32, whence uint32) RetCode {
+	var base int
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = k.hm.readCursor
+	case SeekEnd:
+		base = len(k.hm.log)
+	default:
+		return InvalidParam
+	}
+	pos := base + int(offset)
+	if pos < 0 || pos > len(k.hm.log) {
+		return InvalidParam
+	}
+	k.hm.readCursor = pos
+	return RetCode(pos)
+}
+
+// hmStatusSize is the guest-visible size of the HM status record.
+const hmStatusSize = 16
+
+// hcHmStatus implements XM_hm_status(status*).
+func (k *Kernel) hcHmStatus(caller *Partition, ptr sparc.Addr) RetCode {
+	if !k.guestWritable(caller, ptr, hmStatusSize) {
+		return InvalidParam
+	}
+	img := packWords(k.hm.seq, uint32(len(k.hm.log)), k.hm.dropped, uint32(k.hm.readCursor))
+	if !k.copyToGuest(caller, ptr, img) {
+		return InvalidParam
+	}
+	return OK
+}

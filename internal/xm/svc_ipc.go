@@ -1,0 +1,307 @@
+package xm
+
+import "xmrobust/internal/sparc"
+
+// --- Inter-Partition Communication ---------------------------------------
+//
+// Channels are statically configured (XM_CF); partitions attach to them at
+// run time by creating ports. Sampling channels hold the most recent
+// message; queuing channels hold a bounded FIFO. The paper's campaign
+// raised no issues in this category: every parameter is validated.
+
+// channel is the kernel-side state of one configured channel.
+type channel struct {
+	cfg ChannelConfig
+	// sampling state
+	msg       []byte
+	msgValid  bool
+	lastWrite Time
+	// queuing state
+	queue [][]byte
+}
+
+func newChannel(cfg ChannelConfig) *channel { return &channel{cfg: cfg} }
+
+func (c *channel) reset() {
+	c.msg, c.msgValid, c.lastWrite = nil, false, 0
+	c.queue = nil
+}
+
+// port is one partition's attachment to a channel.
+type port struct {
+	id        int
+	owner     int
+	ch        *channel
+	direction uint32
+	open      bool
+}
+
+// maxPortNameLen bounds the NUL-terminated port name the create services
+// read from guest memory.
+const maxPortNameLen = 32
+
+// findChannel resolves a channel by name and type.
+func (k *Kernel) findChannel(name string, typ ChannelType) *channel {
+	for _, ch := range k.channels {
+		if ch.cfg.Name == name && ch.cfg.Type == typ {
+			return ch
+		}
+	}
+	return nil
+}
+
+// lookupPort validates a port descriptor against the caller.
+func (k *Kernel) lookupPort(caller *Partition, id int32) (*port, RetCode) {
+	if id < 0 || int(id) >= len(k.ports) {
+		return nil, InvalidParam
+	}
+	pt := k.ports[int(id)]
+	if !pt.open {
+		return nil, InvalidParam
+	}
+	if pt.owner != caller.ID() {
+		return nil, PermError
+	}
+	return pt, OK
+}
+
+// createPort is the shared implementation of the two create services.
+func (k *Kernel) createPort(caller *Partition, namePtr sparc.Addr, typ ChannelType,
+	maxNoMsgs, maxMsgSize, direction uint32) RetCode {
+	name, ok := k.readGuestString(caller, namePtr, maxPortNameLen)
+	if !ok {
+		return InvalidParam
+	}
+	if maxMsgSize == 0 {
+		return InvalidParam
+	}
+	if direction != SourcePort && direction != DestinationPort {
+		return InvalidParam
+	}
+	ch := k.findChannel(name, typ)
+	if ch == nil {
+		return InvalidConfig
+	}
+	if maxMsgSize != ch.cfg.MaxMsgSize {
+		return InvalidConfig
+	}
+	if typ == QueuingChannel && maxNoMsgs != ch.cfg.MaxNoMsgs {
+		return InvalidConfig
+	}
+	// The configured endpoint must match the requested direction.
+	if direction == SourcePort && ch.cfg.Source != caller.ID() {
+		return PermError
+	}
+	if direction == DestinationPort && ch.cfg.Destination != caller.ID() {
+		return PermError
+	}
+	// Re-creating an already-open port returns the existing descriptor.
+	for _, pt := range k.ports {
+		if pt.open && pt.owner == caller.ID() && pt.ch == ch && pt.direction == direction {
+			return RetCode(pt.id)
+		}
+	}
+	pt := &port{id: len(k.ports), owner: caller.ID(), ch: ch, direction: direction, open: true}
+	k.ports = append(k.ports, pt)
+	return RetCode(pt.id)
+}
+
+// hcCreateSamplingPort implements XM_create_sampling_port(portName,
+// maxMsgSize, direction) and returns the port descriptor on success.
+func (k *Kernel) hcCreateSamplingPort(caller *Partition, namePtr sparc.Addr, maxMsgSize, direction uint32) RetCode {
+	return k.createPort(caller, namePtr, SamplingChannel, 0, maxMsgSize, direction)
+}
+
+// hcCreateQueuingPort implements XM_create_queuing_port(portName,
+// maxNoMsgs, maxMsgSize, direction).
+func (k *Kernel) hcCreateQueuingPort(caller *Partition, namePtr sparc.Addr, maxNoMsgs, maxMsgSize, direction uint32) RetCode {
+	return k.createPort(caller, namePtr, QueuingChannel, maxNoMsgs, maxMsgSize, direction)
+}
+
+// hcWriteSamplingMsg implements XM_write_sampling_message(portId, msgPtr,
+// msgSize).
+func (k *Kernel) hcWriteSamplingMsg(caller *Partition, id int32, msgPtr sparc.Addr, size uint32) RetCode {
+	pt, rc := k.lookupPort(caller, id)
+	if rc != OK {
+		return rc
+	}
+	if pt.ch.cfg.Type != SamplingChannel || pt.direction != SourcePort {
+		return InvalidParam
+	}
+	if size == 0 || size > pt.ch.cfg.MaxMsgSize {
+		return InvalidParam
+	}
+	data, ok := k.copyFromGuest(caller, msgPtr, size)
+	if !ok {
+		return InvalidParam
+	}
+	k.charge(Time(size) / 64) // copy cost
+	pt.ch.msg = data
+	pt.ch.msgValid = true
+	pt.ch.lastWrite = k.machine.Now()
+	return OK
+}
+
+// hcReadSamplingMsg implements XM_read_sampling_message(portId, msgPtr,
+// msgSize): copies up to msgSize bytes of the freshest message and returns
+// the number of bytes read.
+func (k *Kernel) hcReadSamplingMsg(caller *Partition, id int32, msgPtr sparc.Addr, size uint32) RetCode {
+	pt, rc := k.lookupPort(caller, id)
+	if rc != OK {
+		return rc
+	}
+	if pt.ch.cfg.Type != SamplingChannel || pt.direction != DestinationPort {
+		return InvalidParam
+	}
+	if size == 0 || size > pt.ch.cfg.MaxMsgSize {
+		return InvalidParam
+	}
+	if !pt.ch.msgValid {
+		return NoAction
+	}
+	n := uint32(len(pt.ch.msg))
+	if n > size {
+		n = size
+	}
+	if !k.copyToGuest(caller, msgPtr, pt.ch.msg[:n]) {
+		return InvalidParam
+	}
+	k.charge(Time(n) / 64)
+	return RetCode(n)
+}
+
+// hcSendQueuingMsg implements XM_send_queuing_message(portId, msgPtr,
+// msgSize). A full queue returns XM_NOT_AVAILABLE (the service does not
+// block: blocking would let one partition steal another's slot time).
+func (k *Kernel) hcSendQueuingMsg(caller *Partition, id int32, msgPtr sparc.Addr, size uint32) RetCode {
+	pt, rc := k.lookupPort(caller, id)
+	if rc != OK {
+		return rc
+	}
+	if pt.ch.cfg.Type != QueuingChannel || pt.direction != SourcePort {
+		return InvalidParam
+	}
+	if size == 0 || size > pt.ch.cfg.MaxMsgSize {
+		return InvalidParam
+	}
+	data, ok := k.copyFromGuest(caller, msgPtr, size)
+	if !ok {
+		return InvalidParam
+	}
+	if uint32(len(pt.ch.queue)) >= pt.ch.cfg.MaxNoMsgs {
+		return NotAvailable
+	}
+	k.charge(Time(size) / 64)
+	pt.ch.queue = append(pt.ch.queue, data)
+	return OK
+}
+
+// hcReceiveQueuingMsg implements XM_receive_queuing_message(portId, msgPtr,
+// msgSize): pops the oldest message, returning its length, or XM_NO_ACTION
+// when the queue is empty.
+func (k *Kernel) hcReceiveQueuingMsg(caller *Partition, id int32, msgPtr sparc.Addr, size uint32) RetCode {
+	pt, rc := k.lookupPort(caller, id)
+	if rc != OK {
+		return rc
+	}
+	if pt.ch.cfg.Type != QueuingChannel || pt.direction != DestinationPort {
+		return InvalidParam
+	}
+	if size == 0 || size > pt.ch.cfg.MaxMsgSize {
+		return InvalidParam
+	}
+	if len(pt.ch.queue) == 0 {
+		return NoAction
+	}
+	msg := pt.ch.queue[0]
+	if uint32(len(msg)) > size {
+		return InvalidParam // receive buffer too small for the head message
+	}
+	if !k.copyToGuest(caller, msgPtr, msg) {
+		return InvalidParam
+	}
+	pt.ch.queue = pt.ch.queue[1:]
+	k.charge(Time(len(msg)) / 64)
+	return RetCode(len(msg))
+}
+
+// portStatusSize is the guest-visible size of a port status record.
+const portStatusSize = 16
+
+// hcGetPortStatus implements XM_get_port_status(portId, status*).
+func (k *Kernel) hcGetPortStatus(caller *Partition, id int32, ptr sparc.Addr) RetCode {
+	pt, rc := k.lookupPort(caller, id)
+	if rc != OK {
+		return rc
+	}
+	if !k.guestWritable(caller, ptr, portStatusSize) {
+		return InvalidParam
+	}
+	pending := uint32(0)
+	switch pt.ch.cfg.Type {
+	case SamplingChannel:
+		if pt.ch.msgValid {
+			pending = 1
+		}
+	case QueuingChannel:
+		pending = uint32(len(pt.ch.queue))
+	}
+	img := packWords(uint32(pt.ch.cfg.Type), pt.direction, pt.ch.cfg.MaxMsgSize, pending)
+	if !k.copyToGuest(caller, ptr, img) {
+		return InvalidParam
+	}
+	return OK
+}
+
+// hcClosePort implements XM_close_port(portId).
+func (k *Kernel) hcClosePort(caller *Partition, id int32) RetCode {
+	pt, rc := k.lookupPort(caller, id)
+	if rc != OK {
+		return rc
+	}
+	pt.open = false
+	return OK
+}
+
+// hcFlushPort implements XM_flush_port(portId): discards buffered data on
+// the attached channel.
+func (k *Kernel) hcFlushPort(caller *Partition, id int32) RetCode {
+	pt, rc := k.lookupPort(caller, id)
+	if rc != OK {
+		return rc
+	}
+	switch pt.ch.cfg.Type {
+	case SamplingChannel:
+		pt.ch.msg, pt.ch.msgValid = nil, false
+	case QueuingChannel:
+		pt.ch.queue = nil
+	}
+	return OK
+}
+
+// portInfoSize is the guest-visible size of a port info record.
+const portInfoSize = 16
+
+// hcGetPortInfo implements XM_get_port_info(portName, info*): resolves a
+// channel by name and reports its static attributes.
+func (k *Kernel) hcGetPortInfo(caller *Partition, namePtr, infoPtr sparc.Addr) RetCode {
+	name, ok := k.readGuestString(caller, namePtr, maxPortNameLen)
+	if !ok {
+		return InvalidParam
+	}
+	if !k.guestWritable(caller, infoPtr, portInfoSize) {
+		return InvalidParam
+	}
+	for _, ch := range k.channels {
+		if ch.cfg.Name != name {
+			continue
+		}
+		img := packWords(uint32(ch.cfg.Type), ch.cfg.MaxMsgSize, ch.cfg.MaxNoMsgs,
+			uint32(ch.cfg.Source)<<16|uint32(ch.cfg.Destination))
+		if !k.copyToGuest(caller, infoPtr, img) {
+			return InvalidParam
+		}
+		return OK
+	}
+	return InvalidConfig
+}

@@ -1,0 +1,104 @@
+package xm
+
+// --- Interrupt Management ---------------------------------------------------
+//
+// The kernel virtualises the IRQMP lines: each partition owns the hardware
+// lines its configuration grants plus 32 extended (virtual) lines. All
+// services validate masks and ranges — the paper's campaign raised no
+// issues here.
+
+// numHwIrqLines is the number of virtualisable hardware lines (IRQMP 1..15
+// plus line 0 which is invalid, kept for mask arithmetic).
+const numHwIrqLines = 16
+
+// hwIrqMaskAll covers every valid hardware line.
+const hwIrqMaskAll = uint32(1)<<numHwIrqLines - 1
+
+// irqTypeHw/irqTypeExt select the line class for XM_route_irq.
+const (
+	irqTypeHw  uint32 = 0
+	irqTypeExt uint32 = 1
+)
+
+// maxIrqVector is the first invalid trap vector for XM_route_irq.
+const maxIrqVector uint32 = 256
+
+// hcEnableIrqs implements XM_enable_irqs: unmask all lines the partition
+// owns.
+func (k *Kernel) hcEnableIrqs(caller *Partition) RetCode {
+	caller.virqMask = ^uint32(0)
+	return OK
+}
+
+// hcSetIrqMask implements XM_set_irqmask(hwIrqsMask, extIrqsMask): masks
+// (disables) the selected lines. Hardware bits outside the partition's
+// allocation are a permission error; extended lines are always the
+// partition's own.
+func (k *Kernel) hcSetIrqMask(caller *Partition, hwMask, extMask uint32) RetCode {
+	if hwMask&^caller.allowedHwMask() != 0 {
+		return PermError
+	}
+	caller.virqMask &^= extMask
+	return OK
+}
+
+// hcClearIrqMask implements XM_clear_irqmask(hwIrqsMask, extIrqsMask):
+// unmasks (enables) the selected lines.
+func (k *Kernel) hcClearIrqMask(caller *Partition, hwMask, extMask uint32) RetCode {
+	if hwMask&^caller.allowedHwMask() != 0 {
+		return PermError
+	}
+	caller.virqMask |= extMask
+	return OK
+}
+
+// hcSetIrqPend implements XM_set_irqpend(hwIrqMask, extIrqMask): a system
+// service that injects pending interrupts (the FDIR partition uses it to
+// exercise fault paths). Hardware bits must name real IRQMP lines.
+func (k *Kernel) hcSetIrqPend(caller *Partition, hwMask, extMask uint32) RetCode {
+	if !caller.System() {
+		return PermError
+	}
+	if hwMask&^hwIrqMaskAll != 0 || hwMask&1 != 0 {
+		return InvalidParam // line 0 does not exist on IRQMP
+	}
+	for line := 1; line < numHwIrqLines; line++ {
+		if hwMask&(1<<uint(line)) != 0 {
+			k.machine.IRQ().Raise(line)
+		}
+	}
+	for line := uint32(0); line < 32; line++ {
+		if extMask&(1<<line) != 0 {
+			caller.raiseVIRQ(line)
+		}
+	}
+	return OK
+}
+
+// hcRouteIrq implements XM_route_irq(type, irq, vector): binds a line to a
+// guest trap vector.
+func (k *Kernel) hcRouteIrq(caller *Partition, typ, irq, vector uint32) RetCode {
+	switch typ {
+	case irqTypeHw:
+		if irq >= numHwIrqLines || irq == 0 {
+			return InvalidParam
+		}
+		if caller.allowedHwMask()&(1<<irq) == 0 {
+			return PermError
+		}
+	case irqTypeExt:
+		if irq >= 32 {
+			return InvalidParam
+		}
+	default:
+		return InvalidParam
+	}
+	if vector >= maxIrqVector {
+		return InvalidParam
+	}
+	if caller.irqRoutes == nil {
+		caller.irqRoutes = make(map[uint32]uint32)
+	}
+	caller.irqRoutes[typ<<8|irq] = vector
+	return OK
+}

@@ -1,0 +1,54 @@
+package xm
+
+import "xmrobust/internal/sparc"
+
+// --- Memory Management ----------------------------------------------------
+
+// memoryCopyChunk is the granularity the copy loop charges time at.
+const memoryCopyChunk = 256
+
+// hcMemoryCopy implements XM_memory_copy(destAddr, srcAddr, size): a
+// kernel-mediated copy between two ranges the *caller* is allowed to touch
+// (its own areas, including read-only sources and shared regions).
+//
+// Every parameter is validated before a byte moves — the paper's campaign
+// threw 991 datasets at this service and raised no issue, which is the
+// behaviour reproduced here.
+func (k *Kernel) hcMemoryCopy(caller *Partition, dst, src sparc.Addr, size uint32) RetCode {
+	if size == 0 {
+		return NoAction
+	}
+	if tr := caller.space.Check(src, size, sparc.PermRead); tr != nil {
+		return InvalidParam
+	}
+	if tr := caller.space.Check(dst, size, sparc.PermWrite); tr != nil {
+		return InvalidParam
+	}
+	// Overlapping ranges are legal (memmove semantics): Machine.Read
+	// snapshots the source before the write.
+	data, tr := k.machine.Read(src, size)
+	if tr != nil {
+		return InvalidParam
+	}
+	if tr := k.machine.Write(dst, data); tr != nil {
+		return InvalidParam
+	}
+	k.charge(Time(size/memoryCopyChunk) + 1)
+	return OK
+}
+
+// hcUpdatePage32 implements XM_update_page32(pageAddr, value): a
+// system-partition service that patches one word of a page the caller maps
+// (real XtratuM uses it for para-virtualised page-table updates).
+func (k *Kernel) hcUpdatePage32(caller *Partition, addr sparc.Addr, value uint32) RetCode {
+	if uint32(addr)%4 != 0 {
+		return InvalidParam
+	}
+	if tr := caller.space.Check(addr, 4, sparc.PermWrite); tr != nil {
+		return InvalidParam
+	}
+	if tr := k.machine.Write32(addr, value); tr != nil {
+		return InvalidParam
+	}
+	return OK
+}

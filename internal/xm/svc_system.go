@@ -1,0 +1,259 @@
+package xm
+
+import (
+	"fmt"
+
+	"xmrobust/internal/sparc"
+)
+
+// --- System Management ---------------------------------------------------
+
+// hcHaltSystem implements XM_halt_system: stop the hypervisor and all
+// partitions until an external power cycle.
+func (k *Kernel) hcHaltSystem(caller *Partition) RetCode {
+	k.halt(fmt.Sprintf("XM_halt_system from P%d", caller.ID()))
+	return OK // never observed by the caller
+}
+
+// hcResetSystem implements XM_reset_system(mode).
+//
+// Paper issues SYS-1..SYS-3: the legacy kernel derives cold/warm from bit 0
+// of the mode word without validating the rest, so XM_reset_system(2) and
+// (16) cold-reset and (4294967295) warm-resets instead of returning
+// XM_INVALID_PARAM. The patched kernel ("this service has now been revised
+// by the XM development team") accepts only XM_COLD_RESET and
+// XM_WARM_RESET.
+func (k *Kernel) hcResetSystem(caller *Partition, mode uint32) RetCode {
+	if k.faults.ResetSystemModeCheck && mode != ColdReset && mode != WarmReset {
+		return InvalidParam
+	}
+	cold := mode&1 == 0
+	k.requestSystemReset(cold)
+	return OK // never observed: the system is resetting
+}
+
+// systemStatusSize is the guest-visible size of the system status record.
+const systemStatusSize = 32
+
+// hcGetSystemStatus implements XM_get_system_status(status*): serialises
+// the hypervisor status record into guest memory.
+func (k *Kernel) hcGetSystemStatus(caller *Partition, ptr sparc.Addr) RetCode {
+	if !k.guestWritable(caller, ptr, systemStatusSize) {
+		return InvalidParam
+	}
+	img := packWords(uint32(k.state), k.coldResets, k.warmResets, uint32(k.curPlan))
+	img = append(img, be64(k.mafCount)...)
+	img = append(img, packWords(k.hm.seq, uint32(len(k.parts)))...)
+	if !k.copyToGuest(caller, ptr, img) {
+		return InvalidParam
+	}
+	return OK
+}
+
+// --- Partition Management ------------------------------------------------
+
+// targetPartition resolves and validates a partitionId argument.
+func (k *Kernel) targetPartition(id int32) (*Partition, RetCode) {
+	if id < 0 || int(id) >= len(k.parts) {
+		return nil, InvalidParam
+	}
+	return k.parts[id], OK
+}
+
+// hcHaltPartition implements XM_halt_partition(partitionId).
+func (k *Kernel) hcHaltPartition(caller *Partition, id int32) RetCode {
+	p, rc := k.targetPartition(id)
+	if rc != OK {
+		return rc
+	}
+	if p.state == PStateHalted {
+		return NoAction
+	}
+	p.halt(fmt.Sprintf("XM_halt_partition from P%d", caller.ID()))
+	return OK
+}
+
+// hcResetPartition implements XM_reset_partition(partitionId, resetMode,
+// status). Unlike XM_reset_system, the legacy kernel does validate the
+// partition reset mode — the paper found no Partition Management issues.
+func (k *Kernel) hcResetPartition(caller *Partition, id int32, mode, status uint32) RetCode {
+	p, rc := k.targetPartition(id)
+	if rc != OK {
+		return rc
+	}
+	if mode != ColdReset && mode != WarmReset {
+		return InvalidParam
+	}
+	_ = status // boot status word, delivered to the partition; any value is legal
+	p.reset(mode == ColdReset)
+	return OK
+}
+
+// hcSuspendPartition implements XM_suspend_partition(partitionId).
+func (k *Kernel) hcSuspendPartition(caller *Partition, id int32) RetCode {
+	p, rc := k.targetPartition(id)
+	if rc != OK {
+		return rc
+	}
+	if p.state != PStateNormal && p.state != PStateBoot {
+		return NoAction
+	}
+	p.suspend(fmt.Sprintf("XM_suspend_partition from P%d", caller.ID()))
+	return OK
+}
+
+// hcResumePartition implements XM_resume_partition(partitionId).
+func (k *Kernel) hcResumePartition(caller *Partition, id int32) RetCode {
+	p, rc := k.targetPartition(id)
+	if rc != OK {
+		return rc
+	}
+	if p.state != PStateSuspended {
+		return NoAction
+	}
+	p.state = PStateNormal
+	p.haltDetail = ""
+	return OK
+}
+
+// hcShutdownPartition implements XM_shutdown_partition(partitionId): a
+// graceful stop (the partition receives no further slots).
+func (k *Kernel) hcShutdownPartition(caller *Partition, id int32) RetCode {
+	p, rc := k.targetPartition(id)
+	if rc != OK {
+		return rc
+	}
+	if p.state == PStateShutdown || p.state == PStateHalted {
+		return NoAction
+	}
+	p.state = PStateShutdown
+	p.haltDetail = fmt.Sprintf("XM_shutdown_partition from P%d", caller.ID())
+	return OK
+}
+
+// partitionStatusSize is the guest-visible size of a partition status
+// record.
+const partitionStatusSize = 32
+
+// hcGetPartitionStatus implements XM_get_partition_status(partitionId,
+// status*).
+func (k *Kernel) hcGetPartitionStatus(caller *Partition, id int32, ptr sparc.Addr) RetCode {
+	p, rc := k.targetPartition(id)
+	if rc != OK {
+		return rc
+	}
+	if !k.guestWritable(caller, ptr, partitionStatusSize) {
+		return InvalidParam
+	}
+	img := packWords(uint32(p.ID()), uint32(p.state), p.bootCount, p.pendingVIRQs)
+	img = append(img, be64(uint64(p.execClock))...)
+	img = append(img, packWords(boolWord(p.System()), 0)...)
+	if !k.copyToGuest(caller, ptr, img) {
+		return InvalidParam
+	}
+	return OK
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// hcIdleSelf implements XM_idle_self: yield the remainder of the slot.
+func (k *Kernel) hcIdleSelf(caller *Partition) RetCode {
+	if sc := k.cur; sc != nil && sc.p == caller {
+		sc.used = sc.budget // consume the rest of the slot idling
+	}
+	panic(guestStop{reason: "XM_idle_self"})
+}
+
+// hcSuspendSelf implements XM_suspend_self.
+func (k *Kernel) hcSuspendSelf(caller *Partition) RetCode {
+	caller.suspend("XM_suspend_self")
+	panic(guestStop{reason: "XM_suspend_self"})
+}
+
+// partitionMmapSize is the guest-visible size of the memory-map record:
+// a count word plus up to four (base, size) pairs.
+const partitionMmapSize = 4 + 4*8
+
+// hcGetPartitionMmap implements XM_get_partition_mmap(mmap*): writes the
+// caller's memory areas (up to four) so the guest runtime can size its
+// heap.
+func (k *Kernel) hcGetPartitionMmap(caller *Partition, ptr sparc.Addr) RetCode {
+	if !k.guestWritable(caller, ptr, partitionMmapSize) {
+		return InvalidParam
+	}
+	areas := caller.cfg.MemoryAreas
+	n := len(areas)
+	if n > 4 {
+		n = 4
+	}
+	img := packWords(uint32(n))
+	for i := 0; i < 4; i++ {
+		if i < n {
+			img = append(img, packWords(uint32(areas[i].Base), areas[i].Size)...)
+		} else {
+			img = append(img, packWords(0, 0)...)
+		}
+	}
+	if !k.copyToGuest(caller, ptr, img) {
+		return InvalidParam
+	}
+	return OK
+}
+
+// Partition operating modes for XM_set_partition_opmode.
+const (
+	opModeNominal     = 0
+	opModeMaintenance = 1
+)
+
+// hcSetPartitionOpMode implements XM_set_partition_opmode(opMode).
+func (k *Kernel) hcSetPartitionOpMode(caller *Partition, mode uint32) RetCode {
+	if mode != opModeNominal && mode != opModeMaintenance {
+		return InvalidParam
+	}
+	return OK
+}
+
+// --- Plan Management ------------------------------------------------------
+
+// hcSwitchSchedPlan implements XM_switch_sched_plan(planId, prevPlanId*).
+// The switch takes effect at the next major-frame boundary, as the XM
+// reference manual specifies.
+func (k *Kernel) hcSwitchSchedPlan(caller *Partition, planID uint32, prevPtr sparc.Addr) RetCode {
+	if int(planID) >= len(k.cfg.Plans) {
+		return InvalidParam
+	}
+	if !k.guestWritable(caller, prevPtr, 4) {
+		return InvalidParam
+	}
+	if !k.copyToGuest(caller, prevPtr, be32(uint32(k.curPlan))) {
+		return InvalidParam
+	}
+	if int(planID) == k.curPlan {
+		k.nextPlan = -1
+		return NoAction
+	}
+	k.nextPlan = int(planID)
+	return OK
+}
+
+// planStatusSize is the guest-visible size of the plan status record.
+const planStatusSize = 16
+
+// hcGetPlanStatus implements XM_get_plan_status(status*).
+func (k *Kernel) hcGetPlanStatus(caller *Partition, ptr sparc.Addr) RetCode {
+	if !k.guestWritable(caller, ptr, planStatusSize) {
+		return InvalidParam
+	}
+	img := packWords(uint32(k.curPlan), uint32(int32(k.nextPlan)))
+	img = append(img, be64(k.mafCount)...)
+	if !k.copyToGuest(caller, ptr, img) {
+		return InvalidParam
+	}
+	return OK
+}

@@ -1,0 +1,79 @@
+package xm
+
+import "xmrobust/internal/sparc"
+
+// --- Time Management ------------------------------------------------------
+
+// hcGetTime implements XM_get_time(clockId, time*): writes the 64-bit
+// microsecond value of the selected clock into guest memory.
+func (k *Kernel) hcGetTime(caller *Partition, clockID uint32, ptr sparc.Addr) RetCode {
+	var t Time
+	switch clockID {
+	case HwClock:
+		t = k.machine.Now()
+	case ExecClock:
+		t = caller.execClock
+	default:
+		return InvalidParam
+	}
+	if !k.guestWritable(caller, ptr, 8) {
+		return InvalidParam
+	}
+	if !k.copyToGuest(caller, ptr, be64(uint64(t))) {
+		return InvalidParam
+	}
+	return OK
+}
+
+// hcSetTimer implements XM_set_timer(clockId, absTime, interval): arms the
+// caller's virtual timer on the selected clock, one-shot for interval==0,
+// periodic otherwise.
+//
+// Paper issues TMR-1..TMR-3 live here:
+//
+//   - TMR-1 — the legacy kernel has no minimum interval. With a 1µs
+//     period on the hardware clock "the next execution time is always
+//     expired by the time it is checked and the timer handler is invoked
+//     again", a recursion that overflows the kernel stack and halts XM.
+//     The patched kernel rejects intervals below MinTimerInterval (50µs).
+//
+//   - TMR-2 — the same storm on the execution clock races the context
+//     switch; the paper observed the resulting timer trap crashing the
+//     TSIM simulator itself. The machine models it as a simulator crash.
+//
+//   - TMR-3 — the legacy kernel does not detect negative intervals and
+//     "incorrectly returned a successful operation code". The patched
+//     kernel returns XM_INVALID_PARAM.
+func (k *Kernel) hcSetTimer(caller *Partition, clockID uint32, absTime, interval int64) RetCode {
+	if clockID != HwClock && clockID != ExecClock {
+		return InvalidParam
+	}
+	if absTime == 0 {
+		// Disarm, per the reference manual.
+		caller.timers[clockID].armed = false
+		if clockID == HwClock {
+			k.reprogramHwTimer()
+		}
+		return OK
+	}
+	if k.faults.TimerNegativeCheck && (absTime < 0 || interval < 0) {
+		return InvalidParam
+	}
+	if k.faults.TimerMinInterval && interval > 0 && Time(interval) < MinTimerInterval {
+		return InvalidParam
+	}
+	// Legacy path: a negative interval arms a de-facto one-shot (the
+	// periodic re-arm computation wraps into the past and the timer is
+	// dropped after its first expiry) — and the call reports success.
+	iv := Time(interval)
+	if interval < 0 {
+		iv = 0
+	}
+	switch clockID {
+	case HwClock:
+		k.armHwTimer(caller, Time(absTime), iv)
+	case ExecClock:
+		caller.timers[1] = vTimer{armed: true, expiry: Time(absTime), interval: iv}
+	}
+	return OK
+}

@@ -1,0 +1,148 @@
+package xm
+
+import "xmrobust/internal/sparc"
+
+// --- Trace Management -------------------------------------------------------
+//
+// Each partition owns a bounded trace stream. Normal partitions may only
+// touch their own stream; system partitions may read any (that is how the
+// FDIR partition of the testbed collects post-mortem data).
+
+// traceEventSize is the guest-visible size of one trace event: a 16-byte
+// opaque payload chosen by the partition.
+const traceEventSize = 16
+
+// traceCap bounds each partition's trace stream; older events are dropped
+// and counted, like the real kernel's trace device.
+const traceCap = 32
+
+// traceEvent is one stored trace record.
+type traceEvent struct {
+	at      Time
+	payload [traceEventSize]byte
+}
+
+// traceStream is the per-partition trace state.
+type traceStream struct {
+	events  []traceEvent
+	cursor  int
+	dropped uint32
+}
+
+func (s *traceStream) push(ev traceEvent) {
+	if len(s.events) >= traceCap {
+		copy(s.events, s.events[1:])
+		s.events[len(s.events)-1] = ev
+		s.dropped++
+		if s.cursor > 0 {
+			s.cursor--
+		}
+		return
+	}
+	s.events = append(s.events, ev)
+}
+
+// traceTarget validates a trace stream id against the caller's privilege.
+func (k *Kernel) traceTarget(caller *Partition, id int32) (*Partition, RetCode) {
+	if id < 0 || int(id) >= len(k.parts) {
+		return nil, InvalidParam
+	}
+	if !caller.System() && int(id) != caller.ID() {
+		return nil, PermError
+	}
+	return k.parts[id], OK
+}
+
+// hcTraceEvent implements XM_trace_event(bitmask, event*): stores one
+// 16-byte event in the caller's stream if the bitmask selects an enabled
+// trace class (bitmask 0 selects nothing and is a no-op).
+func (k *Kernel) hcTraceEvent(caller *Partition, bitmask uint32, ptr sparc.Addr) RetCode {
+	data, ok := k.copyFromGuest(caller, ptr, traceEventSize)
+	if !ok {
+		return InvalidParam
+	}
+	if bitmask == 0 {
+		return NoAction
+	}
+	var ev traceEvent
+	ev.at = k.machine.Now()
+	copy(ev.payload[:], data)
+	caller.trace.push(ev)
+	return OK
+}
+
+// hcTraceRead implements XM_trace_read(id, event*): copies the event at
+// stream id's cursor and advances it; XM_NO_ACTION at end of stream.
+func (k *Kernel) hcTraceRead(caller *Partition, id int32, ptr sparc.Addr) RetCode {
+	target, rc := k.traceTarget(caller, id)
+	if rc != OK {
+		return rc
+	}
+	if !k.guestWritable(caller, ptr, traceEventSize) {
+		return InvalidParam
+	}
+	s := &target.trace
+	if s.cursor >= len(s.events) {
+		return NoAction
+	}
+	if !k.copyToGuest(caller, ptr, s.events[s.cursor].payload[:]) {
+		return InvalidParam
+	}
+	s.cursor++
+	return OK
+}
+
+// hcTraceSeek implements XM_trace_seek(id, offset, whence).
+func (k *Kernel) hcTraceSeek(caller *Partition, id, offset int32, whence uint32) RetCode {
+	target, rc := k.traceTarget(caller, id)
+	if rc != OK {
+		return rc
+	}
+	s := &target.trace
+	var base int
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = s.cursor
+	case SeekEnd:
+		base = len(s.events)
+	default:
+		return InvalidParam
+	}
+	pos := base + int(offset)
+	if pos < 0 || pos > len(s.events) {
+		return InvalidParam
+	}
+	s.cursor = pos
+	return RetCode(pos)
+}
+
+// traceStatusSize is the guest-visible size of the trace status record.
+const traceStatusSize = 16
+
+// hcTraceStatus implements XM_trace_status(id, status*).
+func (k *Kernel) hcTraceStatus(caller *Partition, id int32, ptr sparc.Addr) RetCode {
+	target, rc := k.traceTarget(caller, id)
+	if rc != OK {
+		return rc
+	}
+	if !k.guestWritable(caller, ptr, traceStatusSize) {
+		return InvalidParam
+	}
+	s := &target.trace
+	img := packWords(uint32(len(s.events)), uint32(s.cursor), s.dropped, traceCap)
+	if !k.copyToGuest(caller, ptr, img) {
+		return InvalidParam
+	}
+	return OK
+}
+
+// hcTraceOpen implements XM_trace_open(id): validates the stream and
+// returns its descriptor (the id itself).
+func (k *Kernel) hcTraceOpen(caller *Partition, id int32) RetCode {
+	if _, rc := k.traceTarget(caller, id); rc != OK {
+		return rc
+	}
+	return RetCode(id)
+}

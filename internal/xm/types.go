@@ -1,0 +1,172 @@
+// Package xm implements an XtratuM-like separation kernel for the simulated
+// LEON3 machine in package sparc.
+//
+// The kernel provides the services the paper's Table III enumerates — 61
+// hypercalls in 11 categories — together with the mechanisms of Section II:
+// cyclic-schedule temporal partitioning, MMU-backed spatial partitioning,
+// sampling/queuing inter-partition communication, and a health monitor that
+// detects and handles irregular events.
+//
+// The robustness vulnerabilities the paper uncovered in XtratuM 3.x for
+// LEON3 are faithfully seeded behind a FaultSet: with LegacyFaults (the
+// default used for the reproduction campaign) the kernel exhibits the nine
+// issues of paper §IV.C; with PatchedFaults it behaves as the revised kernel
+// the XtratuM team shipped after the campaign.
+package xm
+
+import "xmrobust/internal/sparc"
+
+// Time is virtual time in microseconds (an alias of the machine clock).
+type Time = sparc.Time
+
+// RetCode is the signed 32-bit hypercall return code (xm_s32_t). Values
+// >= 0 are success (and, for the port services, carry a descriptor id);
+// negative values are the error codes of the XM reference manual.
+type RetCode int32
+
+// Hypercall return codes.
+const (
+	OK               RetCode = 0
+	NoAction         RetCode = -1
+	UnknownHypercall RetCode = -2
+	InvalidParam     RetCode = -3
+	PermError        RetCode = -4
+	InvalidConfig    RetCode = -5
+	InvalidMode      RetCode = -6
+	NotAvailable     RetCode = -7
+	OpNotAllowed     RetCode = -8
+)
+
+var retNames = map[RetCode]string{
+	OK:               "XM_OK",
+	NoAction:         "XM_NO_ACTION",
+	UnknownHypercall: "XM_UNKNOWN_HYPERCALL",
+	InvalidParam:     "XM_INVALID_PARAM",
+	PermError:        "XM_PERM_ERROR",
+	InvalidConfig:    "XM_INVALID_CONFIG",
+	InvalidMode:      "XM_INVALID_MODE",
+	NotAvailable:     "XM_NOT_AVAILABLE",
+	OpNotAllowed:     "XM_OP_NOT_ALLOWED",
+}
+
+// String renders the symbolic name of the return code; non-negative codes
+// render as the descriptor/value they carry.
+func (r RetCode) String() string {
+	if n, ok := retNames[r]; ok {
+		return n
+	}
+	if r > 0 {
+		return "XM_OK+" + itoa(int64(r))
+	}
+	return "XM_ERR(" + itoa(int64(r)) + ")"
+}
+
+// itoa is a tiny strconv.FormatInt(…, 10) to keep fmt out of the hot path.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Reset modes for XM_reset_system and XM_reset_partition.
+const (
+	ColdReset uint32 = 0 // XM_COLD_RESET
+	WarmReset uint32 = 1 // XM_WARM_RESET
+)
+
+// Clock identifiers for XM_get_time / XM_set_timer.
+const (
+	HwClock   uint32 = 0 // XM_HW_CLOCK: wall (machine) time
+	ExecClock uint32 = 1 // XM_EXEC_CLOCK: partition execution time
+)
+
+// MinTimerInterval is the minimum timer interval the patched kernel
+// accepts, per the fix the XM development team applied after the paper's
+// TMR-1 finding ("XM_set_timer will now return XM_INVALID_PARAM for
+// interval values under 50µs").
+const MinTimerInterval Time = 50
+
+// timerHandlerLatency is the virtual time the kernel's timer trap handler
+// needs to dispatch one expiry. A periodic timer whose interval is below
+// this latency has its next expiry already in the past when the handler
+// re-arms it, so the handler re-enters before unwinding — the recursion
+// behind the paper's TMR-1/TMR-2 findings.
+const timerHandlerLatency Time = 4
+
+// Port directions for the IPC services.
+const (
+	SourcePort      uint32 = 0 // XM_SOURCE_PORT
+	DestinationPort uint32 = 1 // XM_DESTINATION_PORT
+)
+
+// Entity classes for XM_get_gid_by_name.
+const (
+	EntityPartition uint32 = 0
+	EntityChannel   uint32 = 1
+)
+
+// Seek whence values for XM_hm_seek and XM_trace_seek.
+const (
+	SeekSet uint32 = 0
+	SeekCur uint32 = 1
+	SeekEnd uint32 = 2
+)
+
+// MulticallEntrySize is the size in bytes of one encoded hypercall record
+// in an XM_multicall batch buffer: nr(u32), pad(u32), arg0(u32), arg1(u32).
+const MulticallEntrySize = 16
+
+// multicallEntryCost is the virtual time the kernel spends decoding and
+// dispatching one batch entry (guest-memory fetch, unpack, dispatch table
+// walk). It is what turns an unbounded batch into the temporal-isolation
+// break of paper MSC-3: a batch spanning half the test partition's data
+// area already needs more kernel time than one scheduling slot offers.
+const multicallEntryCost Time = 30
+
+// HypercallCost is the base virtual-time cost charged to the calling
+// partition's slot for any hypercall.
+const HypercallCost Time = 2
+
+// DataType describes one row of the paper's Table I: an XM interface data
+// type, its bit width and its ANSI C declaration.
+type DataType struct {
+	Name     string // XM basic type, e.g. "xm_u32_t"
+	Extended string // XM extended aliases, "-" if none
+	Bits     int
+	C        string // ANSI C type
+	Signed   bool
+	Pointer  bool
+}
+
+// DataTypes returns the paper's Table I — the complete XM interface type
+// inventory — plus the void* pointer pseudo-type used by the API spec.
+// The slice is freshly allocated; callers may mutate it.
+func DataTypes() []DataType {
+	return []DataType{
+		{Name: "xm_u8_t", Extended: "-", Bits: 8, C: "unsigned char"},
+		{Name: "xm_s8_t", Extended: "-", Bits: 8, C: "signed char", Signed: true},
+		{Name: "xm_u16_t", Extended: "-", Bits: 16, C: "unsigned short"},
+		{Name: "xm_s16_t", Extended: "-", Bits: 16, C: "signed short", Signed: true},
+		{Name: "xm_u32_t", Extended: "xmWord_t xmAddress_t xmIoAddress_t xmSize_t xmId_t", Bits: 32, C: "unsigned int"},
+		{Name: "xm_s32_t", Extended: "xmSSize_t", Bits: 32, C: "signed int", Signed: true},
+		{Name: "xm_u64_t", Extended: "-", Bits: 64, C: "unsigned long long"},
+		{Name: "xm_s64_t", Extended: "xmTime_t", Bits: 64, C: "signed long long", Signed: true},
+		{Name: "void*", Extended: "-", Bits: 32, C: "void *", Pointer: true},
+	}
+}

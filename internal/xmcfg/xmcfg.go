@@ -1,0 +1,437 @@
+// Package xmcfg reads and writes the system-description XML that plays the
+// role of XtratuM's XM_CF configuration file: partitions with their memory
+// areas and hardware resources, cyclic scheduling plans, IPC channels and
+// the health-monitor action table.
+//
+// The XML vocabulary follows the XM_CF schema of the XtratuM user manual
+// closely enough that a reader familiar with the real file format can read
+// and edit these configurations. Sizes accept B/KB/MB suffixes and times
+// accept us/ms/s suffixes, as in the original schema.
+package xmcfg
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/xm"
+)
+
+// SystemDescription is the XML document root.
+type SystemDescription struct {
+	XMLName       xml.Name        `xml:"SystemDescription"`
+	Name          string          `xml:"name,attr"`
+	Version       string          `xml:"version,attr,omitempty"`
+	Partitions    []Partition     `xml:"PartitionTable>Partition"`
+	Plans         []Plan          `xml:"CyclicPlanTable>Plan"`
+	Sampling      []SamplingChan  `xml:"Channels>SamplingChannel"`
+	Queuing       []QueuingChan   `xml:"Channels>QueuingChannel"`
+	HealthMonitor []HMEventAction `xml:"HealthMonitor>Event"`
+}
+
+// Partition is one <Partition> element.
+type Partition struct {
+	ID    int         `xml:"id,attr"`
+	Name  string      `xml:"name,attr"`
+	Flags string      `xml:"flags,attr,omitempty"` // "system" marks a system partition
+	Areas []Area      `xml:"PhysicalMemoryAreas>Area"`
+	Hw    HwResources `xml:"HwResources"`
+}
+
+// HwResources lists the hardware assets granted to a partition.
+type HwResources struct {
+	// Interrupts is a comma-separated list of IRQMP lines, e.g. "3,4".
+	Interrupts string `xml:"interrupts,attr,omitempty"`
+	// IoPorts grants access to the simulated I/O register bank.
+	IoPorts bool `xml:"ioports,attr,omitempty"`
+}
+
+// Area is one physical memory area.
+type Area struct {
+	Name  string `xml:"name,attr,omitempty"`
+	Start string `xml:"start,attr"` // hex address, e.g. "0x40100000"
+	Size  string `xml:"size,attr"`  // e.g. "64KB"
+	Flags string `xml:"flags,attr"` // subset of "rwx"
+}
+
+// Plan is one cyclic scheduling plan.
+type Plan struct {
+	ID         int    `xml:"id,attr"`
+	MajorFrame string `xml:"majorFrame,attr"` // e.g. "250ms"
+	Slots      []Slot `xml:"Slot"`
+}
+
+// Slot is one execution window.
+type Slot struct {
+	ID          int    `xml:"id,attr"`
+	PartitionID int    `xml:"partitionId,attr"`
+	Start       string `xml:"start,attr"`    // e.g. "0ms"
+	Duration    string `xml:"duration,attr"` // e.g. "50ms"
+}
+
+// SamplingChan is one <SamplingChannel>.
+type SamplingChan struct {
+	Name       string  `xml:"name,attr"`
+	MaxMsgSize string  `xml:"maxMessageLength,attr"`
+	Source     ChanEnd `xml:"Source"`
+	Dest       ChanEnd `xml:"Destination"`
+}
+
+// QueuingChan is one <QueuingChannel>.
+type QueuingChan struct {
+	Name       string  `xml:"name,attr"`
+	MaxMsgSize string  `xml:"maxMessageLength,attr"`
+	MaxNoMsgs  uint32  `xml:"maxNoMessages,attr"`
+	Source     ChanEnd `xml:"Source"`
+	Dest       ChanEnd `xml:"Destination"`
+}
+
+// ChanEnd names a channel endpoint.
+type ChanEnd struct {
+	PartitionID int `xml:"partitionId,attr"`
+}
+
+// HMEventAction configures one health-monitor table row.
+type HMEventAction struct {
+	Name   string `xml:"name,attr"`   // e.g. "XM_HM_EV_SCHED_OVERRUN"
+	Action string `xml:"action,attr"` // e.g. "XM_HM_AC_SUSPEND"
+}
+
+// ParseSize parses "4096", "64KB", "16MB", "1B".
+func ParseSize(s string) (uint32, error) {
+	t := strings.TrimSpace(s)
+	mult := uint64(1)
+	upper := strings.ToUpper(t)
+	switch {
+	case strings.HasSuffix(upper, "MB"):
+		mult, t = 1<<20, t[:len(t)-2]
+	case strings.HasSuffix(upper, "KB"):
+		mult, t = 1<<10, t[:len(t)-2]
+	case strings.HasSuffix(upper, "B"):
+		t = t[:len(t)-1]
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(t), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("xmcfg: bad size %q: %w", s, err)
+	}
+	v *= mult
+	if v > 1<<32-1 {
+		return 0, fmt.Errorf("xmcfg: size %q exceeds 32 bits", s)
+	}
+	return uint32(v), nil
+}
+
+// ParseTime parses "250ms", "50us", "1s" (and bare microseconds).
+func ParseTime(s string) (xm.Time, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "us"):
+		t = t[:len(t)-2]
+	case strings.HasSuffix(t, "ms"):
+		mult, t = 1000, t[:len(t)-2]
+	case strings.HasSuffix(t, "s"):
+		mult, t = 1000000, t[:len(t)-1]
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("xmcfg: bad time %q: %w", s, err)
+	}
+	return xm.Time(v * mult), nil
+}
+
+// ParseAddr parses a hex or decimal address attribute.
+func ParseAddr(s string) (sparc.Addr, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("xmcfg: bad address %q: %w", s, err)
+	}
+	return sparc.Addr(v), nil
+}
+
+// ParsePerm parses a subset of "rwx".
+func ParsePerm(s string) (sparc.Perm, error) {
+	var p sparc.Perm
+	for _, c := range strings.TrimSpace(s) {
+		switch c {
+		case 'r':
+			p |= sparc.PermRead
+		case 'w':
+			p |= sparc.PermWrite
+		case 'x':
+			p |= sparc.PermExec
+		default:
+			return 0, fmt.Errorf("xmcfg: bad permission flag %q in %q", c, s)
+		}
+	}
+	if p == 0 {
+		return 0, fmt.Errorf("xmcfg: empty permission set %q", s)
+	}
+	return p, nil
+}
+
+// hmEventByName maps XM_HM_EV_* names to events.
+var hmEventByName = map[string]xm.HMEvent{
+	"XM_HM_EV_MEM_PROTECTION":  xm.HMEvMemProtection,
+	"XM_HM_EV_SCHED_OVERRUN":   xm.HMEvSchedOverrun,
+	"XM_HM_EV_PARTITION_ERROR": xm.HMEvPartitionError,
+	"XM_HM_EV_FATAL_ERROR":     xm.HMEvFatalError,
+	"XM_HM_EV_INTERNAL_ERROR":  xm.HMEvInternalError,
+	"XM_HM_EV_WATCHDOG":        xm.HMEvWatchdog,
+}
+
+// hmActionByName maps XM_HM_AC_* names to actions.
+var hmActionByName = map[string]xm.HMAction{
+	"XM_HM_AC_IGNORE":                xm.HMActIgnore,
+	"XM_HM_AC_LOG":                   xm.HMActLog,
+	"XM_HM_AC_SUSPEND":               xm.HMActSuspendPartition,
+	"XM_HM_AC_HALT":                  xm.HMActHaltPartition,
+	"XM_HM_AC_PARTITION_COLD_RESET":  xm.HMActColdResetPartition,
+	"XM_HM_AC_PARTITION_WARM_RESET":  xm.HMActWarmResetPartition,
+	"XM_HM_AC_HYPERVISOR_HALT":       xm.HMActHaltHypervisor,
+	"XM_HM_AC_HYPERVISOR_COLD_RESET": xm.HMActColdResetHypervisor,
+	"XM_HM_AC_HYPERVISOR_WARM_RESET": xm.HMActWarmResetHypervisor,
+	"XM_HM_AC_PROPAGATE":             xm.HMActPropagate,
+}
+
+// Parse unmarshals a system-description XML document and converts it into
+// a validated kernel configuration.
+func Parse(data []byte) (xm.Config, error) {
+	var doc SystemDescription
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return xm.Config{}, fmt.Errorf("xmcfg: %w", err)
+	}
+	return doc.Config()
+}
+
+// Config converts the XML document into a validated xm.Config.
+func (d *SystemDescription) Config() (xm.Config, error) {
+	cfg := xm.Config{Name: d.Name}
+	for _, p := range d.Partitions {
+		pc := xm.PartitionConfig{
+			ID: p.ID, Name: p.Name,
+			System:  strings.Contains(p.Flags, "system"),
+			IOPorts: p.Hw.IoPorts,
+		}
+		for _, a := range p.Areas {
+			base, err := ParseAddr(a.Start)
+			if err != nil {
+				return cfg, err
+			}
+			size, err := ParseSize(a.Size)
+			if err != nil {
+				return cfg, err
+			}
+			perm, err := ParsePerm(a.Flags)
+			if err != nil {
+				return cfg, err
+			}
+			name := a.Name
+			if name == "" {
+				name = fmt.Sprintf("area%d", len(pc.MemoryAreas))
+			}
+			pc.MemoryAreas = append(pc.MemoryAreas, sparc.Region{
+				Name: name, Base: base, Size: size, Perm: perm,
+			})
+		}
+		if strings.TrimSpace(p.Hw.Interrupts) != "" {
+			for _, f := range strings.Split(p.Hw.Interrupts, ",") {
+				line, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return cfg, fmt.Errorf("xmcfg: partition %q: bad interrupt line %q", p.Name, f)
+				}
+				pc.HwIrqLines = append(pc.HwIrqLines, line)
+			}
+		}
+		cfg.Partitions = append(cfg.Partitions, pc)
+	}
+	for _, pl := range d.Plans {
+		maf, err := ParseTime(pl.MajorFrame)
+		if err != nil {
+			return cfg, err
+		}
+		plan := xm.PlanConfig{ID: pl.ID, MajorFrame: maf}
+		for _, sl := range pl.Slots {
+			start, err := ParseTime(sl.Start)
+			if err != nil {
+				return cfg, err
+			}
+			dur, err := ParseTime(sl.Duration)
+			if err != nil {
+				return cfg, err
+			}
+			plan.Slots = append(plan.Slots, xm.SlotConfig{
+				PartitionID: sl.PartitionID, Start: start, Duration: dur,
+			})
+		}
+		cfg.Plans = append(cfg.Plans, plan)
+	}
+	for _, ch := range d.Sampling {
+		size, err := ParseSize(ch.MaxMsgSize)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Channels = append(cfg.Channels, xm.ChannelConfig{
+			Name: ch.Name, Type: xm.SamplingChannel, MaxMsgSize: size,
+			Source: ch.Source.PartitionID, Destination: ch.Dest.PartitionID,
+		})
+	}
+	for _, ch := range d.Queuing {
+		size, err := ParseSize(ch.MaxMsgSize)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Channels = append(cfg.Channels, xm.ChannelConfig{
+			Name: ch.Name, Type: xm.QueuingChannel, MaxMsgSize: size,
+			MaxNoMsgs: ch.MaxNoMsgs,
+			Source:    ch.Source.PartitionID, Destination: ch.Dest.PartitionID,
+		})
+	}
+	if len(d.HealthMonitor) > 0 {
+		cfg.HMActions = make(map[xm.HMEvent]xm.HMAction, len(d.HealthMonitor))
+		for _, ea := range d.HealthMonitor {
+			ev, ok := hmEventByName[ea.Name]
+			if !ok {
+				return cfg, fmt.Errorf("xmcfg: unknown HM event %q", ea.Name)
+			}
+			ac, ok := hmActionByName[ea.Action]
+			if !ok {
+				return cfg, fmt.Errorf("xmcfg: unknown HM action %q", ea.Action)
+			}
+			cfg.HMActions[ev] = ac
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// Document converts a kernel configuration back into its XML document
+// form, the inverse of Config.
+func Document(cfg xm.Config) SystemDescription {
+	doc := SystemDescription{Name: cfg.Name, Version: "1.0"}
+	for _, p := range cfg.Partitions {
+		px := Partition{ID: p.ID, Name: p.Name, Hw: HwResources{IoPorts: p.IOPorts}}
+		if p.System {
+			px.Flags = "system"
+		}
+		for _, a := range p.MemoryAreas {
+			px.Areas = append(px.Areas, Area{
+				Name:  a.Name,
+				Start: fmt.Sprintf("0x%08X", uint32(a.Base)),
+				Size:  formatSize(a.Size),
+				Flags: permString(a.Perm),
+			})
+		}
+		if len(p.HwIrqLines) > 0 {
+			var parts []string
+			for _, l := range p.HwIrqLines {
+				parts = append(parts, strconv.Itoa(l))
+			}
+			px.Hw.Interrupts = strings.Join(parts, ",")
+		}
+		doc.Partitions = append(doc.Partitions, px)
+	}
+	for _, pl := range cfg.Plans {
+		plx := Plan{ID: pl.ID, MajorFrame: formatTime(pl.MajorFrame)}
+		for i, sl := range pl.Slots {
+			plx.Slots = append(plx.Slots, Slot{
+				ID: i, PartitionID: sl.PartitionID,
+				Start: formatTime(sl.Start), Duration: formatTime(sl.Duration),
+			})
+		}
+		doc.Plans = append(doc.Plans, plx)
+	}
+	for _, ch := range cfg.Channels {
+		switch ch.Type {
+		case xm.SamplingChannel:
+			doc.Sampling = append(doc.Sampling, SamplingChan{
+				Name: ch.Name, MaxMsgSize: formatSize(ch.MaxMsgSize),
+				Source: ChanEnd{ch.Source}, Dest: ChanEnd{ch.Destination},
+			})
+		case xm.QueuingChannel:
+			doc.Queuing = append(doc.Queuing, QueuingChan{
+				Name: ch.Name, MaxMsgSize: formatSize(ch.MaxMsgSize),
+				MaxNoMsgs: ch.MaxNoMsgs,
+				Source:    ChanEnd{ch.Source}, Dest: ChanEnd{ch.Destination},
+			})
+		}
+	}
+	// Emit the HM table in a stable event order.
+	for _, name := range hmEventNamesSorted() {
+		ev := hmEventByName[name]
+		ac, ok := cfg.HMActions[ev]
+		if !ok {
+			continue
+		}
+		for acName, a := range hmActionByName {
+			if a == ac {
+				doc.HealthMonitor = append(doc.HealthMonitor,
+					HMEventAction{Name: name, Action: acName})
+				break
+			}
+		}
+	}
+	return doc
+}
+
+// hmEventNamesSorted returns the known HM event names sorted
+// alphabetically for deterministic emission.
+func hmEventNamesSorted() []string {
+	names := make([]string, 0, len(hmEventByName))
+	for n := range hmEventByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Emit marshals a kernel configuration to indented XML.
+func Emit(cfg xm.Config) ([]byte, error) {
+	doc := Document(cfg)
+	out, err := xml.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xmcfg: %w", err)
+	}
+	return append([]byte(xml.Header), append(out, '\n')...), nil
+}
+
+func permString(p sparc.Perm) string {
+	var b strings.Builder
+	if p&sparc.PermRead != 0 {
+		b.WriteByte('r')
+	}
+	if p&sparc.PermWrite != 0 {
+		b.WriteByte('w')
+	}
+	if p&sparc.PermExec != 0 {
+		b.WriteByte('x')
+	}
+	return b.String()
+}
+
+func formatSize(n uint32) string {
+	switch {
+	case n != 0 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n != 0 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func formatTime(t xm.Time) string {
+	switch {
+	case t != 0 && t%1000000 == 0:
+		return fmt.Sprintf("%ds", t/1000000)
+	case t != 0 && t%1000 == 0:
+		return fmt.Sprintf("%dms", t/1000)
+	default:
+		return fmt.Sprintf("%dus", t)
+	}
+}

@@ -1,0 +1,263 @@
+package xmcfg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/xm"
+)
+
+const sampleXML = `<?xml version="1.0"?>
+<SystemDescription name="demo" version="1.0">
+  <PartitionTable>
+    <Partition id="0" name="APP">
+      <PhysicalMemoryAreas>
+        <Area name="data" start="0x40100000" size="64KB" flags="rw"/>
+      </PhysicalMemoryAreas>
+      <HwResources interrupts="3,4"/>
+    </Partition>
+    <Partition id="1" name="FDIR" flags="system">
+      <PhysicalMemoryAreas>
+        <Area name="data" start="0x40200000" size="64KB" flags="rw"/>
+        <Area name="rom" start="0x00010000" size="4KB" flags="r"/>
+      </PhysicalMemoryAreas>
+      <HwResources interrupts="5" ioports="true"/>
+    </Partition>
+  </PartitionTable>
+  <CyclicPlanTable>
+    <Plan id="0" majorFrame="250ms">
+      <Slot id="0" partitionId="0" start="0ms" duration="100ms"/>
+      <Slot id="1" partitionId="1" start="150ms" duration="50ms"/>
+    </Plan>
+  </CyclicPlanTable>
+  <Channels>
+    <SamplingChannel name="tm" maxMessageLength="64B">
+      <Source partitionId="0"/>
+      <Destination partitionId="1"/>
+    </SamplingChannel>
+    <QueuingChannel name="tc" maxMessageLength="32B" maxNoMessages="8">
+      <Source partitionId="1"/>
+      <Destination partitionId="0"/>
+    </QueuingChannel>
+  </Channels>
+  <HealthMonitor>
+    <Event name="XM_HM_EV_SCHED_OVERRUN" action="XM_HM_AC_HALT"/>
+  </HealthMonitor>
+</SystemDescription>
+`
+
+func TestParseSampleXML(t *testing.T) {
+	cfg, err := Parse([]byte(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "demo" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if len(cfg.Partitions) != 2 {
+		t.Fatalf("partitions = %d", len(cfg.Partitions))
+	}
+	p0, p1 := cfg.Partitions[0], cfg.Partitions[1]
+	if p0.System || !p1.System {
+		t.Error("system flags wrong")
+	}
+	if !p1.IOPorts || p0.IOPorts {
+		t.Error("ioports flags wrong")
+	}
+	if !reflect.DeepEqual(p0.HwIrqLines, []int{3, 4}) {
+		t.Errorf("p0 irq lines = %v", p0.HwIrqLines)
+	}
+	if len(p1.MemoryAreas) != 2 {
+		t.Fatalf("p1 areas = %d", len(p1.MemoryAreas))
+	}
+	if p1.MemoryAreas[1].Perm != sparc.PermRead {
+		t.Errorf("rom area perm = %v", p1.MemoryAreas[1].Perm)
+	}
+	if cfg.Plans[0].MajorFrame != 250000 {
+		t.Errorf("major frame = %d", cfg.Plans[0].MajorFrame)
+	}
+	if cfg.Plans[0].Slots[1].Start != 150000 || cfg.Plans[0].Slots[1].Duration != 50000 {
+		t.Errorf("slot 1 = %+v", cfg.Plans[0].Slots[1])
+	}
+	if len(cfg.Channels) != 2 {
+		t.Fatalf("channels = %d", len(cfg.Channels))
+	}
+	if cfg.Channels[0].Type != xm.SamplingChannel || cfg.Channels[0].MaxMsgSize != 64 {
+		t.Errorf("sampling channel = %+v", cfg.Channels[0])
+	}
+	if cfg.Channels[1].Type != xm.QueuingChannel || cfg.Channels[1].MaxNoMsgs != 8 {
+		t.Errorf("queuing channel = %+v", cfg.Channels[1])
+	}
+	if cfg.HMActions[xm.HMEvSchedOverrun] != xm.HMActHaltPartition {
+		t.Errorf("HM override = %v", cfg.HMActions[xm.HMEvSchedOverrun])
+	}
+}
+
+func TestParsedConfigBootsAKernel(t *testing.T) {
+	cfg, err := Parse([]byte(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := xm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitParseRoundTrip(t *testing.T) {
+	cfg, err := Parse([]byte(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Emit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse of emitted XML: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(cfg, cfg2) {
+		t.Fatalf("round trip changed the config:\n%+v\nvs\n%+v", cfg, cfg2)
+	}
+}
+
+func TestEmitIsReadableXML(t *testing.T) {
+	cfg, _ := Parse([]byte(sampleXML))
+	out, err := Emit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"<SystemDescription", "<PartitionTable>", "<CyclicPlanTable>",
+		`majorFrame="250ms"`, `size="64KB"`, `flags="system"`,
+		"<SamplingChannel", "<QueuingChannel", "<HealthMonitor>",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("emitted XML lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+		ok   bool
+	}{
+		{"4096", 4096, true},
+		{"64KB", 64 << 10, true},
+		{"16MB", 16 << 20, true},
+		{"1B", 1, true},
+		{" 8KB ", 8 << 10, true},
+		{"0x1000", 0x1000, true},
+		{"64kb", 64 << 10, true},
+		{"", 0, false},
+		{"KB", 0, false},
+		{"-1", 0, false},
+		{"5GB", 0, false},
+		{"4294967296", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseSize(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want xm.Time
+		ok   bool
+	}{
+		{"250ms", 250000, true},
+		{"50us", 50, true},
+		{"1s", 1000000, true},
+		{"0ms", 0, true},
+		{"123", 123, true},
+		{"", 0, false},
+		{"ms", 0, false},
+		{"1h", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseTime(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseTime(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePerm(t *testing.T) {
+	if p, err := ParsePerm("rw"); err != nil || p != sparc.PermRW {
+		t.Errorf("rw = %v %v", p, err)
+	}
+	if p, err := ParsePerm("rwx"); err != nil || p != sparc.PermRWX {
+		t.Errorf("rwx = %v %v", p, err)
+	}
+	if _, err := ParsePerm("rz"); err == nil {
+		t.Error("rz accepted")
+	}
+	if _, err := ParsePerm(""); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestParseRejectsBadDocuments(t *testing.T) {
+	cases := []struct{ name, xmlText string }{
+		{"not xml", "hello"},
+		{"bad size", strings.Replace(sampleXML, `size="64KB"`, `size="64XB"`, 1)},
+		{"bad addr", strings.Replace(sampleXML, `start="0x40100000"`, `start="zz"`, 1)},
+		{"bad flags", strings.Replace(sampleXML, `flags="rw"`, `flags="qq"`, 1)},
+		{"bad time", strings.Replace(sampleXML, `majorFrame="250ms"`, `majorFrame="x"`, 1)},
+		{"bad hm event", strings.Replace(sampleXML, "XM_HM_EV_SCHED_OVERRUN", "XM_HM_EV_NOPE", 1)},
+		{"bad hm action", strings.Replace(sampleXML, "XM_HM_AC_HALT", "XM_HM_AC_NOPE", 1)},
+		{"bad irq line", strings.Replace(sampleXML, `interrupts="3,4"`, `interrupts="3,x"`, 1)},
+		// Structural errors caught by xm.Config.Validate:
+		{"slot overlap", strings.Replace(sampleXML, `start="150ms"`, `start="50ms"`, 1)},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.xmlText)); err == nil {
+			t.Errorf("%s: Parse accepted a broken document", c.name)
+		}
+	}
+}
+
+// Property: formatSize/ParseSize round-trip for arbitrary sizes.
+func TestPropertySizeRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		got, err := ParseSize(formatSize(n))
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: formatTime/ParseTime round-trip for non-negative times.
+func TestPropertyTimeRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		in := xm.Time(n)
+		got, err := ParseTime(formatTime(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
