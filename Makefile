@@ -1,0 +1,31 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so a green
+# `make ci` means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test bench bench-smoke lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark run with allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration of every benchmark: keeps benchmark code compiling and
+# executing without paying for stable numbers. CI runs this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint test bench-smoke

@@ -10,6 +10,7 @@
 package xmrobust_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -199,6 +200,88 @@ func BenchmarkExtensionPhantomCampaign(b *testing.B) {
 			b.Fatalf("phantom campaign raised %d issues", len(rep.Issues))
 		}
 	}
+}
+
+// --- Engine benchmarks --------------------------------------------------------
+
+// engineSuite repeats one representative dataset n times — the uniform
+// workload the pooled-vs-fresh comparison is measured on.
+func engineSuite(b *testing.B, n int) []testgen.Dataset {
+	b.Helper()
+	header := apispec.Default()
+	f, _ := header.Function("XM_memory_copy")
+	m, err := testgen.BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := m.Datasets()[0]
+	out := make([]testgen.Dataset, n)
+	for i := range out {
+		out[i] = ds
+	}
+	return out
+}
+
+// BenchmarkCampaign measures raw test-execution throughput of the
+// streaming engine: pooled (reset-and-verify machine reuse) against the
+// seed's fresh-machine-per-test baseline. ns/op is the cost of one test.
+func BenchmarkCampaign(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		fresh bool
+	}{{"fresh", true}, {"pooled", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			datasets := engineSuite(b, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := campaign.Stream(datasets, campaign.EngineOptions{
+				Options:       campaign.Options{Workers: 1},
+				FreshMachines: mode.fresh,
+			}, nil); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// liveHeap forces a collection and returns the live heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// BenchmarkCampaignMemory compares what a campaign *retains*: the eager
+// API accumulates every execution log, the streaming engine holds nothing
+// once a result is consumed. The live-B metric is the heap growth across
+// one 512-test run — flat for streaming, linear in test count for eager.
+func BenchmarkCampaignMemory(b *testing.B) {
+	const tests = 512
+	b.Run("eager", func(b *testing.B) {
+		datasets := engineSuite(b, tests)
+		before := liveHeap()
+		var retained [][]campaign.Result
+		for i := 0; i < b.N; i++ {
+			retained = append(retained, campaign.RunDatasets(datasets, campaign.Options{}))
+		}
+		b.ReportMetric(float64(liveHeap()-before)/float64(b.N), "live-B/run")
+		runtime.KeepAlive(retained)
+	})
+	b.Run("streaming", func(b *testing.B) {
+		datasets := engineSuite(b, tests)
+		before := liveHeap()
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.Stream(datasets, campaign.EngineOptions{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		after := liveHeap()
+		if after < before {
+			after = before
+		}
+		b.ReportMetric(float64(after-before)/float64(b.N), "live-B/run")
+	})
 }
 
 // --- Substrate micro-benchmarks ---------------------------------------------------

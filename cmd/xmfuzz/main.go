@@ -3,16 +3,28 @@
 // kernel on the EagleEye TSP testbed. It reproduces Table III, the CRASH
 // tally, Fig. 8 and the §IV.C issue list.
 //
+// By default the campaign runs eagerly in memory. With -stream DIR it runs
+// on the streaming pooled engine instead: execution logs are sharded into
+// JSON Lines files under DIR, a checkpoint tracks completed tests, and
+// -resume continues an interrupted campaign from the last completed
+// dataset — the final report is identical to an uninterrupted run's.
+//
+// xmfuzz exits 0 when the campaign executed cleanly (robustness findings
+// are its product, not an error), 1 on campaign/harness errors, 2 on
+// usage errors.
+//
 // Usage:
 //
 //	xmfuzz [-patched] [-mafs N] [-workers N] [-stress] [-func NAME]
 //	       [-csv] [-issues] [-progress]
+//	       [-stream DIR] [-shards N] [-resume] [-fresh-machines]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"xmrobust/internal/analysis"
 	"xmrobust/internal/apispec"
@@ -35,6 +47,10 @@ func main() {
 		phantom  = flag.Bool("phantom", false, "run the phantom-parameter extension campaign instead")
 		masking  = flag.Bool("masking", false, "append the fault-masking study (paper Fig. 7)")
 		output   = flag.String("o", "", "write the raw campaign log (JSON Lines) to this file")
+		stream   = flag.String("stream", "", "run the streaming engine, sharding the campaign log into this directory")
+		shards   = flag.Int("shards", 0, "shard writer count for -stream (0 = workers)")
+		resume   = flag.Bool("resume", false, "resume an interrupted -stream campaign from its checkpoint")
+		fresh    = flag.Bool("fresh-machines", false, "disable machine pooling (one fresh simulator per test)")
 	)
 	flag.Parse()
 
@@ -73,11 +89,71 @@ func main() {
 		}
 	}
 
+	if *resume && *stream == "" {
+		fmt.Fprintln(os.Stderr, "xmfuzz: -resume requires -stream")
+		os.Exit(2)
+	}
+
 	if *phantom {
+		if *stream != "" {
+			// The 50-test phantom extension runs eagerly; pretending to
+			// shard it would leave the directory empty.
+			fmt.Fprintln(os.Stderr, "xmfuzz: -phantom does not support -stream")
+			os.Exit(2)
+		}
 		prep := core.RunPhantomCampaign(opts)
 		fmt.Printf("phantom-parameter extension: %d tests (%d parameter-less hypercalls x %d states)\n\n",
 			len(prep.Results), len(prep.Results)/len(campaign.PhantomStates()), len(campaign.PhantomStates()))
 		fmt.Print(analysis.Summary(prep.Issues))
+		exitOnHarnessErrors(prep.Results)
+		return
+	}
+
+	if *stream != "" {
+		if *masking {
+			// The masking study needs every classified result in memory —
+			// the eager pipeline's job.
+			fmt.Fprintln(os.Stderr, "xmfuzz: -masking requires the eager engine (drop -stream)")
+			os.Exit(2)
+		}
+		eo := campaign.EngineOptions{
+			ShardDir:       *stream,
+			Shards:         *shards,
+			CheckpointPath: filepath.Join(*stream, "checkpoint.jsonl"),
+			Resume:         *resume,
+			FreshMachines:  *fresh,
+		}
+		srep, err := core.RunCampaignStream(opts, eo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
+			os.Exit(1)
+		}
+		if *output != "" {
+			f, err := os.Create(*output)
+			if err == nil {
+				var n int
+				if n, err = campaign.MergeShards(*stream, f); err == nil {
+					err = f.Close()
+					fmt.Fprintf(os.Stderr, "campaign log: %s (%d records)\n", *output, n)
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xmfuzz:", err)
+				os.Exit(1)
+			}
+		}
+		switch {
+		case *csv:
+			fmt.Print(report.StreamTableIIICSV(srep))
+		case *issues:
+			fmt.Print(analysis.Summary(srep.Issues))
+		default:
+			fmt.Print(report.StreamSummary(srep))
+		}
+		if srep.HarnessErrors > 0 {
+			fmt.Fprintf(os.Stderr, "xmfuzz: %d tests failed in the harness\n", srep.HarnessErrors)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -113,5 +189,22 @@ func main() {
 	if *masking {
 		fmt.Println()
 		fmt.Print(analysis.MaskingSummary(analysis.MaskingStudy(rep.Classified)))
+	}
+	exitOnHarnessErrors(rep.Results)
+}
+
+// exitOnHarnessErrors exits 1 when any test failed in the harness rather
+// than the kernel, so CI and scripts can gate on campaign health.
+// Robustness findings do NOT fail the run — they are the product.
+func exitOnHarnessErrors(results []campaign.Result) {
+	errs := 0
+	for _, r := range results {
+		if r.RunErr != "" {
+			errs++
+		}
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "xmfuzz: %d tests failed in the harness\n", errs)
+		os.Exit(1)
 	}
 }

@@ -90,7 +90,10 @@ func main() {
 			fmt.Print(console)
 		}
 	}
-	if st.State != xm.KStateRunning {
+	// Exit non-zero on any kernel-health failure so scripts and CI can
+	// gate on the run: a run error (including a hypervisor halt), a dead
+	// simulator, or a kernel that is no longer RUNNING.
+	if crashed, _ := k.Machine().Crashed(); runErr != nil || crashed || st.State != xm.KStateRunning {
 		os.Exit(1)
 	}
 }

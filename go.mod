@@ -1,0 +1,3 @@
+module xmrobust
+
+go 1.24

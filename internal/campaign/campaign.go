@@ -16,7 +16,6 @@ package campaign
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/dict"
@@ -159,7 +158,14 @@ func (p *testProg) Step(env xm.Env) bool {
 // RunOne executes a single dataset against a fresh testbed and returns
 // its execution log.
 func RunOne(ds testgen.Dataset, opts Options) Result {
-	opts = opts.withDefaults()
+	return runOneOn(ds, opts.withDefaults(), nil)
+}
+
+// runOneOn executes one dataset, packing the testbed onto the supplied
+// machine (nil: a fresh allocation). The machine must be in its power-on
+// state; the streaming engine guarantees that through the reset-and-verify
+// pool.
+func runOneOn(ds testgen.Dataset, opts Options, m *sparc.Machine) Result {
 	res := Result{Dataset: ds, TestPartition: eagleeye.FDIR}
 
 	spec, ok := xm.LookupName(ds.Func.Name)
@@ -167,7 +173,11 @@ func RunOne(ds testgen.Dataset, opts Options) Result {
 		res.RunErr = fmt.Sprintf("campaign: hypercall %q not in kernel ABI", ds.Func.Name)
 		return res
 	}
-	k, err := eagleeye.NewSystem(xm.WithFaults(opts.Faults))
+	sysOpts := []xm.Option{xm.WithFaults(opts.Faults)}
+	if m != nil {
+		sysOpts = append(sysOpts, xm.WithMachine(m))
+	}
+	k, err := eagleeye.NewSystem(sysOpts...)
 	if err != nil {
 		res.RunErr = err.Error()
 		return res
@@ -240,50 +250,33 @@ func preloadStress(k *xm.Kernel) {
 	_ = k.RunMajorFrames(1)
 }
 
+// GenerateSuite applies the option defaults and generates the campaign's
+// dataset list — the shared front half of Run and the streaming engine.
+func GenerateSuite(opts Options) ([]testgen.Dataset, Options, error) {
+	opts = opts.withDefaults()
+	datasets, err := testgen.Generate(opts.Header, opts.Dict)
+	return datasets, opts, err
+}
+
 // Run generates the campaign's datasets and executes them all, returning
 // results in generation order.
 func Run(opts Options) ([]Result, error) {
-	opts = opts.withDefaults()
-	datasets, err := testgen.Generate(opts.Header, opts.Dict)
+	datasets, opts, err := GenerateSuite(opts)
 	if err != nil {
 		return nil, err
 	}
 	return RunDatasets(datasets, opts), nil
 }
 
-// RunDatasets executes a pre-generated dataset list over the worker pool.
+// RunDatasets executes a pre-generated dataset list and returns the
+// results in dataset order. It is the eager compatibility wrapper over the
+// streaming engine: machine pooling on, no shards, no checkpoint, every
+// Result accumulated in memory.
 func RunDatasets(datasets []testgen.Dataset, opts Options) []Result {
-	opts = opts.withDefaults()
 	results := make([]Result, len(datasets))
-	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		done int
-		mu   sync.Mutex
-	)
-	workers := opts.Workers
-	if workers > len(datasets) {
-		workers = len(datasets)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = RunOne(datasets[i], opts)
-				if opts.Progress != nil {
-					mu.Lock()
-					done++
-					opts.Progress(done, len(datasets))
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range datasets {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	// Without shard or checkpoint configuration Stream cannot fail.
+	_, _ = Stream(datasets, EngineOptions{Options: opts}, func(pos int, r Result) {
+		results[pos] = r
+	})
 	return results
 }

@@ -1,0 +1,572 @@
+package campaign
+
+// This file is the streaming pooled execution engine: a bounded work
+// queue feeding a worker pool that recycles simulated machines through a
+// reset-and-verify pool, streams every execution log over a channel into
+// per-worker JSON Lines shards, and checkpoints completed tests so an
+// interrupted campaign resumes from where it stopped. The eager API
+// (Run/RunDatasets) is a thin wrapper that points the stream at an
+// in-memory slice.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/testgen"
+)
+
+// EngineOptions configures the streaming engine on top of the campaign
+// Options.
+type EngineOptions struct {
+	Options
+
+	// QueueDepth bounds the work queue between the feeder and the worker
+	// pool (default 2x Workers). The feeder blocks when the queue is
+	// full, so memory never holds more than QueueDepth undispatched jobs.
+	QueueDepth int
+
+	// FreshMachines disables machine pooling: every test packs a freshly
+	// allocated simulated target, the behaviour of the original runner.
+	// The pooled default is substantially faster (see BenchmarkCampaign).
+	FreshMachines bool
+
+	// PoolStrict makes the machine pool scan every byte of every recycled
+	// machine (sparc.MachinePool strict mode). Slow; for isolation tests.
+	PoolStrict bool
+
+	// ShardDir, when set, streams every execution log into JSON Lines
+	// shard files <ShardDir>/shard-NNN.jsonl. Shards are opened in append
+	// mode so a resumed campaign extends them; MergeShards restores
+	// campaign order.
+	ShardDir string
+
+	// Shards is the number of shard writers (default Workers).
+	Shards int
+
+	// CheckpointPath, when set, appends one line per completed test to a
+	// checkpoint file. With Resume, tests already recorded there are
+	// skipped — the engine continues from the last completed dataset.
+	CheckpointPath string
+
+	// Resume loads CheckpointPath instead of truncating it.
+	Resume bool
+
+	// Limit stops dispatching after that many tests this call (0: run
+	// everything). Combined with a checkpoint it gives budgeted runs the
+	// same semantics as an interruption: the next Resume continues from
+	// the last completed dataset.
+	Limit int
+}
+
+// EngineStats reports what one Stream call did.
+type EngineStats struct {
+	// Total is the campaign size; Executed ran this call; Skipped were
+	// already completed per the checkpoint.
+	Total    int
+	Executed int
+	Skipped  int
+	// Pool holds the machine-pool counters (zero when FreshMachines).
+	Pool sparc.PoolStats
+}
+
+// posResult pairs an execution log with its campaign position. logged
+// reports whether the shard record reached disk — only then may the
+// checkpoint mark the test completed, or a resume would skip a test whose
+// record was lost.
+type posResult struct {
+	pos    int
+	res    Result
+	logged bool
+}
+
+// Stream executes datasets through the engine. Each completed test is
+// handed to sink (when non-nil) from a single goroutine, tagged with its
+// position in datasets; nothing is retained in memory, so a campaign's
+// footprint no longer grows with its test count. Results arrive in
+// completion order, not campaign order. Note that on a resumed run the
+// sink only sees the tests executed by this call — the skipped tests'
+// logs live in the shard files (ScanShards reads them back).
+func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r Result)) (EngineStats, error) {
+	opts := eo.Options.withDefaults()
+	stats := EngineStats{Total: len(datasets)}
+	if eo.Resume && eo.ShardDir == "" {
+		// A checkpoint mark promises a durable record; without shards the
+		// skipped tests' results would exist nowhere and the resumed run
+		// would silently lose them.
+		return stats, errors.New("campaign: resuming requires a shard directory")
+	}
+	if eo.QueueDepth <= 0 {
+		eo.QueueDepth = 2 * opts.Workers
+	}
+	if eo.Shards <= 0 {
+		eo.Shards = opts.Workers
+	}
+
+	var (
+		ckpt *checkpoint
+		done map[int]bool
+		err  error
+	)
+	if eo.CheckpointPath != "" {
+		ckpt, done, err = openCheckpoint(eo.CheckpointPath, suiteSignature(datasets, opts), eo.Resume)
+		if err != nil {
+			return stats, err
+		}
+		defer ckpt.close()
+	}
+	pending := make([]int, 0, len(datasets))
+	for i := range datasets {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+	stats.Skipped = len(datasets) - len(pending)
+	if eo.Limit > 0 && len(pending) > eo.Limit {
+		pending = pending[:eo.Limit]
+	}
+
+	var writers []*shardWriter
+	if eo.ShardDir != "" {
+		if writers, err = openShards(eo.ShardDir, eo.Shards, eo.Resume); err != nil {
+			return stats, err
+		}
+	}
+	if len(pending) == 0 {
+		return stats, closeShards(writers)
+	}
+
+	workers := opts.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var pool *sparc.MachinePool
+	if !eo.FreshMachines {
+		pool = sparc.NewMachinePool(sparc.DefaultConfig(), workers)
+		pool.SetStrict(eo.PoolStrict)
+	}
+
+	jobs := make(chan int, eo.QueueDepth)
+	results := make(chan posResult, workers)
+	finished := make(chan posResult, workers)
+
+	go func() {
+		for _, pos := range pending {
+			jobs <- pos
+		}
+		close(jobs)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range jobs {
+				var m *sparc.Machine
+				if pool != nil {
+					m = pool.Get()
+				}
+				r := runOneOn(datasets[pos], opts, m)
+				if pool != nil {
+					pool.Put(m)
+				}
+				results <- posResult{pos: pos, res: r}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// The shard stage: writers drain the results channel into their own
+	// shard file (or pass through when shards are off) and forward to the
+	// collector. Write errors are latched, not fatal mid-flight — the
+	// campaign completes and reports the first failure.
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	latch := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var sg sync.WaitGroup
+	stage := len(writers)
+	if stage == 0 {
+		stage = 1
+	}
+	for s := 0; s < stage; s++ {
+		sg.Add(1)
+		go func(s int) {
+			defer sg.Done()
+			for pr := range results {
+				pr.logged = true
+				if len(writers) > 0 {
+					if err := writers[s].write(pr.pos, pr.res); err != nil {
+						latch(err)
+						pr.logged = false
+					}
+				}
+				finished <- pr
+			}
+		}(s)
+	}
+	go func() {
+		sg.Wait()
+		close(finished)
+	}()
+
+	completed := stats.Skipped
+	for pr := range finished {
+		if ckpt != nil && pr.logged {
+			latch(ckpt.mark(pr.pos))
+		}
+		if sink != nil {
+			sink(pr.pos, pr.res)
+		}
+		stats.Executed++
+		completed++
+		if opts.Progress != nil {
+			opts.Progress(completed, len(datasets))
+		}
+	}
+	latch(closeShards(writers))
+	if pool != nil {
+		stats.Pool = pool.Stats()
+	}
+	return stats, firstErr
+}
+
+// suiteSignature fingerprints a campaign so a checkpoint cannot silently
+// resume a different one.
+func suiteSignature(datasets []testgen.Dataset, opts Options) string {
+	sig := fmt.Sprintf("tests=%d|mafs=%d|stress=%v|faults=%+v", len(datasets), opts.MAFs, opts.Stress, opts.Faults)
+	if len(datasets) > 0 {
+		sig += "|" + datasets[0].String() + "|" + datasets[len(datasets)-1].String()
+	}
+	return sig
+}
+
+// --- checkpoint --------------------------------------------------------
+
+// ckptHeader is the first line of a checkpoint file.
+type ckptHeader struct {
+	Campaign string `json:"campaign"`
+}
+
+// ckptMark is one completed-test line.
+type ckptMark struct {
+	Seq int `json:"seq"`
+}
+
+// checkpoint appends completion marks durably enough for resume: each mark
+// is one write syscall, issued only after the test's shard record (if any)
+// has been flushed.
+type checkpoint struct {
+	f *os.File
+}
+
+// openCheckpoint creates (or, with resume, loads) the checkpoint at path
+// and returns the set of completed campaign positions.
+func openCheckpoint(path, sig string, resume bool) (*checkpoint, map[int]bool, error) {
+	done := map[int]bool{}
+	if resume {
+		data, err := os.ReadFile(path)
+		switch {
+		case os.IsNotExist(err):
+			// Resuming a campaign that never started is a fresh start.
+		case err != nil:
+			return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
+		default:
+			lines := strings.Split(string(data), "\n")
+			if len(lines) == 0 || lines[0] == "" {
+				return nil, nil, fmt.Errorf("campaign: checkpoint %s is empty", path)
+			}
+			var hdr ckptHeader
+			if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Campaign == "" {
+				return nil, nil, fmt.Errorf("campaign: checkpoint %s has no header", path)
+			}
+			if hdr.Campaign != sig {
+				return nil, nil, fmt.Errorf("campaign: checkpoint %s belongs to a different campaign", path)
+			}
+			for _, line := range lines[1:] {
+				if line == "" {
+					continue
+				}
+				var m ckptMark
+				if err := json.Unmarshal([]byte(line), &m); err != nil {
+					// A torn trailing line from an interrupted run: that
+					// test will simply re-execute.
+					continue
+				}
+				done[m.Seq] = true
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
+			}
+			return &checkpoint{f: f}, done, nil
+		}
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	hdr, _ := json.Marshal(ckptHeader{Campaign: sig})
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return &checkpoint{f: f}, done, nil
+}
+
+func (c *checkpoint) mark(pos int) error {
+	line, _ := json.Marshal(ckptMark{Seq: pos})
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (c *checkpoint) close() error { return c.f.Close() }
+
+// --- shards ------------------------------------------------------------
+
+// shardWriter owns one JSON Lines shard file. Records are flushed per
+// write so a completion mark in the checkpoint always refers to a record
+// already on disk. After a failed write the writer latches broken: a short
+// write leaves a partial record at the tail, and appending anything after
+// it would corrupt the shard mid-file, beyond what readers can skip.
+type shardWriter struct {
+	f      *os.File
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	broken error
+}
+
+// ShardPattern matches the shard files of a campaign directory.
+const ShardPattern = "shard-*.jsonl"
+
+// shardPath names shard i of dir.
+func shardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.jsonl", i))
+}
+
+func openShards(dir string, n int, resume bool) ([]*shardWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: shards: %w", err)
+	}
+	if !resume {
+		// A fresh campaign must not inherit records: stale shards from an
+		// earlier run in the same directory would survive the seq-dedup
+		// of CollectShards and contaminate the merged log.
+		stale, err := filepath.Glob(filepath.Join(dir, ShardPattern))
+		if err != nil {
+			return nil, fmt.Errorf("campaign: shards: %w", err)
+		}
+		for _, p := range stale {
+			if err := os.Remove(p); err != nil {
+				return nil, fmt.Errorf("campaign: shards: %w", err)
+			}
+		}
+	}
+	writers := make([]*shardWriter, 0, n)
+	for i := 0; i < n; i++ {
+		path := shardPath(dir, i)
+		if resume {
+			if err := trimTornTail(path); err != nil {
+				closeShards(writers)
+				return nil, fmt.Errorf("campaign: shards: %w", err)
+			}
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			closeShards(writers)
+			return nil, fmt.Errorf("campaign: shards: %w", err)
+		}
+		bw := bufio.NewWriter(f)
+		writers = append(writers, &shardWriter{f: f, bw: bw, enc: json.NewEncoder(bw)})
+	}
+	return writers, nil
+}
+
+// trimTornTail truncates a shard back to its last complete record before
+// new records are appended. An interrupted run can leave a partial record
+// at the tail (records never contain newlines, so "complete" means
+// newline-terminated); appending after the fragment would corrupt the
+// shard mid-file, where readers cannot skip it.
+func trimTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return err
+	}
+	// Walk back from the end to the last newline.
+	const chunk = 4096
+	end := st.Size()
+	last := []byte{0}
+	if _, err := f.ReadAt(last, end-1); err != nil {
+		return err
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	keep := int64(0)
+	for off := end; off > 0; {
+		n := int64(chunk)
+		if n > off {
+			n = off
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, off-n); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			keep = off - n + int64(i) + 1
+			break
+		}
+		off -= n
+	}
+	return f.Truncate(keep)
+}
+
+func (w *shardWriter) write(pos int, r Result) error {
+	if w.broken != nil {
+		return w.broken
+	}
+	if err := w.enc.Encode(ToRecord(pos, r)); err != nil {
+		w.broken = fmt.Errorf("campaign: shard record %d: %w", pos, err)
+		return w.broken
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.broken = fmt.Errorf("campaign: shard record %d: %w", pos, err)
+		return w.broken
+	}
+	return nil
+}
+
+func closeShards(writers []*shardWriter) error {
+	var firstErr error
+	for _, w := range writers {
+		// A broken writer's buffer may hold the tail of a half-written
+		// record; flushing it would splice garbage mid-file.
+		if w.broken == nil {
+			if err := w.bw.Flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := w.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ScanShards streams every record of a campaign directory through fn, one
+// at a time, without holding the log in memory — the read side of the
+// streaming engine for incremental consumers. Records arrive in file
+// order, not campaign order, and a record may repeat across an
+// interruption; callers needing uniqueness dedupe by Seq (duplicates are
+// byte-identical, execution being deterministic). Torn trailing records
+// from an interrupted run are skipped.
+func ScanShards(dir string, fn func(JSONRecord) error) error {
+	paths, err := filepath.Glob(filepath.Join(dir, ShardPattern))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return fmt.Errorf("campaign: shards: %w", err)
+		}
+		dec := json.NewDecoder(f)
+		for dec.More() {
+			var rec JSONRecord
+			if err := dec.Decode(&rec); err != nil {
+				// A torn trailing record from an interrupted run is
+				// expected; anything else is corruption worth reporting.
+				if errors.Is(err, io.ErrUnexpectedEOF) {
+					break
+				}
+				f.Close()
+				return fmt.Errorf("campaign: shard %s: %w", p, err)
+			}
+			if err := fn(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// CollectShards loads every shard record of a campaign directory, restores
+// campaign order and drops duplicates (a record written twice around an
+// interruption keeps its first copy). It holds the whole log in memory —
+// merging wants random access; incremental consumers use ScanShards.
+func CollectShards(dir string) ([]JSONRecord, error) {
+	var records []JSONRecord
+	if err := ScanShards(dir, func(rec JSONRecord) error {
+		records = append(records, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(records, func(a, b int) bool { return records[a].Seq < records[b].Seq })
+	out := records[:0]
+	for i, rec := range records {
+		if i > 0 && rec.Seq == records[i-1].Seq {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// MergeShards writes the shard records of dir to w as one JSON Lines log
+// in campaign order — the same byte stream WriteJSON produces for an
+// uninterrupted eager campaign. It returns the record count.
+func MergeShards(dir string, w io.Writer) (int, error) {
+	records, err := CollectShards(dir)
+	if err != nil {
+		return 0, err
+	}
+	enc := json.NewEncoder(w)
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			return 0, err
+		}
+	}
+	return len(records), nil
+}

@@ -1,0 +1,344 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+)
+
+// mixedSuite builds a small suite covering the interesting outcome space:
+// nominal returns, system resets, a hypervisor halt and a simulator crash
+// — everything the pool's reset-and-verify cycle has to survive.
+func mixedSuite(t *testing.T) []testgen.Dataset {
+	t.Helper()
+	h := apispec.Default()
+	var out []testgen.Dataset
+	for _, fn := range []string{"XM_get_system_status", "XM_reset_system", "XM_set_timer"} {
+		f, ok := h.Function(fn)
+		if !ok {
+			t.Fatalf("unknown function %s", fn)
+		}
+		m, err := testgen.BuildMatrix(f, dict.Builtin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := m.Datasets()
+		if len(ds) > 12 {
+			ds = ds[:12]
+		}
+		out = append(out, ds...)
+	}
+	return out
+}
+
+// TestPooledMatchesFresh is the reset-isolation proof at the engine level:
+// recycled machines must yield execution logs identical to fresh ones for
+// every outcome class, with the pool's strict byte-scan verifying each
+// recycle.
+func TestPooledMatchesFresh(t *testing.T) {
+	datasets := mixedSuite(t)
+	opts := Options{Workers: 4}
+
+	run := func(eo EngineOptions) []Result {
+		results := make([]Result, len(datasets))
+		stats, err := Stream(datasets, eo, func(pos int, r Result) { results[pos] = r })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Executed != len(datasets) {
+			t.Fatalf("executed %d of %d", stats.Executed, len(datasets))
+		}
+		return results
+	}
+	fresh := run(EngineOptions{Options: opts, FreshMachines: true})
+	pooled := run(EngineOptions{Options: opts, PoolStrict: true})
+
+	for i := range fresh {
+		if !reflect.DeepEqual(fresh[i], pooled[i]) {
+			t.Errorf("dataset %d (%s): pooled result differs from fresh\nfresh:  %+v\npooled: %+v",
+				i, datasets[i], fresh[i], pooled[i])
+		}
+	}
+}
+
+// TestPoolOnlyDiscardsCrashes: in strict mode every recycle is a full
+// byte-scan, so any state leak would surface as a verification discard.
+// The only legitimate discards are crashed simulators.
+func TestPoolOnlyDiscardsCrashes(t *testing.T) {
+	datasets := mixedSuite(t)
+	crashes := 0
+	stats, err := Stream(datasets, EngineOptions{Options: Options{Workers: 2}, PoolStrict: true},
+		func(pos int, r Result) {
+			if r.SimCrashed {
+				crashes++
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashes == 0 {
+		t.Fatal("suite raised no simulator crash; the discard assertion is vacuous")
+	}
+	if got := stats.Pool.Discarded; got != uint64(crashes) {
+		t.Fatalf("pool discarded %d machines, want exactly the %d crashes (a reset leaked state)",
+			got, crashes)
+	}
+	if stats.Pool.Reused == 0 {
+		t.Fatal("pool never recycled a machine")
+	}
+}
+
+// mergeDir renders the shard directory as one campaign-ordered log.
+func mergeDir(t *testing.T, dir string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := MergeShards(dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	datasets := mixedSuite(t)
+	opts := Options{Workers: 4}
+
+	// The uninterrupted reference run.
+	full := t.TempDir()
+	if _, err := Stream(datasets, EngineOptions{
+		Options: opts, ShardDir: full, CheckpointPath: filepath.Join(full, "ckpt.jsonl"),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The interrupted run: stop a third of the way in, then resume.
+	split := t.TempDir()
+	ckpt := filepath.Join(split, "ckpt.jsonl")
+	eo := EngineOptions{Options: opts, ShardDir: split, CheckpointPath: ckpt}
+	eo.Limit = len(datasets) / 3
+	s1, err := Stream(datasets, eo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Executed != eo.Limit {
+		t.Fatalf("first leg executed %d, want %d", s1.Executed, eo.Limit)
+	}
+	eo.Limit = 0
+	eo.Resume = true
+	s2, err := Stream(datasets, eo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Skipped != s1.Executed || s2.Executed != len(datasets)-s1.Executed {
+		t.Fatalf("resume skipped %d / executed %d after a %d-test first leg",
+			s2.Skipped, s2.Executed, s1.Executed)
+	}
+
+	a, b := mergeDir(t, full), mergeDir(t, split)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged campaign logs differ between uninterrupted and resumed runs:\n--- full ---\n%s\n--- resumed ---\n%s", a, b)
+	}
+}
+
+// TestFreshRunClearsStaleShards: restarting a campaign in a used
+// directory without -resume must not let the previous run's records leak
+// into the merged log.
+func TestFreshRunClearsStaleShards(t *testing.T) {
+	datasets := mixedSuite(t)
+	dir := t.TempDir()
+	eo := EngineOptions{Options: Options{Workers: 2}, ShardDir: dir,
+		CheckpointPath: filepath.Join(dir, "ckpt.jsonl")}
+	if _, err := Stream(datasets[:6], eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same directory, different (smaller) campaign, no resume.
+	if _, err := Stream(datasets[:3], eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	records, err := CollectShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("merged log holds %d records after a 3-test fresh run", len(records))
+	}
+}
+
+// TestResumeTrimsTornShardTail: an interruption can leave half a record
+// at a shard's tail; resuming must truncate it before appending, or the
+// fragment merges with the next record and poisons the whole directory.
+func TestResumeTrimsTornShardTail(t *testing.T) {
+	datasets := mixedSuite(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	eo := EngineOptions{Options: Options{Workers: 1}, ShardDir: dir, CheckpointPath: ckpt, Limit: 4}
+	if _, err := Stream(datasets, eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a SIGKILL mid-record: append a torn fragment with no
+	// matching checkpoint mark.
+	f, err := os.OpenFile(shardPath(dir, 0), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"func":"XM_torn","seq":4,"kernel_st`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	eo.Limit = 0
+	eo.Resume = true
+	if _, err := Stream(datasets, eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	records, err := CollectShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(datasets) {
+		t.Fatalf("merged log holds %d records, want %d", len(records), len(datasets))
+	}
+	for i, rec := range records {
+		if rec.Seq != i {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+		if rec.Func == "XM_torn" {
+			t.Fatal("torn fragment survived the resume")
+		}
+	}
+}
+
+func TestCheckpointRejectsForeignCampaign(t *testing.T) {
+	datasets := mixedSuite(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	eo := EngineOptions{Options: Options{Workers: 2}, ShardDir: dir, CheckpointPath: ckpt}
+	if _, err := Stream(datasets[:4], eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	eo.Resume = true
+	if _, err := Stream(datasets[:5], eo, nil); err == nil {
+		t.Fatal("checkpoint of a different campaign accepted")
+	}
+}
+
+// TestResumeRequiresShards: a checkpoint mark promises a durable record;
+// the engine refuses a resume that would silently drop the skipped tests.
+func TestResumeRequiresShards(t *testing.T) {
+	datasets := mixedSuite(t)
+	eo := EngineOptions{Options: Options{Workers: 2},
+		CheckpointPath: filepath.Join(t.TempDir(), "ckpt.jsonl"), Resume: true}
+	if _, err := Stream(datasets, eo, nil); err == nil {
+		t.Fatal("resume without a shard directory accepted")
+	}
+}
+
+func TestCollectShardsDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shard 1 holds seq 1 and a duplicate of seq 0 (a record re-executed
+	// around an interruption); shard 0 also ends in a torn line.
+	write("shard-000.jsonl", `{"func":"XM_a","seq":0,"kernel_state":"RUNNING","part_state":"NORMAL"}`+"\n"+`{"func":"XM_tor`)
+	write("shard-001.jsonl", `{"func":"XM_b","seq":1,"kernel_state":"RUNNING","part_state":"NORMAL"}`+"\n"+
+		`{"func":"XM_a","seq":0,"kernel_state":"RUNNING","part_state":"NORMAL"}`+"\n")
+	records, err := CollectShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[0].Seq != 0 || records[1].Seq != 1 {
+		t.Fatalf("records = %+v", records)
+	}
+	if records[0].Func != "XM_a" || records[1].Func != "XM_b" {
+		t.Fatalf("records = %+v", records)
+	}
+}
+
+// TestRecordReconstruction: a record read back from the campaign log must
+// reconstruct an execution log that the analysis phase cannot tell from
+// the original.
+func TestRecordReconstruction(t *testing.T) {
+	datasets := mixedSuite(t)
+	h := apispec.Default()
+	for i, ds := range datasets {
+		orig := RunOne(ds, Options{})
+		rec := ToRecord(i, orig)
+		back, err := rec.Result(h)
+		if err != nil {
+			t.Fatalf("dataset %d: %v", i, err)
+		}
+		// The resolved Bits are execution-time detail the log does not
+		// carry; everything analysis reads must round-trip.
+		for j := range back.Resolved {
+			back.Resolved[j].Bits = orig.Resolved[j].Bits
+		}
+		back.Dataset.Index = orig.Dataset.Index
+		if !reflect.DeepEqual(orig, back) {
+			t.Fatalf("dataset %d (%s): reconstruction drifted\norig: %+v\nback: %+v",
+				i, ds, orig, back)
+		}
+	}
+}
+
+func TestStreamBoundedQueue(t *testing.T) {
+	datasets := mixedSuite(t)
+	var seen int
+	stats, err := Stream(datasets, EngineOptions{Options: Options{Workers: 2}, QueueDepth: 1},
+		func(pos int, r Result) { seen++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(datasets) || stats.Executed != len(datasets) {
+		t.Fatalf("seen %d, executed %d, want %d", seen, stats.Executed, len(datasets))
+	}
+}
+
+func TestStreamProgressCountsResumedTests(t *testing.T) {
+	datasets := mixedSuite(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	eo := EngineOptions{Options: Options{Workers: 2}, ShardDir: dir, CheckpointPath: ckpt, Limit: 5}
+	if _, err := Stream(datasets, eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	var first, last int
+	eo.Limit = 0
+	eo.Resume = true
+	eo.Progress = func(done, total int) {
+		if first == 0 {
+			first = done
+		}
+		last = done
+		if total != len(datasets) {
+			t.Errorf("total = %d, want %d", total, len(datasets))
+		}
+	}
+	if _, err := Stream(datasets, eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	if first != 6 || last != len(datasets) {
+		t.Fatalf("progress ran %d..%d, want 6..%d", first, last, len(datasets))
+	}
+}
+
+func TestRunPhantomStillEager(t *testing.T) {
+	// The phantom extension predates the engine and stays eager; make
+	// sure the refactor kept it functional.
+	res := RunPhantomCampaign(Options{MAFs: 1})
+	if len(res) != 50 {
+		t.Fatalf("phantom tests = %d, want 50", len(res))
+	}
+	for i, r := range res {
+		if r.RunErr != "" {
+			t.Fatalf("phantom test %d: %s", i, r.RunErr)
+		}
+	}
+}

@@ -5,14 +5,24 @@ import (
 	"fmt"
 	"io"
 
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
 
-// jsonResult is the serialised form of one test's execution log — the
+// JSONRecord is the serialised form of one test's execution log — the
 // per-test record the paper's shell-script harness appended to the
-// campaign log for the offline Log Analysis phase.
-type jsonResult struct {
-	Func        string   `json:"func"`
+// campaign log for the offline Log Analysis phase. It is self-contained:
+// Result reconstructs the in-memory execution log from it, so a streamed
+// campaign's analysis can run entirely off the shard files.
+type JSONRecord struct {
+	Func string `json:"func"`
+	// Seq is the test's position in campaign order: the index into the
+	// generated dataset list. Shard files interleave arbitrarily; sorting
+	// records by Seq restores campaign order (see MergeShards).
+	Seq         int      `json:"seq"`
+	TestPart    int      `json:"test_part,omitempty"`
 	Dataset     []string `json:"dataset"`
 	Descs       []string `json:"descs,omitempty"`
 	Validity    []string `json:"validity,omitempty"`
@@ -23,17 +33,39 @@ type jsonResult struct {
 	KernelHalt  string   `json:"kernel_halt,omitempty"`
 	ColdResets  uint32   `json:"cold_resets"`
 	WarmResets  uint32   `json:"warm_resets"`
-	HMEvents    []string `json:"hm_events,omitempty"`
-	PartState   string   `json:"part_state"`
-	PartDetail  string   `json:"part_detail,omitempty"`
-	SimCrashed  bool     `json:"sim_crashed"`
-	CrashReason string   `json:"crash_reason,omitempty"`
-	RunErr      string   `json:"run_err,omitempty"`
+	// HMEvents is the human-readable health-monitor log; HMLog carries the
+	// same entries structured, for reconstruction.
+	HMEvents    []string      `json:"hm_events,omitempty"`
+	HMLog       []JSONHMEvent `json:"hm,omitempty"`
+	PartState   string        `json:"part_state"`
+	PartDetail  string        `json:"part_detail,omitempty"`
+	SimCrashed  bool          `json:"sim_crashed"`
+	CrashReason string        `json:"crash_reason,omitempty"`
+	RunErr      string        `json:"run_err,omitempty"`
 }
 
-func toJSONResult(r Result) jsonResult {
-	out := jsonResult{
+// JSONHMEvent is one structured health-monitor log entry.
+type JSONHMEvent struct {
+	Seq    uint32 `json:"seq"`
+	Time   int64  `json:"t"`
+	Event  int    `json:"ev"`
+	Action int    `json:"act"`
+	Sys    bool   `json:"sys,omitempty"`
+	Part   int    `json:"part"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// JSONSummary is the legacy name of the decoded record view; external
+// tooling reads campaign logs through it.
+type JSONSummary = JSONRecord
+
+// ToRecord serialises one execution log as the campaign-log record at
+// position seq.
+func ToRecord(seq int, r Result) JSONRecord {
+	out := JSONRecord{
 		Func:        r.Dataset.Func.Name,
+		Seq:         seq,
+		TestPart:    r.TestPartition,
 		Invocations: r.Invocations,
 		KernelState: r.KernelState.String(),
 		KernelHalt:  r.KernelHalt,
@@ -56,8 +88,79 @@ func toJSONResult(r Result) jsonResult {
 	}
 	for _, e := range r.HMEvents {
 		out.HMEvents = append(out.HMEvents, e.String())
+		out.HMLog = append(out.HMLog, JSONHMEvent{
+			Seq: e.Seq, Time: int64(e.Time), Event: int(e.Event), Action: int(e.Action),
+			Sys: e.SystemScope, Part: e.PartitionID, Detail: e.Detail,
+		})
 	}
 	return out
+}
+
+// parsePState inverts xm.PState.String.
+func parsePState(s string) xm.PState {
+	for st := xm.PStateBoot; st <= xm.PStateShutdown; st++ {
+		if st.String() == s {
+			return st
+		}
+	}
+	return xm.PStateBoot
+}
+
+// Result reconstructs the in-memory execution log from a record. The
+// hypercall signature is resolved against h (default spec when nil);
+// records of hypercalls absent from the spec keep a bare function so
+// harness-error records still classify.
+func (rec JSONRecord) Result(h *apispec.Header) (Result, error) {
+	if h == nil {
+		h = apispec.Default()
+	}
+	f, ok := h.Function(rec.Func)
+	if !ok {
+		f = apispec.Function{Name: rec.Func}
+	}
+	r := Result{
+		TestPartition: rec.TestPart,
+		Invocations:   rec.Invocations,
+		KernelHalt:    rec.KernelHalt,
+		ColdResets:    rec.ColdResets,
+		WarmResets:    rec.WarmResets,
+		PartDetail:    rec.PartDetail,
+		SimCrashed:    rec.SimCrashed,
+		CrashReason:   rec.CrashReason,
+		RunErr:        rec.RunErr,
+	}
+	if rec.KernelState == xm.KStateHalted.String() {
+		r.KernelState = xm.KStateHalted
+	}
+	r.PartState = parsePState(rec.PartState)
+	values := make([]dict.Value, len(rec.Dataset))
+	for i, raw := range rec.Dataset {
+		v := dict.Value{Raw: raw}
+		if i < len(rec.Descs) {
+			v.Desc = rec.Descs[i]
+		}
+		if i < len(rec.Validity) {
+			val, err := dict.ParseValidity(rec.Validity[i])
+			if err != nil {
+				return Result{}, fmt.Errorf("campaign: record seq %d: %w", rec.Seq, err)
+			}
+			v.Validity = val
+		}
+		values[i] = v
+		r.Resolved = append(r.Resolved, dict.Resolved{Value: v})
+	}
+	r.Dataset = testgen.Dataset{Func: f, Index: rec.Seq, Values: values}
+	for _, rc := range rec.Returns {
+		r.Returns = append(r.Returns, xm.RetCode(rc))
+	}
+	for _, e := range rec.HMLog {
+		r.HMEvents = append(r.HMEvents, xm.HMLogEntry{
+			Seq: e.Seq, Time: xm.Time(e.Time), Event: xm.HMEvent(e.Event),
+			Action: xm.HMAction(e.Action), SystemScope: e.Sys,
+			PartitionID: e.Part, Detail: e.Detail,
+		})
+	}
+	return r, nil
 }
 
 // WriteJSON streams the campaign log as JSON Lines: one self-contained
@@ -66,26 +169,11 @@ func toJSONResult(r Result) jsonResult {
 func WriteJSON(w io.Writer, results []Result) error {
 	enc := json.NewEncoder(w)
 	for i := range results {
-		if err := enc.Encode(toJSONResult(results[i])); err != nil {
+		if err := enc.Encode(ToRecord(i, results[i])); err != nil {
 			return fmt.Errorf("campaign: writing test %d: %w", i, err)
 		}
 	}
 	return nil
-}
-
-// JSONSummary is the decoded view of one JSON Lines record, for external
-// tooling and for the tests of the export itself.
-type JSONSummary struct {
-	Func        string   `json:"func"`
-	Dataset     []string `json:"dataset"`
-	Returns     []int32  `json:"returns"`
-	ReturnNames []string `json:"return_names"`
-	KernelState string   `json:"kernel_state"`
-	ColdResets  uint32   `json:"cold_resets"`
-	WarmResets  uint32   `json:"warm_resets"`
-	HMEvents    []string `json:"hm_events"`
-	PartState   string   `json:"part_state"`
-	SimCrashed  bool     `json:"sim_crashed"`
 }
 
 // ReadJSON decodes a JSON Lines campaign log into summaries.

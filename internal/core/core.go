@@ -69,6 +69,16 @@ type CategoryStats struct {
 // TableIII aggregates the campaign into the paper's Table III rows, in
 // the paper's row order, with a trailing totals row.
 func (r *CampaignReport) TableIII() []CategoryStats {
+	counts := map[string]int{}
+	for _, res := range r.Results {
+		counts[res.Dataset.Func.Name]++
+	}
+	return tableIIIRows(counts, r.Issues)
+}
+
+// tableIIIRows computes the Table III rows from per-hypercall test counts
+// — the aggregation shared by the eager and streaming reports.
+func tableIIIRows(testsByFunc map[string]int, issues []analysis.Issue) []CategoryStats {
 	byCat := map[xm.Category]*CategoryStats{}
 	var rows []*CategoryStats
 	for _, cat := range xm.Categories() {
@@ -76,20 +86,16 @@ func (r *CampaignReport) TableIII() []CategoryStats {
 		byCat[cat] = cs
 		rows = append(rows, cs)
 	}
-	testedSeen := map[string]bool{}
-	for _, res := range r.Results {
-		spec, ok := xm.LookupName(res.Dataset.Func.Name)
+	for name, tests := range testsByFunc {
+		spec, ok := xm.LookupName(name)
 		if !ok {
 			continue
 		}
 		cs := byCat[spec.Category]
-		cs.Tests++
-		if !testedSeen[spec.Name] {
-			testedSeen[spec.Name] = true
-			cs.Tested++
-		}
+		cs.Tests += tests
+		cs.Tested++
 	}
-	for _, iss := range r.Issues {
+	for _, iss := range issues {
 		if cs, ok := byCat[iss.Category]; ok {
 			cs.Issues++
 		}

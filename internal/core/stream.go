@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"xmrobust/internal/analysis"
+	"xmrobust/internal/campaign"
+)
+
+// StreamReport is the outcome of a streamed campaign: the same analysis a
+// CampaignReport carries, aggregated incrementally so nothing grows with
+// the test count except the failure list. The raw execution logs live in
+// the shard files, not in memory.
+type StreamReport struct {
+	// Total is the campaign size; Executed ran in this call; Skipped were
+	// restored from a previous run's checkpoint.
+	Total    int
+	Executed int
+	Skipped  int
+	// HarnessErrors counts tests that failed in the harness rather than
+	// the kernel (Result.RunErr set) — the campaign-error signal command
+	// line tools gate their exit status on.
+	HarnessErrors int
+	// TestsByFunc counts executed tests per hypercall.
+	TestsByFunc map[string]int
+	// Verdicts tallies the CRASH scale over the whole campaign.
+	Verdicts map[analysis.Verdict]int
+	// Issues is the clustered issue list (paper Table III).
+	Issues []analysis.Issue
+	// Engine reports what the execution engine did.
+	Engine campaign.EngineStats
+}
+
+// TableIII aggregates the streamed campaign into the paper's Table III
+// rows.
+func (r *StreamReport) TableIII() []CategoryStats {
+	return tableIIIRows(r.TestsByFunc, r.Issues)
+}
+
+// tally folds one classified test into the aggregates.
+func (r *StreamReport) tally(c analysis.Classified) {
+	r.TestsByFunc[c.Result.Dataset.Func.Name]++
+	r.Verdicts[c.Verdict]++
+	if c.Result.RunErr != "" {
+		r.HarnessErrors++
+	}
+}
+
+// liteFailure strips the execution-log fields clustering no longer reads,
+// so retained failures stay small.
+func liteFailure(c analysis.Classified) analysis.Classified {
+	c.Result.HMEvents = nil
+	c.Result.Returns = nil
+	c.Result.Resolved = nil
+	return c
+}
+
+// RunCampaignStream executes the full pipeline through the streaming
+// pooled engine. With a shard directory configured the analysis runs off
+// the shard records after execution, so a resumed campaign reports over
+// every test — the skipped ones included — and an interrupted-then-resumed
+// campaign yields the same report as an uninterrupted one. Without shards
+// the classification happens in-flight and only failures are retained.
+func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*StreamReport, error) {
+	if eo.Resume && eo.ShardDir == "" {
+		// Without shards the skipped tests' logs are unrecoverable and
+		// the report would silently cover a fraction of the campaign.
+		return nil, errors.New("core: resuming a campaign requires a shard directory")
+	}
+	datasets, ropts, err := campaign.GenerateSuite(opts)
+	if err != nil {
+		return nil, err
+	}
+	eo.Options = ropts
+	rep := &StreamReport{
+		Total:       len(datasets),
+		TestsByFunc: map[string]int{},
+		Verdicts:    map[analysis.Verdict]int{},
+	}
+	oracle := analysis.NewOracle(ropts.Faults)
+
+	if eo.ShardDir == "" {
+		type posFail struct {
+			pos int
+			c   analysis.Classified
+		}
+		var failures []posFail
+		stats, err := campaign.Stream(datasets, eo, func(pos int, res campaign.Result) {
+			c := analysis.Classify(res, oracle)
+			rep.tally(c)
+			if c.Verdict.Failure() {
+				failures = append(failures, posFail{pos, liteFailure(c)})
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Engine, rep.Executed, rep.Skipped = stats, stats.Executed, stats.Skipped
+		// Cluster in campaign order so issue case lists and evidence stay
+		// deterministic regardless of worker interleaving.
+		sort.Slice(failures, func(a, b int) bool { return failures[a].pos < failures[b].pos })
+		ordered := make([]analysis.Classified, len(failures))
+		for i, f := range failures {
+			ordered[i] = f.c
+		}
+		rep.Issues = analysis.Cluster(ordered)
+		return rep, nil
+	}
+
+	stats, err := campaign.Stream(datasets, eo, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.Engine, rep.Executed, rep.Skipped = stats, stats.Executed, stats.Skipped
+	// Analyse incrementally off the shard records so peak memory stays
+	// proportional to the failure count, not the campaign size. Records
+	// arrive in file order; the seen set drops interruption duplicates
+	// (byte-identical copies), and failures are re-ordered by campaign
+	// position before clustering for a deterministic issue list.
+	type posFail struct {
+		seq int
+		c   analysis.Classified
+	}
+	var failures []posFail
+	seen := make(map[int]bool, rep.Total)
+	err = campaign.ScanShards(eo.ShardDir, func(rec campaign.JSONRecord) error {
+		if seen[rec.Seq] {
+			return nil
+		}
+		seen[rec.Seq] = true
+		res, err := rec.Result(ropts.Header)
+		if err != nil {
+			return err
+		}
+		c := analysis.Classify(res, oracle)
+		rep.tally(c)
+		if c.Verdict.Failure() {
+			failures = append(failures, posFail{rec.Seq, liteFailure(c)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(failures, func(a, b int) bool { return failures[a].seq < failures[b].seq })
+	ordered := make([]analysis.Classified, len(failures))
+	for i, f := range failures {
+		ordered[i] = f.c
+	}
+	rep.Issues = analysis.Cluster(ordered)
+	return rep, nil
+}

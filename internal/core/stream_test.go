@@ -1,0 +1,75 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"xmrobust/internal/campaign"
+)
+
+// TestStreamReportMatchesEager runs the full streamed campaign — shards,
+// checkpoint, an interruption a third of the way in and a resume — and
+// requires the analysis to be indistinguishable from the eager pipeline's.
+func TestStreamReportMatchesEager(t *testing.T) {
+	eager := legacyCampaign(t)
+
+	dir := t.TempDir()
+	eo := campaign.EngineOptions{
+		ShardDir:       dir,
+		CheckpointPath: filepath.Join(dir, "checkpoint.jsonl"),
+		Limit:          900,
+	}
+	if _, err := RunCampaignStream(campaign.Options{}, eo); err != nil {
+		t.Fatal(err)
+	}
+	eo.Limit = 0
+	eo.Resume = true
+	rep, err := RunCampaignStream(campaign.Options{}, eo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Total != len(eager.Results) || rep.Skipped != 900 {
+		t.Fatalf("stream total=%d skipped=%d vs eager %d tests", rep.Total, rep.Skipped, len(eager.Results))
+	}
+	if !reflect.DeepEqual(rep.TableIII(), eager.TableIII()) {
+		t.Fatalf("Table III diverged:\nstream: %+v\neager:  %+v", rep.TableIII(), eager.TableIII())
+	}
+	if !reflect.DeepEqual(rep.Verdicts, eager.VerdictCounts()) {
+		t.Fatalf("verdict tally diverged:\nstream: %+v\neager:  %+v", rep.Verdicts, eager.VerdictCounts())
+	}
+	if len(rep.Issues) != len(eager.Issues) {
+		t.Fatalf("issues: stream %d vs eager %d", len(rep.Issues), len(eager.Issues))
+	}
+	for i := range rep.Issues {
+		a, b := rep.Issues[i], eager.Issues[i]
+		if a.ID() != b.ID() || a.Verdict != b.Verdict || len(a.Cases) != len(b.Cases) {
+			t.Fatalf("issue %d diverged:\nstream: %+v\neager:  %+v", i, a, b)
+		}
+	}
+	if rep.HarnessErrors != 0 {
+		t.Fatalf("harness errors = %d", rep.HarnessErrors)
+	}
+}
+
+// TestStreamInMemoryMode: without shards the classification happens
+// in-flight; the issue list must still match the eager pipeline.
+func TestStreamInMemoryMode(t *testing.T) {
+	eager := legacyCampaign(t)
+	rep, err := RunCampaignStream(campaign.Options{}, campaign.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) != len(eager.Issues) {
+		t.Fatalf("issues: stream %d vs eager %d", len(rep.Issues), len(eager.Issues))
+	}
+	for i := range rep.Issues {
+		if rep.Issues[i].ID() != eager.Issues[i].ID() {
+			t.Fatalf("issue %d: %s vs %s", i, rep.Issues[i].ID(), eager.Issues[i].ID())
+		}
+	}
+	if rep.Engine.Pool.Reused == 0 {
+		t.Fatal("streamed campaign never recycled a machine")
+	}
+}

@@ -52,6 +52,10 @@ func (v Validity) String() string {
 	}
 }
 
+// ParseValidity is the inverse of Validity.String (empty means Depends).
+// Campaign-log readers use it to reconstruct dictionary metadata.
+func ParseValidity(s string) (Validity, error) { return parseValidity(s) }
+
 // parseValidity is the inverse of Validity.String (empty means Depends).
 func parseValidity(s string) (Validity, error) {
 	switch s {

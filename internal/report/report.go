@@ -86,10 +86,15 @@ func TableII(d *dict.Dictionary, typeName string) string {
 
 // TableIII renders the paper's Table III: the campaign per category.
 func TableIII(rep *core.CampaignReport) string {
+	return renderTableIII(rep.TableIII())
+}
+
+// renderTableIII renders Table III rows from either report flavour.
+func renderTableIII(rows []core.CategoryStats) string {
 	t := &table{header: []string{
 		"Hypercall Category", "Total Hypercalls", "Hypercalls tested", "No. of Tests", "Raised Issues",
 	}}
-	for _, row := range rep.TableIII() {
+	for _, row := range rows {
 		t.add(string(row.Category),
 			fmt.Sprintf("%d", row.TotalHypercalls),
 			fmt.Sprintf("%d", row.Tested),
@@ -101,9 +106,18 @@ func TableIII(rep *core.CampaignReport) string {
 
 // TableIIICSV renders Table III as CSV.
 func TableIIICSV(rep *core.CampaignReport) string {
+	return renderTableIIICSV(rep.TableIII())
+}
+
+// StreamTableIIICSV renders a streamed campaign's Table III as CSV.
+func StreamTableIIICSV(rep *core.StreamReport) string {
+	return renderTableIIICSV(rep.TableIII())
+}
+
+func renderTableIIICSV(rows []core.CategoryStats) string {
 	var b strings.Builder
 	b.WriteString("category,total_hypercalls,hypercalls_tested,tests,raised_issues\n")
-	for _, row := range rep.TableIII() {
+	for _, row := range rows {
 		fmt.Fprintf(&b, "%q,%d,%d,%d,%d\n",
 			row.Category, row.TotalHypercalls, row.Tested, row.Tests, row.Issues)
 	}
@@ -178,7 +192,10 @@ func Issues(rep *core.CampaignReport) string {
 
 // Verdicts renders the CRASH-scale tally.
 func Verdicts(rep *core.CampaignReport) string {
-	counts := rep.VerdictCounts()
+	return renderVerdicts(rep.VerdictCounts())
+}
+
+func renderVerdicts(counts map[analysis.Verdict]int) string {
 	t := &table{header: []string{"CRASH verdict", "Tests"}}
 	for _, v := range []analysis.Verdict{
 		analysis.Catastrophic, analysis.Restart, analysis.Abort,
@@ -187,6 +204,30 @@ func Verdicts(rep *core.CampaignReport) string {
 		t.add(v.String(), fmt.Sprintf("%d", counts[v]))
 	}
 	return "CRASH SEVERITY TALLY\n\n" + t.String()
+}
+
+// StreamSummary renders the complete report of a streamed campaign:
+// Table III, the CRASH tally, the issue list and the engine's own
+// accounting (pool efficiency, resume skips).
+func StreamSummary(rep *core.StreamReport) string {
+	var b strings.Builder
+	b.WriteString(renderTableIII(rep.TableIII()))
+	b.WriteByte('\n')
+	b.WriteString(renderVerdicts(rep.Verdicts))
+	b.WriteByte('\n')
+	b.WriteString(analysis.Summary(rep.Issues))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "\nengine: %d tests (%d executed, %d resumed from checkpoint)\n",
+		rep.Total, rep.Executed, rep.Skipped)
+	p := rep.Engine.Pool
+	if p.Allocated+p.Reused > 0 {
+		fmt.Fprintf(&b, "machine pool: %d allocated, %d recycled, %d discarded\n",
+			p.Allocated, p.Reused, p.Discarded)
+	}
+	if rep.HarnessErrors > 0 {
+		fmt.Fprintf(&b, "harness errors: %d\n", rep.HarnessErrors)
+	}
+	return b.String()
 }
 
 // Full renders the complete campaign report.

@@ -62,8 +62,67 @@ type Machine struct {
 	crashed     bool
 	crashReason string
 
+	// dirtyRAM/dirtyIO track which pages of the writable banks have been
+	// stored to since power-on (or the last Reset), so Reset scrubs only
+	// what a run actually touched instead of the whole bank. ROM needs no
+	// tracking: writes to it trap.
+	dirtyRAM dirtySet
+	dirtyIO  dirtySet
+
 	// stats
 	reads, writes, trapsRaised uint64
+	resets                     uint64
+}
+
+// dirtyPageShift sets the dirty-tracking granularity: 4 KiB pages.
+const dirtyPageShift = 12
+
+// dirtySet is a page-granular dirty bitmap over one memory bank.
+type dirtySet []uint64
+
+func newDirtySet(bankSize uint32) dirtySet {
+	pages := (uint64(bankSize) + (1 << dirtyPageShift) - 1) >> dirtyPageShift
+	return make(dirtySet, (pages+63)/64)
+}
+
+// mark records that [off, off+size) was written.
+func (d dirtySet) mark(off uint64, size uint32) {
+	first := off >> dirtyPageShift
+	last := (off + uint64(size) - 1) >> dirtyPageShift
+	for p := first; p <= last; p++ {
+		d[p/64] |= 1 << (p % 64)
+	}
+}
+
+// empty reports whether no page is marked.
+func (d dirtySet) empty() bool {
+	for _, w := range d {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// scrub zeroes every marked page of mem and clears the set.
+func (d dirtySet) scrub(mem []byte) {
+	for wi, w := range d {
+		if w == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if w&(1<<b) == 0 {
+				continue
+			}
+			start := (uint64(wi)*64 + uint64(b)) << dirtyPageShift
+			end := start + (1 << dirtyPageShift)
+			if end > uint64(len(mem)) {
+				end = uint64(len(mem))
+			}
+			clear(mem[start:end])
+		}
+		d[wi] = 0
+	}
 }
 
 // NewMachine powers on a machine with the given layout. Memory is zeroed,
@@ -78,6 +137,8 @@ func NewMachine(cfg Config) *Machine {
 	for i := range m.timers {
 		m.timers[i].unit = i
 	}
+	m.dirtyRAM = newDirtySet(cfg.RAMSize)
+	m.dirtyIO = newDirtySet(cfg.IOSize)
 	return m
 }
 
@@ -202,22 +263,40 @@ func (m *Machine) Read(addr Addr, size uint32) ([]byte, *Trap) {
 	return out, nil
 }
 
+// bankOffset resolves addr against one bank, returning the in-bank offset.
+func bankOffset(addr Addr, size uint32, base Addr, mem []byte) (uint64, bool) {
+	off := uint64(addr) - uint64(base)
+	return off, uint64(addr) >= uint64(base) && off+uint64(size) <= uint64(len(mem))
+}
+
 // Write stores data at addr, trapping on unbacked addresses. Writes to ROM
-// trap with a data_access_exception, as the PROM controller would.
+// trap with a data_access_exception, as the PROM controller would. This is
+// the simulator's hottest path, so the target bank is resolved exactly
+// once, marking the dirty set with the offset already in hand.
 func (m *Machine) Write(addr Addr, data []byte) *Trap {
 	m.writes++
+	size := uint32(len(data))
 	if uint64(addr) >= uint64(m.cfg.ROMBase) &&
-		uint64(addr)+uint64(len(data)) <= uint64(m.cfg.ROMBase)+uint64(m.cfg.ROMSize) {
+		uint64(addr)+uint64(size) <= uint64(m.cfg.ROMBase)+uint64(m.cfg.ROMSize) {
 		m.trapsRaised++
 		return DataAccessTrap(addr, PermWrite, "write to PROM")
 	}
-	b := m.backing(addr, uint32(len(data)))
-	if b == nil {
-		m.trapsRaised++
-		return DataAccessTrap(addr, PermWrite, "bus error: unbacked address")
+	if off, ok := bankOffset(addr, size, m.cfg.RAMBase, m.ram); ok {
+		copy(m.ram[off:off+uint64(size)], data)
+		if size > 0 {
+			m.dirtyRAM.mark(off, size)
+		}
+		return nil
 	}
-	copy(b, data)
-	return nil
+	if off, ok := bankOffset(addr, size, m.cfg.IOBase, m.io); ok {
+		copy(m.io[off:off+uint64(size)], data)
+		if size > 0 {
+			m.dirtyIO.mark(off, size)
+		}
+		return nil
+	}
+	m.trapsRaised++
+	return DataAccessTrap(addr, PermWrite, "bus error: unbacked address")
 }
 
 // Read32 loads a big-endian word (SPARC is big-endian).
@@ -271,6 +350,122 @@ func (m *Machine) Write64(addr Addr, v uint64) *Trap {
 // Stats reports bus and trap counters, for the campaign's execution logs.
 func (m *Machine) Stats() (reads, writes, traps uint64) {
 	return m.reads, m.writes, m.trapsRaised
+}
+
+// Resets returns how many times the machine has been Reset since power-on.
+func (m *Machine) Resets() uint64 { return m.resets }
+
+// Reset returns the machine to its power-on state in place: memory zeroed,
+// clock at 0, timers disarmed, devices cleared, crash flag dropped. Only
+// the pages written since the last reset are scrubbed, so the cost is
+// proportional to what the previous run touched, not to the bank sizes —
+// the property the campaign's machine pool depends on.
+func (m *Machine) Reset() {
+	m.dirtyRAM.scrub(m.ram)
+	m.dirtyIO.scrub(m.io)
+	m.now = 0
+	for i := range m.timers {
+		m.timers[i] = TimerUnit{unit: i}
+	}
+	m.irqc = IRQController{}
+	m.uart = UART{}
+	m.crashed, m.crashReason = false, ""
+	m.reads, m.writes, m.trapsRaised = 0, 0, 0
+	m.resets++
+}
+
+// VerifyReset checks the cheap power-on invariants a freshly Reset machine
+// must satisfy: clock at zero, no crash, timers disarmed, console empty,
+// interrupt controller clear, dirty sets drained. It is fast enough to run
+// on every pool recycle; VerifyClean adds the exhaustive memory scan.
+func (m *Machine) VerifyReset() error {
+	switch {
+	case m.crashed:
+		return fmt.Errorf("sparc: reset machine still crashed: %s", m.crashReason)
+	case m.now != 0:
+		return fmt.Errorf("sparc: reset machine clock at %dus", m.now)
+	case m.uart.Written() != 0:
+		return fmt.Errorf("sparc: reset machine console holds %d bytes", m.uart.Written())
+	case m.irqc.Pending() != 0:
+		return fmt.Errorf("sparc: reset machine has pending IRQs %#x", m.irqc.Pending())
+	case !m.dirtyRAM.empty() || !m.dirtyIO.empty():
+		return fmt.Errorf("sparc: reset machine has undrained dirty pages")
+	}
+	for i := range m.timers {
+		if armed, at := m.timers[i].Armed(); armed {
+			return fmt.Errorf("sparc: reset machine timer %d armed for t=%d", i, at)
+		}
+	}
+	return nil
+}
+
+// AuditPages scans n pages of the writable banks for residue, starting at
+// a window that rotates with the reset count so successive audits sweep
+// the whole bank over time. It is the cheap middle ground between
+// VerifyReset (invariants only — it cannot see a page the dirty tracker
+// missed) and VerifyClean (full scan): a dirty-tracking bug surfaces as an
+// audit failure within a bounded number of recycles instead of leaking
+// silently.
+func (m *Machine) AuditPages(n int) error {
+	banks := [...][]byte{m.ram, m.io}
+	var total uint64
+	pagesOf := func(mem []byte) uint64 {
+		return (uint64(len(mem)) + (1 << dirtyPageShift) - 1) >> dirtyPageShift
+	}
+	for _, b := range banks {
+		total += pagesOf(b)
+	}
+	if total == 0 {
+		return nil
+	}
+	start := (m.resets * uint64(n)) % total
+	for i := 0; i < n; i++ {
+		page := (start + uint64(i)) % total
+		mem, name := m.ram, "ram"
+		if ramPages := pagesOf(m.ram); page >= ramPages {
+			mem, name = m.io, "io"
+			page -= ramPages
+		}
+		lo := page << dirtyPageShift
+		hi := lo + (1 << dirtyPageShift)
+		if hi > uint64(len(mem)) {
+			hi = uint64(len(mem))
+		}
+		for off := lo; off < hi; off++ {
+			if mem[off] != 0 {
+				return fmt.Errorf("sparc: %s residue at page %d offset %#x (untracked write?)",
+					name, page, off)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyClean is the exhaustive form of VerifyReset: it additionally scans
+// every byte of ROM, RAM and I/O space for residue of a previous run. It
+// is the ground truth the reset-isolation tests (and the pool's strict
+// mode) check the dirty-page bookkeeping against.
+func (m *Machine) VerifyClean() error {
+	if err := m.VerifyReset(); err != nil {
+		return err
+	}
+	for _, bank := range []struct {
+		name string
+		base Addr
+		mem  []byte
+	}{
+		{"rom", m.cfg.ROMBase, m.rom},
+		{"ram", m.cfg.RAMBase, m.ram},
+		{"io", m.cfg.IOBase, m.io},
+	} {
+		for i, b := range bank.mem {
+			if b != 0 {
+				return fmt.Errorf("sparc: %s residue: byte %#x at %#x",
+					bank.name, b, uint64(bank.base)+uint64(i))
+			}
+		}
+	}
+	return nil
 }
 
 // RAMRegion returns a Region covering all of RAM (convenience for tests).

@@ -1,0 +1,120 @@
+package sparc
+
+import "sync"
+
+// PoolStats counts what a MachinePool did over its lifetime.
+type PoolStats struct {
+	// Allocated is the number of machines built from scratch.
+	Allocated uint64
+	// Reused is the number of Gets served by recycling a pooled machine.
+	Reused uint64
+	// Discarded counts machines the pool refused to recycle: crashed
+	// simulators handed back via Put, and machines that failed the
+	// post-reset verification.
+	Discarded uint64
+}
+
+// MachinePool recycles Machines across independent runs. A campaign that
+// boots one simulated target per test spends most of its allocation budget
+// on the memory banks; the pool keeps them alive and relies on
+// Machine.Reset's dirty-page scrubbing to restore the power-on state at a
+// cost proportional to what the previous run touched.
+//
+// Every recycled machine is reset *and verified*: Get replays the cheap
+// power-on invariants (VerifyReset) plus a rotating page audit
+// (AuditPages) that sweeps the banks across successive recycles, and in
+// strict mode the exhaustive VerifyClean memory scan. A machine that fails
+// verification — or that comes back crashed — is discarded and replaced
+// with a fresh allocation. The invariant check alone cannot see a page the
+// dirty tracker missed; the rotating audit bounds how long such a
+// bookkeeping bug could leak before surfacing as a discard, and strict
+// mode (plus the reset-isolation tests) rules it out deterministically.
+type MachinePool struct {
+	cfg    Config
+	strict bool
+
+	mu    sync.Mutex
+	free  []*Machine
+	max   int
+	stats PoolStats
+}
+
+// auditPagesPerGet is the rotating-audit window of a non-strict recycle:
+// 8 pages (32 KiB) per Get keeps the audit in the noise of a single test's
+// cost while sweeping a default RAM bank about every 512 recycles.
+const auditPagesPerGet = 8
+
+// NewMachinePool builds a pool producing machines with the given layout.
+// max bounds how many idle machines are retained (<= 0: one per caller is
+// kept, i.e. unbounded — callers are expected to be a fixed worker set).
+func NewMachinePool(cfg Config, max int) *MachinePool {
+	return &MachinePool{cfg: cfg, max: max}
+}
+
+// SetStrict selects exhaustive VerifyClean scans on every recycle. This is
+// orders of magnitude slower than the default invariant check; it exists
+// for isolation tests and paranoid runs.
+func (p *MachinePool) SetStrict(v bool) { p.strict = v }
+
+// Get returns a machine in its power-on state: a recycled one when the
+// reset-and-verify cycle succeeds, a fresh allocation otherwise.
+func (p *MachinePool) Get() *Machine {
+	p.mu.Lock()
+	var m *Machine
+	if n := len(p.free); n > 0 {
+		m = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+
+	if m != nil {
+		m.Reset()
+		err := m.VerifyReset()
+		if err == nil {
+			if p.strict {
+				err = m.VerifyClean()
+			} else {
+				err = m.AuditPages(auditPagesPerGet)
+			}
+		}
+		if err == nil {
+			p.count(func(s *PoolStats) { s.Reused++ })
+			return m
+		}
+		p.count(func(s *PoolStats) { s.Discarded++ })
+	}
+	p.count(func(s *PoolStats) { s.Allocated++ })
+	return NewMachine(p.cfg)
+}
+
+// Put hands a machine back for recycling. Crashed simulators are
+// discarded — the contract of Crash is that the embedding harness must not
+// trust them again — as is anything built with a different layout.
+func (p *MachinePool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	if crashed, _ := m.Crashed(); crashed || m.Config() != p.cfg {
+		p.count(func(s *PoolStats) { s.Discarded++ })
+		return
+	}
+	p.mu.Lock()
+	if p.max <= 0 || len(p.free) < p.max {
+		p.free = append(p.free, m)
+	}
+	p.mu.Unlock()
+}
+
+// Stats snapshots the pool counters.
+func (p *MachinePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *MachinePool) count(f func(*PoolStats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}

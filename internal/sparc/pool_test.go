@@ -1,0 +1,146 @@
+package sparc
+
+import "testing"
+
+// dirtyMachine powers on a machine and leaves realistic residue: memory
+// stores across banks, an armed timer, console output, a raised interrupt
+// and an advanced clock.
+func dirtyMachine(t *testing.T) *Machine {
+	t.Helper()
+	m := NewDefaultMachine()
+	if tr := m.Write(m.cfg.RAMBase+0x1234, []byte{0xde, 0xad, 0xbe, 0xef}); tr != nil {
+		t.Fatal(tr)
+	}
+	if tr := m.Write32(m.cfg.IOBase+0x40, 0xcafe); tr != nil {
+		t.Fatal(tr)
+	}
+	// A write spanning a page boundary must dirty both pages.
+	if tr := m.Write(m.cfg.RAMBase+Addr(1<<dirtyPageShift)-2, []byte{1, 2, 3, 4}); tr != nil {
+		t.Fatal(tr)
+	}
+	m.Timer(0).Arm(500, func(m *Machine, unit int, at Time) {})
+	m.UART().WriteString("residue\n")
+	m.IRQ().Raise(4)
+	if err := m.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestResetScrubsEverything(t *testing.T) {
+	m := dirtyMachine(t)
+	if err := m.VerifyClean(); err == nil {
+		t.Fatal("dirty machine passed VerifyClean")
+	}
+	m.Reset()
+	if err := m.VerifyClean(); err != nil {
+		t.Fatalf("reset machine not clean: %v", err)
+	}
+	if m.Resets() != 1 {
+		t.Fatalf("resets = %d", m.Resets())
+	}
+}
+
+func TestResetClearsCrash(t *testing.T) {
+	m := NewDefaultMachine()
+	m.Crash("test")
+	m.Reset()
+	if crashed, _ := m.Crashed(); crashed {
+		t.Fatal("reset machine still crashed")
+	}
+	if err := m.AdvanceTo(10); err != nil {
+		t.Fatalf("reset machine refuses to run: %v", err)
+	}
+}
+
+func TestVerifyCleanFindsRawResidue(t *testing.T) {
+	m := NewDefaultMachine()
+	// Simulate a bookkeeping escape: memory mutated behind the dirty
+	// tracker's back.
+	m.ram[42] = 1
+	if err := m.VerifyClean(); err == nil {
+		t.Fatal("raw residue not detected")
+	}
+}
+
+func TestPoolRecyclesCleanMachines(t *testing.T) {
+	p := NewMachinePool(DefaultConfig(), 4)
+	m := p.Get()
+	if tr := m.Write(m.Config().RAMBase, []byte{9, 9, 9}); tr != nil {
+		t.Fatal(tr)
+	}
+	p.Put(m)
+	m2 := p.Get()
+	if m2 != m {
+		t.Fatal("pool did not recycle the machine")
+	}
+	if err := m2.VerifyClean(); err != nil {
+		t.Fatalf("recycled machine dirty: %v", err)
+	}
+	st := p.Stats()
+	if st.Allocated != 1 || st.Reused != 1 || st.Discarded != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolDiscardsCrashedMachines(t *testing.T) {
+	p := NewMachinePool(DefaultConfig(), 4)
+	m := p.Get()
+	m.Crash("simulator died")
+	p.Put(m)
+	m2 := p.Get()
+	if m2 == m {
+		t.Fatal("pool recycled a crashed machine")
+	}
+	st := p.Stats()
+	if st.Discarded != 1 || st.Allocated != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAuditPagesSweepsWholeBank(t *testing.T) {
+	m := NewDefaultMachine()
+	// Residue the dirty tracker knows nothing about, far into RAM.
+	m.ram[len(m.ram)-100] = 0xaa
+	found := false
+	for i := 0; i < len(m.ram)/(8<<dirtyPageShift)+len(m.io)/(8<<dirtyPageShift)+2; i++ {
+		if err := m.AuditPages(8); err != nil {
+			found = true
+			break
+		}
+		m.resets++ // advance the rotating window as a pool recycle would
+	}
+	if !found {
+		t.Fatal("a full sweep of rotating audits missed the residue")
+	}
+}
+
+func TestPoolStrictModeScans(t *testing.T) {
+	p := NewMachinePool(DefaultConfig(), 4)
+	p.SetStrict(true)
+	m := p.Get()
+	p.Put(m)
+	// Mutate behind the tracker's back: strict verification must refuse
+	// to recycle and fall back to a fresh machine.
+	m.ram[7] = 0xff
+	m2 := p.Get()
+	if m2 == m {
+		t.Fatal("strict pool recycled a machine with untracked residue")
+	}
+	if st := p.Stats(); st.Discarded != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolCapsRetention(t *testing.T) {
+	p := NewMachinePool(DefaultConfig(), 1)
+	a, b := p.Get(), p.Get()
+	p.Put(a)
+	p.Put(b) // over capacity: silently dropped
+	if got := p.Get(); got != a {
+		t.Fatal("expected the one retained machine")
+	}
+	if len(p.free) != 0 {
+		t.Fatalf("free list = %d", len(p.free))
+	}
+}
