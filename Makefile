@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-smoke lint fmt ci
+.PHONY: build test bench bench-smoke plan-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# A full pairwise-plan campaign through the streaming engine: exercises
+# plan generation, coverage reporting and the sharded log end to end, and
+# fails on harness errors. CI runs this.
+plan-smoke:
+	rm -rf /tmp/xmplan-smoke
+	$(GO) run ./cmd/xmfuzz -plan pairwise -stream /tmp/xmplan-smoke -csv > /dev/null
+	rm -rf /tmp/xmplan-smoke
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,4 +36,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint test bench-smoke
+ci: build lint test bench-smoke plan-smoke

@@ -99,6 +99,54 @@ func BenchmarkFig45Generation(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerate measures plan construction plus a full iteration of
+// the emitted stream, per strategy — the generation front of the
+// pipeline. Regressions in the greedy covering array, the sampler or the
+// lazy mixed-radix addressing all surface here.
+func BenchmarkGenerate(b *testing.B) {
+	for _, spec := range []string{"exhaustive", "pairwise", "rand:500", "boundary"} {
+		b.Run(spec, func(b *testing.B) {
+			h, d := apispec.Default(), dict.Builtin()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := testgen.NewPlan(spec, h, d, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for _, ds := range testgen.All(p) {
+					if len(ds.Values) > 4 {
+						b.Fatal("malformed dataset")
+					}
+					n++
+				}
+				if n != p.Len() {
+					b.Fatalf("iterated %d of %d", n, p.Len())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanPairwise isolates the greedy 2-way covering-array
+// construction over the default spec, coverage verification included.
+func BenchmarkPlanPairwise(b *testing.B) {
+	h, d := apispec.Default(), dict.Builtin()
+	for i := 0; i < b.N; i++ {
+		p, err := testgen.NewPlan("pairwise", h, d, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := testgen.Measure(p)
+		if st.PairCoverage() != 1 {
+			b.Fatalf("pair coverage = %v", st.PairCoverage())
+		}
+		if st.Reduction() < 2 {
+			b.Fatalf("reduction = %.2fx", st.Reduction())
+		}
+	}
+}
+
 // BenchmarkFig8Distribution regenerates the Fig. 8 distribution from a
 // finished campaign.
 func BenchmarkFig8Distribution(b *testing.B) {
@@ -273,6 +321,30 @@ func BenchmarkCampaignMemory(b *testing.B) {
 		before := liveHeap()
 		for i := 0; i < b.N; i++ {
 			if _, err := campaign.Stream(datasets, campaign.EngineOptions{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		after := liveHeap()
+		if after < before {
+			after = before
+		}
+		b.ReportMetric(float64(after-before)/float64(b.N), "live-B/run")
+	})
+	// plan-streaming goes one further: the suite itself is never
+	// materialised — the engine pulls each dataset lazily out of the
+	// plan, so neither the generation nor the execution side retains
+	// per-test state.
+	b.Run("plan-streaming", func(b *testing.B) {
+		plan, err := testgen.NewPlan("rand:512", apispec.Default(), dict.Builtin(), 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Len() != tests {
+			b.Fatalf("plan has %d tests, want %d", plan.Len(), tests)
+		}
+		before := liveHeap()
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.StreamPlan(plan, campaign.EngineOptions{}, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -13,10 +13,17 @@
 // are its product, not an error), 1 on campaign/harness errors, 2 on
 // usage errors.
 //
+// The campaign's test plan is pluggable: -plan exhaustive (default, the
+// paper's full Eq. 1 product), -plan pairwise (greedy 2-way covering
+// array), -plan rand:N (seeded uniform sample without replacement, see
+// -seed) or -plan boundary (invalid/boundary-value-dense subset). A
+// checkpointed campaign records its plan fingerprint; -resume refuses a
+// mismatched plan instead of mixing two campaigns into one log.
+//
 // Usage:
 //
 //	xmfuzz [-patched] [-mafs N] [-workers N] [-stress] [-func NAME]
-//	       [-csv] [-issues] [-progress]
+//	       [-plan STRATEGY] [-seed N] [-csv] [-issues] [-progress]
 //	       [-stream DIR] [-shards N] [-resume] [-fresh-machines]
 package main
 
@@ -51,6 +58,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "shard writer count for -stream (0 = workers)")
 		resume   = flag.Bool("resume", false, "resume an interrupted -stream campaign from its checkpoint")
 		fresh    = flag.Bool("fresh-machines", false, "disable machine pooling (one fresh simulator per test)")
+		plan     = flag.String("plan", "exhaustive", "test plan: exhaustive, pairwise, rand:N, boundary")
+		seed     = flag.Int64("seed", 0, "seed for randomised plans (rand:N)")
 	)
 	flag.Parse()
 
@@ -58,6 +67,8 @@ func main() {
 		MAFs:    *mafs,
 		Workers: *workers,
 		Stress:  *stress,
+		Plan:    *plan,
+		Seed:    *seed,
 	}
 	if *patched {
 		opts.Faults = xm.PatchedFaults()

@@ -209,11 +209,52 @@ func Classify(r campaign.Result, o *Oracle) Classified {
 	return c
 }
 
-// ClassifyAll classifies a whole campaign.
+// Classifier is the streaming form of the classification stage: results
+// are classified and tallied one at a time, retaining only the aggregate
+// counters — never the execution logs — so campaign-scale analysis runs
+// at constant memory.
+type Classifier struct {
+	oracle *Oracle
+	// Tests counts classified results; TestsByFunc splits them per
+	// hypercall; Verdicts tallies the CRASH scale; HarnessErrors counts
+	// tests that failed in the harness rather than the kernel.
+	Tests         int
+	TestsByFunc   map[string]int
+	Verdicts      map[Verdict]int
+	HarnessErrors int
+}
+
+// NewClassifier returns an empty accumulator classifying against the
+// oracle.
+func NewClassifier(o *Oracle) *Classifier {
+	return &Classifier{
+		oracle:      o,
+		TestsByFunc: map[string]int{},
+		Verdicts:    map[Verdict]int{},
+	}
+}
+
+// Add classifies one execution log, folds it into the tallies and returns
+// the classification for downstream consumers (clustering, failure
+// reporting).
+func (c *Classifier) Add(r campaign.Result) Classified {
+	cl := Classify(r, c.oracle)
+	c.Tests++
+	c.TestsByFunc[r.Dataset.Func.Name]++
+	c.Verdicts[cl.Verdict]++
+	if r.RunErr != "" {
+		c.HarnessErrors++
+	}
+	return cl
+}
+
+// ClassifyAll classifies a whole campaign — the eager wrapper over the
+// streaming Classifier.
 func ClassifyAll(results []campaign.Result, o *Oracle) []Classified {
+	c := NewClassifier(o)
 	out := make([]Classified, 0, len(results))
 	for _, r := range results {
-		out = append(out, Classify(r, o))
+		out = append(out, c.Add(r))
 	}
 	return out
 }

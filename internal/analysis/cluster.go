@@ -48,35 +48,78 @@ type clusterKey struct {
 	blamed   string
 }
 
-// Cluster groups the failing tests of a classified campaign into issues.
-// Issues are ordered by hypercall number, then reaction.
-func Cluster(classified []Classified) []Issue {
-	byKey := map[clusterKey]*Issue{}
-	var order []clusterKey
-	for _, c := range classified {
-		if !c.Verdict.Failure() {
-			continue
+// caseRef is one failing test of an issue, tagged with its campaign
+// position so snapshots order cases deterministically no matter the
+// arrival order.
+type caseRef struct {
+	seq  int
+	call string
+}
+
+// issueAcc accumulates one issue's evidence.
+type issueAcc struct {
+	key       clusterKey
+	category  xm.Category
+	detail    string
+	detailSeq int
+	cases     []caseRef
+}
+
+// Clusterer is the streaming form of the issue-clustering stage: failing
+// tests are folded in one at a time, in any order, and Issues renders the
+// deterministic issue list at any point. Only the cluster evidence is
+// retained (one rendered call per failing test) — never the execution
+// logs, so memory stays proportional to the failure count.
+type Clusterer struct {
+	byKey    map[clusterKey]*issueAcc
+	failures int
+}
+
+// NewClusterer returns an empty accumulator.
+func NewClusterer() *Clusterer {
+	return &Clusterer{byKey: map[clusterKey]*issueAcc{}}
+}
+
+// Add folds one classified test in; seq is its campaign position, which
+// orders an issue's case list and selects its representative evidence.
+// Passing tests are ignored.
+func (cl *Clusterer) Add(seq int, c Classified) {
+	if !c.Verdict.Failure() {
+		return
+	}
+	cl.failures++
+	key := clusterKey{
+		fn:       c.Result.Dataset.Func.Name,
+		verdict:  c.Verdict,
+		reaction: c.Reaction,
+		blamed:   c.Blamed,
+	}
+	acc, ok := cl.byKey[key]
+	if !ok {
+		cat := xm.Category(c.Result.Dataset.Func.Category)
+		if spec, found := xm.LookupName(key.fn); found {
+			cat = spec.Category
 		}
-		key := clusterKey{
-			fn:       c.Result.Dataset.Func.Name,
-			verdict:  c.Verdict,
-			reaction: c.Reaction,
-			blamed:   c.Blamed,
-		}
-		iss, ok := byKey[key]
-		if !ok {
-			cat := xm.Category(c.Result.Dataset.Func.Category)
-			if spec, found := xm.LookupName(key.fn); found {
-				cat = spec.Category
-			}
-			iss = &Issue{
-				Func: key.fn, Category: cat, Verdict: c.Verdict,
-				Reaction: c.Reaction, Blamed: c.Blamed, Detail: c.Detail,
-			}
-			byKey[key] = iss
-			order = append(order, key)
-		}
-		iss.Cases = append(iss.Cases, c.Result.Dataset.String())
+		acc = &issueAcc{key: key, category: cat, detail: c.Detail, detailSeq: seq}
+		cl.byKey[key] = acc
+	} else if seq < acc.detailSeq {
+		// The representative evidence is the campaign's earliest case,
+		// regardless of completion order.
+		acc.detail, acc.detailSeq = c.Detail, seq
+	}
+	acc.cases = append(acc.cases, caseRef{seq: seq, call: c.Result.Dataset.String()})
+}
+
+// Failures returns how many failing tests have been folded in.
+func (cl *Clusterer) Failures() int { return cl.failures }
+
+// Issues renders the issue list: ordered by hypercall number, then
+// reaction, blamed parameter and verdict, with each issue's cases in
+// campaign order. The accumulator stays usable afterwards.
+func (cl *Clusterer) Issues() []Issue {
+	order := make([]clusterKey, 0, len(cl.byKey))
+	for k := range cl.byKey {
+		order = append(order, k)
 	}
 	sort.Slice(order, func(a, b int) bool {
 		ka, kb := order[a], order[b]
@@ -88,13 +131,37 @@ func Cluster(classified []Classified) []Issue {
 		if ka.reaction != kb.reaction {
 			return ka.reaction < kb.reaction
 		}
-		return ka.blamed < kb.blamed
+		if ka.blamed != kb.blamed {
+			return ka.blamed < kb.blamed
+		}
+		return ka.verdict < kb.verdict
 	})
 	out := make([]Issue, 0, len(order))
 	for _, k := range order {
-		out = append(out, *byKey[k])
+		acc := cl.byKey[k]
+		cases := append([]caseRef(nil), acc.cases...)
+		sort.Slice(cases, func(a, b int) bool { return cases[a].seq < cases[b].seq })
+		iss := Issue{
+			Func: k.fn, Category: acc.category, Verdict: k.verdict,
+			Reaction: k.reaction, Blamed: k.blamed, Detail: acc.detail,
+			Cases: make([]string, len(cases)),
+		}
+		for i, c := range cases {
+			iss.Cases[i] = c.call
+		}
+		out = append(out, iss)
 	}
 	return out
+}
+
+// Cluster groups the failing tests of a classified campaign into issues —
+// the eager wrapper over the streaming Clusterer.
+func Cluster(classified []Classified) []Issue {
+	cl := NewClusterer()
+	for i, c := range classified {
+		cl.Add(i, c)
+	}
+	return cl.Issues()
 }
 
 // IssuesByCategory counts issues per hypercall category (the Table III

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// accumSuite runs a small real campaign with a mix of passes and several
+// distinct failures — raw material for the accumulator tests.
+func accumSuite(t *testing.T) []campaign.Result {
+	t.Helper()
+	h := apispec.Default()
+	var results []campaign.Result
+	for _, fn := range []string{"XM_reset_system", "XM_set_timer", "XM_multicall"} {
+		f, ok := h.Function(fn)
+		if !ok {
+			t.Fatalf("unknown function %q", fn)
+		}
+		m, err := testgen.BuildMatrix(f, dict.Builtin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := m.Datasets()
+		if len(ds) > 10 {
+			ds = ds[:10]
+		}
+		results = append(results, campaign.RunDatasets(ds, campaign.Options{Workers: 2})...)
+	}
+	return results
+}
+
+// TestClustererOrderIndependent: the streaming Clusterer must render the
+// identical issue list no matter the order results arrive in — worker
+// completion order is nondeterministic.
+func TestClustererOrderIndependent(t *testing.T) {
+	results := accumSuite(t)
+	oracle := NewOracle(xm.LegacyFaults())
+	classified := ClassifyAll(results, oracle)
+	eager := Cluster(classified)
+	if len(eager) == 0 {
+		t.Fatal("suite raised no issues; the comparison is vacuous")
+	}
+
+	reversed := NewClusterer()
+	for i := len(classified) - 1; i >= 0; i-- {
+		reversed.Add(i, classified[i])
+	}
+	shuffled := NewClusterer()
+	for i := 0; i < len(classified); i += 2 {
+		shuffled.Add(i, classified[i])
+	}
+	for i := 1; i < len(classified); i += 2 {
+		shuffled.Add(i, classified[i])
+	}
+	for name, cl := range map[string]*Clusterer{"reversed": reversed, "interleaved": shuffled} {
+		if got := cl.Issues(); !reflect.DeepEqual(got, eager) {
+			t.Errorf("%s arrival order diverged from the eager clustering:\ngot:  %+v\nwant: %+v", name, got, eager)
+		}
+	}
+	// The accumulator must stay usable after a snapshot.
+	if got := reversed.Issues(); !reflect.DeepEqual(got, eager) {
+		t.Error("second Issues() snapshot diverged")
+	}
+}
+
+// TestClassifierTallies: the streaming Classifier's aggregates must equal
+// what eager classification would count.
+func TestClassifierTallies(t *testing.T) {
+	results := accumSuite(t)
+	oracle := NewOracle(xm.LegacyFaults())
+	cls := NewClassifier(oracle)
+	for _, r := range results {
+		cls.Add(r)
+	}
+	if cls.Tests != len(results) {
+		t.Fatalf("Tests = %d, want %d", cls.Tests, len(results))
+	}
+	wantVerdicts := map[Verdict]int{}
+	wantFuncs := map[string]int{}
+	for _, c := range ClassifyAll(results, oracle) {
+		wantVerdicts[c.Verdict]++
+		wantFuncs[c.Result.Dataset.Func.Name]++
+	}
+	if !reflect.DeepEqual(cls.Verdicts, wantVerdicts) {
+		t.Fatalf("Verdicts = %+v, want %+v", cls.Verdicts, wantVerdicts)
+	}
+	if !reflect.DeepEqual(cls.TestsByFunc, wantFuncs) {
+		t.Fatalf("TestsByFunc = %+v, want %+v", cls.TestsByFunc, wantFuncs)
+	}
+	if cls.HarnessErrors != 0 {
+		t.Fatalf("HarnessErrors = %d on a clean suite", cls.HarnessErrors)
+	}
+}
+
+// TestClustererFailureCount: Failures counts only failing tests.
+func TestClustererFailureCount(t *testing.T) {
+	results := accumSuite(t)
+	oracle := NewOracle(xm.LegacyFaults())
+	clu := NewClusterer()
+	want := 0
+	for i, r := range results {
+		c := Classify(r, oracle)
+		if c.Verdict.Failure() {
+			want++
+		}
+		clu.Add(i, c)
+	}
+	if clu.Failures() != want {
+		t.Fatalf("Failures = %d, want %d", clu.Failures(), want)
+	}
+	cases := 0
+	for _, iss := range clu.Issues() {
+		cases += len(iss.Cases)
+	}
+	if cases != want {
+		t.Fatalf("issue cases sum to %d, want %d", cases, want)
+	}
+}

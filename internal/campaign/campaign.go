@@ -46,6 +46,13 @@ type Options struct {
 	// results differ under stressful states): one warm-up frame with
 	// saturated IPC queues and trace buffers.
 	Stress bool
+	// Plan selects the test-generation strategy ("" or "exhaustive" for
+	// the paper's full Eq. 1 product; "pairwise", "rand:N", "boundary"
+	// for reduced plans — see testgen.NewPlan).
+	Plan string
+	// Seed feeds randomised plans (rand:N); deterministic strategies
+	// ignore it.
+	Seed int64
 	// Progress, when non-nil, receives (done, total) after every test.
 	Progress func(done, total int)
 }
@@ -250,12 +257,23 @@ func preloadStress(k *xm.Kernel) {
 	_ = k.RunMajorFrames(1)
 }
 
-// GenerateSuite applies the option defaults and generates the campaign's
-// dataset list — the shared front half of Run and the streaming engine.
-func GenerateSuite(opts Options) ([]testgen.Dataset, Options, error) {
+// BuildPlan applies the option defaults and constructs the campaign's
+// test plan — the shared generation front of the eager and streaming
+// pipelines.
+func BuildPlan(opts Options) (testgen.Plan, Options, error) {
 	opts = opts.withDefaults()
-	datasets, err := testgen.Generate(opts.Header, opts.Dict)
-	return datasets, opts, err
+	plan, err := testgen.NewPlan(opts.Plan, opts.Header, opts.Dict, opts.Seed)
+	return plan, opts, err
+}
+
+// GenerateSuite applies the option defaults and materialises the
+// campaign's dataset list — the eager wrapper over BuildPlan.
+func GenerateSuite(opts Options) ([]testgen.Dataset, Options, error) {
+	plan, opts, err := BuildPlan(opts)
+	if err != nil {
+		return nil, opts, err
+	}
+	return testgen.Materialize(plan), opts, nil
 }
 
 // Run generates the campaign's datasets and executes them all, returning

@@ -11,6 +11,8 @@ package campaign
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -89,16 +91,65 @@ type posResult struct {
 	logged bool
 }
 
-// Stream executes datasets through the engine. Each completed test is
-// handed to sink (when non-nil) from a single goroutine, tagged with its
-// position in datasets; nothing is retained in memory, so a campaign's
-// footprint no longer grows with its test count. Results arrive in
-// completion order, not campaign order. Note that on a resumed run the
-// sink only sees the tests executed by this call — the skipped tests'
-// logs live in the shard files (ScanShards reads them back).
+// Source is the dataset stream the engine executes: a deterministic,
+// index-addressable sequence. testgen.Plan satisfies it directly, so a
+// campaign streams straight out of a lazy plan without materialising the
+// suite; DatasetSlice adapts pre-built lists. At must be safe for
+// concurrent use — the worker pool calls it from several goroutines.
+type Source interface {
+	Len() int
+	At(i int) testgen.Dataset
+	// Fingerprint identifies the stream's content; checkpoints record it
+	// and refuse to resume a different one.
+	Fingerprint() string
+}
+
+// DatasetSlice adapts a pre-built dataset list to the Source interface.
+type DatasetSlice []testgen.Dataset
+
+// Len returns the dataset count.
+func (s DatasetSlice) Len() int { return len(s) }
+
+// At returns dataset i.
+func (s DatasetSlice) At(i int) testgen.Dataset { return s[i] }
+
+// Fingerprint hashes the rendered datasets.
+func (s DatasetSlice) Fingerprint() string {
+	h := sha256.New()
+	for _, ds := range s {
+		io.WriteString(h, ds.String())
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("slice:%d/%s", len(s), hex.EncodeToString(h.Sum(nil))[:16])
+}
+
+// sourcePlan names the generation strategy behind a source ("slice" when
+// the source is not a plan).
+func sourcePlan(src Source) string {
+	if p, ok := src.(interface{ Strategy() string }); ok {
+		return p.Strategy()
+	}
+	return "slice"
+}
+
+// Stream executes a pre-built dataset list through the engine — the slice
+// adapter over StreamPlan.
 func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r Result)) (EngineStats, error) {
+	return StreamPlan(DatasetSlice(datasets), eo, sink)
+}
+
+// StreamPlan executes a dataset source through the engine. Each completed
+// test is handed to sink (when non-nil) from a single goroutine, tagged
+// with its position in the source; neither the suite nor the results are
+// retained in memory, so a campaign's footprint no longer grows with its
+// test count. Results arrive in completion order, not campaign order.
+// Note that on a resumed run the sink only sees the tests executed by
+// this call — the skipped tests' logs live in the shard files
+// (ScanShards reads them back).
+func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (EngineStats, error) {
 	opts := eo.Options.withDefaults()
-	stats := EngineStats{Total: len(datasets)}
+	total := src.Len()
+	stats := EngineStats{Total: total}
 	if eo.Resume && eo.ShardDir == "" {
 		// A checkpoint mark promises a durable record; without shards the
 		// skipped tests' results would exist nowhere and the resumed run
@@ -118,21 +169,25 @@ func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r R
 		err  error
 	)
 	if eo.CheckpointPath != "" {
-		ckpt, done, err = openCheckpoint(eo.CheckpointPath, suiteSignature(datasets, opts), eo.Resume)
+		hdr := ckptHeader{
+			Campaign:    optionsSignature(total, opts),
+			Plan:        sourcePlan(src),
+			Fingerprint: src.Fingerprint(),
+		}
+		ckpt, done, err = openCheckpoint(eo.CheckpointPath, hdr, eo.Resume)
 		if err != nil {
 			return stats, err
 		}
 		defer ckpt.close()
 	}
-	pending := make([]int, 0, len(datasets))
-	for i := range datasets {
-		if !done[i] {
-			pending = append(pending, i)
+	for pos := range done {
+		if pos >= 0 && pos < total {
+			stats.Skipped++
 		}
 	}
-	stats.Skipped = len(datasets) - len(pending)
-	if eo.Limit > 0 && len(pending) > eo.Limit {
-		pending = pending[:eo.Limit]
+	pendingCount := total - stats.Skipped
+	if eo.Limit > 0 && pendingCount > eo.Limit {
+		pendingCount = eo.Limit
 	}
 
 	var writers []*shardWriter
@@ -141,13 +196,13 @@ func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r R
 			return stats, err
 		}
 	}
-	if len(pending) == 0 {
+	if pendingCount == 0 {
 		return stats, closeShards(writers)
 	}
 
 	workers := opts.Workers
-	if workers > len(pending) {
-		workers = len(pending)
+	if workers > pendingCount {
+		workers = pendingCount
 	}
 	var pool *sparc.MachinePool
 	if !eo.FreshMachines {
@@ -159,9 +214,17 @@ func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r R
 	results := make(chan posResult, workers)
 	finished := make(chan posResult, workers)
 
+	// The feeder walks the source's index space lazily — no pending list
+	// is materialised, so a billion-test plan costs the same as a small
+	// one until its tests actually run.
 	go func() {
-		for _, pos := range pending {
+		sent := 0
+		for pos := 0; pos < total && sent < pendingCount; pos++ {
+			if done[pos] {
+				continue
+			}
 			jobs <- pos
+			sent++
 		}
 		close(jobs)
 	}()
@@ -176,7 +239,7 @@ func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r R
 				if pool != nil {
 					m = pool.Get()
 				}
-				r := runOneOn(datasets[pos], opts, m)
+				r := runOneOn(src.At(pos), opts, m)
 				if pool != nil {
 					pool.Put(m)
 				}
@@ -244,7 +307,7 @@ func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r R
 		stats.Executed++
 		completed++
 		if opts.Progress != nil {
-			opts.Progress(completed, len(datasets))
+			opts.Progress(completed, total)
 		}
 	}
 	latch(closeShards(writers))
@@ -254,21 +317,26 @@ func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r R
 	return stats, firstErr
 }
 
-// suiteSignature fingerprints a campaign so a checkpoint cannot silently
-// resume a different one.
-func suiteSignature(datasets []testgen.Dataset, opts Options) string {
-	sig := fmt.Sprintf("tests=%d|mafs=%d|stress=%v|faults=%+v", len(datasets), opts.MAFs, opts.Stress, opts.Faults)
-	if len(datasets) > 0 {
-		sig += "|" + datasets[0].String() + "|" + datasets[len(datasets)-1].String()
-	}
-	return sig
+// optionsSignature fingerprints the execution side of a campaign — the
+// knobs that change what a test's log looks like — so a checkpoint cannot
+// silently resume under different execution conditions.
+func optionsSignature(total int, opts Options) string {
+	return fmt.Sprintf("tests=%d|mafs=%d|stress=%v|faults=%+v", total, opts.MAFs, opts.Stress, opts.Faults)
 }
 
 // --- checkpoint --------------------------------------------------------
 
-// ckptHeader is the first line of a checkpoint file.
+// ckptHeader is the first line of a checkpoint file: the execution
+// signature plus the identity of the plan whose cursor the marks encode.
 type ckptHeader struct {
 	Campaign string `json:"campaign"`
+	// Plan is the generation strategy ("exhaustive", "pairwise", …, or
+	// "slice" for pre-built lists); Fingerprint is the source's full
+	// content identity. A resume under any other plan is refused — its
+	// positions would index a different stream and the shards would mix
+	// two campaigns.
+	Plan        string `json:"plan,omitempty"`
+	Fingerprint string `json:"plan_fp,omitempty"`
 }
 
 // ckptMark is one completed-test line.
@@ -285,7 +353,7 @@ type checkpoint struct {
 
 // openCheckpoint creates (or, with resume, loads) the checkpoint at path
 // and returns the set of completed campaign positions.
-func openCheckpoint(path, sig string, resume bool) (*checkpoint, map[int]bool, error) {
+func openCheckpoint(path string, want ckptHeader, resume bool) (*checkpoint, map[int]bool, error) {
 	done := map[int]bool{}
 	if resume {
 		data, err := os.ReadFile(path)
@@ -303,8 +371,18 @@ func openCheckpoint(path, sig string, resume bool) (*checkpoint, map[int]bool, e
 			if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Campaign == "" {
 				return nil, nil, fmt.Errorf("campaign: checkpoint %s has no header", path)
 			}
-			if hdr.Campaign != sig {
-				return nil, nil, fmt.Errorf("campaign: checkpoint %s belongs to a different campaign", path)
+			if hdr.Plan == "" && hdr.Fingerprint == "" {
+				return nil, nil, fmt.Errorf(
+					"campaign: checkpoint %s predates plan recording and cannot be safely resumed — start fresh without resume", path)
+			}
+			if hdr.Plan != want.Plan || hdr.Fingerprint != want.Fingerprint {
+				return nil, nil, fmt.Errorf(
+					"campaign: checkpoint %s records plan %s (fingerprint %s), but this run generates plan %s (fingerprint %s) — rerun with the checkpointed plan, or start fresh without resume",
+					path, hdr.Plan, hdr.Fingerprint, want.Plan, want.Fingerprint)
+			}
+			if hdr.Campaign != want.Campaign {
+				return nil, nil, fmt.Errorf("campaign: checkpoint %s belongs to a different campaign (%s, this run: %s)",
+					path, hdr.Campaign, want.Campaign)
 			}
 			for _, line := range lines[1:] {
 				if line == "" {
@@ -334,7 +412,7 @@ func openCheckpoint(path, sig string, resume bool) (*checkpoint, map[int]bool, e
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
-	hdr, _ := json.Marshal(ckptHeader{Campaign: sig})
+	hdr, _ := json.Marshal(want)
 	if _, err := f.Write(append(hdr, '\n')); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)

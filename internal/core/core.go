@@ -14,6 +14,7 @@ import (
 // CampaignReport is the complete outcome of one robustness campaign.
 type CampaignReport struct {
 	Options    campaign.Options
+	Plan       testgen.PlanStats
 	Datasets   []testgen.Dataset
 	Results    []campaign.Result
 	Classified []analysis.Classified
@@ -22,19 +23,20 @@ type CampaignReport struct {
 
 // RunCampaign executes the full pipeline with the given options (zero
 // value: the paper's campaign — legacy kernel, default spec and
-// dictionaries, two major frames per test).
+// dictionaries, exhaustive plan, two major frames per test), retaining
+// every execution log in memory. Large or reduced campaigns stream
+// instead: RunCampaignStream.
 func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
 	rep := &CampaignReport{Options: opts}
-	results, err := campaign.Run(opts)
+	plan, ropts, err := campaign.BuildPlan(opts)
 	if err != nil {
 		return nil, err
 	}
-	rep.Results = results
-	for _, r := range results {
-		rep.Datasets = append(rep.Datasets, r.Dataset)
-	}
-	oracle := analysis.NewOracle(opts.Faults)
-	rep.Classified = analysis.ClassifyAll(results, oracle)
+	rep.Plan = testgen.Measure(plan)
+	rep.Datasets = testgen.Materialize(plan)
+	rep.Results = campaign.RunDatasets(rep.Datasets, ropts)
+	oracle := analysis.NewOracle(ropts.Faults)
+	rep.Classified = analysis.ClassifyAll(rep.Results, oracle)
 	rep.Issues = analysis.Cluster(rep.Classified)
 	return rep, nil
 }

@@ -2,17 +2,20 @@ package core
 
 import (
 	"errors"
-	"sort"
 
 	"xmrobust/internal/analysis"
 	"xmrobust/internal/campaign"
+	"xmrobust/internal/testgen"
 )
 
 // StreamReport is the outcome of a streamed campaign: the same analysis a
 // CampaignReport carries, aggregated incrementally so nothing grows with
-// the test count except the failure list. The raw execution logs live in
-// the shard files, not in memory.
+// the test count except the clustered issue evidence. The raw execution
+// logs live in the shard files, not in memory.
 type StreamReport struct {
+	// Plan quantifies the generation strategy: test count, Eq. 1 size,
+	// value-pair coverage and the reduction factor.
+	Plan testgen.PlanStats
 	// Total is the campaign size; Executed ran in this call; Skipped were
 	// restored from a previous run's checkpoint.
 	Total    int
@@ -38,91 +41,63 @@ func (r *StreamReport) TableIII() []CategoryStats {
 	return tableIIIRows(r.TestsByFunc, r.Issues)
 }
 
-// tally folds one classified test into the aggregates.
-func (r *StreamReport) tally(c analysis.Classified) {
-	r.TestsByFunc[c.Result.Dataset.Func.Name]++
-	r.Verdicts[c.Verdict]++
-	if c.Result.RunErr != "" {
-		r.HarnessErrors++
-	}
-}
-
-// liteFailure strips the execution-log fields clustering no longer reads,
-// so retained failures stay small.
-func liteFailure(c analysis.Classified) analysis.Classified {
-	c.Result.HMEvents = nil
-	c.Result.Returns = nil
-	c.Result.Resolved = nil
-	return c
+// adopt copies the classifier's aggregates into the report.
+func (r *StreamReport) adopt(cls *analysis.Classifier, clu *analysis.Clusterer) {
+	r.TestsByFunc = cls.TestsByFunc
+	r.Verdicts = cls.Verdicts
+	r.HarnessErrors = cls.HarnessErrors
+	r.Issues = clu.Issues()
 }
 
 // RunCampaignStream executes the full pipeline through the streaming
-// pooled engine. With a shard directory configured the analysis runs off
-// the shard records after execution, so a resumed campaign reports over
-// every test — the skipped ones included — and an interrupted-then-resumed
-// campaign yields the same report as an uninterrupted one. Without shards
-// the classification happens in-flight and only failures are retained.
+// pooled engine: the plan generates datasets lazily, the engine streams
+// them through the worker pool, and the analysis accumulators fold every
+// result in as it lands — no layer retains the suite or the logs. With a
+// shard directory configured the analysis runs off the shard records
+// after execution, so a resumed campaign reports over every test — the
+// skipped ones included — and an interrupted-then-resumed campaign yields
+// the same report as an uninterrupted one. Without shards the
+// classification happens in-flight and only the cluster evidence is
+// retained.
 func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*StreamReport, error) {
 	if eo.Resume && eo.ShardDir == "" {
 		// Without shards the skipped tests' logs are unrecoverable and
 		// the report would silently cover a fraction of the campaign.
 		return nil, errors.New("core: resuming a campaign requires a shard directory")
 	}
-	datasets, ropts, err := campaign.GenerateSuite(opts)
+	plan, ropts, err := campaign.BuildPlan(opts)
 	if err != nil {
 		return nil, err
 	}
 	eo.Options = ropts
-	rep := &StreamReport{
-		Total:       len(datasets),
-		TestsByFunc: map[string]int{},
-		Verdicts:    map[analysis.Verdict]int{},
-	}
-	oracle := analysis.NewOracle(ropts.Faults)
+	rep := &StreamReport{Plan: testgen.Measure(plan), Total: plan.Len()}
+	cls := analysis.NewClassifier(analysis.NewOracle(ropts.Faults))
+	clu := analysis.NewClusterer()
 
 	if eo.ShardDir == "" {
-		type posFail struct {
-			pos int
-			c   analysis.Classified
-		}
-		var failures []posFail
-		stats, err := campaign.Stream(datasets, eo, func(pos int, res campaign.Result) {
-			c := analysis.Classify(res, oracle)
-			rep.tally(c)
-			if c.Verdict.Failure() {
-				failures = append(failures, posFail{pos, liteFailure(c)})
-			}
+		// In-flight analysis: the engine's collector goroutine feeds each
+		// result straight into the accumulators and drops it.
+		stats, err := campaign.StreamPlan(plan, eo, func(pos int, res campaign.Result) {
+			clu.Add(pos, cls.Add(res))
 		})
 		if err != nil {
 			return nil, err
 		}
 		rep.Engine, rep.Executed, rep.Skipped = stats, stats.Executed, stats.Skipped
-		// Cluster in campaign order so issue case lists and evidence stay
-		// deterministic regardless of worker interleaving.
-		sort.Slice(failures, func(a, b int) bool { return failures[a].pos < failures[b].pos })
-		ordered := make([]analysis.Classified, len(failures))
-		for i, f := range failures {
-			ordered[i] = f.c
-		}
-		rep.Issues = analysis.Cluster(ordered)
+		rep.adopt(cls, clu)
 		return rep, nil
 	}
 
-	stats, err := campaign.Stream(datasets, eo, nil)
+	stats, err := campaign.StreamPlan(plan, eo, nil)
 	if err != nil {
 		return nil, err
 	}
 	rep.Engine, rep.Executed, rep.Skipped = stats, stats.Executed, stats.Skipped
-	// Analyse incrementally off the shard records so peak memory stays
-	// proportional to the failure count, not the campaign size. Records
-	// arrive in file order; the seen set drops interruption duplicates
-	// (byte-identical copies), and failures are re-ordered by campaign
-	// position before clustering for a deterministic issue list.
-	type posFail struct {
-		seq int
-		c   analysis.Classified
-	}
-	var failures []posFail
+	// Analyse incrementally off the shard records so the report covers
+	// resumed tests too. Records arrive in file order; the seen set drops
+	// interruption duplicates (byte-identical copies), and the
+	// accumulators keep memory proportional to the failure count, not the
+	// campaign size.
 	seen := make(map[int]bool, rep.Total)
 	err = campaign.ScanShards(eo.ShardDir, func(rec campaign.JSONRecord) error {
 		if seen[rec.Seq] {
@@ -133,21 +108,12 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 		if err != nil {
 			return err
 		}
-		c := analysis.Classify(res, oracle)
-		rep.tally(c)
-		if c.Verdict.Failure() {
-			failures = append(failures, posFail{rec.Seq, liteFailure(c)})
-		}
+		clu.Add(rec.Seq, cls.Add(res))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(failures, func(a, b int) bool { return failures[a].seq < failures[b].seq })
-	ordered := make([]analysis.Classified, len(failures))
-	for i, f := range failures {
-		ordered[i] = f.c
-	}
-	rep.Issues = analysis.Cluster(ordered)
+	rep.adopt(cls, clu)
 	return rep, nil
 }

@@ -12,6 +12,7 @@ import (
 	"xmrobust/internal/analysis"
 	"xmrobust/internal/core"
 	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
 
@@ -206,11 +207,23 @@ func renderVerdicts(counts map[analysis.Verdict]int) string {
 	return "CRASH SEVERITY TALLY\n\n" + t.String()
 }
 
-// StreamSummary renders the complete report of a streamed campaign:
-// Table III, the CRASH tally, the issue list and the engine's own
-// accounting (pool efficiency, resume skips).
+// PlanLine renders a plan's coverage statistics as the one-line header of
+// a campaign report. For an exhaustive plan (no reduction) it stays
+// minimal.
+func PlanLine(st testgen.PlanStats) string {
+	if st.Strategy == testgen.StrategyExhaustive || st.Strategy == "" {
+		return fmt.Sprintf("plan exhaustive: all %d datasets of Eq. 1\n", st.Tests)
+	}
+	return st.String() + "\n"
+}
+
+// StreamSummary renders the complete report of a streamed campaign: the
+// plan coverage line, Table III, the CRASH tally, the issue list and the
+// engine's own accounting (pool efficiency, resume skips).
 func StreamSummary(rep *core.StreamReport) string {
 	var b strings.Builder
+	b.WriteString(PlanLine(rep.Plan))
+	b.WriteByte('\n')
 	b.WriteString(renderTableIII(rep.TableIII()))
 	b.WriteByte('\n')
 	b.WriteString(renderVerdicts(rep.Verdicts))
@@ -233,6 +246,8 @@ func StreamSummary(rep *core.StreamReport) string {
 // Full renders the complete campaign report.
 func Full(rep *core.CampaignReport) string {
 	var b strings.Builder
+	b.WriteString(PlanLine(rep.Plan))
+	b.WriteByte('\n')
 	b.WriteString(TableIII(rep))
 	b.WriteByte('\n')
 	b.WriteString(Verdicts(rep))

@@ -8,6 +8,7 @@ package testgen
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"xmrobust/internal/apispec"
@@ -50,11 +51,31 @@ func BuildMatrix(f apispec.Function, d *dict.Dictionary) (Matrix, error) {
 }
 
 // Combinations returns Eq. 1 of the paper: the product of the row sizes.
-// A parameter-less hypercall has exactly one (empty) dataset.
+// A parameter-less hypercall has exactly one (empty) dataset. The product
+// saturates at the platform's MaxInt instead of wrapping, so a huge
+// dictionary cannot silently corrupt the campaign total that progress
+// reporting and checkpointing are keyed on.
 func (m Matrix) Combinations() int {
-	n := 1
+	n := m.Combinations64()
+	if n > math.MaxInt {
+		return math.MaxInt
+	}
+	return int(n)
+}
+
+// Combinations64 computes Eq. 1 in 64 bits, saturating at MaxInt64 on
+// overflow.
+func (m Matrix) Combinations64() int64 {
+	n := int64(1)
 	for _, row := range m.Rows {
-		n *= len(row)
+		k := int64(len(row))
+		if k == 0 {
+			return 0
+		}
+		if n > math.MaxInt64/k {
+			return math.MaxInt64
+		}
+		n *= k
 	}
 	return n
 }
@@ -88,42 +109,51 @@ func (ds Dataset) InvalidParams() []string {
 	return out
 }
 
+// datasetAt decodes the dataset at the given rank of the matrix's
+// deterministic enumeration — the mixed-radix decomposition of the
+// paper's nested generator loops, with the last parameter varying
+// fastest. It is the single definition of dataset order every plan
+// strategy addresses into.
+func (m Matrix) datasetAt(rank int64) Dataset {
+	vals := make([]dict.Value, len(m.Rows))
+	r := rank
+	for i := len(m.Rows) - 1; i >= 0; i-- {
+		n := int64(len(m.Rows[i]))
+		vals[i] = m.Rows[i][int(r%n)]
+		r /= n
+	}
+	return Dataset{Func: m.Func, Index: int(rank), Values: vals}
+}
+
+// rankOf is the inverse of datasetAt over value-index tuples.
+func (m Matrix) rankOf(tuple []int) int64 {
+	r := int64(0)
+	for i, v := range tuple {
+		r = r*int64(len(m.Rows[i])) + int64(v)
+	}
+	return r
+}
+
 // Datasets enumerates every combination of the matrix in deterministic
 // order: the last parameter varies fastest, exactly like the nested loops
 // of the paper's generator.
 func (m Matrix) Datasets() []Dataset {
 	total := m.Combinations()
 	out := make([]Dataset, 0, total)
-	idx := make([]int, len(m.Rows))
 	for n := 0; n < total; n++ {
-		vals := make([]dict.Value, len(m.Rows))
-		for i, row := range m.Rows {
-			vals[i] = row[idx[i]]
-		}
-		out = append(out, Dataset{Func: m.Func, Index: n, Values: vals})
-		for i := len(idx) - 1; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(m.Rows[i]) {
-				break
-			}
-			idx[i] = 0
-		}
+		out = append(out, m.datasetAt(int64(n)))
 	}
 	return out
 }
 
 // Generate builds the full test suite for every tested function of the
-// header, in document order.
+// header, in document order — the eager wrapper over the exhaustive plan.
 func Generate(h *apispec.Header, d *dict.Dictionary) ([]Dataset, error) {
-	var out []Dataset
-	for _, f := range h.Tested() {
-		m, err := BuildMatrix(f, d)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m.Datasets()...)
+	p, err := NewPlan(StrategyExhaustive, h, d, 0)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return Materialize(p), nil
 }
 
 // CountByFunction returns Eq. 1 per tested function without materialising
