@@ -22,8 +22,16 @@
 //
 // Usage:
 //
+// With -plan feedback:N the campaign closes the loop on kernel edge
+// coverage: boundary-strategy seeds first, then datasets bred from the
+// coverage-deduplicated corpus by dictionary-aware mutators, with the
+// engine feeding every result's coverage map back into the plan. Seeded
+// feedback runs are byte-reproducible; -corpus FILE persists the corpus
+// across campaigns; -cover-stats reports edge coverage for any plan.
+//
 //	xmfuzz [-patched] [-mafs N] [-workers N] [-stress] [-func NAME]
-//	       [-plan STRATEGY] [-seed N] [-csv] [-issues] [-progress]
+//	       [-plan STRATEGY] [-seed N] [-corpus FILE] [-cover-stats]
+//	       [-csv] [-issues] [-progress]
 //	       [-stream DIR] [-shards N] [-resume] [-fresh-machines]
 package main
 
@@ -58,17 +66,21 @@ func main() {
 		shards   = flag.Int("shards", 0, "shard writer count for -stream (0 = workers)")
 		resume   = flag.Bool("resume", false, "resume an interrupted -stream campaign from its checkpoint")
 		fresh    = flag.Bool("fresh-machines", false, "disable machine pooling (one fresh simulator per test)")
-		plan     = flag.String("plan", "exhaustive", "test plan: exhaustive, pairwise, rand:N, boundary")
-		seed     = flag.Int64("seed", 0, "seed for randomised plans (rand:N)")
+		plan     = flag.String("plan", "exhaustive", "test plan: exhaustive, pairwise, rand:N, boundary, feedback:N")
+		seed     = flag.Int64("seed", 0, "seed for randomised plans (rand:N, feedback:N)")
+		corpus   = flag.String("corpus", "", "feedback-plan corpus file (JSON Lines): load parents, append admissions")
+		coverCol = flag.Bool("cover-stats", false, "collect kernel edge coverage and report it (feedback plans always do)")
 	)
 	flag.Parse()
 
 	opts := campaign.Options{
-		MAFs:    *mafs,
-		Workers: *workers,
-		Stress:  *stress,
-		Plan:    *plan,
-		Seed:    *seed,
+		MAFs:     *mafs,
+		Workers:  *workers,
+		Stress:   *stress,
+		Plan:     *plan,
+		Seed:     *seed,
+		Corpus:   *corpus,
+		Coverage: *coverCol,
 	}
 	if *patched {
 		opts.Faults = xm.PatchedFaults()

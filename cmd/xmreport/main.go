@@ -8,11 +8,15 @@
 //
 // Tables 3 and figure 8 execute the full campaign (a few seconds);
 // -patched reports the post-fault-removal kernel instead.
+//
+// xmreport exits 0 on success, 1 on campaign or rendering errors, 2 on
+// usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xmrobust/internal/campaign"
@@ -23,15 +27,24 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xmreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tableN   = flag.Int("table", 0, "render table 1, 2 or 3")
-		figN     = flag.Int("fig", 0, "render figure 8")
-		all      = flag.Bool("all", false, "render every table and figure")
-		patched  = flag.Bool("patched", false, "campaign against the patched kernel")
-		typeName = flag.String("type", "xm_s32_t", "data type for table 2")
-		compare  = flag.Bool("compare", false, "render Table III paper-vs-measured")
+		tableN   = fs.Int("table", 0, "render table 1, 2 or 3")
+		figN     = fs.Int("fig", 0, "render figure 8")
+		all      = fs.Bool("all", false, "render every table and figure")
+		patched  = fs.Bool("patched", false, "campaign against the patched kernel")
+		typeName = fs.String("type", "xm_s32_t", "data type for table 2")
+		compare  = fs.Bool("compare", false, "render Table III paper-vs-measured")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	needCampaign := *all || *tableN == 3 || *figN == 8 || *compare
 	var rep *core.CampaignReport
@@ -43,38 +56,43 @@ func main() {
 		var err error
 		rep, err = core.RunCampaign(opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xmreport:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "xmreport:", err)
+			return 1
 		}
 	}
 
 	printed := false
 	if *all || *tableN == 1 {
-		fmt.Println(report.TableI())
+		fmt.Fprintln(stdout, report.TableI())
 		printed = true
 	}
 	if *all || *tableN == 2 {
-		fmt.Println(report.TableII(dict.Builtin(), *typeName))
+		if _, ok := dict.Builtin().Type(*typeName); !ok {
+			fmt.Fprintf(stderr, "xmreport: no dictionary for type %q\n", *typeName)
+			return 1
+		}
+		fmt.Fprintln(stdout, report.TableII(dict.Builtin(), *typeName))
 		printed = true
 	}
 	if *all || *tableN == 3 {
-		fmt.Println(report.TableIII(rep))
-		fmt.Println(report.Verdicts(rep))
+		fmt.Fprintln(stdout, report.TableIII(rep))
+		fmt.Fprintln(stdout, report.Verdicts(rep))
 		printed = true
 	}
 	if *all || *figN == 8 {
-		fmt.Println(report.Fig8(rep))
+		fmt.Fprintln(stdout, report.Fig8(rep))
 		printed = true
 	}
 	if *all || *compare {
-		fmt.Println(report.CompareTableIII(rep))
+		fmt.Fprintln(stdout, report.CompareTableIII(rep))
 		printed = true
 	}
 	if *all {
-		fmt.Println(report.Issues(rep))
+		fmt.Fprintln(stdout, report.Issues(rep))
 	}
 	if !printed {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }

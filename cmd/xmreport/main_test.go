@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smoke runs the command body and returns (exit, stdout, stderr).
+func smoke(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestXmreportStaticTablesSmoke(t *testing.T) {
+	code, out, _ := smoke(t, "-table", "1")
+	if code != 0 || !strings.Contains(out, "TABLE I.") {
+		t.Fatalf("-table 1: code %d", code)
+	}
+	code, out, _ = smoke(t, "-table", "2")
+	if code != 0 || !strings.Contains(out, "TABLE II.") {
+		t.Fatalf("-table 2: code %d", code)
+	}
+	code, out, _ = smoke(t, "-table", "2", "-type", "xm_u32_t")
+	if code != 0 || !strings.Contains(out, "xm_u32_t") {
+		t.Fatalf("-table 2 -type: code %d", code)
+	}
+}
+
+func TestXmreportCampaignSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full campaign")
+	}
+	code, out, _ := smoke(t, "-table", "3")
+	if code != 0 || !strings.Contains(out, "TABLE III.") {
+		t.Fatalf("-table 3: code %d", code)
+	}
+	if !strings.Contains(out, "CRASH SEVERITY TALLY") {
+		t.Fatal("-table 3 omitted the verdict tally")
+	}
+}
+
+func TestXmreportErrorsExitNonZero(t *testing.T) {
+	// No selection: usage error.
+	if code, _, _ := smoke(t); code != 2 {
+		t.Errorf("bare xmreport: exit %d, want 2", code)
+	}
+	// Unknown flag: usage error.
+	if code, _, _ := smoke(t, "-bogus"); code != 2 {
+		t.Errorf("-bogus: exit %d, want 2", code)
+	}
+	// Unknown table number: usage error (nothing to render).
+	if code, _, _ := smoke(t, "-table", "9"); code != 2 {
+		t.Errorf("-table 9: exit %d, want 2", code)
+	}
+	// Unknown data type for table 2: rendering error.
+	code, _, stderr := smoke(t, "-table", "2", "-type", "no_such_t")
+	if code != 1 || !strings.Contains(stderr, "no dictionary") {
+		t.Errorf("-type no_such_t: exit %d stderr %q, want 1", code, stderr)
+	}
+}

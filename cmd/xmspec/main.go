@@ -6,10 +6,14 @@
 //	xmspec dict                 # emit the Data Type XML
 //	xmspec counts               # Eq. 1 combinations per tested hypercall
 //	xmspec mutant XM_set_timer 0   # render mutant source #0 of a hypercall
+//
+// xmspec exits 0 on success, 1 on errors (unknown hypercall, bad index,
+// emission failures), 2 on usage errors.
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -18,70 +22,76 @@ import (
 	"xmrobust/internal/testgen"
 )
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xmspec api | dict | counts | mutant FUNC INDEX")
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: xmspec api | dict | counts | mutant FUNC INDEX")
+	return 2
+}
+
+// run is the testable command body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
 	}
 	header := apispec.Default()
 	d := dict.Builtin()
-	switch os.Args[1] {
+	switch args[0] {
 	case "api":
 		out, err := header.Emit()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xmspec:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "xmspec:", err)
+			return 1
 		}
-		os.Stdout.Write(out)
+		stdout.Write(out)
 	case "dict":
 		out, err := d.Emit()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xmspec:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "xmspec:", err)
+			return 1
 		}
-		os.Stdout.Write(out)
+		stdout.Write(out)
 	case "counts":
 		total := 0
 		for _, f := range header.Tested() {
 			m, err := testgen.BuildMatrix(f, d)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "xmspec:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "xmspec:", err)
+				return 1
 			}
 			n := m.Combinations()
 			total += n
-			fmt.Printf("%-32s %5d combinations\n", f.Name, n)
+			fmt.Fprintf(stdout, "%-32s %5d combinations\n", f.Name, n)
 		}
-		fmt.Printf("%-32s %5d combinations\n", "TOTAL", total)
+		fmt.Fprintf(stdout, "%-32s %5d combinations\n", "TOTAL", total)
 	case "mutant":
-		if len(os.Args) != 4 {
-			usage()
+		if len(args) != 3 {
+			return usage(stderr)
 		}
-		f, ok := header.Function(os.Args[2])
+		f, ok := header.Function(args[1])
 		if !ok {
-			fmt.Fprintf(os.Stderr, "xmspec: unknown hypercall %q\n", os.Args[2])
-			os.Exit(1)
+			fmt.Fprintf(stderr, "xmspec: unknown hypercall %q\n", args[1])
+			return 1
 		}
-		idx, err := strconv.Atoi(os.Args[3])
+		idx, err := strconv.Atoi(args[2])
 		if err != nil {
-			usage()
+			return usage(stderr)
 		}
 		m, err := testgen.BuildMatrix(f, d)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xmspec:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "xmspec:", err)
+			return 1
 		}
 		datasets := m.Datasets()
 		if idx < 0 || idx >= len(datasets) {
-			fmt.Fprintf(os.Stderr, "xmspec: index out of range (0..%d)\n", len(datasets)-1)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "xmspec: index out of range (0..%d)\n", len(datasets)-1)
+			return 1
 		}
-		fmt.Print(testgen.RenderMutantC(datasets[idx]))
+		fmt.Fprint(stdout, testgen.RenderMutantC(datasets[idx]))
 	default:
-		usage()
+		return usage(stderr)
 	}
+	return 0
 }

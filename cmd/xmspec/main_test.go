@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smoke runs the command body and returns (exit, stdout, stderr).
+func smoke(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestXmspecSmoke(t *testing.T) {
+	code, out, _ := smoke(t, "api")
+	if code != 0 || !strings.Contains(out, "XM_set_timer") {
+		t.Fatalf("api: code %d, out %q", code, out[:min(80, len(out))])
+	}
+	code, out, _ = smoke(t, "dict")
+	if code != 0 || !strings.Contains(out, "xm_s32_t") {
+		t.Fatalf("dict: code %d", code)
+	}
+	code, out, _ = smoke(t, "counts")
+	if code != 0 || !strings.Contains(out, "TOTAL") {
+		t.Fatalf("counts: code %d", code)
+	}
+	code, out, _ = smoke(t, "mutant", "XM_set_timer", "0")
+	if code != 0 || !strings.Contains(out, "XM_set_timer(") {
+		t.Fatalf("mutant: code %d, out %q", code, out)
+	}
+}
+
+func TestXmspecErrorsExitNonZero(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{nil, 2},
+		{[]string{"bogus"}, 2},
+		{[]string{"mutant"}, 2},
+		{[]string{"mutant", "XM_set_timer", "NaN"}, 2},
+		{[]string{"mutant", "XM_no_such_call", "0"}, 1},
+		{[]string{"mutant", "XM_set_timer", "999999"}, 1},
+	}
+	for _, c := range cases {
+		if code, _, stderr := smoke(t, c.args...); code != c.want {
+			t.Errorf("xmspec %v: exit %d (stderr %q), want %d", c.args, code, stderr, c.want)
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"runtime"
 
 	"xmrobust/internal/apispec"
+	"xmrobust/internal/corpus"
+	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
 	"xmrobust/internal/eagleeye"
 	"xmrobust/internal/sparc"
@@ -50,9 +52,17 @@ type Options struct {
 	// the paper's full Eq. 1 product; "pairwise", "rand:N", "boundary"
 	// for reduced plans — see testgen.NewPlan).
 	Plan string
-	// Seed feeds randomised plans (rand:N); deterministic strategies
-	// ignore it.
+	// Seed feeds randomised plans (rand:N, feedback:N); deterministic
+	// strategies ignore it.
 	Seed int64
+	// Coverage collects kernel edge coverage per test (Result.Cover).
+	// Feedback plans force it on; for static plans it is the opt-in
+	// behind coverage reporting (-cover-stats).
+	Coverage bool
+	// Corpus is the JSON Lines corpus file of the feedback plan:
+	// previously admitted datasets load as mutation parents, and new
+	// admissions append as they happen. Only valid with -plan feedback:N.
+	Corpus string
 	// Progress, when non-nil, receives (done, total) after every test.
 	Progress func(done, total int)
 }
@@ -107,6 +117,10 @@ type Result struct {
 
 	// RunErr records an unexpected harness error ("" normally).
 	RunErr string
+
+	// Cover is the kernel edge coverage of the run (nil unless
+	// Options.Coverage was on).
+	Cover *cover.Map
 }
 
 // Returned reports whether every invocation returned to the guest.
@@ -184,6 +198,10 @@ func runOneOn(ds testgen.Dataset, opts Options, m *sparc.Machine) Result {
 	if m != nil {
 		sysOpts = append(sysOpts, xm.WithMachine(m))
 	}
+	if opts.Coverage {
+		res.Cover = &cover.Map{}
+		sysOpts = append(sysOpts, xm.WithCoverage(res.Cover))
+	}
 	k, err := eagleeye.NewSystem(sysOpts...)
 	if err != nil {
 		res.RunErr = err.Error()
@@ -259,19 +277,40 @@ func preloadStress(k *xm.Kernel) {
 
 // BuildPlan applies the option defaults and constructs the campaign's
 // test plan — the shared generation front of the eager and streaming
-// pipelines.
+// pipelines. A configured corpus file attaches to the feedback plan
+// (and is rejected for any other strategy); the caller owns closing the
+// plan when it is a Closer.
 func BuildPlan(opts Options) (testgen.Plan, Options, error) {
 	opts = opts.withDefaults()
 	plan, err := testgen.NewPlan(opts.Plan, opts.Header, opts.Dict, opts.Seed)
-	return plan, opts, err
+	if err != nil {
+		return nil, opts, err
+	}
+	if opts.Corpus != "" {
+		fp, ok := plan.(*corpus.FeedbackPlan)
+		if !ok {
+			return nil, opts, fmt.Errorf("campaign: a corpus file requires the feedback plan, not %q", plan.Strategy())
+		}
+		if err := fp.UseCorpusFile(opts.Corpus); err != nil {
+			return nil, opts, err
+		}
+	}
+	return plan, opts, nil
 }
 
 // GenerateSuite applies the option defaults and materialises the
-// campaign's dataset list — the eager wrapper over BuildPlan.
+// campaign's dataset list — the eager wrapper over BuildPlan. Dynamic
+// plans (feedback:N) breed datasets from execution results and cannot be
+// materialised up front; they are refused here — run them through
+// StreamPlan (or core.RunCampaign, which streams them internally).
 func GenerateSuite(opts Options) ([]testgen.Dataset, Options, error) {
 	plan, opts, err := BuildPlan(opts)
 	if err != nil {
 		return nil, opts, err
+	}
+	if testgen.IsDynamic(plan) {
+		return nil, opts, fmt.Errorf(
+			"campaign: plan %q schedules on execution feedback and cannot be materialised — use StreamPlan or core.RunCampaign", plan.Strategy())
 	}
 	return testgen.Materialize(plan), opts, nil
 }

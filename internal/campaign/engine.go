@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"xmrobust/internal/cover"
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/testgen"
 )
@@ -104,6 +105,19 @@ type Source interface {
 	Fingerprint() string
 }
 
+// FeedbackSource is a dataset source driven by execution results: the
+// engine forwards every completed test's kernel coverage map back into
+// it, closing the loop the coverage-guided feedback plan schedules on.
+// The corpus.FeedbackPlan satisfies it; its At blocks until the
+// coverage of all earlier positions has been delivered, so the mutation
+// region of a feedback campaign executes serially by construction.
+type FeedbackSource interface {
+	Source
+	// Feedback delivers the coverage of the test at pos (nil when the
+	// run produced none, e.g. a harness error).
+	Feedback(pos int, cov *cover.Map)
+}
+
 // DatasetSlice adapts a pre-built dataset list to the Source interface.
 type DatasetSlice []testgen.Dataset
 
@@ -148,6 +162,12 @@ func Stream(datasets []testgen.Dataset, eo EngineOptions, sink func(pos int, r R
 // (ScanShards reads them back).
 func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (EngineStats, error) {
 	opts := eo.Options.withDefaults()
+	fb, _ := src.(FeedbackSource)
+	if fb != nil {
+		// A feedback source schedules on coverage; collection is not
+		// optional for it.
+		opts.Coverage = true
+	}
 	total := src.Len()
 	stats := EngineStats{Total: total}
 	if eo.Resume && eo.ShardDir == "" {
@@ -183,6 +203,20 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	for pos := range done {
 		if pos >= 0 && pos < total {
 			stats.Skipped++
+		}
+	}
+	if fb != nil && eo.Resume && len(done) > 0 {
+		// Replay the completed tests' coverage out of the shard records
+		// so the feedback loop's frontier (and corpus admission state)
+		// is restored before any pending test is bred. Without this the
+		// plan's At would wait forever on feedback that already ran.
+		if err := ScanShards(eo.ShardDir, func(rec JSONRecord) error {
+			if done[rec.Seq] {
+				fb.Feedback(rec.Seq, cover.FromSites(rec.Cover))
+			}
+			return nil
+		}); err != nil {
+			return stats, err
 		}
 	}
 	pendingCount := total - stats.Skipped
@@ -301,6 +335,11 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		if ckpt != nil && pr.logged {
 			latch(ckpt.mark(pr.pos))
 		}
+		if fb != nil {
+			// Close the loop: the plan buffers out-of-order arrivals
+			// and applies them in position order.
+			fb.Feedback(pr.pos, pr.res.Cover)
+		}
 		if sink != nil {
 			sink(pr.pos, pr.res)
 		}
@@ -319,9 +358,12 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 
 // optionsSignature fingerprints the execution side of a campaign — the
 // knobs that change what a test's log looks like — so a checkpoint cannot
-// silently resume under different execution conditions.
+// silently resume under different execution conditions. Coverage is one
+// of them: records written with collection off would punch holes in a
+// resumed campaign's edge accounting.
 func optionsSignature(total int, opts Options) string {
-	return fmt.Sprintf("tests=%d|mafs=%d|stress=%v|faults=%+v", total, opts.MAFs, opts.Stress, opts.Faults)
+	return fmt.Sprintf("tests=%d|mafs=%d|stress=%v|cover=%v|faults=%+v",
+		total, opts.MAFs, opts.Stress, opts.Coverage, opts.Faults)
 }
 
 // --- checkpoint --------------------------------------------------------

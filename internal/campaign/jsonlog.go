@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"xmrobust/internal/apispec"
+	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
@@ -42,6 +43,12 @@ type JSONRecord struct {
 	SimCrashed  bool          `json:"sim_crashed"`
 	CrashReason string        `json:"crash_reason,omitempty"`
 	RunErr      string        `json:"run_err,omitempty"`
+	// Cover is the kernel edge coverage of the run in sparse form
+	// (ascending site identifiers), present when coverage collection was
+	// on; CoverSig is its stable signature, the cluster key of
+	// behaviourally identical tests.
+	Cover    []uint32 `json:"cover,omitempty"`
+	CoverSig string   `json:"cover_sig,omitempty"`
 }
 
 // JSONHMEvent is one structured health-monitor log entry.
@@ -92,6 +99,10 @@ func ToRecord(seq int, r Result) JSONRecord {
 			Seq: e.Seq, Time: int64(e.Time), Event: int(e.Event), Action: int(e.Action),
 			Sys: e.SystemScope, Part: e.PartitionID, Detail: e.Detail,
 		})
+	}
+	if r.Cover != nil {
+		out.Cover = r.Cover.Sites()
+		out.CoverSig = fmt.Sprintf("%016x", r.Cover.Signature())
 	}
 	return out
 }
@@ -159,6 +170,9 @@ func (rec JSONRecord) Result(h *apispec.Header) (Result, error) {
 			Action: xm.HMAction(e.Action), SystemScope: e.Sys,
 			PartitionID: e.Part, Detail: e.Detail,
 		})
+	}
+	if len(rec.Cover) > 0 {
+		r.Cover = cover.FromSites(rec.Cover)
 	}
 	return r, nil
 }

@@ -5,16 +5,34 @@
 package core
 
 import (
+	"io"
+
 	"xmrobust/internal/analysis"
 	"xmrobust/internal/campaign"
+	"xmrobust/internal/corpus"
+	"xmrobust/internal/cover"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
+
+// CoverageStats summarises a campaign's kernel edge coverage. Enabled is
+// false when collection was off (the zero value renders as nothing).
+type CoverageStats struct {
+	Enabled bool
+	// Edges is the number of distinct kernel edges the whole campaign
+	// exercised; Signature is the stable hash of that edge set.
+	Edges     int
+	Signature uint64
+	// Loop carries the feedback plan's own accounting (corpus size,
+	// seed schedule, edges-over-time curve); nil for static plans.
+	Loop *corpus.Stats
+}
 
 // CampaignReport is the complete outcome of one robustness campaign.
 type CampaignReport struct {
 	Options    campaign.Options
 	Plan       testgen.PlanStats
+	Coverage   CoverageStats
 	Datasets   []testgen.Dataset
 	Results    []campaign.Result
 	Classified []analysis.Classified
@@ -32,13 +50,62 @@ func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer closePlan(plan)
 	rep.Plan = testgen.Measure(plan)
-	rep.Datasets = testgen.Materialize(plan)
-	rep.Results = campaign.RunDatasets(rep.Datasets, ropts)
+	if testgen.IsDynamic(plan) {
+		// A dynamic plan breeds datasets from execution feedback, so it
+		// cannot be materialised up front: stream it through the engine
+		// with an in-memory sink to keep the eager report shape.
+		results := make([]campaign.Result, plan.Len())
+		if _, err := campaign.StreamPlan(plan, campaign.EngineOptions{Options: ropts},
+			func(pos int, r campaign.Result) { results[pos] = r }); err != nil {
+			return nil, err
+		}
+		rep.Results = results
+		rep.Datasets = make([]testgen.Dataset, len(results))
+		for i, r := range results {
+			rep.Datasets[i] = r.Dataset
+		}
+	} else {
+		rep.Datasets = testgen.Materialize(plan)
+		rep.Results = campaign.RunDatasets(rep.Datasets, ropts)
+	}
+	var agg cover.Map
+	for _, r := range rep.Results {
+		if r.Cover != nil {
+			agg.Merge(r.Cover)
+		}
+	}
+	rep.Coverage = coverageStats(plan, &agg)
 	oracle := analysis.NewOracle(ropts.Faults)
 	rep.Classified = analysis.ClassifyAll(rep.Results, oracle)
 	rep.Issues = analysis.Cluster(rep.Classified)
 	return rep, nil
+}
+
+// coverageStats folds the aggregated coverage map and (for feedback
+// plans) the loop's own accounting into the report form.
+func coverageStats(plan testgen.Plan, agg *cover.Map) CoverageStats {
+	cs := CoverageStats{}
+	if fp, ok := plan.(*corpus.FeedbackPlan); ok {
+		st := fp.Stats()
+		cs.Loop = &st
+	}
+	if agg.Empty() && cs.Loop == nil {
+		return cs
+	}
+	cs.Enabled = true
+	cs.Edges = agg.Count()
+	cs.Signature = agg.Signature()
+	return cs
+}
+
+// closePlan releases plan-held resources (the feedback plan's corpus
+// file); static plans hold none.
+func closePlan(plan testgen.Plan) {
+	if c, ok := plan.(io.Closer); ok {
+		c.Close()
+	}
 }
 
 // PhantomReport is the outcome of the §V extension campaign: the

@@ -5,6 +5,7 @@ import (
 
 	"xmrobust/internal/analysis"
 	"xmrobust/internal/campaign"
+	"xmrobust/internal/cover"
 	"xmrobust/internal/testgen"
 )
 
@@ -31,6 +32,9 @@ type StreamReport struct {
 	Verdicts map[analysis.Verdict]int
 	// Issues is the clustered issue list (paper Table III).
 	Issues []analysis.Issue
+	// Coverage summarises the campaign's kernel edge coverage (zero
+	// value when collection was off).
+	Coverage CoverageStats
 	// Engine reports what the execution engine did.
 	Engine campaign.EngineStats
 }
@@ -69,15 +73,20 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 	if err != nil {
 		return nil, err
 	}
+	defer closePlan(plan)
 	eo.Options = ropts
 	rep := &StreamReport{Plan: testgen.Measure(plan), Total: plan.Len()}
 	cls := analysis.NewClassifier(analysis.NewOracle(ropts.Faults))
 	clu := analysis.NewClusterer()
+	var agg cover.Map
 
 	if eo.ShardDir == "" {
 		// In-flight analysis: the engine's collector goroutine feeds each
 		// result straight into the accumulators and drops it.
 		stats, err := campaign.StreamPlan(plan, eo, func(pos int, res campaign.Result) {
+			if res.Cover != nil {
+				agg.Merge(res.Cover)
+			}
 			clu.Add(pos, cls.Add(res))
 		})
 		if err != nil {
@@ -85,6 +94,7 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 		}
 		rep.Engine, rep.Executed, rep.Skipped = stats, stats.Executed, stats.Skipped
 		rep.adopt(cls, clu)
+		rep.Coverage = coverageStats(plan, &agg)
 		return rep, nil
 	}
 
@@ -108,6 +118,9 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 		if err != nil {
 			return err
 		}
+		if res.Cover != nil {
+			agg.Merge(res.Cover)
+		}
 		clu.Add(rec.Seq, cls.Add(res))
 		return nil
 	})
@@ -115,5 +128,6 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 		return nil, err
 	}
 	rep.adopt(cls, clu)
+	rep.Coverage = coverageStats(plan, &agg)
 	return rep, nil
 }

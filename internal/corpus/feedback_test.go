@@ -1,0 +1,200 @@
+package corpus
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/cover"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+)
+
+// fakeCoverage derives a deterministic coverage map from a dataset, as a
+// stand-in kernel: each (function, parameter, value-index) lights one
+// site, so datasets with unseen value choices find new edges.
+func fakeCoverage(fn int, tuple []int) *cover.Map {
+	m := &cover.Map{}
+	m.Hit(uint32(fn))
+	for p, v := range tuple {
+		m.Hit(uint32(1000 + fn*97 + p*31 + v))
+	}
+	return m
+}
+
+// runLoop drives a feedback plan the way the engine does, sequentially,
+// returning the emitted dataset strings.
+func runLoop(t *testing.T, p *FeedbackPlan) []string {
+	t.Helper()
+	out := make([]string, p.Len())
+	for i := 0; i < p.Len(); i++ {
+		ds := p.At(i)
+		out[i] = ds.String()
+		p.Feedback(i, fakeCoverage(p.fns[i], p.tuples[i]))
+	}
+	return out
+}
+
+func TestFeedbackPlanReproducible(t *testing.T) {
+	suite := testSuite(t)
+	const n = 120
+	a, err := NewFeedbackPlan(suite, n, 7, "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFeedbackPlan(suite, n, 7, "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := runLoop(t, a), runLoop(t, b)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("position %d: %q vs %q — seeded runs must be byte-identical", i, da[i], db[i])
+		}
+	}
+	c, err := NewFeedbackPlan(suite, n, 8, "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := runLoop(t, c)
+	same := true
+	for i := range da {
+		if da[i] != dc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds share a fingerprint")
+	}
+	st := a.Stats()
+	if st.Executed != n || len(st.History) != n {
+		t.Fatalf("stats executed %d / history %d, want %d", st.Executed, len(st.History), n)
+	}
+	if st.Edges == 0 || st.Corpus == 0 {
+		t.Fatalf("loop admitted nothing: %+v", st)
+	}
+	// The frontier curve is monotone non-decreasing.
+	for i := 1; i < len(st.History); i++ {
+		if st.History[i] < st.History[i-1] {
+			t.Fatalf("edge history decreased at %d: %v", i, st.History[i-1:i+1])
+		}
+	}
+}
+
+func TestFeedbackPlanViaRegistry(t *testing.T) {
+	h, d := apispec.Default(), dict.Builtin()
+	p, err := testgen.NewPlan("feedback:50", h, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testgen.IsDynamic(p) {
+		t.Fatal("feedback plan not flagged dynamic")
+	}
+	if p.Len() != 50 || p.Strategy() != "feedback:50" {
+		t.Fatalf("Len %d Strategy %q", p.Len(), p.Strategy())
+	}
+	st := testgen.Measure(p)
+	if !st.Dynamic || st.Tests != 50 || st.Exhaustive == 0 {
+		t.Fatalf("Measure = %+v", st)
+	}
+	if _, err := testgen.NewPlan("feedback", h, d, 0); err == nil {
+		t.Fatal("feedback without a count must be rejected")
+	}
+	if _, err := testgen.NewPlan("feedback:-3", h, d, 0); err == nil {
+		t.Fatal("negative count must be rejected")
+	}
+}
+
+func TestFeedbackPlanBlocksUntilFed(t *testing.T) {
+	suite := testSuite(t)
+	p, err := NewFeedbackPlan(suite, 40, 1, "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSeeds := len(p.seeds)
+	if nSeeds == 0 || nSeeds >= 40 {
+		t.Fatalf("seed schedule of %d leaves no mutation region", nSeeds)
+	}
+	// Seed positions are available without any feedback.
+	for i := 0; i < nSeeds; i++ {
+		p.At(i)
+	}
+	got := make(chan string, 1)
+	go func() {
+		ds := p.At(nSeeds) // first bred position: must block
+		got <- ds.String()
+	}()
+	select {
+	case s := <-got:
+		t.Fatalf("At(%d) returned %q before any feedback", nSeeds, s)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Deliver feedback out of order: the plan buffers the gap.
+	for i := nSeeds - 1; i >= 0; i-- {
+		p.Feedback(i, fakeCoverage(p.fns[i], p.tuples[i]))
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("At(%d) still blocked after all feedback arrived", nSeeds)
+	}
+	// Duplicate and out-of-range feedback are ignored.
+	p.Feedback(0, mapOf(1))
+	p.Feedback(10_000, mapOf(1))
+}
+
+func TestFeedbackPlanCorpusFileRoundTrip(t *testing.T) {
+	suite := testSuite(t)
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+
+	a, err := NewFeedbackPlan(suite, 80, 5, "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UseCorpusFile(path); err != nil {
+		t.Fatal(err)
+	}
+	runLoop(t, a)
+	admitted := a.Stats().Corpus
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+
+	// The same campaign re-attaching (a resume) re-derives its own
+	// admissions instead of loading them as parents — loading them
+	// would change the breeding schedule and break exact replay.
+	sameFP, err := NewFeedbackPlan(suite, 80, 5, "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameFP.UseCorpusFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := sameFP.Stats(); got.Loaded != 0 {
+		t.Fatalf("same-fingerprint attach loaded %d parents, want 0 (own admissions re-derive)", got.Loaded)
+	}
+	sameFP.Close()
+
+	// A different campaign (different seed → different fingerprint)
+	// loads every admission as a mutation parent.
+	b, err := NewFeedbackPlan(suite, 80, 6, "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UseCorpusFile(path); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if got := b.Stats(); got.Loaded != admitted {
+		t.Fatalf("second campaign loaded %d parents, want %d", got.Loaded, admitted)
+	}
+	runLoop(t, b)
+}

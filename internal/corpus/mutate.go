@@ -1,0 +1,92 @@
+package corpus
+
+// Dictionary-aware mutators. Unlike byte-level fuzzers, the mutation
+// space here is the test_value_matrix: every parameter only ever takes
+// values from its type's dictionary row, so mutants stay inside the data
+// type fault model — they are datasets the exhaustive Eq. 1 campaign
+// could have generated, reached in a coverage-directed order instead of
+// enumeration order.
+
+import (
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+)
+
+// mutator identifiers, drawn by the scheduler.
+const (
+	mutSwap   = 0 // value swap within type: one parameter takes another dictionary value
+	mutSplice = 1 // cross-parameter splice: crossover of two same-function parents
+	mutNudge  = 2 // boundary nudge: step to a neighbouring or invalid dictionary value
+	numMut    = 3
+)
+
+// mutateTuple derives a child tuple from parent (never mutated in
+// place). Parameter-less functions have nothing to mutate and return
+// nil, steering the scheduler to exploration.
+func mutateTuple(rng *testgen.SplitMix64, m testgen.Matrix, parent []int, mate []int) []int {
+	if len(parent) == 0 {
+		return nil
+	}
+	child := append([]int(nil), parent...)
+	switch rng.Intn(numMut) {
+	case mutSwap:
+		p := rng.Intn(len(child))
+		row := m.Rows[p]
+		if len(row) > 1 {
+			// Draw among the other values so the swap always changes
+			// something.
+			v := rng.Intn(len(row) - 1)
+			if v >= child[p] {
+				v++
+			}
+			child[p] = v
+		}
+	case mutSplice:
+		if mate != nil && len(mate) == len(child) {
+			cut := 1 + rng.Intn(len(child))
+			copy(child[cut:], mate[cut:])
+		} else {
+			// No second parent available: degrade to a swap.
+			p := rng.Intn(len(child))
+			if row := m.Rows[p]; len(row) > 1 {
+				child[p] = rng.Intn(len(row))
+			}
+		}
+	case mutNudge:
+		p := rng.Intn(len(child))
+		row := m.Rows[p]
+		if inv := invalidIndices(row); len(inv) > 0 && rng.Next()&1 == 0 {
+			// Jump straight to a definitely-invalid dictionary value —
+			// the boundary-dense direction the fault model is built on.
+			child[p] = inv[rng.Intn(len(inv))]
+		} else {
+			// Step to the neighbouring dictionary value (rows order
+			// boundary values adjacently: MIN, MIN+1, …, MAX-1, MAX).
+			step := 1
+			if rng.Next()&1 == 0 {
+				step = -1
+			}
+			v := child[p] + step
+			if v < 0 {
+				v = len(row) - 1
+			}
+			if v >= len(row) {
+				v = 0
+			}
+			child[p] = v
+		}
+	}
+	return child
+}
+
+// invalidIndices returns the row positions holding definitely-invalid
+// dictionary values.
+func invalidIndices(row []dict.Value) []int {
+	var out []int
+	for i, v := range row {
+		if v.Validity == dict.Invalid {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 
 	"xmrobust/internal/analysis"
 	"xmrobust/internal/core"
+	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
@@ -217,9 +218,49 @@ func PlanLine(st testgen.PlanStats) string {
 	return st.String() + "\n"
 }
 
+// CoverageSection renders the kernel-edge-coverage section of a report:
+// the frontier size and signature, the feedback loop's corpus accounting
+// and the edges-discovered-over-time curve. Empty when collection was
+// off.
+func CoverageSection(cs core.CoverageStats) string {
+	if !cs.Enabled {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("KERNEL EDGE COVERAGE\n\n")
+	fmt.Fprintf(&b, "kernel edges discovered: %d (%.2f%% of the %d-site map), signature %016x\n",
+		cs.Edges, 100*float64(cs.Edges)/float64(cover.NumSites), cover.NumSites, cs.Signature)
+	if lp := cs.Loop; lp != nil {
+		fmt.Fprintf(&b, "corpus: %d members (%d loaded from file), %d seed tests, %d results folded into the loop\n",
+			lp.Corpus, lp.Loaded, lp.Seeds, lp.Executed)
+		if curve := historyQuartiles(lp.History); curve != "" {
+			fmt.Fprintf(&b, "edges over time: %s\n", curve)
+		}
+	}
+	return b.String()
+}
+
+// historyQuartiles compresses the per-test frontier curve to its
+// quartile checkpoints.
+func historyQuartiles(h []int) string {
+	if len(h) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, q := range []int{25, 50, 75, 100} {
+		i := len(h)*q/100 - 1
+		if i < 0 {
+			i = 0
+		}
+		parts = append(parts, fmt.Sprintf("%d%%: %d", q, h[i]))
+	}
+	return strings.Join(parts, "  ")
+}
+
 // StreamSummary renders the complete report of a streamed campaign: the
-// plan coverage line, Table III, the CRASH tally, the issue list and the
-// engine's own accounting (pool efficiency, resume skips).
+// plan coverage line, Table III, the CRASH tally, the issue list, the
+// kernel-edge-coverage section (when collected) and the engine's own
+// accounting (pool efficiency, resume skips).
 func StreamSummary(rep *core.StreamReport) string {
 	var b strings.Builder
 	b.WriteString(PlanLine(rep.Plan))
@@ -230,6 +271,10 @@ func StreamSummary(rep *core.StreamReport) string {
 	b.WriteByte('\n')
 	b.WriteString(analysis.Summary(rep.Issues))
 	b.WriteByte('\n')
+	if cov := CoverageSection(rep.Coverage); cov != "" {
+		b.WriteByte('\n')
+		b.WriteString(cov)
+	}
 	fmt.Fprintf(&b, "\nengine: %d tests (%d executed, %d resumed from checkpoint)\n",
 		rep.Total, rep.Executed, rep.Skipped)
 	p := rep.Engine.Pool
@@ -255,5 +300,9 @@ func Full(rep *core.CampaignReport) string {
 	b.WriteString(Fig8(rep))
 	b.WriteByte('\n')
 	b.WriteString(Issues(rep))
+	if cov := CoverageSection(rep.Coverage); cov != "" {
+		b.WriteByte('\n')
+		b.WriteString(cov)
+	}
 	return b.String()
 }

@@ -94,55 +94,3 @@ func TestPropertyAckClearsLine(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func TestUARTRoundTrip(t *testing.T) {
-	var u UART
-	u.WriteString("hello\nworld\n")
-	if u.String() != "hello\nworld\n" {
-		t.Fatalf("String = %q", u.String())
-	}
-	lines := u.Lines()
-	if len(lines) != 2 || lines[0] != "hello" || lines[1] != "world" {
-		t.Fatalf("Lines = %v", lines)
-	}
-	if u.Written() != 12 {
-		t.Fatalf("Written = %d, want 12", u.Written())
-	}
-}
-
-func TestUARTWriterInterface(t *testing.T) {
-	var u UART
-	n, err := u.Write([]byte("abc"))
-	if n != 3 || err != nil {
-		t.Fatalf("Write = (%d, %v)", n, err)
-	}
-}
-
-func TestUARTBoundedBuffer(t *testing.T) {
-	var u UART
-	chunk := make([]byte, 64<<10)
-	for i := range chunk {
-		chunk[i] = 'x'
-	}
-	for i := 0; i < 40; i++ { // 2.5 MiB total, cap is 1 MiB
-		u.Write(chunk)
-	}
-	if got := len(u.Bytes()); got > uartCap+len(chunk) {
-		t.Fatalf("buffer grew to %d bytes, cap is %d", got, uartCap)
-	}
-	if u.Written() != uint64(40*len(chunk)) {
-		t.Fatalf("Written = %d, want %d", u.Written(), 40*len(chunk))
-	}
-}
-
-func TestUARTReset(t *testing.T) {
-	var u UART
-	u.WriteString("x")
-	u.Reset()
-	if u.String() != "" {
-		t.Fatal("Reset did not clear buffer")
-	}
-	if u.Written() != 1 {
-		t.Fatal("Reset cleared the written counter")
-	}
-}

@@ -1,0 +1,84 @@
+package sparc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrapTypeNames(t *testing.T) {
+	cases := map[TrapType]string{
+		TrapReset:                 "reset",
+		TrapDataAccessException:   "data_access_exception",
+		TrapMemAddressNotAligned:  "mem_address_not_aligned",
+		TrapDivisionByZero:        "division_by_zero",
+		TrapPrivilegedInstruction: "privileged_instruction",
+	}
+	for tt, want := range cases {
+		if got := tt.String(); got != want {
+			t.Errorf("%#x.String() = %q, want %q", uint8(tt), got, want)
+		}
+	}
+	// Unknown trap numbers render their raw value instead of panicking.
+	if got := TrapType(0x7F).String(); got != "trap_0x7f" {
+		t.Errorf("unknown trap = %q", got)
+	}
+}
+
+func TestTrapBuildersAndString(t *testing.T) {
+	tr := DataAccessTrap(0x40001000, PermWrite, "outside partition areas")
+	if tr.Type != TrapDataAccessException || tr.Addr != 0x40001000 || tr.Access != PermWrite {
+		t.Fatalf("DataAccessTrap = %+v", tr)
+	}
+	s := tr.String()
+	for _, want := range []string{"data_access_exception", "0x40001000", "outside partition areas"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trap string %q missing %q", s, want)
+		}
+	}
+	if tr.Error() != s {
+		t.Error("Error() and String() diverge")
+	}
+
+	al := AlignmentTrap(0x40000001, PermRead)
+	if al.Type != TrapMemAddressNotAligned || al.Addr != 0x40000001 {
+		t.Fatalf("AlignmentTrap = %+v", al)
+	}
+	if (*Trap)(nil).String() != "<no trap>" {
+		t.Error("nil trap must render <no trap>")
+	}
+}
+
+// TestTrapEntryState covers the machine's trap entry: a faulting access
+// returns a trap carrying the faulting address, the attempted access and
+// the region detail — the state a LEON3 trap handler reads on entry —
+// and bumps the machine's trap counter without mutating memory.
+func TestTrapEntryState(t *testing.T) {
+	m := NewDefaultMachine()
+	cfg := m.Config()
+	hole := Addr(0x10000000) // between ROM and RAM: unmapped
+
+	_, tr := m.Read(hole, 4)
+	if tr == nil {
+		t.Fatal("read from unmapped memory did not trap")
+	}
+	if tr.Type != TrapDataAccessException || tr.Addr != hole || tr.Access != PermRead {
+		t.Fatalf("read trap = %+v", tr)
+	}
+
+	if tr := m.Write(hole, []byte{1, 2, 3, 4}); tr == nil || tr.Access != PermWrite {
+		t.Fatalf("write trap = %+v", tr)
+	}
+
+	// ROM is mapped read-only: writes trap, reads do not.
+	if tr := m.Write32(cfg.ROMBase, 7); tr == nil {
+		t.Fatal("ROM write did not trap")
+	}
+	if _, tr := m.Read32(cfg.ROMBase); tr != nil {
+		t.Fatalf("ROM read trapped: %v", tr)
+	}
+
+	_, _, traps := m.Stats()
+	if traps < 3 {
+		t.Fatalf("trap counter = %d, want >= 3", traps)
+	}
+}

@@ -1,0 +1,94 @@
+package sparc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUARTCapture(t *testing.T) {
+	var u UART
+	n, err := u.Write([]byte("hello "))
+	if n != 6 || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	u.WriteString("world\n")
+	if got := u.String(); got != "hello world\n" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := string(u.Bytes()); got != "hello world\n" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if u.Written() != 12 {
+		t.Fatalf("Written = %d, want 12", u.Written())
+	}
+	// Bytes returns a copy, not the live buffer.
+	b := u.Bytes()
+	b[0] = 'X'
+	if u.String() != "hello world\n" {
+		t.Fatal("Bytes aliases the internal buffer")
+	}
+}
+
+func TestUARTLines(t *testing.T) {
+	var u UART
+	if u.Lines() != nil {
+		t.Fatal("empty console has lines")
+	}
+	u.WriteString("one\ntwo\nthree")
+	if got := u.Lines(); len(got) != 3 || got[0] != "one" || got[2] != "three" {
+		t.Fatalf("Lines = %q", got)
+	}
+	// A trailing newline does not create a phantom empty line.
+	u.WriteString("\n")
+	if got := u.Lines(); len(got) != 3 {
+		t.Fatalf("Lines with trailing newline = %q", got)
+	}
+}
+
+func TestUARTOverflowDropsOldest(t *testing.T) {
+	var u UART
+	// Fill beyond capacity; the oldest half is dropped, the newest bytes
+	// survive, and the written counter keeps the true total.
+	marker := "END-MARKER"
+	filler := strings.Repeat("x", uartCap)
+	u.WriteString(filler)
+	u.WriteString(marker)
+	if u.buf.Len() > uartCap {
+		t.Fatalf("buffer holds %d bytes, cap %d", u.buf.Len(), uartCap)
+	}
+	if !strings.HasSuffix(u.String(), marker) {
+		t.Fatal("newest bytes were dropped")
+	}
+	if u.Written() != uint64(len(filler)+len(marker)) {
+		t.Fatalf("Written = %d, want %d", u.Written(), len(filler)+len(marker))
+	}
+	if u.dropped == 0 {
+		t.Fatal("overflow recorded no drops")
+	}
+}
+
+func TestUARTReset(t *testing.T) {
+	var u UART
+	u.WriteString("before")
+	u.Reset()
+	if u.String() != "" {
+		t.Fatalf("Reset left %q", u.String())
+	}
+	if u.Written() != 6 {
+		t.Fatalf("Reset cleared the written counter: %d", u.Written())
+	}
+}
+
+// TestMachineUARTEndToEnd drives the console through the machine, the
+// path XM_write_console takes.
+func TestMachineUARTEndToEnd(t *testing.T) {
+	m := NewDefaultMachine()
+	m.UART().WriteString("[P0] boot\n")
+	if lines := m.UART().Lines(); len(lines) != 1 || lines[0] != "[P0] boot" {
+		t.Fatalf("Lines = %q", lines)
+	}
+	m.Reset()
+	if m.UART().Written() != 0 {
+		t.Fatal("machine reset must restore the power-on console")
+	}
+}

@@ -125,6 +125,32 @@ func RegisterStrategy(name string, sel Strategy, seeded bool) {
 	strategies[name] = strategyInfo{sel: sel, seeded: seeded}
 }
 
+// PlanFactory builds a plan that schedules its own datasets rather than
+// emitting a pick list up front — the registration point for dynamic
+// strategies such as the coverage-guided feedback plan, whose selection
+// depends on execution results that do not exist at construction time.
+// suiteHash is the spec/dictionary content hash every static plan folds
+// into its fingerprint; factories must do the same.
+type PlanFactory func(suite []Matrix, arg string, seed int64, suiteHash string) (Plan, error)
+
+// planFactories is the dynamic-strategy registry.
+var planFactories = map[string]PlanFactory{}
+
+// RegisterPlanFactory adds (or replaces) a dynamic plan strategy. It
+// takes precedence over a Strategy registered under the same name.
+func RegisterPlanFactory(name string, f PlanFactory) {
+	planFactories[name] = f
+}
+
+// IsDynamic reports whether a plan schedules its datasets on line (its
+// At may block awaiting execution feedback). Dynamic plans cannot be
+// walked outside an executing campaign: Measure skips them and
+// Materialize must not be called on them.
+func IsDynamic(p Plan) bool {
+	d, ok := p.(interface{ Dynamic() bool })
+	return ok && d.Dynamic()
+}
+
 // NewPlan builds the plan named by spec over the tested functions of the
 // header. spec is "strategy" or "strategy:arg" ("" defaults to
 // exhaustive); seed feeds randomised strategies.
@@ -149,9 +175,12 @@ func NewPlan(spec string, h *apispec.Header, d *dict.Dictionary, seed int64) (Pl
 		}
 		return exhaustivePlan{s: s}, nil
 	}
+	if f, ok := planFactories[name]; ok {
+		return f(s.matrices, arg, seed, s.hash)
+	}
 	info, ok := strategies[name]
 	if !ok {
-		return nil, fmt.Errorf("testgen: unknown plan strategy %q (have exhaustive, pairwise, rand:N, boundary)", name)
+		return nil, fmt.Errorf("testgen: unknown plan strategy %q (have exhaustive, pairwise, rand:N, boundary, feedback:N)", name)
 	}
 	picks, err := info.sel(s.matrices, arg, seed)
 	if err != nil {
@@ -431,10 +460,10 @@ func randStrategy(suite []Matrix, arg string, seed int64) ([]Pick, error) {
 	}
 	// Floyd's sampling: for j in [total-n, total), draw t uniform on
 	// [0, j]; take t unless already taken, then take j.
-	rng := splitmix64{state: uint64(seed)}
+	rng := NewSplitMix64(seed)
 	chosen := make(map[int64]struct{}, n)
 	for j := total - int64(n); j < total; j++ {
-		t := rng.int63n(j + 1)
+		t := rng.Int63n(j + 1)
 		if _, dup := chosen[t]; dup {
 			t = j
 		}
@@ -453,12 +482,17 @@ func randStrategy(suite []Matrix, arg string, seed int64) ([]Pick, error) {
 	return picks, nil
 }
 
-// splitmix64 is a tiny, platform-stable PRNG (Steele et al.); plans must
-// reproduce byte-identically forever, which the stdlib generators do not
-// promise across versions.
-type splitmix64 struct{ state uint64 }
+// SplitMix64 is a tiny, platform-stable PRNG (Steele et al.); seeded
+// plans — rand:N and the corpus package's feedback loop — must reproduce
+// byte-identically forever, which the stdlib generators do not promise
+// across versions. The zero value is the seed-0 generator.
+type SplitMix64 struct{ state uint64 }
 
-func (r *splitmix64) next() uint64 {
+// NewSplitMix64 returns the generator for a plan seed.
+func NewSplitMix64(seed int64) SplitMix64 { return SplitMix64{state: uint64(seed)} }
+
+// Next returns the next 64-bit draw.
+func (r *SplitMix64) Next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -466,17 +500,20 @@ func (r *splitmix64) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// int63n draws uniformly from [0, n) by rejection, bias-free.
-func (r *splitmix64) int63n(n int64) int64 {
+// Int63n draws uniformly from [0, n) by rejection, bias-free.
+func (r *SplitMix64) Int63n(n int64) int64 {
 	bound := uint64(n)
 	limit := uint64(1)<<63 - (uint64(1)<<63)%bound
 	for {
-		v := r.next() >> 1
+		v := r.Next() >> 1
 		if v < limit {
 			return int64(v % bound)
 		}
 	}
 }
+
+// Intn draws uniformly from [0, n) for int-sized ranges.
+func (r *SplitMix64) Intn(n int) int { return int(r.Int63n(int64(n))) }
 
 // --- boundary ----------------------------------------------------------
 
@@ -492,6 +529,13 @@ func boundaryStrategy(suite []Matrix, arg string, _ int64) ([]Pick, error) {
 	if arg != "" {
 		return nil, fmt.Errorf("testgen: plan %q takes no argument", StrategyBoundary)
 	}
+	return BoundaryPicks(suite), nil
+}
+
+// BoundaryPicks returns the boundary strategy's selection over the suite
+// — also the seed schedule of the coverage-guided feedback plan, whose
+// corpus starts from the invalid-dense subset before mutating.
+func BoundaryPicks(suite []Matrix) []Pick {
 	var picks []Pick
 	for fn, m := range suite {
 		seen := map[int64]bool{}
@@ -539,7 +583,7 @@ func boundaryStrategy(suite []Matrix, arg string, _ int64) ([]Pick, error) {
 			}
 		}
 	}
-	return picks, nil
+	return picks
 }
 
 // --- coverage metrics --------------------------------------------------
@@ -556,6 +600,10 @@ type PlanStats struct {
 	// PairsCovered / PairsTotal is the 2-way value coverage.
 	PairsCovered int
 	PairsTotal   int
+	// Dynamic marks a plan whose selection is decided during execution
+	// (e.g. feedback): its value coverage cannot be measured up front,
+	// so the pair counters stay zero.
+	Dynamic bool
 }
 
 // PairCoverage returns the covered fraction of value pairs (1 when the
@@ -576,6 +624,10 @@ func (st PlanStats) Reduction() float64 {
 }
 
 func (st PlanStats) String() string {
+	if st.Dynamic {
+		return fmt.Sprintf("plan %s: %d tests (%.1fx fewer than the %d of Eq. 1), selection driven by execution feedback",
+			st.Strategy, st.Tests, st.Reduction(), st.Exhaustive)
+	}
 	return fmt.Sprintf("plan %s: %d tests (%.1fx fewer than the %d of Eq. 1), value-pair coverage %.1f%% (%d/%d)",
 		st.Strategy, st.Tests, st.Reduction(), st.Exhaustive,
 		100*st.PairCoverage(), st.PairsCovered, st.PairsTotal)
@@ -588,6 +640,20 @@ func (st PlanStats) String() string {
 func Measure(p Plan) PlanStats {
 	suite := p.Suite()
 	st := PlanStats{Strategy: p.Strategy(), Tests: p.Len()}
+	if IsDynamic(p) {
+		// A dynamic plan's At blocks on execution feedback; walking it
+		// here would deadlock. Report the analytic numbers only.
+		st.Dynamic = true
+		for _, m := range suite {
+			c := m.Combinations64()
+			if st.Exhaustive > math.MaxInt64-c {
+				st.Exhaustive = math.MaxInt64
+			} else {
+				st.Exhaustive += c
+			}
+		}
+		return st
+	}
 	if st.Strategy == StrategyExhaustive {
 		for _, m := range suite {
 			c := m.Combinations64()

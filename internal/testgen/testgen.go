@@ -115,14 +115,25 @@ func (ds Dataset) InvalidParams() []string {
 // fastest. It is the single definition of dataset order every plan
 // strategy addresses into.
 func (m Matrix) datasetAt(rank int64) Dataset {
-	vals := make([]dict.Value, len(m.Rows))
+	tuple := m.TupleAt(rank)
+	vals := make([]dict.Value, len(tuple))
+	for i, v := range tuple {
+		vals[i] = m.Rows[i][v]
+	}
+	return Dataset{Func: m.Func, Index: int(rank), Values: vals}
+}
+
+// TupleAt decodes a rank into its value-index tuple (one index per
+// parameter) — the inverse of RankOf.
+func (m Matrix) TupleAt(rank int64) []int {
+	tuple := make([]int, len(m.Rows))
 	r := rank
 	for i := len(m.Rows) - 1; i >= 0; i-- {
 		n := int64(len(m.Rows[i]))
-		vals[i] = m.Rows[i][int(r%n)]
+		tuple[i] = int(r % n)
 		r /= n
 	}
-	return Dataset{Func: m.Func, Index: int(rank), Values: vals}
+	return tuple
 }
 
 // rankOf is the inverse of datasetAt over value-index tuples.
@@ -133,6 +144,15 @@ func (m Matrix) rankOf(tuple []int) int64 {
 	}
 	return r
 }
+
+// DatasetAt decodes the dataset at the given rank of the matrix's
+// deterministic enumeration — the exported address-decoding entry point
+// plan strategies and the corpus mutators build on.
+func (m Matrix) DatasetAt(rank int64) Dataset { return m.datasetAt(rank) }
+
+// RankOf is the inverse of DatasetAt over value-index tuples (one value
+// index per parameter, in parameter order).
+func (m Matrix) RankOf(tuple []int) int64 { return m.rankOf(tuple) }
 
 // Datasets enumerates every combination of the matrix in deterministic
 // order: the last parameter varies fastest, exactly like the nested loops

@@ -1,0 +1,114 @@
+package xm
+
+// Kernel edge-coverage instrumentation. The kernel optionally records
+// which control-flow edges a run exercised into a cover.Map supplied at
+// construction (WithCoverage); uninstrumented runs carry a nil sink and
+// pay one pointer comparison per potential site.
+//
+// Site identifiers are kind<<cover.KindBits | payload:
+//
+//   - dispatch sites pair the hypercall number with a compressed return
+//     code, so every distinct (service, outcome) edge the campaign ever
+//     provokes is one bit;
+//   - HM sites pair the event and configured action with the hypercall
+//     that was being dispatched when the health monitor fired (0 when
+//     the event arose outside a dispatch, e.g. a timer trap);
+//   - service sites are hand-placed branch markers inside the svc_*.go
+//     handlers, covering internal paths return codes cannot distinguish
+//     (e.g. which clock a timer armed, which mutation an atomic applied);
+//   - kernel sites mark lifecycle transitions (halt, system reset,
+//     slot overrun, timer-storm recursion).
+
+import (
+	"math/bits"
+
+	"xmrobust/internal/cover"
+)
+
+// Site kinds (the top two bits of a site identifier).
+const (
+	coverKindDispatch = 0 << cover.KindBits
+	coverKindHM       = 1 << cover.KindBits
+	coverKindSvc      = 2 << cover.KindBits
+	coverKindKernel   = 3 << cover.KindBits
+)
+
+// Kernel lifecycle site identifiers.
+const (
+	coverKernelHalt        = 0 // hypervisor halted
+	coverKernelColdReset   = 1 // system cold reset applied
+	coverKernelWarmReset   = 2 // system warm reset applied
+	coverKernelSlotOverrun = 3 // temporal-isolation violation latched
+	coverKernelTimerStorm  = 4 // hw-clock timer handler recursion (TMR-1)
+	coverKernelExecCrash   = 5 // exec-clock timer storm killed the simulator (TMR-2)
+)
+
+// coverRetIndex compresses a return code into 6 bits: 0 for XM_OK, the
+// error number for the manual's negative codes, and a log2 bucket for
+// positive codes (descriptors, byte counts, register images) so that
+// unbounded value spaces cannot flood the edge map.
+func coverRetIndex(ret RetCode) uint32 {
+	switch {
+	case ret == OK:
+		return 0
+	case ret < 0:
+		n := uint32(-ret)
+		if n > 31 {
+			n = 31
+		}
+		return n
+	default:
+		i := 32 + uint32(bits.Len32(uint32(ret)))
+		if i > 63 {
+			i = 63
+		}
+		return i
+	}
+}
+
+// CoverSiteDispatch is the edge "hypercall nr returned ret".
+func CoverSiteDispatch(nr Nr, ret RetCode) uint32 {
+	return coverKindDispatch | (uint32(nr)&63)<<6 | coverRetIndex(ret)
+}
+
+// CoverSiteHM is the edge "the health monitor handled ev with act while
+// dispatching nr" (nr 0: outside any dispatch).
+func CoverSiteHM(nr Nr, ev HMEvent, act HMAction) uint32 {
+	return coverKindHM | (uint32(nr)&63)<<7 | (uint32(ev)&7)<<4 | uint32(act)&15
+}
+
+// CoverSiteSvc is a hand-placed branch marker inside the service
+// implementing nr; branch numbers are unique per service.
+func CoverSiteSvc(nr Nr, branch uint8) uint32 {
+	return coverKindSvc | (uint32(nr)&63)<<6 | uint32(branch)&63
+}
+
+// CoverSiteKernel is a kernel lifecycle transition.
+func CoverSiteKernel(id uint8) uint32 {
+	return coverKindKernel | uint32(id)
+}
+
+// cov marks a service branch site. It is the instrumentation call the
+// svc_*.go handlers use; on uninstrumented kernels it is one nil check.
+func (k *Kernel) cov(nr Nr, branch uint8) {
+	if k.cover != nil {
+		k.cover.Hit(CoverSiteSvc(nr, branch))
+	}
+}
+
+// covKernel marks a lifecycle site.
+func (k *Kernel) covKernel(id uint8) {
+	if k.cover != nil {
+		k.cover.Hit(CoverSiteKernel(id))
+	}
+}
+
+// WithCoverage attaches an edge-coverage sink: every site the run lights
+// up is recorded into m. A nil m (the default) disables collection.
+func WithCoverage(m *cover.Map) Option {
+	return func(k *Kernel) { k.cover = m }
+}
+
+// Coverage returns the attached coverage sink (nil when collection is
+// off).
+func (k *Kernel) Coverage() *cover.Map { return k.cover }

@@ -1,0 +1,155 @@
+package xm
+
+import (
+	"testing"
+
+	"xmrobust/internal/cover"
+)
+
+// newCoveredKernel boots a test kernel with a coverage sink attached.
+func newCoveredKernel(t *testing.T, faults FaultSet) (*Kernel, *cover.Map) {
+	t.Helper()
+	m := &cover.Map{}
+	k, err := New(testConfig(), WithFaults(faults), WithCoverage(m))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return k, m
+}
+
+func TestCoverageDisabledByDefault(t *testing.T) {
+	k := newTestKernel(t, LegacyFaults())
+	if k.Coverage() != nil {
+		t.Fatal("kernel has a coverage sink without WithCoverage")
+	}
+	res, err := runSystemCall(t, k, NrGetTime, uint64(HwClock), uint64(tpSystemBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+}
+
+func TestCoverageRecordsDispatchEdges(t *testing.T) {
+	k, m := newCoveredKernel(t, LegacyFaults())
+	res, err := runSystemCall(t, k, NrGetTime, uint64(HwClock), uint64(tpSystemBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, OK)
+	if !m.Has(CoverSiteDispatch(NrGetTime, OK)) {
+		t.Error("missing (XM_get_time, OK) dispatch edge")
+	}
+	if !m.Has(CoverSiteSvc(NrGetTime, 0)) {
+		t.Error("missing hw-clock service branch")
+	}
+	if m.Has(CoverSiteSvc(NrGetTime, 1)) {
+		t.Error("exec-clock branch recorded for a hw-clock read")
+	}
+	// Distinct outcomes are distinct edges.
+	before := m.Count()
+	k2, m2 := newCoveredKernel(t, LegacyFaults())
+	res, err = runSystemCall(t, k2, NrGetTime, 99, uint64(tpSystemBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRet(t, res, InvalidParam)
+	if !m2.Has(CoverSiteDispatch(NrGetTime, InvalidParam)) {
+		t.Error("missing (XM_get_time, XM_INVALID_PARAM) edge")
+	}
+	if before == 0 {
+		t.Error("coverage map empty after an instrumented run")
+	}
+}
+
+func TestCoverageRecordsHMEdges(t *testing.T) {
+	k, m := newCoveredKernel(t, LegacyFaults())
+	// An unvalidated multicall batch walk traps in kernel context and
+	// raises XM_HM_EV_MEM_PROTECTION attributed to XM_multicall.
+	res, err := runSystemCall(t, k, NrMulticall, 0xDEAD0000, 0xDEAD0000+4*MulticallEntrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.returned {
+		t.Fatalf("multicall batch trap returned %v to the guest", res.ret)
+	}
+	if !hmHas(k, HMEvMemProtection) {
+		t.Fatal("no memory-protection HM event raised")
+	}
+	if !m.Has(CoverSiteHM(NrMulticall, HMEvMemProtection, HMActHaltPartition)) {
+		t.Error("HM edge not attributed to XM_multicall")
+	}
+	if !m.Has(CoverSiteSvc(NrMulticall, 1)) {
+		t.Error("missing batch-walk-trap service branch")
+	}
+}
+
+func TestCoverageRecordsKernelLifecycle(t *testing.T) {
+	k, m := newCoveredKernel(t, LegacyFaults())
+	if _, err := runSystemCall(t, k, NrHaltSystem); err != ErrHalted {
+		t.Fatalf("RunMajorFrames = %v, want ErrHalted", err)
+	}
+	if !m.Has(CoverSiteKernel(coverKernelHalt)) {
+		t.Error("missing hypervisor-halt lifecycle edge")
+	}
+}
+
+func TestCoverRetIndexBuckets(t *testing.T) {
+	if coverRetIndex(OK) != 0 {
+		t.Error("OK must map to 0")
+	}
+	if coverRetIndex(InvalidParam) == coverRetIndex(PermError) {
+		t.Error("distinct error codes collide")
+	}
+	if coverRetIndex(RetCode(-1000)) != coverRetIndex(RetCode(-2000)) {
+		t.Error("out-of-manual negatives must clamp to one bucket")
+	}
+	// Positive codes bucket by magnitude: small descriptors collapse less
+	// than huge register images, and none escape 6 bits.
+	if coverRetIndex(1) == coverRetIndex(100000) {
+		t.Error("tiny and huge positive codes collide")
+	}
+	for _, r := range []RetCode{1, 2, 63, 1 << 30, -1, -100, 0} {
+		if idx := coverRetIndex(r); idx > 63 {
+			t.Errorf("coverRetIndex(%d) = %d, beyond 6 bits", r, idx)
+		}
+	}
+}
+
+func TestCoverSiteSpaces(t *testing.T) {
+	// The four kinds must not collide and must stay inside cover.NumSites.
+	sites := []uint32{
+		CoverSiteDispatch(NrSetTimer, OK),
+		CoverSiteHM(NrSetTimer, HMEvFatalError, HMActHaltHypervisor),
+		CoverSiteSvc(NrSetTimer, 2),
+		CoverSiteKernel(coverKernelTimerStorm),
+	}
+	seen := map[uint32]bool{}
+	for _, s := range sites {
+		if s >= cover.NumSites {
+			t.Errorf("site %d outside the map", s)
+		}
+		if seen[s] {
+			t.Errorf("site %d collides across kinds", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCoverageTimerStorm(t *testing.T) {
+	k, m := newCoveredKernel(t, LegacyFaults())
+	// TMR-1: a 1µs periodic hardware timer recurses the handler and halts
+	// the hypervisor via HM.
+	_, err := runSystemCall(t, k, NrSetTimer, uint64(HwClock), 1, 1)
+	if err != ErrHalted {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	if !m.Has(CoverSiteKernel(coverKernelTimerStorm)) {
+		t.Error("missing timer-storm lifecycle edge")
+	}
+	if !m.Has(CoverSiteSvc(NrSetTimer, 2)) {
+		t.Error("missing hw-clock arm branch")
+	}
+	if !m.Has(CoverSiteHM(0, HMEvFatalError, HMActHaltHypervisor)) {
+		t.Error("timer-trap HM edge should attribute to nr 0 (outside dispatch)")
+	}
+}

@@ -23,7 +23,28 @@ func argPtr(args []uint64, i int) sparc.Addr {
 
 // dispatch validates privilege and routes a hypercall to its service.
 // It charges the base hypercall cost; services charge any additional work.
+// With a coverage sink attached it also records the (nr, return) edge and
+// tags HM events raised inside the service with the dispatching nr; the
+// uninstrumented path pays a single nil check.
 func (k *Kernel) dispatch(caller *Partition, nr Nr, args []uint64) RetCode {
+	if k.cover == nil {
+		return k.route(caller, nr, args)
+	}
+	prev := k.coverNr
+	k.coverNr = nr
+	// Services abort mid-dispatch through the guestStop panic (resets,
+	// halts, XM_idle_self); the deferred restore keeps nr attribution
+	// correct for the enclosing dispatch, and the outcome edge of an
+	// aborted call is deliberately not recorded — the guest never saw a
+	// return code.
+	defer func() { k.coverNr = prev }()
+	ret := k.route(caller, nr, args)
+	k.cover.Hit(CoverSiteDispatch(nr, ret))
+	return ret
+}
+
+// route is the uninstrumented dispatcher body.
+func (k *Kernel) route(caller *Partition, nr Nr, args []uint64) RetCode {
 	k.hypercallCount++
 	k.charge(HypercallCost)
 	spec, ok := Lookup(nr)

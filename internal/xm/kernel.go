@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"xmrobust/internal/cover"
 	"xmrobust/internal/sparc"
 )
 
@@ -96,6 +97,13 @@ type Kernel struct {
 
 	// hypercallCount counts dispatched hypercalls (diagnostics).
 	hypercallCount uint64
+
+	// cover is the optional edge-coverage sink (see coverage.go); nil
+	// keeps the kernel uninstrumented. coverNr is the hypercall being
+	// dispatched, for attributing HM events to the service that raised
+	// them (0 outside any dispatch).
+	cover   *cover.Map
+	coverNr Nr
 }
 
 // Option configures a Kernel at construction.
@@ -378,6 +386,7 @@ func (k *Kernel) handleOverrun(sc *slotCtx) {
 		return
 	}
 	sc.overrunHandled = true
+	k.covKernel(coverKernelSlotOverrun)
 	k.raiseHM(HMEvSchedOverrun, sc.p, sc.overrunDetail)
 }
 
@@ -387,6 +396,7 @@ func (k *Kernel) halt(detail string) {
 		k.state = KStateHalted
 		k.haltDetail = detail
 		k.machine.Timer(0).Disarm()
+		k.covKernel(coverKernelHalt)
 	}
 }
 
@@ -405,8 +415,10 @@ func (k *Kernel) applySystemReset() {
 	k.pendingSysReset = false
 	if cold {
 		k.coldResets++
+		k.covKernel(coverKernelColdReset)
 	} else {
 		k.warmResets++
+		k.covKernel(coverKernelWarmReset)
 	}
 	k.hm.reset(cold)
 	k.ports = nil
@@ -429,6 +441,9 @@ func (k *Kernel) raiseHM(ev HMEvent, p *Partition, detail string) HMAction {
 		pid = p.ID()
 	}
 	action := k.hm.record(k.machine.Now(), ev, p == nil, pid, detail)
+	if k.cover != nil {
+		k.cover.Hit(CoverSiteHM(k.coverNr, ev, action))
+	}
 	switch action {
 	case HMActHaltPartition:
 		if p != nil {
@@ -510,6 +525,7 @@ func (k *Kernel) hwTimerFired(m *sparc.Machine, unit int, at Time) {
 		case t.interval > 0:
 			if t.interval < timerHandlerLatency {
 				t.armed = false
+				k.covKernel(coverKernelTimerStorm)
 				k.raiseHM(HMEvFatalError, nil,
 					"kernel stack overflow: recursive timer handler (interval below handler latency)")
 				return
@@ -540,6 +556,7 @@ func (k *Kernel) processExecTimers(p *Partition) {
 		if t.interval > 0 {
 			if t.interval < timerHandlerLatency {
 				t.armed = false
+				k.covKernel(coverKernelExecCrash)
 				k.machine.Crash("timer trap escaped the exec-clock handler; simulator aborted")
 				return
 			}

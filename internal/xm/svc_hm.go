@@ -32,6 +32,7 @@ func (k *Kernel) hcHmRead(caller *Partition, ptr sparc.Addr, count uint32) RetCo
 	}
 	n := count
 	if n > avail {
+		k.cov(NrHmRead, 0) // read clamped to the remaining log
 		n = avail
 	}
 	if !k.guestWritable(caller, ptr, n*hmEntrySize) {
@@ -55,10 +56,13 @@ func (k *Kernel) hcHmSeek(caller *Partition, offset int32, whence uint32) RetCod
 	var base int
 	switch whence {
 	case SeekSet:
+		k.cov(NrHmSeek, 0)
 		base = 0
 	case SeekCur:
+		k.cov(NrHmSeek, 1)
 		base = k.hm.readCursor
 	case SeekEnd:
+		k.cov(NrHmSeek, 2)
 		base = len(k.hm.log)
 	default:
 		return InvalidParam

@@ -95,12 +95,18 @@ func (k *Kernel) createPort(caller *Partition, namePtr sparc.Addr, typ ChannelTy
 	if direction == DestinationPort && ch.cfg.Destination != caller.ID() {
 		return PermError
 	}
+	nr := NrCreateSamplingPort
+	if typ == QueuingChannel {
+		nr = NrCreateQueuingPort
+	}
 	// Re-creating an already-open port returns the existing descriptor.
 	for _, pt := range k.ports {
 		if pt.open && pt.owner == caller.ID() && pt.ch == ch && pt.direction == direction {
+			k.cov(nr, 0) // existing descriptor reused
 			return RetCode(pt.id)
 		}
 	}
+	k.cov(nr, 1) // fresh port attached
 	pt := &port{id: len(k.ports), owner: caller.ID(), ch: ch, direction: direction, open: true}
 	k.ports = append(k.ports, pt)
 	return RetCode(pt.id)
@@ -161,6 +167,7 @@ func (k *Kernel) hcReadSamplingMsg(caller *Partition, id int32, msgPtr sparc.Add
 	}
 	n := uint32(len(pt.ch.msg))
 	if n > size {
+		k.cov(NrReadSamplingMsg, 0) // message truncated to the read buffer
 		n = size
 	}
 	if !k.copyToGuest(caller, msgPtr, pt.ch.msg[:n]) {
@@ -215,7 +222,8 @@ func (k *Kernel) hcReceiveQueuingMsg(caller *Partition, id int32, msgPtr sparc.A
 	}
 	msg := pt.ch.queue[0]
 	if uint32(len(msg)) > size {
-		return InvalidParam // receive buffer too small for the head message
+		k.cov(NrReceiveQueuingMsg, 0) // receive buffer smaller than head
+		return InvalidParam
 	}
 	if !k.copyToGuest(caller, msgPtr, msg) {
 		return InvalidParam
@@ -272,8 +280,10 @@ func (k *Kernel) hcFlushPort(caller *Partition, id int32) RetCode {
 	}
 	switch pt.ch.cfg.Type {
 	case SamplingChannel:
+		k.cov(NrFlushPort, 0)
 		pt.ch.msg, pt.ch.msgValid = nil, false
 	case QueuingChannel:
+		k.cov(NrFlushPort, 1)
 		pt.ch.queue = nil
 	}
 	return OK

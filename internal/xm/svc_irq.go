@@ -64,11 +64,13 @@ func (k *Kernel) hcSetIrqPend(caller *Partition, hwMask, extMask uint32) RetCode
 	}
 	for line := 1; line < numHwIrqLines; line++ {
 		if hwMask&(1<<uint(line)) != 0 {
+			k.cov(NrSetIrqPend, 0) // hardware line injected
 			k.machine.IRQ().Raise(line)
 		}
 	}
 	for line := uint32(0); line < 32; line++ {
 		if extMask&(1<<line) != 0 {
+			k.cov(NrSetIrqPend, 1) // extended line injected
 			caller.raiseVIRQ(line)
 		}
 	}
@@ -86,10 +88,12 @@ func (k *Kernel) hcRouteIrq(caller *Partition, typ, irq, vector uint32) RetCode 
 		if caller.allowedHwMask()&(1<<irq) == 0 {
 			return PermError
 		}
+		k.cov(NrRouteIrq, 0)
 	case irqTypeExt:
 		if irq >= 32 {
 			return InvalidParam
 		}
+		k.cov(NrRouteIrq, 1)
 	default:
 		return InvalidParam
 	}

@@ -19,9 +19,11 @@ func (k *Kernel) hcMemoryCopy(caller *Partition, dst, src sparc.Addr, size uint3
 		return NoAction
 	}
 	if tr := caller.space.Check(src, size, sparc.PermRead); tr != nil {
+		k.cov(NrMemoryCopy, 0) // source range rejected
 		return InvalidParam
 	}
 	if tr := caller.space.Check(dst, size, sparc.PermWrite); tr != nil {
+		k.cov(NrMemoryCopy, 1) // destination range rejected
 		return InvalidParam
 	}
 	// Overlapping ranges are legal (memmove semantics): Machine.Read
@@ -33,6 +35,7 @@ func (k *Kernel) hcMemoryCopy(caller *Partition, dst, src sparc.Addr, size uint3
 	if tr := k.machine.Write(dst, data); tr != nil {
 		return InvalidParam
 	}
+	k.cov(NrMemoryCopy, 2) // bytes actually moved
 	k.charge(Time(size/memoryCopyChunk) + 1)
 	return OK
 }
@@ -42,9 +45,11 @@ func (k *Kernel) hcMemoryCopy(caller *Partition, dst, src sparc.Addr, size uint3
 // (real XtratuM uses it for para-virtualised page-table updates).
 func (k *Kernel) hcUpdatePage32(caller *Partition, addr sparc.Addr, value uint32) RetCode {
 	if uint32(addr)%4 != 0 {
+		k.cov(NrUpdatePage32, 0) // misaligned page address
 		return InvalidParam
 	}
 	if tr := caller.space.Check(addr, 4, sparc.PermWrite); tr != nil {
+		k.cov(NrUpdatePage32, 1) // page outside the caller's areas
 		return InvalidParam
 	}
 	if tr := k.machine.Write32(addr, value); tr != nil {

@@ -43,6 +43,7 @@ func (k *Kernel) hcMulticall(caller *Partition, start, end sparc.Addr) RetCode {
 		// slot boundary: once it exceeds the budget, the scheduling plan
 		// has already been violated and the health monitor records it.
 		if sc := k.cur; sc != nil && sc.used > sc.budget {
+			k.cov(NrMulticall, 0) // batch outran the slot budget (MSC-3)
 			k.declareOverrun(fmt.Sprintf(
 				"XM_multicall batch of %d entries exceeded the slot budget after %d entries",
 				count, executed))
@@ -54,6 +55,7 @@ func (k *Kernel) hcMulticall(caller *Partition, start, end sparc.Addr) RetCode {
 		// paper.
 		addr := start + sparc.Addr(i*MulticallEntrySize)
 		if tr := caller.space.Check(addr, MulticallEntrySize, sparc.PermRead); tr != nil {
+			k.cov(NrMulticall, 1) // unvalidated batch walk trapped (MSC-1/2)
 			k.raiseHM(HMEvMemProtection, caller,
 				"unhandled data access exception in XM_multicall batch walk: "+tr.String())
 			return OK // never observed: the partition was stopped
@@ -67,6 +69,7 @@ func (k *Kernel) hcMulticall(caller *Partition, start, end sparc.Addr) RetCode {
 		nr := Nr(binary.BigEndian.Uint32(raw[0:4]))
 		a0 := uint64(binary.BigEndian.Uint32(raw[8:12]))
 		a1 := uint64(binary.BigEndian.Uint32(raw[12:16]))
+		k.cov(NrMulticall, 2) // nested dispatch executed
 		k.charge(multicallEntryCost)
 		k.dispatch(caller, nr, []uint64{a0, a1})
 		executed++
@@ -106,6 +109,7 @@ func (k *Kernel) hcGetGidByName(caller *Partition, namePtr sparc.Addr, entity ui
 	case EntityPartition:
 		for _, p := range k.parts {
 			if p.Name() == name {
+				k.cov(NrGetGidByName, 0)
 				return RetCode(p.ID())
 			}
 		}
@@ -113,6 +117,7 @@ func (k *Kernel) hcGetGidByName(caller *Partition, namePtr sparc.Addr, entity ui
 	case EntityChannel:
 		for i, ch := range k.channels {
 			if ch.cfg.Name == name {
+				k.cov(NrGetGidByName, 1)
 				return RetCode(i)
 			}
 		}

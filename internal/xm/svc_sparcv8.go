@@ -34,10 +34,13 @@ func (k *Kernel) hcSparcAtomic(caller *Partition, dest sparc.Addr, value uint32,
 	var nv uint32
 	switch op {
 	case atomicAdd:
+		k.cov(NrSparcAtomicAdd, 0)
 		nv = old + value
 	case atomicAnd:
+		k.cov(NrSparcAtomicAnd, 0)
 		nv = old & value
 	case atomicOr:
+		k.cov(NrSparcAtomicOr, 0)
 		nv = old | value
 	}
 	if tr := k.machine.Write32(dest, nv); tr != nil {
@@ -107,9 +110,11 @@ func (k *Kernel) hcSparcSetPsr(caller *Partition, psr uint32) RetCode {
 // space.
 func (k *Kernel) hcSparcWriteTbr(caller *Partition, tbr uint32) RetCode {
 	if tbr%4096 != 0 {
+		k.cov(NrSparcWriteTbr, 0) // unaligned trap base
 		return InvalidParam
 	}
 	if tr := caller.space.Check(sparc.Addr(tbr), 4096, sparc.PermRead); tr != nil {
+		k.cov(NrSparcWriteTbr, 1) // trap table outside the caller's space
 		return InvalidParam
 	}
 	caller.tbr = tbr

@@ -28,6 +28,11 @@ func (k *Kernel) hcResetSystem(caller *Partition, mode uint32) RetCode {
 		return InvalidParam
 	}
 	cold := mode&1 == 0
+	if cold {
+		k.cov(NrResetSystem, 0)
+	} else {
+		k.cov(NrResetSystem, 1)
+	}
 	k.requestSystemReset(cold)
 	return OK // never observed: the system is resetting
 }
@@ -85,6 +90,11 @@ func (k *Kernel) hcResetPartition(caller *Partition, id int32, mode, status uint
 		return InvalidParam
 	}
 	_ = status // boot status word, delivered to the partition; any value is legal
+	if mode == ColdReset {
+		k.cov(NrResetPartition, 0)
+	} else {
+		k.cov(NrResetPartition, 1)
+	}
 	p.reset(mode == ColdReset)
 	return OK
 }
@@ -238,6 +248,7 @@ func (k *Kernel) hcSwitchSchedPlan(caller *Partition, planID uint32, prevPtr spa
 		k.nextPlan = -1
 		return NoAction
 	}
+	k.cov(NrSwitchSchedPlan, 0) // plan switch latched for the frame boundary
 	k.nextPlan = int(planID)
 	return OK
 }

@@ -10,8 +10,10 @@ func (k *Kernel) hcGetTime(caller *Partition, clockID uint32, ptr sparc.Addr) Re
 	var t Time
 	switch clockID {
 	case HwClock:
+		k.cov(NrGetTime, 0)
 		t = k.machine.Now()
 	case ExecClock:
+		k.cov(NrGetTime, 1)
 		t = caller.execClock
 	default:
 		return InvalidParam
@@ -50,6 +52,7 @@ func (k *Kernel) hcSetTimer(caller *Partition, clockID uint32, absTime, interval
 	}
 	if absTime == 0 {
 		// Disarm, per the reference manual.
+		k.cov(NrSetTimer, 0)
 		caller.timers[clockID].armed = false
 		if clockID == HwClock {
 			k.reprogramHwTimer()
@@ -67,12 +70,15 @@ func (k *Kernel) hcSetTimer(caller *Partition, clockID uint32, absTime, interval
 	// dropped after its first expiry) — and the call reports success.
 	iv := Time(interval)
 	if interval < 0 {
+		k.cov(NrSetTimer, 1) // legacy negative-interval de-facto one-shot (TMR-3)
 		iv = 0
 	}
 	switch clockID {
 	case HwClock:
+		k.cov(NrSetTimer, 2)
 		k.armHwTimer(caller, Time(absTime), iv)
 	case ExecClock:
+		k.cov(NrSetTimer, 3)
 		caller.timers[1] = vTimer{armed: true, expiry: Time(absTime), interval: iv}
 	}
 	return OK

@@ -67,6 +67,9 @@ func (k *Kernel) hcTraceEvent(caller *Partition, bitmask uint32, ptr sparc.Addr)
 	var ev traceEvent
 	ev.at = k.machine.Now()
 	copy(ev.payload[:], data)
+	if len(caller.trace.events) >= traceCap {
+		k.cov(NrTraceEvent, 0) // stream full: oldest event dropped
+	}
 	caller.trace.push(ev)
 	return OK
 }
@@ -102,10 +105,13 @@ func (k *Kernel) hcTraceSeek(caller *Partition, id, offset int32, whence uint32)
 	var base int
 	switch whence {
 	case SeekSet:
+		k.cov(NrTraceSeek, 0)
 		base = 0
 	case SeekCur:
+		k.cov(NrTraceSeek, 1)
 		base = s.cursor
 	case SeekEnd:
+		k.cov(NrTraceSeek, 2)
 		base = len(s.events)
 	default:
 		return InvalidParam
