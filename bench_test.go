@@ -238,10 +238,14 @@ func BenchmarkAblationSerialExecution(b *testing.B) {
 }
 
 // BenchmarkExtensionPhantomCampaign runs the §V phantom-parameter
-// extension: the 10 parameter-less hypercalls under 5 system states.
+// extension: the 10 parameter-less hypercalls under 5 system states,
+// through the same campaign pipeline as every other plan.
 func BenchmarkExtensionPhantomCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep := core.RunPhantomCampaign(campaign.Options{})
+		rep, err := core.RunCampaign(campaign.Options{Plan: "phantom"})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rep.Results) != 50 {
 			b.Fatalf("phantom tests = %d, want 50", len(rep.Results))
 		}

@@ -1,7 +1,8 @@
 // Command xmfuzz runs the robustness testing campaign of the paper's case
 // study: the data-type fault model applied to the XtratuM-like separation
 // kernel on the EagleEye TSP testbed. It reproduces Table III, the CRASH
-// tally, Fig. 8 and the §IV.C issue list.
+// tally, Fig. 8 and the §IV.C issue list, and is a thin shell over the
+// public pkg/xmrobust API.
 //
 // By default the campaign runs eagerly in memory. With -stream DIR it runs
 // on the streaming pooled engine instead: execution logs are sharded into
@@ -13,25 +14,24 @@
 // are its product, not an error), 1 on campaign/harness errors, 2 on
 // usage errors.
 //
-// The campaign's test plan is pluggable: -plan exhaustive (default, the
-// paper's full Eq. 1 product), -plan pairwise (greedy 2-way covering
-// array), -plan rand:N (seeded uniform sample without replacement, see
-// -seed) or -plan boundary (invalid/boundary-value-dense subset). A
-// checkpointed campaign records its plan fingerprint; -resume refuses a
-// mismatched plan instead of mixing two campaigns into one log.
+// The campaign's test plan (-plan) and execution target (-target) are
+// both pluggable; -list prints every registered plan strategy and
+// backend. -plan phantom runs the §V phantom-parameter extension (every
+// parameter-less hypercall under every phantom system state) through the
+// same engine as any other plan. -target diff:sim,phantom executes each
+// test on the simulated kernel AND the analytical model, recording their
+// disagreements as the divergence section of the report — behaviour the
+// reference manual does not predict.
+//
+// A checkpointed campaign records its plan fingerprint and target name;
+// -resume refuses a mismatch of either instead of mixing two campaigns
+// into one log.
 //
 // Usage:
 //
-// With -plan feedback:N the campaign closes the loop on kernel edge
-// coverage: boundary-strategy seeds first, then datasets bred from the
-// coverage-deduplicated corpus by dictionary-aware mutators, with the
-// engine feeding every result's coverage map back into the plan. Seeded
-// feedback runs are byte-reproducible; -corpus FILE persists the corpus
-// across campaigns; -cover-stats reports edge coverage for any plan.
-//
 //	xmfuzz [-patched] [-mafs N] [-workers N] [-stress] [-func NAME]
-//	       [-plan STRATEGY] [-seed N] [-corpus FILE] [-cover-stats]
-//	       [-csv] [-issues] [-progress]
+//	       [-plan STRATEGY] [-target BACKEND] [-seed N] [-corpus FILE]
+//	       [-cover-stats] [-csv] [-issues] [-progress] [-list]
 //	       [-stream DIR] [-shards N] [-resume] [-fresh-machines]
 package main
 
@@ -39,195 +39,156 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
-	"xmrobust/internal/analysis"
-	"xmrobust/internal/apispec"
-	"xmrobust/internal/campaign"
-	"xmrobust/internal/core"
-	"xmrobust/internal/report"
-	"xmrobust/internal/xm"
+	"xmrobust/pkg/xmrobust"
 )
 
 func main() {
 	var (
 		patched  = flag.Bool("patched", false, "test the patched kernel (post fault-removal)")
-		mafs     = flag.Int("mafs", campaign.DefaultMAFs, "major frames per test")
+		mafs     = flag.Int("mafs", 0, "major frames per test (0 = default)")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		stress   = flag.Bool("stress", false, "pre-load the system before injection")
 		fn       = flag.String("func", "", "restrict the campaign to one hypercall")
 		csv      = flag.Bool("csv", false, "emit Table III as CSV")
 		issues   = flag.Bool("issues", false, "emit only the issue list")
 		progress = flag.Bool("progress", false, "print progress while running")
-		phantom  = flag.Bool("phantom", false, "run the phantom-parameter extension campaign instead")
+		phantom  = flag.Bool("phantom", false, "deprecated alias for -plan phantom (the §V extension suite)")
 		masking  = flag.Bool("masking", false, "append the fault-masking study (paper Fig. 7)")
 		output   = flag.String("o", "", "write the raw campaign log (JSON Lines) to this file")
 		stream   = flag.String("stream", "", "run the streaming engine, sharding the campaign log into this directory")
 		shards   = flag.Int("shards", 0, "shard writer count for -stream (0 = workers)")
 		resume   = flag.Bool("resume", false, "resume an interrupted -stream campaign from its checkpoint")
 		fresh    = flag.Bool("fresh-machines", false, "disable machine pooling (one fresh simulator per test)")
-		plan     = flag.String("plan", "exhaustive", "test plan: exhaustive, pairwise, rand:N, boundary, feedback:N")
+		plan     = flag.String("plan", "", "test plan: exhaustive (default), pairwise, rand:N, boundary, feedback:N, phantom (see -list)")
+		tgt      = flag.String("target", "", "execution target: sim (default), phantom, diff:a,b (see -list)")
 		seed     = flag.Int64("seed", 0, "seed for randomised plans (rand:N, feedback:N)")
 		corpus   = flag.String("corpus", "", "feedback-plan corpus file (JSON Lines): load parents, append admissions")
 		coverCol = flag.Bool("cover-stats", false, "collect kernel edge coverage and report it (feedback plans always do)")
+		list     = flag.Bool("list", false, "list the registered test plans and execution targets, then exit")
 	)
 	flag.Parse()
 
-	opts := campaign.Options{
-		MAFs:     *mafs,
-		Workers:  *workers,
-		Stress:   *stress,
-		Plan:     *plan,
-		Seed:     *seed,
-		Corpus:   *corpus,
-		Coverage: *coverCol,
-	}
-	if *patched {
-		opts.Faults = xm.PatchedFaults()
-	}
-	if *fn != "" {
-		header := apispec.Default()
-		found := false
-		for i := range header.Functions {
-			tested := header.Functions[i].Name == *fn
-			if tested {
-				found = true
-			}
-			header.Functions[i].Tested = map[bool]string{true: "YES", false: "NO"}[tested]
+	if *list {
+		fmt.Println("test plans (-plan):")
+		for _, p := range xmrobust.Plans() {
+			fmt.Printf("  %-12s %s\n", p.Name, p.Desc)
 		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "xmfuzz: unknown hypercall %q\n", *fn)
+		fmt.Println("\nexecution targets (-target):")
+		for _, t := range xmrobust.Targets() {
+			fmt.Printf("  %-12s %s\n", t.Name, t.Desc)
+		}
+		return
+	}
+
+	if *phantom {
+		if *plan != "" && *plan != "phantom" {
+			fmt.Fprintln(os.Stderr, "xmfuzz: -phantom conflicts with -plan", *plan)
 			os.Exit(2)
 		}
-		opts.Header = header
+		*plan = "phantom"
+	}
+	if *resume && *stream == "" {
+		fmt.Fprintln(os.Stderr, "xmfuzz: -resume requires -stream")
+		os.Exit(2)
+	}
+	if *masking && *stream != "" {
+		// The masking study needs every classified result in memory —
+		// the eager pipeline's job.
+		fmt.Fprintln(os.Stderr, "xmfuzz: -masking requires the eager engine (drop -stream)")
+		os.Exit(2)
+	}
+
+	opts := []xmrobust.Option{
+		xmrobust.WithPlan(*plan),
+		xmrobust.WithTarget(*tgt),
+		xmrobust.WithSeed(*seed),
+		xmrobust.WithMAFs(*mafs),
+		xmrobust.WithWorkers(*workers),
+	}
+	if *stress {
+		opts = append(opts, xmrobust.WithStress())
+	}
+	if *patched {
+		opts = append(opts, xmrobust.WithPatchedKernel())
+	}
+	if *fn != "" {
+		opts = append(opts, xmrobust.WithFunction(*fn))
+	}
+	if *corpus != "" {
+		opts = append(opts, xmrobust.WithCorpus(*corpus))
+	}
+	if *coverCol {
+		opts = append(opts, xmrobust.WithCoverage())
 	}
 	if *progress {
-		opts.Progress = func(done, total int) {
+		opts = append(opts, xmrobust.WithProgress(func(done, total int) {
 			if done%250 == 0 || done == total {
 				fmt.Fprintf(os.Stderr, "\r%6d / %d tests", done, total)
 				if done == total {
 					fmt.Fprintln(os.Stderr)
 				}
 			}
-		}
+		}))
 	}
-
-	if *resume && *stream == "" {
-		fmt.Fprintln(os.Stderr, "xmfuzz: -resume requires -stream")
-		os.Exit(2)
-	}
-
-	if *phantom {
-		if *stream != "" {
-			// The 50-test phantom extension runs eagerly; pretending to
-			// shard it would leave the directory empty.
-			fmt.Fprintln(os.Stderr, "xmfuzz: -phantom does not support -stream")
-			os.Exit(2)
-		}
-		prep := core.RunPhantomCampaign(opts)
-		fmt.Printf("phantom-parameter extension: %d tests (%d parameter-less hypercalls x %d states)\n\n",
-			len(prep.Results), len(prep.Results)/len(campaign.PhantomStates()), len(campaign.PhantomStates()))
-		fmt.Print(analysis.Summary(prep.Issues))
-		exitOnHarnessErrors(prep.Results)
-		return
-	}
-
 	if *stream != "" {
-		if *masking {
-			// The masking study needs every classified result in memory —
-			// the eager pipeline's job.
-			fmt.Fprintln(os.Stderr, "xmfuzz: -masking requires the eager engine (drop -stream)")
-			os.Exit(2)
+		opts = append(opts, xmrobust.WithCheckpoint(*stream), xmrobust.WithShards(*shards))
+		if *resume {
+			opts = append(opts, xmrobust.WithResume())
 		}
-		eo := campaign.EngineOptions{
-			ShardDir:       *stream,
-			Shards:         *shards,
-			CheckpointPath: filepath.Join(*stream, "checkpoint.jsonl"),
-			Resume:         *resume,
-			FreshMachines:  *fresh,
+		if *fresh {
+			opts = append(opts, xmrobust.WithFreshMachines())
 		}
-		srep, err := core.RunCampaignStream(opts, eo)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
-			os.Exit(1)
-		}
-		if *output != "" {
-			f, err := os.Create(*output)
-			if err == nil {
-				var n int
-				if n, err = campaign.MergeShards(*stream, f); err == nil {
-					err = f.Close()
-					fmt.Fprintf(os.Stderr, "campaign log: %s (%d records)\n", *output, n)
-				}
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "xmfuzz:", err)
-				os.Exit(1)
-			}
-		}
-		switch {
-		case *csv:
-			fmt.Print(report.StreamTableIIICSV(srep))
-		case *issues:
-			fmt.Print(analysis.Summary(srep.Issues))
-		default:
-			fmt.Print(report.StreamSummary(srep))
-		}
-		if srep.HarnessErrors > 0 {
-			fmt.Fprintf(os.Stderr, "xmfuzz: %d tests failed in the harness\n", srep.HarnessErrors)
-			os.Exit(1)
-		}
-		return
 	}
 
-	rep, err := core.RunCampaign(opts)
+	rep, err := xmrobust.Run(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xmfuzz:", err)
 		os.Exit(1)
 	}
+
 	if *output != "" {
-		f, err := os.Create(*output)
+		if err := writeLog(rep, *output); err != nil {
+			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *csv:
+		fmt.Print(rep.TableCSV())
+	case *issues:
+		fmt.Print(rep.IssuesText())
+	default:
+		fmt.Print(rep.Summary())
+	}
+	if *masking {
+		study, err := rep.MaskingText()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
 			os.Exit(1)
 		}
-		if err := campaign.WriteJSON(f, rep.Results); err != nil {
-			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "campaign log: %s (%d records)\n", *output, len(rep.Results))
-	}
-	switch {
-	case *csv:
-		fmt.Print(report.TableIIICSV(rep))
-	case *issues:
-		fmt.Print(analysis.Summary(rep.Issues))
-	default:
-		fmt.Print(report.Full(rep))
-	}
-	if *masking {
 		fmt.Println()
-		fmt.Print(analysis.MaskingSummary(analysis.MaskingStudy(rep.Classified)))
+		fmt.Print(study)
 	}
-	exitOnHarnessErrors(rep.Results)
-}
-
-// exitOnHarnessErrors exits 1 when any test failed in the harness rather
-// than the kernel, so CI and scripts can gate on campaign health.
-// Robustness findings do NOT fail the run — they are the product.
-func exitOnHarnessErrors(results []campaign.Result) {
-	errs := 0
-	for _, r := range results {
-		if r.RunErr != "" {
-			errs++
-		}
-	}
-	if errs > 0 {
-		fmt.Fprintf(os.Stderr, "xmfuzz: %d tests failed in the harness\n", errs)
+	if n := rep.HarnessErrors(); n > 0 {
+		fmt.Fprintf(os.Stderr, "xmfuzz: %d tests failed in the harness\n", n)
 		os.Exit(1)
 	}
+}
+
+// writeLog writes the merged raw campaign log to path.
+func writeLog(rep *xmrobust.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := rep.WriteLog(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "campaign log: %s (%d records)\n", path, n)
+	}
+	return err
 }

@@ -1,7 +1,7 @@
 // Command xmrun boots a TSP system and runs it for a number of major
 // frames, printing the hypervisor console, partition statuses and the
-// health-monitor log — the xmcfg/xm equivalent of launching TSIM with a
-// packed XtratuM image.
+// health-monitor log — the equivalent of launching TSIM with a packed
+// XtratuM image, built on the public pkg/xmrobust API.
 //
 // With no -config argument it runs the built-in EagleEye TSP testbed with
 // its synthetic on-board software; with -config it boots an XM_CF-style
@@ -18,9 +18,7 @@ import (
 	"fmt"
 	"os"
 
-	"xmrobust/internal/eagleeye"
-	"xmrobust/internal/xm"
-	"xmrobust/internal/xmcfg"
+	"xmrobust/pkg/xmrobust"
 )
 
 func main() {
@@ -32,28 +30,19 @@ func main() {
 	)
 	flag.Parse()
 
-	faults := xm.LegacyFaults()
+	sysOpts := []xmrobust.SystemOption{}
 	if *patched {
-		faults = xm.PatchedFaults()
+		sysOpts = append(sysOpts, xmrobust.WithSystemFaults(xmrobust.PatchedFaults()))
 	}
-
-	var (
-		k   *xm.Kernel
-		err error
-	)
-	if *cfgPath == "" {
-		k, err = eagleeye.NewSystem(xm.WithFaults(faults))
-	} else {
-		var data []byte
-		data, err = os.ReadFile(*cfgPath)
-		if err == nil {
-			var cfg xm.Config
-			cfg, err = xmcfg.Parse(data)
-			if err == nil {
-				k, err = xm.New(cfg, xm.WithFaults(faults))
-			}
+	if *cfgPath != "" {
+		data, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmrun:", err)
+			os.Exit(1)
 		}
+		sysOpts = append(sysOpts, xmrobust.WithConfigXML(data))
 	}
+	k, err := xmrobust.NewSystem(sysOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xmrun:", err)
 		os.Exit(1)
@@ -93,7 +82,7 @@ func main() {
 	// Exit non-zero on any kernel-health failure so scripts and CI can
 	// gate on the run: a run error (including a hypervisor halt), a dead
 	// simulator, or a kernel that is no longer RUNNING.
-	if crashed, _ := k.Machine().Crashed(); runErr != nil || crashed || st.State != xm.KStateRunning {
+	if crashed, _ := k.Machine().Crashed(); runErr != nil || crashed || st.State != xmrobust.KStateRunning {
 		os.Exit(1)
 	}
 }

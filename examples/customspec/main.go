@@ -3,7 +3,8 @@
 // (Fig. 2) and a Data Type dictionary (Fig. 3) — which a test engineer
 // writes by hand for the kernel under test. Here we author both from
 // scratch for a two-hypercall sweep with a custom, deliberately hostile
-// value set, run the campaign, and render one generated mutant source.
+// value set, run the campaign through the public pkg/xmrobust API, and
+// render one generated mutant source.
 //
 //	go run ./examples/customspec
 package main
@@ -12,11 +13,7 @@ import (
 	"fmt"
 	"log"
 
-	"xmrobust/internal/analysis"
-	"xmrobust/internal/apispec"
-	"xmrobust/internal/campaign"
-	"xmrobust/internal/dict"
-	"xmrobust/internal/testgen"
+	"xmrobust/pkg/xmrobust"
 )
 
 const apiXML = `<?xml version="1.0"?>
@@ -60,16 +57,16 @@ const dictXML = `<?xml version="1.0"?>
 </DataTypes>`
 
 func main() {
-	header, err := apispec.Parse([]byte(apiXML))
+	header, err := xmrobust.ParseHeader([]byte(apiXML))
 	if err != nil {
 		log.Fatal(err)
 	}
-	d, err := dict.Parse([]byte(dictXML))
+	d, err := xmrobust.ParseDict([]byte(dictXML))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	datasets, err := testgen.Generate(header, d)
+	datasets, err := xmrobust.Generate(header, d)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,11 +74,16 @@ func main() {
 		len(datasets), len(header.Tested()))
 
 	fmt.Println("first generated mutant source:")
-	fmt.Println(testgen.RenderMutantC(datasets[0]))
+	fmt.Println(xmrobust.RenderMutantC(datasets[0]))
 
-	opts := campaign.Options{Header: header, Dict: d}
-	results := campaign.RunDatasets(datasets, opts)
-	classified := analysis.ClassifyAll(results, analysis.NewOracle(opts.Faults))
-	issues := analysis.Cluster(classified)
-	fmt.Print(analysis.Summary(issues))
+	results, err := xmrobust.RunDatasets(datasets,
+		xmrobust.WithHeader(header), xmrobust.WithDict(d))
+	if err != nil {
+		log.Fatal(err)
+	}
+	issues, err := xmrobust.Classify(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(xmrobust.SummarizeIssues(issues))
 }

@@ -4,7 +4,8 @@
 // the fault (the partition is halted, the victim's memory is untouched);
 // the FDIR system partition detects the halt through the HM log and
 // recovers the partition with a warm reset — while the rest of the
-// spacecraft keeps flying its cyclic schedule undisturbed.
+// spacecraft keeps flying its cyclic schedule undisturbed. Everything
+// runs through the public pkg/xmrobust API.
 //
 //	go run ./examples/fdir-recovery
 package main
@@ -13,33 +14,31 @@ import (
 	"fmt"
 	"log"
 
-	"xmrobust/internal/eagleeye"
-	"xmrobust/internal/sparc"
-	"xmrobust/internal/xm"
+	"xmrobust/pkg/xmrobust"
 )
 
 // roguePayload behaves nominally for two frames, then writes into the
 // PLATFORM partition's memory.
 type roguePayload struct{ cycle int }
 
-func (r *roguePayload) Boot(env xm.Env) {}
+func (r *roguePayload) Boot(env xmrobust.Env) {}
 
-func (r *roguePayload) Step(env xm.Env) bool {
+func (r *roguePayload) Step(env xmrobust.Env) bool {
 	r.cycle++
 	env.Compute(3000)
 	if r.cycle == 3 {
 		// Spatial separation violation: PLATFORM's data area.
-		env.Write(sparc.DefaultRAMBase+0x100000, []byte{0xDE, 0xAD})
+		env.Write(xmrobust.DefaultRAMBase+0x100000, []byte{0xDE, 0xAD})
 	}
 	return false
 }
 
 func main() {
-	k, err := eagleeye.NewSystem()
+	k, err := xmrobust.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := k.AttachProgram(eagleeye.Payload, &roguePayload{}); err != nil {
+	if err := k.AttachProgram(xmrobust.Payload, &roguePayload{}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -47,7 +46,7 @@ func main() {
 		if err := k.RunMajorFrames(1); err != nil {
 			log.Fatal(err)
 		}
-		ps, _ := k.PartitionStatus(eagleeye.Payload)
+		ps, _ := k.PartitionStatus(xmrobust.Payload)
 		fmt.Printf("frame %d: PAYLOAD %-9s boots=%d\n", frame, ps.State, ps.BootCount)
 	}
 
@@ -56,7 +55,7 @@ func main() {
 		fmt.Printf("  %s\n", e)
 	}
 
-	rep, err := eagleeye.Report(k)
+	rep, err := xmrobust.TestbedStatus(k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +63,7 @@ func main() {
 		rep.HMEntriesSeen, rep.Recovered)
 
 	// The victim partition's memory was never touched: fault containment.
-	b, err := k.ReadGuest(eagleeye.Platform, sparc.DefaultRAMBase+0x100000, 2)
+	b, err := k.ReadGuest(xmrobust.Platform, xmrobust.DefaultRAMBase+0x100000, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,6 +72,6 @@ func main() {
 	} else {
 		fmt.Println("victim memory untouched: spatial separation held")
 	}
-	ps, _ := k.PartitionStatus(eagleeye.Payload)
+	ps, _ := k.PartitionStatus(xmrobust.Payload)
 	fmt.Printf("final PAYLOAD state: %s after %d boots\n", ps.State, ps.BootCount)
 }

@@ -1,8 +1,9 @@
-// Fullcampaign reproduces the paper's complete case study end to end:
-// the 2616-test data-type fault-model campaign against the legacy
-// XtratuM-like kernel, the Table III aggregation, the CRASH tally, the
-// nine §IV.C issues — and then the same campaign against the patched
-// kernel as the fault-removal ablation.
+// Fullcampaign reproduces the paper's complete case study end to end
+// through the public pkg/xmrobust API: the 2616-test data-type
+// fault-model campaign against the legacy XtratuM-like kernel, the Table
+// III aggregation, the CRASH tally, the nine §IV.C issues — and then the
+// same campaign against the patched kernel as the fault-removal
+// ablation.
 //
 //	go run ./examples/fullcampaign
 package main
@@ -12,29 +13,26 @@ import (
 	"log"
 	"time"
 
-	"xmrobust/internal/campaign"
-	"xmrobust/internal/core"
-	"xmrobust/internal/report"
-	"xmrobust/internal/xm"
+	"xmrobust/pkg/xmrobust"
 )
 
-func run(name string, faults xm.FaultSet) *core.CampaignReport {
+func run(name string, opts ...xmrobust.Option) *xmrobust.Report {
 	start := time.Now()
-	rep, err := core.RunCampaign(campaign.Options{Faults: faults})
+	rep, err := xmrobust.Run(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("=== %s kernel: campaign of %d tests in %v ===\n\n",
-		name, len(rep.Results), time.Since(start).Round(time.Millisecond))
+		name, rep.Total(), time.Since(start).Round(time.Millisecond))
 	return rep
 }
 
 func main() {
-	legacy := run("legacy", xm.LegacyFaults())
-	fmt.Println(report.Full(legacy))
+	legacy := run("legacy", xmrobust.WithFaults(xmrobust.LegacyFaults()))
+	fmt.Println(legacy.Summary())
 
-	patched := run("patched", xm.PatchedFaults())
-	fmt.Println(report.TableIII(patched))
+	patched := run("patched", xmrobust.WithPatchedKernel())
+	fmt.Println(patched.TableText())
 	fmt.Printf("fault-removal ablation: %d issues on the legacy kernel, %d after the fixes\n",
-		len(legacy.Issues), len(patched.Issues))
+		len(legacy.Issues()), len(patched.Issues()))
 }

@@ -1,7 +1,7 @@
 // Quickstart: boot the EagleEye TSP testbed on the simulated LEON3, watch
 // the synthetic on-board software fly for a second of virtual time, then
 // throw the paper's sharpest dataset at the kernel and watch the health
-// monitor catch it.
+// monitor catch it — entirely through the public pkg/xmrobust API.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,20 +10,14 @@ import (
 	"fmt"
 	"log"
 
-	"xmrobust/internal/campaign"
-	"xmrobust/internal/eagleeye"
-	"xmrobust/internal/testgen"
-
-	"xmrobust/internal/apispec"
-	"xmrobust/internal/dict"
-	"xmrobust/internal/xm"
+	"xmrobust/pkg/xmrobust"
 )
 
 func main() {
 	// 1. Boot the five-partition EagleEye system (250 ms major frame,
 	//    FDIR as the only system partition) on a legacy XtratuM-like
 	//    kernel and run four cyclic schedules.
-	k, err := eagleeye.NewSystem()
+	k, err := xmrobust.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,15 +27,15 @@ func main() {
 	st := k.Status()
 	fmt.Printf("nominal mission: %d major frames, kernel %s, %d hypercalls served\n",
 		st.MAFCount, st.State, k.HypercallCount())
-	rep, _ := eagleeye.Report(k)
+	rep, _ := xmrobust.TestbedStatus(k)
 	fmt.Printf("FDIR saw %d partitions up, drained %d downlink frames\n\n",
 		rep.PartitionsUp, rep.FramesDrained)
 
 	// 2. Generate the test datasets for one hypercall with the data type
 	//    fault model (paper Fig. 4/5 pipeline).
-	header := apispec.Default()
+	header := xmrobust.DefaultHeader()
 	f, _ := header.Function("XM_set_timer")
-	matrix, err := testgen.BuildMatrix(f, dict.Builtin())
+	matrix, err := xmrobust.BuildMatrix(f, xmrobust.BuiltinDict())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,12 +45,15 @@ func main() {
 	// 3. Inject each dataset from the FDIR partition on a fresh testbed
 	//    and report what the kernel did.
 	for _, ds := range matrix.Datasets() {
-		res := campaign.RunOne(ds, campaign.Options{})
+		res, err := xmrobust.RunOne(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
 		outcome := "robust"
 		switch {
 		case res.SimCrashed:
 			outcome = "SIMULATOR CRASH: " + res.CrashReason
-		case res.KernelState == xm.KStateHalted:
+		case res.KernelState == xmrobust.KStateHalted:
 			outcome = "XM HALT: " + res.KernelHalt
 		default:
 			if rc, ok := res.LastReturn(); ok {

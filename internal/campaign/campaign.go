@@ -1,16 +1,13 @@
 // Package campaign executes robustness test campaigns: the Test Generation
 // and Execution phase of the paper's methodology (§III.B).
 //
-// For every generated dataset the runner packs a fresh test partition —
-// the FDIR system partition of the EagleEye testbed, hosting one fault
-// placeholder — with the rest of the on-board software, runs the TSP
-// system on the simulated LEON3 target for a selected number of cyclic
-// schedules (the test call is invoked once per major frame), and logs the
-// return codes together with partition and separation-kernel health
-// specifics for the later log-analysis phase.
-//
-// Tests are mutually independent (each gets its own machine and kernel),
-// so the runner fans them out over a worker pool.
+// The campaign layer owns scheduling — plans, worker pools, shards,
+// checkpoints — while the execution of an individual test belongs to the
+// pluggable backends of internal/target: the simulated LEON3 testbed
+// (target "sim", the default), the analytical kernel model ("phantom"),
+// or a divergence-recording composite ("diff:a,b"). Tests are mutually
+// independent (each gets its own execution slot), so the engine fans them
+// out over a worker pool.
 package campaign
 
 import (
@@ -19,16 +16,22 @@ import (
 
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/corpus"
-	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
-	"xmrobust/internal/eagleeye"
-	"xmrobust/internal/sparc"
+	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
 
 // DefaultMAFs is the number of cyclic schedules each test runs for.
 const DefaultMAFs = 2
+
+// Result is the execution log of one test case. It is produced by the
+// target layer; the campaign, analysis and report layers consume it
+// unchanged regardless of the backend that executed the test.
+type Result = target.Result
+
+// Divergence is a diff-target disagreement between two backends.
+type Divergence = target.Divergence
 
 // Options configures a campaign run.
 type Options struct {
@@ -49,9 +52,13 @@ type Options struct {
 	// saturated IPC queues and trace buffers.
 	Stress bool
 	// Plan selects the test-generation strategy ("" or "exhaustive" for
-	// the paper's full Eq. 1 product; "pairwise", "rand:N", "boundary"
-	// for reduced plans — see testgen.NewPlan).
+	// the paper's full Eq. 1 product; "pairwise", "rand:N", "boundary",
+	// "feedback:N", "phantom" for other plans — see testgen.NewPlan).
 	Plan string
+	// Target selects the execution backend ("" or "sim" for the
+	// simulated testbed; "phantom" for the analytical model;
+	// "diff:a,b" for the divergence oracle — see target.New).
+	Target string
 	// Seed feeds randomised plans (rand:N, feedback:N); deterministic
 	// strategies ignore it.
 	Seed int64
@@ -80,199 +87,39 @@ func (o Options) withDefaults() Options {
 	if o.Dict == nil {
 		o.Dict = dict.Builtin()
 	}
+	if o.Target == "" {
+		o.Target = target.SimName
+	}
 	return o
 }
 
-// Result is the execution log of one test case — everything §III.C says
-// must be monitored: return codes, health-monitor events, partition and
-// kernel statuses, plus the simulator's own fate.
-type Result struct {
-	Dataset  testgen.Dataset
-	Resolved []dict.Resolved
-
-	// TestPartition is the id of the partition hosting the fault
-	// placeholder (the FDIR system partition of the testbed).
-	TestPartition int
-
-	// Invocations counts fault-placeholder activations; Returns holds the
-	// return codes of those that came back. A shortfall means control
-	// never returned to the test partition.
-	Invocations int
-	Returns     []xm.RetCode
-
-	// Kernel health.
-	KernelState xm.KState
-	KernelHalt  string
-	ColdResets  uint32
-	WarmResets  uint32
-	HMEvents    []xm.HMLogEntry
-
-	// Test partition health.
-	PartState  xm.PState
-	PartDetail string
-
-	// Simulator fate.
-	SimCrashed  bool
-	CrashReason string
-
-	// RunErr records an unexpected harness error ("" normally).
-	RunErr string
-
-	// Cover is the kernel edge coverage of the run (nil unless
-	// Options.Coverage was on).
-	Cover *cover.Map
-}
-
-// Returned reports whether every invocation returned to the guest.
-func (r Result) Returned() bool {
-	return r.Invocations > 0 && len(r.Returns) == r.Invocations
-}
-
-// LastReturn is the last observed return code (ok=false when none).
-func (r Result) LastReturn() (xm.RetCode, bool) {
-	if len(r.Returns) == 0 {
-		return 0, false
+// runSpec projects the campaign options onto the per-run execution
+// parameters of the target layer.
+func (o Options) runSpec() target.RunSpec {
+	return target.RunSpec{
+		Faults:   o.Faults,
+		MAFs:     o.MAFs,
+		Stress:   o.Stress,
+		Header:   o.Header,
+		Dict:     o.Dict,
+		Coverage: o.Coverage,
 	}
-	return r.Returns[len(r.Returns)-1], true
 }
 
-// layoutFor builds the symbolic-value resolution layout of the EagleEye
-// test partition.
-func layoutFor(k *xm.Kernel) (dict.Layout, error) {
-	data, ok := k.PartitionDataArea(eagleeye.FDIR)
-	if !ok {
-		return dict.Layout{}, fmt.Errorf("campaign: test partition has no data area")
-	}
-	other, ok := k.PartitionDataArea(eagleeye.Platform)
-	if !ok {
-		return dict.Layout{}, fmt.Errorf("campaign: no other-partition area")
-	}
-	mc := k.Machine().Config()
-	return dict.Layout{
-		DataArea:  data,
-		OtherArea: other,
-		Kernel:    mc.RAMBase, // the hypervisor image sits at the RAM base
-		ROM:       mc.ROMBase + 0x100,
-		IO:        mc.IOBase,
-	}, nil
-}
-
-// testProg is the test partition program: one fault placeholder invoked
-// once per scheduling slot (and hence at least once per major frame).
-type testProg struct {
-	nr   xm.Nr
-	args []uint64
-
-	invocations int
-	returns     []xm.RetCode
-}
-
-func (p *testProg) Boot(env xm.Env) {}
-
-func (p *testProg) Step(env xm.Env) bool {
-	p.invocations++
-	ret := env.Hypercall(p.nr, p.args...)
-	p.returns = append(p.returns, ret)
-	return false
-}
-
-// RunOne executes a single dataset against a fresh testbed and returns
-// its execution log.
+// RunOne executes a single dataset on the configured target (default sim,
+// fresh testbed) and returns its execution log.
 func RunOne(ds testgen.Dataset, opts Options) Result {
-	return runOneOn(ds, opts.withDefaults(), nil)
-}
-
-// runOneOn executes one dataset, packing the testbed onto the supplied
-// machine (nil: a fresh allocation). The machine must be in its power-on
-// state; the streaming engine guarantees that through the reset-and-verify
-// pool.
-func runOneOn(ds testgen.Dataset, opts Options, m *sparc.Machine) Result {
-	res := Result{Dataset: ds, TestPartition: eagleeye.FDIR}
-
-	spec, ok := xm.LookupName(ds.Func.Name)
-	if !ok {
-		res.RunErr = fmt.Sprintf("campaign: hypercall %q not in kernel ABI", ds.Func.Name)
-		return res
-	}
-	sysOpts := []xm.Option{xm.WithFaults(opts.Faults)}
-	if m != nil {
-		sysOpts = append(sysOpts, xm.WithMachine(m))
-	}
-	if opts.Coverage {
-		res.Cover = &cover.Map{}
-		sysOpts = append(sysOpts, xm.WithCoverage(res.Cover))
-	}
-	k, err := eagleeye.NewSystem(sysOpts...)
+	opts = opts.withDefaults()
+	tgt, err := target.New(opts.Target, target.Config{})
 	if err != nil {
-		res.RunErr = err.Error()
-		return res
+		return Result{Dataset: ds, RunErr: err.Error()}
 	}
-	layout, err := layoutFor(k)
-	if err != nil {
-		res.RunErr = err.Error()
-		return res
+	if err := tgt.Provision(1); err != nil {
+		return Result{Dataset: ds, RunErr: err.Error()}
 	}
-	resolved := make([]dict.Resolved, 0, len(ds.Values))
-	args := make([]uint64, 0, len(ds.Values))
-	for _, v := range ds.Values {
-		r, err := layout.Resolve(v)
-		if err != nil {
-			res.RunErr = err.Error()
-			return res
-		}
-		resolved = append(resolved, r)
-		args = append(args, r.Bits)
-	}
-	res.Resolved = resolved
-
-	prog := &testProg{nr: spec.Nr, args: args}
-	if err := k.AttachProgram(eagleeye.FDIR, prog); err != nil {
-		res.RunErr = err.Error()
-		return res
-	}
-	if opts.Stress {
-		preloadStress(k)
-	}
-
-	var runErr error
-	for i := 0; i < opts.MAFs; i++ {
-		if runErr = k.RunMajorFrames(1); runErr != nil {
-			break
-		}
-	}
-	switch runErr {
-	case nil, xm.ErrHalted:
-		// Kernel halt is an observed outcome, not a harness error.
-	default:
-		if _, isCrash := runErr.(sparc.ErrCrashed); !isCrash {
-			res.RunErr = runErr.Error()
-		}
-	}
-
-	res.Invocations = prog.invocations
-	res.Returns = prog.returns
-	st := k.Status()
-	res.KernelState = st.State
-	res.KernelHalt = st.HaltDetail
-	res.ColdResets = st.ColdResets
-	res.WarmResets = st.WarmResets
-	res.HMEvents = k.HMEntries()
-	if ps, ok := k.PartitionStatus(eagleeye.FDIR); ok {
-		res.PartState = ps.State
-		res.PartDetail = ps.HaltDetail
-	}
-	res.SimCrashed, res.CrashReason = k.Machine().Crashed()
-	return res
-}
-
-// preloadStress drives the testbed into a loaded state before the test
-// call fires: several frames of OBSW traffic with nobody draining the
-// downlink queue, leaving IPC buffers full.
-func preloadStress(k *xm.Kernel) {
-	// The FDIR slot already hosts the test program (which injects during
-	// the warm-up too — its first invocations run under stress); what
-	// matters is that the producers have saturated the channels.
-	_ = k.RunMajorFrames(1)
+	slot := tgt.Acquire()
+	defer tgt.Release(slot)
+	return tgt.Execute(slot, ds, opts.runSpec())
 }
 
 // BuildPlan applies the option defaults and constructs the campaign's
@@ -331,9 +178,16 @@ func Run(opts Options) ([]Result, error) {
 // Result accumulated in memory.
 func RunDatasets(datasets []testgen.Dataset, opts Options) []Result {
 	results := make([]Result, len(datasets))
-	// Without shard or checkpoint configuration Stream cannot fail.
-	_, _ = Stream(datasets, EngineOptions{Options: opts}, func(pos int, r Result) {
+	// Without shard or checkpoint configuration Stream fails only on a
+	// broken target spec, before anything executes; the error then
+	// surfaces in every result's RunErr.
+	_, err := Stream(datasets, EngineOptions{Options: opts}, func(pos int, r Result) {
 		results[pos] = r
 	})
+	if err != nil {
+		for i := range results {
+			results[i] = Result{Dataset: datasets[i], RunErr: err.Error()}
+		}
+	}
 	return results
 }

@@ -1,8 +1,9 @@
 package campaign
 
 // This file is the streaming pooled execution engine: a bounded work
-// queue feeding a worker pool that recycles simulated machines through a
-// reset-and-verify pool, streams every execution log over a channel into
+// queue feeding a worker pool that executes on any registered target
+// backend (the sim target recycles simulated machines through a
+// reset-and-verify pool), streams every execution log over a channel into
 // per-worker JSON Lines shards, and checkpoints completed tests so an
 // interrupted campaign resumes from where it stopped. The eager API
 // (Run/RunDatasets) is a thin wrapper that points the stream at an
@@ -25,6 +26,7 @@ import (
 
 	"xmrobust/internal/cover"
 	"xmrobust/internal/sparc"
+	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 )
 
@@ -170,6 +172,13 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	}
 	total := src.Len()
 	stats := EngineStats{Total: total}
+	tgt, err := target.New(opts.Target, target.Config{
+		FreshMachines: eo.FreshMachines,
+		PoolStrict:    eo.PoolStrict,
+	})
+	if err != nil {
+		return stats, err
+	}
 	if eo.Resume && eo.ShardDir == "" {
 		// A checkpoint mark promises a durable record; without shards the
 		// skipped tests' results would exist nowhere and the resumed run
@@ -186,11 +195,11 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	var (
 		ckpt *checkpoint
 		done map[int]bool
-		err  error
 	)
 	if eo.CheckpointPath != "" {
 		hdr := ckptHeader{
 			Campaign:    optionsSignature(total, opts),
+			Target:      tgt.Name(),
 			Plan:        sourcePlan(src),
 			Fingerprint: src.Fingerprint(),
 		}
@@ -238,11 +247,11 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	if workers > pendingCount {
 		workers = pendingCount
 	}
-	var pool *sparc.MachinePool
-	if !eo.FreshMachines {
-		pool = sparc.NewMachinePool(sparc.DefaultConfig(), workers)
-		pool.SetStrict(eo.PoolStrict)
+	if err := tgt.Provision(workers); err != nil {
+		closeShards(writers)
+		return stats, err
 	}
+	spec := opts.runSpec()
 
 	jobs := make(chan int, eo.QueueDepth)
 	results := make(chan posResult, workers)
@@ -269,14 +278,9 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		go func() {
 			defer wg.Done()
 			for pos := range jobs {
-				var m *sparc.Machine
-				if pool != nil {
-					m = pool.Get()
-				}
-				r := runOneOn(src.At(pos), opts, m)
-				if pool != nil {
-					pool.Put(m)
-				}
+				slot := tgt.Acquire()
+				r := tgt.Execute(slot, src.At(pos), spec)
+				tgt.Release(slot)
 				results <- posResult{pos: pos, res: r}
 			}
 		}()
@@ -350,8 +354,8 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		}
 	}
 	latch(closeShards(writers))
-	if pool != nil {
-		stats.Pool = pool.Stats()
+	if ps, ok := tgt.(interface{ PoolStats() sparc.PoolStats }); ok {
+		stats.Pool = ps.PoolStats()
 	}
 	return stats, firstErr
 }
@@ -360,7 +364,8 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 // knobs that change what a test's log looks like — so a checkpoint cannot
 // silently resume under different execution conditions. Coverage is one
 // of them: records written with collection off would punch holes in a
-// resumed campaign's edge accounting.
+// resumed campaign's edge accounting. (The target is recorded separately
+// in the header so a backend mismatch gets its own refusal by name.)
 func optionsSignature(total int, opts Options) string {
 	return fmt.Sprintf("tests=%d|mafs=%d|stress=%v|cover=%v|faults=%+v",
 		total, opts.MAFs, opts.Stress, opts.Coverage, opts.Faults)
@@ -369,9 +374,14 @@ func optionsSignature(total int, opts Options) string {
 // --- checkpoint --------------------------------------------------------
 
 // ckptHeader is the first line of a checkpoint file: the execution
-// signature plus the identity of the plan whose cursor the marks encode.
+// signature plus the identity of the plan whose cursor the marks encode
+// and the backend the recorded logs were executed on.
 type ckptHeader struct {
 	Campaign string `json:"campaign"`
+	// Target names the execution backend ("sim", "phantom",
+	// "diff:sim,phantom"). A resume on any other backend is refused —
+	// the shard records would mix two targets' logs into one campaign.
+	Target string `json:"target,omitempty"`
 	// Plan is the generation strategy ("exhaustive", "pairwise", …, or
 	// "slice" for pre-built lists); Fingerprint is the source's full
 	// content identity. A resume under any other plan is refused — its
@@ -416,6 +426,17 @@ func openCheckpoint(path string, want ckptHeader, resume bool) (*checkpoint, map
 			if hdr.Plan == "" && hdr.Fingerprint == "" {
 				return nil, nil, fmt.Errorf(
 					"campaign: checkpoint %s predates plan recording and cannot be safely resumed — start fresh without resume", path)
+			}
+			if hdr.Target == "" {
+				// Checkpoints written before target recording all ran on
+				// the only backend that existed; their shard records
+				// (which also omit the default target) resume cleanly.
+				hdr.Target = target.SimName
+			}
+			if hdr.Target != want.Target {
+				return nil, nil, fmt.Errorf(
+					"campaign: checkpoint %s records target %q, but this run executes on %q — rerun with the checkpointed target, or start fresh without resume",
+					path, hdr.Target, want.Target)
 			}
 			if hdr.Plan != want.Plan || hdr.Fingerprint != want.Fingerprint {
 				return nil, nil, fmt.Errorf(

@@ -329,16 +329,23 @@ func TestStreamProgressCountsResumedTests(t *testing.T) {
 	}
 }
 
-func TestRunPhantomStillEager(t *testing.T) {
-	// The phantom extension predates the engine and stays eager; make
-	// sure the refactor kept it functional.
-	res := RunPhantomCampaign(Options{MAFs: 1})
-	if len(res) != 50 {
-		t.Fatalf("phantom tests = %d, want 50", len(res))
+func TestPhantomPlanThroughEngine(t *testing.T) {
+	// The §V extension is an ordinary plan now: its 50 stateful tests
+	// stream through the same engine path as every other campaign.
+	suite, opts, err := GenerateSuite(Options{Plan: "phantom", MAFs: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
+	if len(suite) != 50 {
+		t.Fatalf("phantom tests = %d, want 50", len(suite))
+	}
+	res := RunDatasets(suite, opts)
 	for i, r := range res {
 		if r.RunErr != "" {
-			t.Fatalf("phantom test %d: %s", i, r.RunErr)
+			t.Fatalf("phantom test %d (%s): %s", i, r.Dataset, r.RunErr)
+		}
+		if r.Target != "sim" {
+			t.Fatalf("phantom test %d executed on %q, want sim", i, r.Target)
 		}
 	}
 }

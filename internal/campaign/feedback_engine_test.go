@@ -254,7 +254,7 @@ func TestJSONRecordCoverRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds := plan.At(0)
-	res := runOneOn(ds, ropts, nil)
+	res := RunOne(ds, ropts)
 	if res.Cover == nil || res.Cover.Empty() {
 		t.Fatal("coverage-enabled run produced no edges")
 	}

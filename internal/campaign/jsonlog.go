@@ -8,6 +8,7 @@ import (
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
+	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
@@ -22,7 +23,12 @@ type JSONRecord struct {
 	// Seq is the test's position in campaign order: the index into the
 	// generated dataset list. Shard files interleave arbitrarily; sorting
 	// records by Seq restores campaign order (see MergeShards).
-	Seq         int      `json:"seq"`
+	Seq int `json:"seq"`
+	// Target names the execution backend that produced the log; State is
+	// the phantom system state the test fired in (§V extension, empty
+	// for the nominal data-type fault model).
+	Target      string   `json:"target,omitempty"`
+	State       string   `json:"state,omitempty"`
 	TestPart    int      `json:"test_part,omitempty"`
 	Dataset     []string `json:"dataset"`
 	Descs       []string `json:"descs,omitempty"`
@@ -49,6 +55,9 @@ type JSONRecord struct {
 	// behaviourally identical tests.
 	Cover    []uint32 `json:"cover,omitempty"`
 	CoverSig string   `json:"cover_sig,omitempty"`
+	// Divergence is the diff target's disagreement record (nil outside
+	// diff campaigns and on agreeing tests).
+	Divergence *Divergence `json:"divergence,omitempty"`
 }
 
 // JSONHMEvent is one structured health-monitor log entry.
@@ -72,6 +81,8 @@ func ToRecord(seq int, r Result) JSONRecord {
 	out := JSONRecord{
 		Func:        r.Dataset.Func.Name,
 		Seq:         seq,
+		Target:      r.Target,
+		State:       r.Dataset.State,
 		TestPart:    r.TestPartition,
 		Invocations: r.Invocations,
 		KernelState: r.KernelState.String(),
@@ -83,6 +94,12 @@ func ToRecord(seq int, r Result) JSONRecord {
 		SimCrashed:  r.SimCrashed,
 		CrashReason: r.CrashReason,
 		RunErr:      r.RunErr,
+	}
+	if out.Target == target.SimName {
+		// The default backend serialises as the field's absence: sim
+		// campaign logs stay byte-identical to pre-target-layer logs,
+		// and Result restores the default on read.
+		out.Target = ""
 	}
 	for _, v := range r.Resolved {
 		out.Dataset = append(out.Dataset, v.Raw)
@@ -104,17 +121,8 @@ func ToRecord(seq int, r Result) JSONRecord {
 		out.Cover = r.Cover.Sites()
 		out.CoverSig = fmt.Sprintf("%016x", r.Cover.Signature())
 	}
+	out.Divergence = r.Divergence
 	return out
-}
-
-// parsePState inverts xm.PState.String.
-func parsePState(s string) xm.PState {
-	for st := xm.PStateBoot; st <= xm.PStateShutdown; st++ {
-		if st.String() == s {
-			return st
-		}
-	}
-	return xm.PStateBoot
 }
 
 // Result reconstructs the in-memory execution log from a record. The
@@ -130,6 +138,7 @@ func (rec JSONRecord) Result(h *apispec.Header) (Result, error) {
 		f = apispec.Function{Name: rec.Func}
 	}
 	r := Result{
+		Target:        rec.Target,
 		TestPartition: rec.TestPart,
 		Invocations:   rec.Invocations,
 		KernelHalt:    rec.KernelHalt,
@@ -139,11 +148,22 @@ func (rec JSONRecord) Result(h *apispec.Header) (Result, error) {
 		SimCrashed:    rec.SimCrashed,
 		CrashReason:   rec.CrashReason,
 		RunErr:        rec.RunErr,
+		Divergence:    rec.Divergence,
 	}
-	if rec.KernelState == xm.KStateHalted.String() {
-		r.KernelState = xm.KStateHalted
+	if r.Target == "" {
+		// Records without a target field are the default backend's —
+		// including every log written before the target layer existed.
+		r.Target = target.SimName
 	}
-	r.PartState = parsePState(rec.PartState)
+	// The state/return vocabularies parse through the generated inverse
+	// maps xm shares with every campaign-log reader; unknown names keep
+	// the zero value, the historic lenient behaviour.
+	if ks, ok := xm.ParseKState(rec.KernelState); ok {
+		r.KernelState = ks
+	}
+	if ps, ok := xm.ParsePState(rec.PartState); ok {
+		r.PartState = ps
+	}
 	values := make([]dict.Value, len(rec.Dataset))
 	for i, raw := range rec.Dataset {
 		v := dict.Value{Raw: raw}
@@ -160,7 +180,7 @@ func (rec JSONRecord) Result(h *apispec.Header) (Result, error) {
 		values[i] = v
 		r.Resolved = append(r.Resolved, dict.Resolved{Value: v})
 	}
-	r.Dataset = testgen.Dataset{Func: f, Index: rec.Seq, Values: values}
+	r.Dataset = testgen.Dataset{Func: f, Index: rec.Seq, Values: values, State: rec.State}
 	for _, rc := range rec.Returns {
 		r.Returns = append(r.Returns, xm.RetCode(rc))
 	}

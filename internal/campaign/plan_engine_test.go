@@ -134,6 +134,38 @@ func TestResumeRefusesDifferentPlan(t *testing.T) {
 	}
 }
 
+// TestResumeRefusesDifferentTarget: a checkpoint records the execution
+// backend its shard logs came from; resuming on any other backend must
+// fail with an error naming both, not splice two targets' logs into one
+// campaign.
+func TestResumeRefusesDifferentTarget(t *testing.T) {
+	plan := testPlan(t, "boundary", 0, "XM_set_timer", "XM_reset_system")
+
+	dir := t.TempDir()
+	eo := EngineOptions{Options: Options{Workers: 2, Target: "sim"}, ShardDir: dir,
+		CheckpointPath: filepath.Join(dir, "ckpt.jsonl"), Limit: 3}
+	if _, err := StreamPlan(plan, eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	eo.Limit = 0
+	eo.Resume = true
+	eo.Options.Target = "phantom"
+	_, err := StreamPlan(plan, eo, nil)
+	if err == nil {
+		t.Fatal("resume under a different target accepted")
+	}
+	for _, want := range []string{`"sim"`, `"phantom"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error %q does not name %s", err, want)
+		}
+	}
+	// The matching target still resumes.
+	eo.Options.Target = "sim"
+	if _, err := StreamPlan(plan, eo, nil); err != nil {
+		t.Fatalf("matching target refused: %v", err)
+	}
+}
+
 // TestResumeRefusesDifferentSeed: rand:N under another seed is another
 // plan — same strategy string, different fingerprint.
 func TestResumeRefusesDifferentSeed(t *testing.T) {

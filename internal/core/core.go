@@ -28,15 +28,25 @@ type CoverageStats struct {
 	Loop *corpus.Stats
 }
 
+// DivergenceFinding is one diff-target disagreement, located in the
+// campaign: the new oracle class of the divergence-recording composite
+// targets (model-vs-simulation disagreement).
+type DivergenceFinding struct {
+	Seq        int
+	Dataset    string
+	Divergence campaign.Divergence
+}
+
 // CampaignReport is the complete outcome of one robustness campaign.
 type CampaignReport struct {
-	Options    campaign.Options
-	Plan       testgen.PlanStats
-	Coverage   CoverageStats
-	Datasets   []testgen.Dataset
-	Results    []campaign.Result
-	Classified []analysis.Classified
-	Issues     []analysis.Issue
+	Options     campaign.Options
+	Plan        testgen.PlanStats
+	Coverage    CoverageStats
+	Datasets    []testgen.Dataset
+	Results     []campaign.Result
+	Classified  []analysis.Classified
+	Issues      []analysis.Issue
+	Divergences []DivergenceFinding
 }
 
 // RunCampaign executes the full pipeline with the given options (zero
@@ -50,6 +60,7 @@ func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	rep.Options = ropts
 	defer closePlan(plan)
 	rep.Plan = testgen.Measure(plan)
 	if testgen.IsDynamic(plan) {
@@ -77,6 +88,13 @@ func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
 		}
 	}
 	rep.Coverage = coverageStats(plan, &agg)
+	for i, r := range rep.Results {
+		if r.Divergence != nil {
+			rep.Divergences = append(rep.Divergences, DivergenceFinding{
+				Seq: i, Dataset: r.Dataset.String(), Divergence: *r.Divergence,
+			})
+		}
+	}
 	oracle := analysis.NewOracle(ropts.Faults)
 	rep.Classified = analysis.ClassifyAll(rep.Results, oracle)
 	rep.Issues = analysis.Cluster(rep.Classified)
@@ -106,24 +124,6 @@ func closePlan(plan testgen.Plan) {
 	if c, ok := plan.(io.Closer); ok {
 		c.Close()
 	}
-}
-
-// PhantomReport is the outcome of the §V extension campaign: the
-// parameter-less hypercalls exercised under the phantom-parameter states.
-type PhantomReport struct {
-	Results    []campaign.Result
-	Classified []analysis.Classified
-	Issues     []analysis.Issue
-}
-
-// RunPhantomCampaign executes the phantom-parameter extension: every
-// parameter-less hypercall under every phantom system state.
-func RunPhantomCampaign(opts campaign.Options) *PhantomReport {
-	rep := &PhantomReport{Results: campaign.RunPhantomCampaign(opts)}
-	oracle := analysis.NewOracle(opts.Faults)
-	rep.Classified = analysis.ClassifyAll(rep.Results, oracle)
-	rep.Issues = analysis.Cluster(rep.Classified)
-	return rep
 }
 
 // CategoryStats is one row of the paper's Table III.

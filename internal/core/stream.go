@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"xmrobust/internal/analysis"
 	"xmrobust/internal/campaign"
@@ -17,6 +18,8 @@ type StreamReport struct {
 	// Plan quantifies the generation strategy: test count, Eq. 1 size,
 	// value-pair coverage and the reduction factor.
 	Plan testgen.PlanStats
+	// Target names the execution backend the campaign ran on.
+	Target string
 	// Total is the campaign size; Executed ran in this call; Skipped were
 	// restored from a previous run's checkpoint.
 	Total    int
@@ -32,6 +35,9 @@ type StreamReport struct {
 	Verdicts map[analysis.Verdict]int
 	// Issues is the clustered issue list (paper Table III).
 	Issues []analysis.Issue
+	// Divergences lists the diff-target disagreements (empty outside
+	// diff campaigns).
+	Divergences []DivergenceFinding
 	// Coverage summarises the campaign's kernel edge coverage (zero
 	// value when collection was off).
 	Coverage CoverageStats
@@ -45,12 +51,15 @@ func (r *StreamReport) TableIII() []CategoryStats {
 	return tableIIIRows(r.TestsByFunc, r.Issues)
 }
 
-// adopt copies the classifier's aggregates into the report.
+// adopt copies the classifier's aggregates into the report and restores
+// campaign order on the divergence list (results arrive in completion or
+// file order).
 func (r *StreamReport) adopt(cls *analysis.Classifier, clu *analysis.Clusterer) {
 	r.TestsByFunc = cls.TestsByFunc
 	r.Verdicts = cls.Verdicts
 	r.HarnessErrors = cls.HarnessErrors
 	r.Issues = clu.Issues()
+	sort.Slice(r.Divergences, func(a, b int) bool { return r.Divergences[a].Seq < r.Divergences[b].Seq })
 }
 
 // RunCampaignStream executes the full pipeline through the streaming
@@ -75,10 +84,17 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 	}
 	defer closePlan(plan)
 	eo.Options = ropts
-	rep := &StreamReport{Plan: testgen.Measure(plan), Total: plan.Len()}
+	rep := &StreamReport{Plan: testgen.Measure(plan), Target: ropts.Target, Total: plan.Len()}
 	cls := analysis.NewClassifier(analysis.NewOracle(ropts.Faults))
 	clu := analysis.NewClusterer()
 	var agg cover.Map
+	diverged := func(pos int, res campaign.Result) {
+		if res.Divergence != nil {
+			rep.Divergences = append(rep.Divergences, DivergenceFinding{
+				Seq: pos, Dataset: res.Dataset.String(), Divergence: *res.Divergence,
+			})
+		}
+	}
 
 	if eo.ShardDir == "" {
 		// In-flight analysis: the engine's collector goroutine feeds each
@@ -87,6 +103,7 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 			if res.Cover != nil {
 				agg.Merge(res.Cover)
 			}
+			diverged(pos, res)
 			clu.Add(pos, cls.Add(res))
 		})
 		if err != nil {
@@ -121,6 +138,7 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 		if res.Cover != nil {
 			agg.Merge(res.Cover)
 		}
+		diverged(rec.Seq, res)
 		clu.Add(rec.Seq, cls.Add(res))
 		return nil
 	})

@@ -30,6 +30,8 @@ func init() {
 			}
 			return NewFeedbackPlan(suite, n, seed, suiteHash)
 		})
+	testgen.DescribePlan(StrategyFeedback,
+		"feedback:N — coverage-guided loop: boundary seeds, then corpus-bred mutants")
 }
 
 // FeedbackPlan is the coverage-guided dynamic plan: dataset i beyond the

@@ -56,6 +56,12 @@ func areaBase(id int) sparc.Addr {
 // AreaSize is the size of each partition's data area.
 const AreaSize uint32 = 0x10000
 
+// DataArea returns the RAM base and size of partition id's data area —
+// the same layout a booted kernel reports through PartitionDataArea,
+// computable without booting one (the phantom model target resolves
+// symbolic dictionary values against it).
+func DataArea(id int) (sparc.Addr, uint32) { return areaBase(id), AreaSize }
+
 // Config returns the EagleEye TSP system definition: five partitions over
 // a 250 ms major frame, FDIR as the sole system partition, and the OBSW
 // channel set.

@@ -111,6 +111,11 @@ func TableIIICSV(rep *core.CampaignReport) string {
 	return renderTableIIICSV(rep.TableIII())
 }
 
+// StreamTableIII renders a streamed campaign's Table III.
+func StreamTableIII(rep *core.StreamReport) string {
+	return renderTableIII(rep.TableIII())
+}
+
 // StreamTableIIICSV renders a streamed campaign's Table III as CSV.
 func StreamTableIIICSV(rep *core.StreamReport) string {
 	return renderTableIIICSV(rep.TableIII())
@@ -257,6 +262,32 @@ func historyQuartiles(h []int) string {
 	return strings.Join(parts, "  ")
 }
 
+// maxDivergenceLines caps the per-test listing of the divergence
+// section; the full list lives in the campaign log records.
+const maxDivergenceLines = 25
+
+// DivergenceSection renders the divergence-oracle section of a report:
+// every test where the two backends of a diff target disagreed on an
+// observable. Empty when the campaign ran on a single backend; a diff
+// campaign with full agreement renders the (reportable) zero line.
+func DivergenceSection(targetName string, total int, divs []core.DivergenceFinding) string {
+	if len(divs) == 0 && !strings.HasPrefix(targetName, "diff:") {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("DIVERGENCES (backend disagreement oracle)\n\n")
+	fmt.Fprintf(&b, "target %s: %d of %d tests diverged\n", targetName, len(divs), total)
+	for i, d := range divs {
+		if i == maxDivergenceLines {
+			fmt.Fprintf(&b, "  … and %d more (see the campaign log records)\n", len(divs)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  #%d %s\n", d.Seq, d.Dataset)
+		fmt.Fprintf(&b, "      %s | %s\n", d.Divergence.Targets[0]+" vs "+d.Divergence.Targets[1], d.Divergence.String())
+	}
+	return b.String()
+}
+
 // StreamSummary renders the complete report of a streamed campaign: the
 // plan coverage line, Table III, the CRASH tally, the issue list, the
 // kernel-edge-coverage section (when collected) and the engine's own
@@ -274,6 +305,10 @@ func StreamSummary(rep *core.StreamReport) string {
 	if cov := CoverageSection(rep.Coverage); cov != "" {
 		b.WriteByte('\n')
 		b.WriteString(cov)
+	}
+	if div := DivergenceSection(rep.Target, rep.Total, rep.Divergences); div != "" {
+		b.WriteByte('\n')
+		b.WriteString(div)
 	}
 	fmt.Fprintf(&b, "\nengine: %d tests (%d executed, %d resumed from checkpoint)\n",
 		rep.Total, rep.Executed, rep.Skipped)
@@ -303,6 +338,10 @@ func Full(rep *core.CampaignReport) string {
 	if cov := CoverageSection(rep.Coverage); cov != "" {
 		b.WriteByte('\n')
 		b.WriteString(cov)
+	}
+	if div := DivergenceSection(rep.Options.Target, len(rep.Results), rep.Divergences); div != "" {
+		b.WriteByte('\n')
+		b.WriteString(div)
 	}
 	return b.String()
 }

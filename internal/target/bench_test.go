@@ -1,0 +1,72 @@
+package target
+
+import (
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+)
+
+// BenchmarkTargetDispatch guards the cost of the execution API redesign:
+// executing through the Target interface must add no measurable overhead
+// over calling the concrete sim backend directly (the pre-redesign
+// runOneOn shape). One dynamic dispatch per test is noise against a
+// full testbed boot-and-run; if these two numbers ever drift apart,
+// something other than the interface is to blame.
+func BenchmarkTargetDispatch(b *testing.B) {
+	h := apispec.Default()
+	f, _ := h.Function("XM_get_time")
+	m, err := testgen.BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := m.Datasets()[0]
+	rs := RunSpec{MAFs: 1, Header: h, Dict: dict.Builtin()}
+
+	b.Run("direct", func(b *testing.B) {
+		sim := NewSim(Config{})
+		if err := sim.Provision(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := sim.Acquire()
+			r := sim.Execute(slot, ds, rs)
+			sim.Release(slot)
+			if r.RunErr != "" {
+				b.Fatal(r.RunErr)
+			}
+		}
+	})
+	b.Run("interface", func(b *testing.B) {
+		var tgt Target = NewSim(Config{})
+		if err := tgt.Provision(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := tgt.Acquire()
+			r := tgt.Execute(slot, ds, rs)
+			tgt.Release(slot)
+			if r.RunErr != "" {
+				b.Fatal(r.RunErr)
+			}
+		}
+	})
+	// The phantom model is the fast path of the diff oracle: its
+	// per-test cost bounds the overhead diff adds on top of sim.
+	b.Run("phantom-model", func(b *testing.B) {
+		var tgt Target = &Phantom{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := tgt.Execute(nil, ds, rs)
+			if r.RunErr != "" {
+				b.Fatal(r.RunErr)
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package target
+
+import (
+	"fmt"
+
+	"xmrobust/internal/dict"
+	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+func init() {
+	Register(PhantomName,
+		"analytical kernel-state model: predicts outcomes from the reference manual, no simulator",
+		func(arg string, cfg Config) (Target, error) {
+			if arg != "" {
+				return nil, fmt.Errorf("target: %q takes no argument", PhantomName)
+			}
+			return &Phantom{}, nil
+		})
+}
+
+// Phantom is the model backend: a fast, simulator-free predictor of what
+// the kernel's reference manual says each test should do. Predictions are
+// pure functions of the dataset — the dictionary's validity annotations
+// decide the expected return code, and a small state model encodes the
+// documented fate of the system-class hypercalls (halt, reset, suspend).
+//
+// The model is deliberately naive about everything the manual does not
+// document: it predicts no health-monitor events, no fault masking and no
+// state sensitivity. That is its value as the second leg of the
+// diff:sim,phantom oracle — every divergence from the simulated kernel is
+// behaviour the documentation does not predict, which is exactly where
+// the paper's robustness findings live.
+type Phantom struct{}
+
+// Name returns "phantom".
+func (p *Phantom) Name() string { return PhantomName }
+
+// Provision is a no-op: the model holds no per-campaign state.
+func (p *Phantom) Provision(workers int) error { return nil }
+
+// Acquire returns the empty slot; the model is stateless.
+func (p *Phantom) Acquire() Slot  { return nil }
+func (p *Phantom) Release(s Slot) {}
+
+// staticLayout is the EagleEye memory landscape computed without booting
+// a kernel — identical to what the sim backend derives from a booted
+// system, so both backends resolve symbolic dictionary values to the same
+// ABI bits and the diff oracle compares like with like.
+func staticLayout() dict.Layout {
+	data, size := eagleeye.DataArea(eagleeye.FDIR)
+	other, osize := eagleeye.DataArea(eagleeye.Platform)
+	mc := sparc.DefaultConfig()
+	return dict.Layout{
+		DataArea:  sparc.Region{Base: data, Size: size},
+		OtherArea: sparc.Region{Base: other, Size: osize},
+		Kernel:    mc.RAMBase,
+		ROM:       mc.ROMBase + 0x100,
+		IO:        mc.IOBase,
+	}
+}
+
+// Execute predicts one dataset's execution log.
+func (p *Phantom) Execute(_ Slot, ds testgen.Dataset, spec RunSpec) Result {
+	res := Result{Dataset: ds, TestPartition: eagleeye.FDIR, Target: PhantomName}
+
+	hc, ok := xm.LookupName(ds.Func.Name)
+	if !ok {
+		res.RunErr = fmt.Sprintf("target: hypercall %q not in kernel ABI", ds.Func.Name)
+		return res
+	}
+	if _, err := stateFor(ds); err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	resolved, err := staticLayout().ResolveAll(ds.Values)
+	if err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	res.Resolved = resolved
+
+	// The invocation cadence of the testbed: the fault placeholder fires
+	// once per major frame, plus once during the stress warm-up frame.
+	invocations := spec.MAFs
+	if spec.Stress {
+		invocations++
+	}
+
+	anyInvalid := false
+	for _, v := range resolved {
+		if v.Validity == dict.Invalid {
+			anyInvalid = true
+			break
+		}
+	}
+	ret := xm.OK
+	if anyInvalid {
+		ret = xm.InvalidParam
+	}
+
+	res.KernelState = xm.KStateRunning
+	res.PartState = xm.PStateNormal
+	res.Invocations = invocations
+
+	arg := func(i int) (uint64, bool) {
+		if i < len(resolved) {
+			return resolved[i].Bits, true
+		}
+		return 0, false
+	}
+	repeat := func(rc xm.RetCode) {
+		for i := 0; i < invocations; i++ {
+			res.Returns = append(res.Returns, rc)
+		}
+	}
+	// terminal records a call the manual says never returns to the
+	// caller: one invocation, no observed return code.
+	terminal := func() { res.Invocations = 1; res.Returns = nil }
+
+	switch hc.Name {
+	case "XM_halt_system":
+		terminal()
+		res.KernelState = xm.KStateHalted
+	case "XM_suspend_self":
+		terminal()
+		res.PartState = xm.PStateSuspended
+	case "XM_halt_partition":
+		if anyInvalid {
+			repeat(ret)
+			break
+		}
+		if id, ok := arg(0); ok && int(int32(id)) == eagleeye.FDIR {
+			terminal()
+			res.PartState = xm.PStateHalted
+		} else if id, ok := arg(0); ok && id < eagleeye.NumPartitions {
+			repeat(xm.OK)
+		} else {
+			repeat(xm.InvalidParam)
+		}
+	case "XM_suspend_partition":
+		if anyInvalid {
+			repeat(ret)
+			break
+		}
+		if id, ok := arg(0); ok && int(int32(id)) == eagleeye.FDIR {
+			terminal()
+			res.PartState = xm.PStateSuspended
+		} else if id, ok := arg(0); ok && id < eagleeye.NumPartitions {
+			repeat(xm.OK)
+		} else {
+			repeat(xm.InvalidParam)
+		}
+	case "XM_shutdown_partition":
+		if anyInvalid {
+			repeat(ret)
+			break
+		}
+		if id, ok := arg(0); ok && int(int32(id)) == eagleeye.FDIR {
+			terminal()
+			res.PartState = xm.PStateShutdown
+		} else if id, ok := arg(0); ok && id < eagleeye.NumPartitions {
+			repeat(xm.OK)
+		} else {
+			repeat(xm.InvalidParam)
+		}
+	case "XM_reset_system":
+		mode, _ := arg(0)
+		switch {
+		case anyInvalid:
+			repeat(ret)
+		case mode == uint64(xm.ColdReset):
+			// Every invocation reboots the system; the call itself never
+			// returns into the (re-initialised) partition context.
+			terminal()
+			res.Invocations = invocations
+			res.ColdResets = uint32(invocations)
+		case mode == uint64(xm.WarmReset):
+			terminal()
+			res.Invocations = invocations
+			res.WarmResets = uint32(invocations)
+		default:
+			repeat(xm.InvalidParam)
+		}
+	case "XM_reset_partition":
+		id, _ := arg(0)
+		switch {
+		case anyInvalid:
+			repeat(ret)
+		case id >= eagleeye.NumPartitions:
+			repeat(xm.InvalidParam)
+		case int(int32(id)) == eagleeye.FDIR:
+			// Resetting the calling partition re-enters its boot context.
+			terminal()
+			res.Invocations = invocations
+		default:
+			repeat(xm.OK)
+		}
+	default:
+		repeat(ret)
+	}
+	return res
+}

@@ -1,0 +1,243 @@
+package target
+
+import (
+	"fmt"
+
+	"xmrobust/internal/cover"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+func init() {
+	Register(SimName,
+		"simulated LEON3 + XtratuM-like kernel on the EagleEye testbed (pooled, the default)",
+		func(arg string, cfg Config) (Target, error) {
+			if arg != "" {
+				return nil, fmt.Errorf("target: %q takes no argument", SimName)
+			}
+			return NewSim(cfg), nil
+		})
+}
+
+// Sim is the simulation backend: every test packs a fresh testbed onto a
+// simulated LEON3 machine (recycled through a reset-and-verify pool
+// unless Config.FreshMachines) and runs the TSP system for the selected
+// number of cyclic schedules — the paper's execution environment.
+type Sim struct {
+	cfg  Config
+	pool *sparc.MachinePool
+}
+
+// NewSim builds the simulation backend.
+func NewSim(cfg Config) *Sim { return &Sim{cfg: cfg} }
+
+// Name returns "sim".
+func (s *Sim) Name() string { return SimName }
+
+// Provision sizes the machine pool to the campaign's worker parallelism.
+func (s *Sim) Provision(workers int) error {
+	if s.cfg.FreshMachines {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s.pool = sparc.NewMachinePool(sparc.DefaultConfig(), workers)
+	s.pool.SetStrict(s.cfg.PoolStrict)
+	return nil
+}
+
+// Acquire reserves a pooled machine (nil when pooling is off — Execute
+// then allocates a fresh one).
+func (s *Sim) Acquire() Slot {
+	if s.pool == nil {
+		return (*sparc.Machine)(nil)
+	}
+	return s.pool.Get()
+}
+
+// Release returns a pooled machine.
+func (s *Sim) Release(slot Slot) {
+	if m, _ := slot.(*sparc.Machine); m != nil && s.pool != nil {
+		s.pool.Put(m)
+	}
+}
+
+// PoolStats reports the machine-pool counters (zero when pooling is off).
+func (s *Sim) PoolStats() sparc.PoolStats {
+	if s.pool == nil {
+		return sparc.PoolStats{}
+	}
+	return s.pool.Stats()
+}
+
+// layoutFor builds the symbolic-value resolution layout of the EagleEye
+// test partition.
+func layoutFor(k *xm.Kernel) (dict.Layout, error) {
+	data, ok := k.PartitionDataArea(eagleeye.FDIR)
+	if !ok {
+		return dict.Layout{}, fmt.Errorf("target: test partition has no data area")
+	}
+	other, ok := k.PartitionDataArea(eagleeye.Platform)
+	if !ok {
+		return dict.Layout{}, fmt.Errorf("target: no other-partition area")
+	}
+	mc := k.Machine().Config()
+	return dict.Layout{
+		DataArea:  data,
+		OtherArea: other,
+		Kernel:    mc.RAMBase, // the hypervisor image sits at the RAM base
+		ROM:       mc.ROMBase + 0x100,
+		IO:        mc.IOBase,
+	}, nil
+}
+
+// testProg is the test partition program: one fault placeholder invoked
+// once per scheduling slot (and hence at least once per major frame).
+type testProg struct {
+	nr   xm.Nr
+	args []uint64
+
+	invocations int
+	returns     []xm.RetCode
+}
+
+func (p *testProg) Boot(env xm.Env) {}
+
+func (p *testProg) Step(env xm.Env) bool {
+	p.invocations++
+	ret := env.Hypercall(p.nr, p.args...)
+	p.returns = append(p.returns, ret)
+	return false
+}
+
+// Execute runs one dataset against the testbed: boot, drive the system
+// into the dataset's phantom state (when it names one — §V extension),
+// arm the fault placeholder in the FDIR partition, run the observation
+// frames and harvest the log. The machine in the slot must be in its
+// power-on state; the reset-and-verify pool guarantees that.
+func (s *Sim) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
+	res := Result{Dataset: ds, TestPartition: eagleeye.FDIR, Target: SimName}
+
+	hc, ok := xm.LookupName(ds.Func.Name)
+	if !ok {
+		res.RunErr = fmt.Sprintf("target: hypercall %q not in kernel ABI", ds.Func.Name)
+		return res
+	}
+	st, err := stateFor(ds)
+	if err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	sysOpts := []xm.Option{xm.WithFaults(spec.Faults)}
+	if m, _ := slot.(*sparc.Machine); m != nil {
+		sysOpts = append(sysOpts, xm.WithMachine(m))
+	}
+	if spec.Coverage {
+		res.Cover = &cover.Map{}
+		sysOpts = append(sysOpts, xm.WithCoverage(res.Cover))
+	}
+	k, err := eagleeye.NewSystem(sysOpts...)
+	if err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	layout, err := layoutFor(k)
+	if err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	resolved := make([]dict.Resolved, 0, len(ds.Values))
+	args := make([]uint64, 0, len(ds.Values))
+	for _, v := range ds.Values {
+		r, err := layout.Resolve(v)
+		if err != nil {
+			res.RunErr = err.Error()
+			return res
+		}
+		resolved = append(resolved, r)
+		args = append(args, r.Bits)
+	}
+	res.Resolved = resolved
+
+	if st != nil {
+		if st.setup != nil {
+			if err := st.setup(k); err != nil {
+				res.RunErr = err.Error()
+				return res
+			}
+		}
+		if st.warmupFrames > 0 {
+			if err := k.RunMajorFrames(st.warmupFrames); err != nil {
+				res.RunErr = fmt.Sprintf("target: phantom-state warm-up: %v", err)
+				return res
+			}
+		}
+	}
+
+	prog := &testProg{nr: hc.Nr, args: args}
+	if err := k.AttachProgram(eagleeye.FDIR, prog); err != nil {
+		res.RunErr = err.Error()
+		return res
+	}
+	if spec.Stress {
+		preloadStress(k)
+	}
+
+	var runErr error
+	for i := 0; i < spec.MAFs; i++ {
+		if runErr = k.RunMajorFrames(1); runErr != nil {
+			break
+		}
+	}
+	switch runErr {
+	case nil, xm.ErrHalted:
+		// Kernel halt is an observed outcome, not a harness error.
+	default:
+		if _, isCrash := runErr.(sparc.ErrCrashed); !isCrash {
+			res.RunErr = runErr.Error()
+		}
+	}
+
+	res.Invocations = prog.invocations
+	res.Returns = prog.returns
+	kst := k.Status()
+	res.KernelState = kst.State
+	res.KernelHalt = kst.HaltDetail
+	res.ColdResets = kst.ColdResets
+	res.WarmResets = kst.WarmResets
+	res.HMEvents = k.HMEntries()
+	if ps, ok := k.PartitionStatus(eagleeye.FDIR); ok {
+		res.PartState = ps.State
+		res.PartDetail = ps.HaltDetail
+	}
+	res.SimCrashed, res.CrashReason = k.Machine().Crashed()
+	return res
+}
+
+// stateFor resolves a dataset's named phantom state ("" means nominal —
+// no state phase).
+func stateFor(ds testgen.Dataset) (*PhantomState, error) {
+	if ds.State == "" || ds.State == "nominal" {
+		return nil, nil
+	}
+	for _, st := range PhantomStates() {
+		if st.Name == ds.State {
+			return &st, nil
+		}
+	}
+	return nil, fmt.Errorf("target: unknown phantom state %q", ds.State)
+}
+
+// preloadStress drives the testbed into a loaded state before the test
+// call fires: several frames of OBSW traffic with nobody draining the
+// downlink queue, leaving IPC buffers full.
+func preloadStress(k *xm.Kernel) {
+	// The FDIR slot already hosts the test program (which injects during
+	// the warm-up too — its first invocations run under stress); what
+	// matters is that the producers have saturated the channels.
+	_ = k.RunMajorFrames(1)
+}

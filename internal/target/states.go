@@ -1,9 +1,12 @@
-package campaign
+package target
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
 	"xmrobust/internal/eagleeye"
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/testgen"
@@ -116,105 +119,66 @@ func (switchPlanProgram) Step(env xm.Env) bool {
 	return false
 }
 
-// PhantomDataset pairs a parameter-less hypercall with one phantom state.
-// It reuses testgen.Dataset so the analysis pipeline applies unchanged;
-// the state travels in the dataset's function Category/ValueSet-free form
-// via the State field of the result.
-type PhantomDataset struct {
-	Func  apispec.Function
-	State PhantomState
+// --- the phantom plan ---------------------------------------------------
+
+// StrategyPhantom is the plan-spec name of the §V extension suite.
+const StrategyPhantom = "phantom"
+
+func init() {
+	testgen.RegisterHeaderPlan(StrategyPhantom,
+		func(h *apispec.Header, d *dict.Dictionary, arg string, seed int64) (testgen.Plan, error) {
+			if arg != "" {
+				return nil, fmt.Errorf("target: plan %q takes no argument", StrategyPhantom)
+			}
+			return NewPhantomPlan(h, d)
+		})
+	testgen.DescribePlan(StrategyPhantom,
+		"§V extension: every parameter-less hypercall under every phantom system state")
 }
 
-// String renders the phantom call.
-func (pd PhantomDataset) String() string {
-	return fmt.Sprintf("%s() @ %s", pd.Func.Name, pd.State.Name)
+// phantomPlan is the §V extension suite as an ordinary test plan: every
+// parameter-less hypercall of the header crossed with every phantom
+// state, addressed lazily like any other plan so the streaming engine,
+// checkpoints and reports apply unchanged.
+type phantomPlan struct {
+	funcs  []apispec.Function
+	states []PhantomState
+	suite  []testgen.Matrix
+	fp     string
 }
 
-// GeneratePhantom builds the extension suite: every untested
-// parameter-less hypercall of the header crossed with every phantom state.
-func GeneratePhantom(h *apispec.Header) []PhantomDataset {
-	var out []PhantomDataset
+// NewPhantomPlan builds the extension plan over the header's
+// parameter-less hypercalls.
+func NewPhantomPlan(h *apispec.Header, d *dict.Dictionary) (testgen.Plan, error) {
+	p := &phantomPlan{states: PhantomStates()}
+	hsh := sha256.New()
 	for _, f := range h.Functions {
 		if len(f.Params) != 0 {
 			continue
 		}
-		for _, st := range PhantomStates() {
-			out = append(out, PhantomDataset{Func: f, State: st})
-		}
+		p.funcs = append(p.funcs, f)
+		p.suite = append(p.suite, testgen.Matrix{Func: f})
+		fmt.Fprintf(hsh, "%s\n", f.Name)
 	}
-	return out
+	if len(p.funcs) == 0 {
+		return nil, fmt.Errorf("target: plan %q: header has no parameter-less hypercalls", StrategyPhantom)
+	}
+	for _, st := range p.states {
+		fmt.Fprintf(hsh, "@%s\n", st.Name)
+	}
+	p.fp = StrategyPhantom + "/" + hex.EncodeToString(hsh.Sum(nil))[:16]
+	return p, nil
 }
 
-// RunPhantom executes one phantom test: boot, apply the state setter, run
-// the warm-up schedules, then arm the fault placeholder and run the usual
-// observation frames.
-func RunPhantom(pd PhantomDataset, opts Options) Result {
-	opts = opts.withDefaults()
-	res := Result{Dataset: testgen.Dataset{Func: pd.Func}, TestPartition: eagleeye.FDIR}
+func (p *phantomPlan) Strategy() string        { return StrategyPhantom }
+func (p *phantomPlan) Len() int                { return len(p.funcs) * len(p.states) }
+func (p *phantomPlan) Fingerprint() string     { return p.fp }
+func (p *phantomPlan) Suite() []testgen.Matrix { return p.suite }
 
-	spec, ok := xm.LookupName(pd.Func.Name)
-	if !ok {
-		res.RunErr = fmt.Sprintf("campaign: hypercall %q not in kernel ABI", pd.Func.Name)
-		return res
+func (p *phantomPlan) At(i int) testgen.Dataset {
+	return testgen.Dataset{
+		Func:  p.funcs[i/len(p.states)],
+		Index: i,
+		State: p.states[i%len(p.states)].Name,
 	}
-	k, err := eagleeye.NewSystem(xm.WithFaults(opts.Faults))
-	if err != nil {
-		res.RunErr = err.Error()
-		return res
-	}
-	if pd.State.setup != nil {
-		if err := pd.State.setup(k); err != nil {
-			res.RunErr = err.Error()
-			return res
-		}
-	}
-	if pd.State.warmupFrames > 0 {
-		if err := k.RunMajorFrames(pd.State.warmupFrames); err != nil {
-			res.RunErr = fmt.Sprintf("campaign: phantom warm-up: %v", err)
-			return res
-		}
-	}
-	prog := &testProg{nr: spec.Nr}
-	if err := k.AttachProgram(eagleeye.FDIR, prog); err != nil {
-		res.RunErr = err.Error()
-		return res
-	}
-	var runErr error
-	for i := 0; i < opts.MAFs; i++ {
-		if runErr = k.RunMajorFrames(1); runErr != nil {
-			break
-		}
-	}
-	switch runErr {
-	case nil, xm.ErrHalted:
-	default:
-		if _, isCrash := runErr.(sparc.ErrCrashed); !isCrash {
-			res.RunErr = runErr.Error()
-		}
-	}
-	res.Invocations = prog.invocations
-	res.Returns = prog.returns
-	st := k.Status()
-	res.KernelState = st.State
-	res.KernelHalt = st.HaltDetail
-	res.ColdResets = st.ColdResets
-	res.WarmResets = st.WarmResets
-	res.HMEvents = k.HMEntries()
-	if ps, ok := k.PartitionStatus(eagleeye.FDIR); ok {
-		res.PartState = ps.State
-		res.PartDetail = ps.HaltDetail
-	}
-	res.SimCrashed, res.CrashReason = k.Machine().Crashed()
-	return res
-}
-
-// RunPhantomCampaign executes the whole extension suite.
-func RunPhantomCampaign(opts Options) []Result {
-	opts = opts.withDefaults()
-	suite := GeneratePhantom(opts.Header)
-	out := make([]Result, len(suite))
-	for i, pd := range suite {
-		out[i] = RunPhantom(pd, opts)
-	}
-	return out
 }

@@ -1,9 +1,11 @@
-package campaign
+package target
 
 import (
 	"testing"
 
 	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
 
@@ -27,18 +29,33 @@ func TestPhantomStatesInventory(t *testing.T) {
 	}
 }
 
-func TestGeneratePhantomCoversParameterlessCalls(t *testing.T) {
-	suite := GeneratePhantom(apispec.Default())
+func TestPhantomPlanCoversParameterlessCalls(t *testing.T) {
+	plan, err := testgen.NewPlan("phantom", apispec.Default(), dict.Builtin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 10 parameter-less hypercalls x 5 states.
-	if len(suite) != 50 {
-		t.Fatalf("suite = %d tests, want 50", len(suite))
+	if plan.Len() != 50 {
+		t.Fatalf("suite = %d tests, want 50", plan.Len())
+	}
+	if plan.Strategy() != StrategyPhantom {
+		t.Fatalf("strategy = %q", plan.Strategy())
+	}
+	if plan.Fingerprint() == "" {
+		t.Fatal("no fingerprint")
 	}
 	fns := map[string]int{}
-	for _, pd := range suite {
-		if len(pd.Func.Params) != 0 {
-			t.Errorf("%s has parameters", pd.Func.Name)
+	states := map[string]bool{}
+	for i := 0; i < plan.Len(); i++ {
+		ds := plan.At(i)
+		if ds.Index != i {
+			t.Errorf("dataset %d carries index %d", i, ds.Index)
 		}
-		fns[pd.Func.Name]++
+		if len(ds.Func.Params) != 0 {
+			t.Errorf("%s has parameters", ds.Func.Name)
+		}
+		fns[ds.Func.Name]++
+		states[ds.State] = true
 	}
 	if len(fns) != 10 {
 		t.Fatalf("functions = %d, want 10", len(fns))
@@ -48,23 +65,38 @@ func TestGeneratePhantomCoversParameterlessCalls(t *testing.T) {
 			t.Errorf("%s tested under %d states, want 5", fn, n)
 		}
 	}
+	if len(states) != 5 {
+		t.Fatalf("states covered = %d, want 5", len(states))
+	}
 }
 
-func phantomFor(t *testing.T, fn, state string) PhantomDataset {
+// phantomFor finds the plan dataset for (fn, state).
+func phantomFor(t *testing.T, fn, state string) testgen.Dataset {
 	t.Helper()
-	for _, pd := range GeneratePhantom(apispec.Default()) {
-		if pd.Func.Name == fn && pd.State.Name == state {
-			return pd
+	plan, err := testgen.NewPlan("phantom", apispec.Default(), dict.Builtin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < plan.Len(); i++ {
+		if ds := plan.At(i); ds.Func.Name == fn && ds.State == state {
+			return ds
 		}
 	}
 	t.Fatalf("no phantom test %s @ %s", fn, state)
-	return PhantomDataset{}
+	return testgen.Dataset{}
+}
+
+// runPhantomOnSim executes one §V test on the sim backend.
+func runPhantomOnSim(t *testing.T, ds testgen.Dataset, mafs int) Result {
+	t.Helper()
+	rs := spec1()
+	rs.MAFs = mafs
+	return execute(t, NewSim(Config{}), ds, rs)
 }
 
 func TestPhantomHaltSystem(t *testing.T) {
 	for _, state := range []string{"nominal", "ipc-saturated", "survival-plan"} {
-		pd := phantomFor(t, "XM_halt_system", state)
-		res := RunPhantom(pd, Options{})
+		res := runPhantomOnSim(t, phantomFor(t, "XM_halt_system", state), 2)
 		if res.RunErr != "" {
 			t.Fatalf("%s: %s", state, res.RunErr)
 		}
@@ -78,8 +110,7 @@ func TestPhantomHaltSystem(t *testing.T) {
 }
 
 func TestPhantomSuspendSelf(t *testing.T) {
-	pd := phantomFor(t, "XM_suspend_self", "hm-backlog")
-	res := RunPhantom(pd, Options{})
+	res := runPhantomOnSim(t, phantomFor(t, "XM_suspend_self", "hm-backlog"), 2)
 	if res.RunErr != "" {
 		t.Fatal(res.RunErr)
 	}
@@ -95,8 +126,8 @@ func TestPhantomSuspendSelf(t *testing.T) {
 func TestPhantomStateChangesContext(t *testing.T) {
 	// The ipc-saturated state must actually differ from nominal: under
 	// saturation, the TMTC partition has dropped frames.
-	nom := RunPhantom(phantomFor(t, "XM_hm_open", "nominal"), Options{})
-	sat := RunPhantom(phantomFor(t, "XM_hm_open", "ipc-saturated"), Options{})
+	nom := runPhantomOnSim(t, phantomFor(t, "XM_hm_open", "nominal"), 2)
+	sat := runPhantomOnSim(t, phantomFor(t, "XM_hm_open", "ipc-saturated"), 2)
 	if nom.RunErr != "" || sat.RunErr != "" {
 		t.Fatal(nom.RunErr, sat.RunErr)
 	}
@@ -108,8 +139,7 @@ func TestPhantomStateChangesContext(t *testing.T) {
 }
 
 func TestPhantomSurvivalPlanApplies(t *testing.T) {
-	pd := phantomFor(t, "XM_enable_irqs", "survival-plan")
-	res := RunPhantom(pd, Options{})
+	res := runPhantomOnSim(t, phantomFor(t, "XM_enable_irqs", "survival-plan"), 2)
 	if res.RunErr != "" {
 		t.Fatal(res.RunErr)
 	}
@@ -120,9 +150,15 @@ func TestPhantomSurvivalPlanApplies(t *testing.T) {
 }
 
 func TestPhantomInvocationCadence(t *testing.T) {
-	pd := phantomFor(t, "XM_sparc_get_psr", "nominal")
-	res := RunPhantom(pd, Options{MAFs: 3})
+	res := runPhantomOnSim(t, phantomFor(t, "XM_sparc_get_psr", "nominal"), 3)
 	if res.Invocations != 3 || len(res.Returns) != 3 {
 		t.Fatalf("invocations=%d returns=%d, want 3/3", res.Invocations, len(res.Returns))
+	}
+}
+
+func TestDatasetStateRendersInString(t *testing.T) {
+	ds := phantomFor(t, "XM_hm_open", "timer-armed")
+	if got, want := ds.String(), "XM_hm_open() @ timer-armed"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
 	}
 }

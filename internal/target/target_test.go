@@ -1,0 +1,239 @@
+package target
+
+import (
+	"strings"
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// spec returns the default run parameters at one major frame.
+func spec1() RunSpec {
+	return RunSpec{MAFs: 1, Header: apispec.Default(), Dict: dict.Builtin()}
+}
+
+// execute provisions a one-worker target and runs one dataset.
+func execute(t *testing.T, tgt Target, ds testgen.Dataset, rs RunSpec) Result {
+	t.Helper()
+	if err := tgt.Provision(1); err != nil {
+		t.Fatal(err)
+	}
+	slot := tgt.Acquire()
+	defer tgt.Release(slot)
+	return tgt.Execute(slot, ds, rs)
+}
+
+// dataset builds one dataset for fn out of the default matrices.
+func dataset(t *testing.T, fn string, rank int64) testgen.Dataset {
+	t.Helper()
+	h := apispec.Default()
+	f, ok := h.Function(fn)
+	if !ok {
+		t.Fatalf("no hypercall %q", fn)
+	}
+	m, err := testgen.BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Datasets()[rank]
+}
+
+func TestRegistryResolvesBuiltins(t *testing.T) {
+	for _, spec := range []string{"", "sim", "phantom", "diff:sim,phantom"} {
+		tgt, err := New(spec, Config{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		want := spec
+		if spec == "" {
+			want = SimName
+		}
+		if tgt.Name() != want {
+			t.Errorf("New(%q).Name() = %q, want %q", spec, tgt.Name(), want)
+		}
+	}
+}
+
+func TestRegistryRejectsUnknownAndMalformed(t *testing.T) {
+	cases := []string{"tsim", "diff:", "diff:sim", "diff:sim,phantom,sim", "diff:sim,diff:sim,phantom", "sim:x", "phantom:x"}
+	for _, spec := range cases {
+		if _, err := New(spec, Config{}); err == nil {
+			t.Errorf("New(%q) accepted", spec)
+		}
+	}
+}
+
+func TestInventoryListsBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{SimName, PhantomName, DiffName} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("registry lacks %q (have %v)", want, names)
+		}
+	}
+	for _, info := range Inventory() {
+		if info.Desc == "" {
+			t.Errorf("target %q has no description", info.Name)
+		}
+	}
+}
+
+func TestSimExecutesOrdinaryDataset(t *testing.T) {
+	res := execute(t, NewSim(Config{}), dataset(t, "XM_get_time", 0), spec1())
+	if res.RunErr != "" {
+		t.Fatal(res.RunErr)
+	}
+	if res.Target != SimName {
+		t.Fatalf("target = %q, want sim", res.Target)
+	}
+	if res.Invocations == 0 {
+		t.Fatal("test program never ran")
+	}
+}
+
+func TestPhantomModelIsDeterministicAndFast(t *testing.T) {
+	ds := dataset(t, "XM_set_timer", 3)
+	tgt := &Phantom{}
+	a := execute(t, tgt, ds, spec1())
+	b := execute(t, tgt, ds, spec1())
+	if a.RunErr != "" {
+		t.Fatal(a.RunErr)
+	}
+	if Compare(a, b) != nil {
+		t.Fatalf("model disagreed with itself: %s", Compare(a, b))
+	}
+	if len(a.Resolved) != len(ds.Values) {
+		t.Fatalf("model resolved %d of %d values", len(a.Resolved), len(ds.Values))
+	}
+}
+
+func TestPhantomModelPredictsValidityRule(t *testing.T) {
+	h := apispec.Default()
+	f, _ := h.Function("XM_set_timer")
+	m, err := testgen.BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := &Phantom{}
+	for _, ds := range m.Datasets() {
+		res := execute(t, tgt, ds, spec1())
+		if res.RunErr != "" {
+			t.Fatal(res.RunErr)
+		}
+		anyInvalid := false
+		for _, v := range ds.Values {
+			anyInvalid = anyInvalid || v.Validity == dict.Invalid
+		}
+		rc, ok := res.LastReturn()
+		if !ok {
+			t.Fatalf("%s: model predicted no return", ds)
+		}
+		if anyInvalid && rc != xm.InvalidParam {
+			t.Errorf("%s: invalid dataset predicted %v", ds, rc)
+		}
+		if !anyInvalid && rc != xm.OK {
+			t.Errorf("%s: clean dataset predicted %v", ds, rc)
+		}
+	}
+}
+
+func TestPhantomModelTerminalCalls(t *testing.T) {
+	h := apispec.Default()
+	halt, _ := h.Function("XM_halt_system")
+	res := execute(t, &Phantom{}, testgen.Dataset{Func: halt}, spec1())
+	if res.KernelState != xm.KStateHalted {
+		t.Fatalf("halt_system predicted kernel %v", res.KernelState)
+	}
+	if res.Invocations != 1 || len(res.Returns) != 0 {
+		t.Fatalf("halt_system predicted %d invocations, %d returns", res.Invocations, len(res.Returns))
+	}
+	susp, _ := h.Function("XM_suspend_self")
+	res = execute(t, &Phantom{}, testgen.Dataset{Func: susp}, spec1())
+	if res.PartState != xm.PStateSuspended {
+		t.Fatalf("suspend_self predicted partition %v", res.PartState)
+	}
+}
+
+func TestDiffRecordsDivergenceAndAgreement(t *testing.T) {
+	tgt, err := NewDiff("sim,phantom", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.Provision(1); err != nil {
+		t.Fatal(err)
+	}
+	// XM_get_time(valid clock, valid pointer): the legacy kernel and the
+	// manual agree.
+	agree := execute(t, tgt, dataset(t, "XM_get_time", 1), spec1())
+	if agree.RunErr != "" {
+		t.Fatal(agree.RunErr)
+	}
+	if agree.Target != "diff:sim,phantom" {
+		t.Fatalf("diff result tagged %q", agree.Target)
+	}
+	// The primary log must be the first backend's (sim), so analysis
+	// classifies real behaviour, not predictions.
+	if agree.Invocations == 0 {
+		t.Fatal("diff did not carry the sim execution log")
+	}
+
+	// The paper's TMR findings live where sim and manual disagree: sweep
+	// one hypercall's matrix and require at least one divergence, each
+	// carrying aligned field/value triples.
+	h := apispec.Default()
+	f, _ := h.Function("XM_set_timer")
+	m, err := testgen.BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := 0
+	for _, ds := range m.Datasets() {
+		slot := tgt.Acquire()
+		res := tgt.Execute(slot, ds, spec1())
+		tgt.Release(slot)
+		if d := res.Divergence; d != nil {
+			diverged++
+			if d.Targets != [2]string{SimName, PhantomName} {
+				t.Fatalf("divergence targets %v", d.Targets)
+			}
+			if len(d.Fields) == 0 || len(d.Fields) != len(d.A) || len(d.A) != len(d.B) {
+				t.Fatalf("misaligned divergence %+v", d)
+			}
+			if d.String() == "" {
+				t.Fatal("empty divergence rendering")
+			}
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("XM_set_timer sweep produced no model-vs-sim divergence")
+	}
+}
+
+func TestCompareSymmetricObservables(t *testing.T) {
+	a := Result{Target: "a", Invocations: 2, Returns: []xm.RetCode{xm.OK, xm.OK}}
+	b := a
+	b.Target = "b"
+	if d := Compare(a, b); d != nil {
+		t.Fatalf("identical observables diverged: %s", d)
+	}
+	b.Returns = []xm.RetCode{xm.OK, xm.InvalidParam}
+	d := Compare(a, b)
+	if d == nil || len(d.Fields) != 1 || d.Fields[0] != "returns" {
+		t.Fatalf("divergence = %+v, want returns only", d)
+	}
+}
+
+func TestSimHonoursUnknownStateAsHarnessError(t *testing.T) {
+	ds := dataset(t, "XM_get_time", 0)
+	ds.State = "no-such-state"
+	res := execute(t, NewSim(Config{}), ds, spec1())
+	if !strings.Contains(res.RunErr, "unknown phantom state") {
+		t.Fatalf("RunErr = %q", res.RunErr)
+	}
+}

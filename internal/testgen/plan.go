@@ -142,6 +142,63 @@ func RegisterPlanFactory(name string, f PlanFactory) {
 	planFactories[name] = f
 }
 
+// HeaderPlanFactory builds a plan from the full API header rather than
+// the tested-function matrices — the registration point for strategies
+// whose selection is not a subset of the Eq. 1 product, such as the §V
+// phantom-parameter extension, which covers exactly the parameter-less
+// hypercalls the data-type fault model leaves untested.
+type HeaderPlanFactory func(h *apispec.Header, d *dict.Dictionary, arg string, seed int64) (Plan, error)
+
+// headerPlans is the header-level strategy registry. It takes precedence
+// over both Strategy and PlanFactory registrations of the same name.
+var headerPlans = map[string]HeaderPlanFactory{}
+
+// RegisterHeaderPlan adds (or replaces) a header-level plan strategy.
+func RegisterHeaderPlan(name string, f HeaderPlanFactory) {
+	headerPlans[name] = f
+}
+
+// PlanInfo describes one registered plan strategy for discovery surfaces
+// (xmfuzz -list, the pkg/xmrobust facade).
+type PlanInfo struct {
+	Name string
+	Desc string
+}
+
+// planDescs holds the one-line descriptions PlanInventory reports.
+// Built-ins are seeded here; packages registering strategies add theirs
+// through DescribePlan.
+var planDescs = map[string]string{
+	StrategyExhaustive: "the complete Eq. 1 cartesian product (the paper's campaign)",
+	StrategyPairwise:   "greedy 2-way covering array: every value pair at a fraction of Eq. 1",
+	StrategyRand:       "rand:N — N datasets sampled without replacement, seed-reproducible",
+	StrategyBoundary:   "nominal base + all-invalid + one-factor invalid/boundary sweep",
+}
+
+// DescribePlan records the one-line description of a registered strategy.
+func DescribePlan(name, desc string) { planDescs[name] = desc }
+
+// PlanInventory returns every registered plan strategy, sorted by name —
+// the discovery surface behind xmfuzz -list.
+func PlanInventory() []PlanInfo {
+	names := map[string]bool{StrategyExhaustive: true}
+	for n := range strategies {
+		names[n] = true
+	}
+	for n := range planFactories {
+		names[n] = true
+	}
+	for n := range headerPlans {
+		names[n] = true
+	}
+	out := make([]PlanInfo, 0, len(names))
+	for n := range names {
+		out = append(out, PlanInfo{Name: n, Desc: planDescs[n]})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
 // IsDynamic reports whether a plan schedules its datasets on line (its
 // At may block awaiting execution feedback). Dynamic plans cannot be
 // walked outside an executing campaign: Measure skips them and
@@ -162,6 +219,9 @@ func NewPlan(spec string, h *apispec.Header, d *dict.Dictionary, seed int64) (Pl
 	if name == "" {
 		name = StrategyExhaustive
 	}
+	if f, ok := headerPlans[name]; ok {
+		return f(h, d, arg, seed)
+	}
 	s, err := buildSuite(h, d)
 	if err != nil {
 		return nil, err
@@ -180,7 +240,11 @@ func NewPlan(spec string, h *apispec.Header, d *dict.Dictionary, seed int64) (Pl
 	}
 	info, ok := strategies[name]
 	if !ok {
-		return nil, fmt.Errorf("testgen: unknown plan strategy %q (have exhaustive, pairwise, rand:N, boundary, feedback:N)", name)
+		known := make([]string, 0, 8)
+		for _, pi := range PlanInventory() {
+			known = append(known, pi.Name)
+		}
+		return nil, fmt.Errorf("testgen: unknown plan strategy %q (have %s)", name, strings.Join(known, ", "))
 	}
 	picks, err := info.sel(s.matrices, arg, seed)
 	if err != nil {
@@ -624,12 +688,23 @@ func (st PlanStats) Reduction() float64 {
 }
 
 func (st PlanStats) String() string {
-	if st.Dynamic {
-		return fmt.Sprintf("plan %s: %d tests (%.1fx fewer than the %d of Eq. 1), selection driven by execution feedback",
-			st.Strategy, st.Tests, st.Reduction(), st.Exhaustive)
+	scale := fmt.Sprintf("%.1fx fewer than the %d of Eq. 1", st.Reduction(), st.Exhaustive)
+	if int64(st.Tests) > st.Exhaustive {
+		// Extension plans (phantom states × parameter-less calls) grow
+		// beyond the Eq. 1 product instead of reducing it.
+		scale = fmt.Sprintf("extension beyond the %d of Eq. 1", st.Exhaustive)
 	}
-	return fmt.Sprintf("plan %s: %d tests (%.1fx fewer than the %d of Eq. 1), value-pair coverage %.1f%% (%d/%d)",
-		st.Strategy, st.Tests, st.Reduction(), st.Exhaustive,
+	if st.Dynamic {
+		return fmt.Sprintf("plan %s: %d tests (%s), selection driven by execution feedback",
+			st.Strategy, st.Tests, scale)
+	}
+	if st.PairsTotal == 0 {
+		// No parameter pairs to cover (parameter-less or one-parameter
+		// suites): a pair-coverage clause would be noise.
+		return fmt.Sprintf("plan %s: %d tests (%s)", st.Strategy, st.Tests, scale)
+	}
+	return fmt.Sprintf("plan %s: %d tests (%s), value-pair coverage %.1f%% (%d/%d)",
+		st.Strategy, st.Tests, scale,
 		100*st.PairCoverage(), st.PairsCovered, st.PairsTotal)
 }
 

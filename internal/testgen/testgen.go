@@ -85,6 +85,12 @@ type Dataset struct {
 	Func   apispec.Function
 	Index  int // position in generation order
 	Values []dict.Value
+	// State names the phantom system state the test fires in ("" for the
+	// nominal data-type fault model). The §V extension varies the kernel
+	// state instead of the (non-existent) arguments of parameter-less
+	// hypercalls; execution targets that honour states drive the system
+	// into the named state before arming the test call.
+	State string
 }
 
 // String renders the dataset as the call it encodes.
@@ -93,7 +99,11 @@ func (ds Dataset) String() string {
 	for _, v := range ds.Values {
 		args = append(args, v.String())
 	}
-	return ds.Func.Name + "(" + strings.Join(args, ", ") + ")"
+	call := ds.Func.Name + "(" + strings.Join(args, ", ") + ")"
+	if ds.State != "" {
+		call += " @ " + ds.State
+	}
+	return call
 }
 
 // InvalidParams returns the names of parameters carrying a

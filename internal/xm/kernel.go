@@ -18,8 +18,8 @@ const (
 )
 
 func (s KState) String() string {
-	if s == KStateRunning {
-		return "RUNNING"
+	if s >= 0 && int(s) < len(kStateNames) {
+		return kStateNames[s]
 	}
 	return "HALTED"
 }

@@ -1,0 +1,59 @@
+package xm
+
+// This file holds the string→enum inversions of the kernel's state and
+// return-code vocabularies. Campaign-log readers (campaign/jsonlog) need
+// them to reconstruct execution logs from serialised records; keeping the
+// inverse tables here, generated at init from the same name tables the
+// String methods render from, means a new enum value can never drift out
+// of sync with its parser.
+
+// kStateNames is the KState name table; String and ParseKState share it.
+var kStateNames = [...]string{
+	KStateRunning: "RUNNING",
+	KStateHalted:  "HALTED",
+}
+
+// pStateValues and kStateValues are the generated inverse lookup maps.
+var (
+	pStateValues = invertNames(pstateNames[:])
+	kStateValues = invertNames(kStateNames[:])
+	retCodeNames = invertRetNames()
+)
+
+// invertNames builds the string→index inverse of a dense name table.
+func invertNames(names []string) map[string]int {
+	inv := make(map[string]int, len(names))
+	for i, n := range names {
+		if n != "" {
+			inv[n] = i
+		}
+	}
+	return inv
+}
+
+func invertRetNames() map[string]RetCode {
+	inv := make(map[string]RetCode, len(retNames))
+	for rc, n := range retNames {
+		inv[n] = rc
+	}
+	return inv
+}
+
+// ParsePState inverts PState.String (ok=false for unknown names).
+func ParsePState(s string) (PState, bool) {
+	v, ok := pStateValues[s]
+	return PState(v), ok
+}
+
+// ParseKState inverts KState.String (ok=false for unknown names).
+func ParseKState(s string) (KState, bool) {
+	v, ok := kStateValues[s]
+	return KState(v), ok
+}
+
+// ParseRetCode inverts RetCode.String for the symbolic error names
+// (ok=false for unknown or value-carrying names).
+func ParseRetCode(s string) (RetCode, bool) {
+	rc, ok := retCodeNames[s]
+	return rc, ok
+}

@@ -1,0 +1,136 @@
+package xmrobust
+
+import (
+	"fmt"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/campaign"
+)
+
+// Option configures a campaign run (functional options over
+// campaign.Options and the streaming engine).
+type Option func(*config)
+
+// config collects the campaign and engine configuration an option list
+// builds.
+type config struct {
+	opts campaign.Options
+	eng  campaign.EngineOptions
+	fn   string
+}
+
+// build folds an option list into the resolved configuration.
+func build(options []Option) (config, error) {
+	var cfg config
+	for _, o := range options {
+		o(&cfg)
+	}
+	if cfg.fn != "" {
+		base := apispec.Default()
+		if cfg.opts.Header != nil {
+			base = cfg.opts.Header
+		}
+		// Rewrite the tested selection on a copy — the caller's header
+		// (WithHeader) must not be mutated behind their back.
+		header := *base
+		header.Functions = append([]apispec.Function(nil), base.Functions...)
+		found := false
+		for i := range header.Functions {
+			tested := header.Functions[i].Name == cfg.fn
+			if tested {
+				found = true
+			}
+			header.Functions[i].Tested = map[bool]string{true: "YES", false: "NO"}[tested]
+		}
+		if !found {
+			return cfg, fmt.Errorf("xmrobust: unknown hypercall %q", cfg.fn)
+		}
+		cfg.opts.Header = &header
+	}
+	cfg.eng.Options = cfg.opts
+	return cfg, nil
+}
+
+// WithPlan selects the test-generation strategy: "exhaustive" (default,
+// the paper's full Eq. 1 product), "pairwise", "rand:N", "boundary",
+// "feedback:N" (coverage-guided), "phantom" (the §V extension suite), or
+// any strategy registered with the testgen registries. See Plans.
+func WithPlan(spec string) Option { return func(c *config) { c.opts.Plan = spec } }
+
+// WithTarget selects the execution backend: "sim" (default, the
+// simulated LEON3 testbed), "phantom" (the analytical kernel model), or
+// "diff:a,b" (execute on both, record divergences). See Targets.
+func WithTarget(spec string) Option { return func(c *config) { c.opts.Target = spec } }
+
+// WithSeed feeds randomised plans (rand:N, feedback:N); deterministic
+// strategies ignore it.
+func WithSeed(seed int64) Option { return func(c *config) { c.opts.Seed = seed } }
+
+// WithCoverage collects kernel edge coverage per test (feedback plans
+// force it on).
+func WithCoverage() Option { return func(c *config) { c.opts.Coverage = true } }
+
+// WithCorpus attaches the feedback plan's JSON Lines corpus file:
+// previously admitted datasets load as mutation parents, new admissions
+// append. Only valid with WithPlan("feedback:N").
+func WithCorpus(path string) Option { return func(c *config) { c.opts.Corpus = path } }
+
+// WithMAFs sets the number of major frames each test runs for (default
+// 2).
+func WithMAFs(n int) Option { return func(c *config) { c.opts.MAFs = n } }
+
+// WithWorkers sets the engine parallelism (default GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *config) { c.opts.Workers = n } }
+
+// WithStress pre-loads the system before injection (paper §V): one
+// warm-up frame with saturated IPC queues.
+func WithStress() Option { return func(c *config) { c.opts.Stress = true } }
+
+// WithFaults selects the kernel version under test (default
+// LegacyFaults, the version the paper tested).
+func WithFaults(fs FaultSet) Option { return func(c *config) { c.opts.Faults = fs } }
+
+// WithPatchedKernel tests the revised kernel the XtratuM team shipped
+// after the campaign (the fault-removal ablation).
+func WithPatchedKernel() Option { return func(c *config) { c.opts.Faults = PatchedFaults() } }
+
+// WithHeader sets the API spec with the tested selection (default: the
+// paper's Fig. 2 header).
+func WithHeader(h *Header) Option { return func(c *config) { c.opts.Header = h } }
+
+// WithDict sets the data-type value dictionary (default: the paper's
+// Fig. 3/Table II dictionaries).
+func WithDict(d *Dictionary) Option { return func(c *config) { c.opts.Dict = d } }
+
+// WithFunction restricts the campaign to one hypercall.
+func WithFunction(name string) Option { return func(c *config) { c.fn = name } }
+
+// WithProgress installs a (done, total) callback invoked after every
+// test.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *config) { c.opts.Progress = fn }
+}
+
+// WithCheckpoint streams the campaign through the sharded engine:
+// execution logs land in JSON Lines shards under dir, and a checkpoint
+// file tracks completed tests so WithResume continues an interrupted
+// campaign. MergeLog (or Report.WriteLog) restores the single merged
+// log.
+func WithCheckpoint(dir string) Option { return func(c *config) { c.eng.ShardDir = dir } }
+
+// WithResume resumes an interrupted campaign from its WithCheckpoint
+// state. The checkpoint refuses a plan, seed or target mismatch by name.
+func WithResume() Option { return func(c *config) { c.eng.Resume = true } }
+
+// WithShards sets the shard-writer count of a checkpointed campaign
+// (default: the worker count).
+func WithShards(n int) Option { return func(c *config) { c.eng.Shards = n } }
+
+// WithFreshMachines disables machine pooling on the sim target: every
+// test executes on a freshly allocated simulated machine.
+func WithFreshMachines() Option { return func(c *config) { c.eng.FreshMachines = true } }
+
+// WithLimit stops dispatching after n tests this call (0: run
+// everything); combined with WithCheckpoint it gives budgeted runs the
+// same semantics as an interruption.
+func WithLimit(n int) Option { return func(c *config) { c.eng.Limit = n } }

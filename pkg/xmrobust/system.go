@@ -1,0 +1,54 @@
+package xmrobust
+
+import (
+	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/xm"
+	"xmrobust/internal/xmcfg"
+)
+
+// SystemOption configures NewSystem.
+type SystemOption func(*sysConfig)
+
+type sysConfig struct {
+	faults    FaultSet
+	hasFaults bool
+	configXML []byte
+}
+
+// WithSystemFaults boots the system on the given kernel version (default
+// LegacyFaults).
+func WithSystemFaults(fs FaultSet) SystemOption {
+	return func(c *sysConfig) { c.faults, c.hasFaults = fs, true }
+}
+
+// WithConfigXML boots an XM_CF-style XML system description with empty
+// partitions instead of the EagleEye testbed — useful for schedule and
+// configuration validation.
+func WithConfigXML(data []byte) SystemOption {
+	return func(c *sysConfig) { c.configXML = data }
+}
+
+// NewSystem boots a TSP system ready to run: by default the
+// five-partition EagleEye testbed with its synthetic on-board software
+// on the legacy kernel — the simulated equivalent of launching TSIM with
+// a packed XtratuM image. The returned kernel exposes the full system
+// surface: RunMajorFrames, Status, PartitionStatus, HMEntries,
+// AttachProgram, guest memory access.
+func NewSystem(options ...SystemOption) (*Kernel, error) {
+	var cfg sysConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	faults := xm.LegacyFaults()
+	if cfg.hasFaults {
+		faults = cfg.faults
+	}
+	if cfg.configXML == nil {
+		return eagleeye.NewSystem(xm.WithFaults(faults))
+	}
+	parsed, err := xmcfg.Parse(cfg.configXML)
+	if err != nil {
+		return nil, err
+	}
+	return xm.New(parsed, xm.WithFaults(faults))
+}

@@ -1,0 +1,112 @@
+// Package xmrobust is the public API of the robustness-testing toolset:
+// a functional-options facade over the campaign engine, the pluggable
+// test-plan and execution-target registries, and the log-analysis
+// pipeline of the paper's methodology (Preparation, Test Generation and
+// Execution, Log Analysis).
+//
+// The one-call workflow:
+//
+//	rep, err := xmrobust.Run(
+//		xmrobust.WithPlan("pairwise"),
+//		xmrobust.WithTarget("diff:sim,phantom"),
+//		xmrobust.WithSeed(7),
+//	)
+//	fmt.Print(rep.Summary())
+//
+// Campaigns stream through a pooled worker engine. With WithCheckpoint
+// the execution logs shard into JSON Lines files and an interrupted
+// campaign resumes (WithResume) from its last completed test; without it
+// the campaign runs eagerly in memory and every Result stays accessible
+// through Report.Results.
+package xmrobust
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"xmrobust/internal/analysis"
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/core"
+	"xmrobust/internal/target"
+	"xmrobust/internal/testgen"
+)
+
+// Run executes a robustness campaign configured by the options (zero
+// options: the paper's campaign — legacy kernel, exhaustive plan, sim
+// target, two major frames per test).
+func Run(options ...Option) (*Report, error) {
+	cfg, err := build(options)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.eng.ShardDir != "" {
+		eo := cfg.eng
+		eo.CheckpointPath = filepath.Join(eo.ShardDir, "checkpoint.jsonl")
+		srep, err := core.RunCampaignStream(cfg.opts, eo)
+		if err != nil {
+			return nil, err
+		}
+		return &Report{stream: srep, shardDir: eo.ShardDir}, nil
+	}
+	if cfg.eng.Resume {
+		return nil, fmt.Errorf("xmrobust: WithResume requires WithCheckpoint")
+	}
+	rep, err := core.RunCampaign(cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{eager: rep}, nil
+}
+
+// RunOne executes a single dataset on the configured target (default: a
+// fresh simulated testbed) and returns its execution log.
+func RunOne(ds Dataset, options ...Option) (Result, error) {
+	cfg, err := build(options)
+	if err != nil {
+		return Result{}, err
+	}
+	return campaign.RunOne(ds, cfg.opts), nil
+}
+
+// RunDatasets executes a pre-generated dataset list and returns the
+// results in dataset order.
+func RunDatasets(datasets []Dataset, options ...Option) ([]Result, error) {
+	cfg, err := build(options)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.RunDatasets(datasets, cfg.opts), nil
+}
+
+// Classify runs the log-analysis phase over a result list: per-test
+// CRASH-scale verdicts clustered into the campaign's issue list.
+func Classify(results []Result, options ...Option) ([]Issue, error) {
+	cfg, err := build(options)
+	if err != nil {
+		return nil, err
+	}
+	oracle := analysis.NewOracle(cfg.opts.Faults)
+	return analysis.Cluster(analysis.ClassifyAll(results, oracle)), nil
+}
+
+// MergeLog writes the shard records of a checkpointed campaign directory
+// to w as one JSON Lines log in campaign order, returning the record
+// count — byte-identical to the log an uninterrupted eager campaign
+// writes with Report.WriteLog.
+func MergeLog(dir string, w io.Writer) (int, error) {
+	return campaign.MergeShards(dir, w)
+}
+
+// PlanInfo describes one registered test-plan strategy.
+type PlanInfo = testgen.PlanInfo
+
+// TargetInfo describes one registered execution backend.
+type TargetInfo = target.Info
+
+// Plans returns every registered test-plan strategy — the discovery
+// surface behind xmfuzz -list.
+func Plans() []PlanInfo { return testgen.PlanInventory() }
+
+// Targets returns every registered execution backend.
+func Targets() []TargetInfo { return target.Inventory() }
