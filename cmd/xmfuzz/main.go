@@ -23,14 +23,21 @@
 // disagreements as the divergence section of the report — behaviour the
 // reference manual does not predict.
 //
-// A checkpointed campaign records its plan fingerprint and target name;
-// -resume refuses a mismatch of either instead of mixing two campaigns
-// into one log.
+// -target inject:sim runs the SEU fault-injection campaign: every test
+// executes once clean and once under a scheduled bit flip
+// (-inject-rate/-inject-sites tune the schedule), and the report gains a
+// per-site masking-rate section classifying each upset as masked,
+// wrong-result, hm-detected, crash or hang.
+//
+// A checkpointed campaign records its plan fingerprint, target name and
+// injection-schedule signature; -resume refuses a mismatch of any of
+// them instead of mixing two campaigns into one log.
 //
 // Usage:
 //
 //	xmfuzz [-patched] [-mafs N] [-workers N] [-stress] [-func NAME]
 //	       [-plan STRATEGY] [-target BACKEND] [-seed N] [-corpus FILE]
+//	       [-inject-rate R] [-inject-sites LIST]
 //	       [-cover-stats] [-csv] [-issues] [-progress] [-list]
 //	       [-stream DIR] [-shards N] [-resume] [-fresh-machines]
 package main
@@ -39,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"xmrobust/pkg/xmrobust"
 )
@@ -65,6 +73,8 @@ func main() {
 		seed     = flag.Int64("seed", 0, "seed for randomised plans (rand:N, feedback:N)")
 		corpus   = flag.String("corpus", "", "feedback-plan corpus file (JSON Lines): load parents, append admissions")
 		coverCol = flag.Bool("cover-stats", false, "collect kernel edge coverage and report it (feedback plans always do)")
+		injRate  = flag.Float64("inject-rate", 1, "inject:* targets: fraction of tests carrying an SEU, in (0,1]")
+		injSites = flag.String("inject-sites", "", "inject:* targets: comma-separated flip sites (default all: clock,iu,mmu,ram,timer)")
 		list     = flag.Bool("list", false, "list the registered test plans and execution targets, then exit")
 	)
 	flag.Parse()
@@ -117,6 +127,15 @@ func main() {
 	}
 	if *corpus != "" {
 		opts = append(opts, xmrobust.WithCorpus(*corpus))
+	}
+	if *injRate != 1 || *injSites != "" {
+		var sites []string
+		for _, s := range strings.Split(*injSites, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				sites = append(sites, s)
+			}
+		}
+		opts = append(opts, xmrobust.WithInjection(*injRate, sites...))
 	}
 	if *coverCol {
 		opts = append(opts, xmrobust.WithCoverage())

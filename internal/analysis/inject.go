@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/inject"
+)
+
+// InjectionStudy is the streaming accumulator of an SEU campaign's
+// outcome classes (internal/inject): per-site tallies of how injected
+// runs compared to their clean reference legs — masked, wrong-result,
+// hm-detected, crash, hang. Like Classifier it folds results in one at a
+// time and retains only the aggregates, so injected campaigns analyse at
+// constant memory.
+type InjectionStudy struct {
+	// Tests counts every result folded in; Armed those whose schedule
+	// decided to inject; Applied those whose flip actually landed (a
+	// timer upset needs an armed timer, a crashed simulator takes none).
+	Tests   int
+	Armed   int
+	Applied int
+	// Sites tallies per injection site.
+	Sites map[string]*InjectionSite
+}
+
+// InjectionSite is one site's tally.
+type InjectionSite struct {
+	Site    string
+	Armed   int
+	Applied int
+	// Outcomes counts applied flips per outcome class (the inject
+	// package's Outcome* vocabulary).
+	Outcomes map[string]int
+}
+
+// MaskingRate returns the fraction of the site's applied flips the
+// architecture fully masked (0 when none applied).
+func (s *InjectionSite) MaskingRate() float64 {
+	if s.Applied == 0 {
+		return 0
+	}
+	return float64(s.Outcomes[inject.OutcomeMasked]) / float64(s.Applied)
+}
+
+// NewInjectionStudy returns an empty accumulator.
+func NewInjectionStudy() *InjectionStudy {
+	return &InjectionStudy{Sites: map[string]*InjectionSite{}}
+}
+
+// Add folds one execution log into the tallies. Results without an
+// injection record (uninjected tests, non-inject targets) only count
+// toward Tests.
+func (s *InjectionStudy) Add(r campaign.Result) {
+	s.Tests++
+	rec := r.Injection
+	if rec == nil {
+		return
+	}
+	s.Armed++
+	site, ok := s.Sites[rec.Site]
+	if !ok {
+		site = &InjectionSite{Site: rec.Site, Outcomes: map[string]int{}}
+		s.Sites[rec.Site] = site
+	}
+	site.Armed++
+	if !rec.Applied {
+		return
+	}
+	s.Applied++
+	site.Applied++
+	site.Outcomes[rec.Outcome]++
+}
+
+// Empty reports whether the campaign injected nothing — the signal to
+// omit the report section entirely.
+func (s *InjectionStudy) Empty() bool { return s == nil || s.Armed == 0 }
+
+// Outcome returns the campaign-wide count of one outcome class.
+func (s *InjectionStudy) Outcome(class string) int {
+	n := 0
+	for _, site := range s.Sites {
+		n += site.Outcomes[class]
+	}
+	return n
+}
+
+// SiteList returns the per-site tallies sorted by site name.
+func (s *InjectionStudy) SiteList() []*InjectionSite {
+	out := make([]*InjectionSite, 0, len(s.Sites))
+	for _, site := range s.Sites {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Site < out[b].Site })
+	return out
+}
+
+// outcomeColumns is the rendering order of the outcome classes, by
+// decreasing severity, with the table column widths.
+var outcomeColumns = [...]struct {
+	class string
+	width int
+}{
+	{inject.OutcomeCrash, 6}, {inject.OutcomeHang, 6}, {inject.OutcomeDetected, 9},
+	{inject.OutcomeWrong, 7}, {inject.OutcomeMasked, 7},
+}
+
+// InjectionSummary renders the SEU study: the campaign-wide tally line
+// (the determinism anchor of make inject-smoke) and the per-site
+// masking-rate table.
+func InjectionSummary(s *InjectionStudy) string {
+	var b strings.Builder
+	b.WriteString("SEU FAULT INJECTION (per-site masking rates)\n\n")
+	fmt.Fprintf(&b,
+		"injection: %d of %d tests armed, %d flips applied — masked %d, wrong-result %d, hm-detected %d, crash %d, hang %d\n\n",
+		s.Armed, s.Tests, s.Applied,
+		s.Outcome(inject.OutcomeMasked), s.Outcome(inject.OutcomeWrong),
+		s.Outcome(inject.OutcomeDetected), s.Outcome(inject.OutcomeCrash),
+		s.Outcome(inject.OutcomeHang))
+	fmt.Fprintf(&b, "%-8s %6s %8s %6s %6s %9s %7s %7s %8s\n",
+		"site", "armed", "applied", "crash", "hang", "detected", "wrong", "masked", "mask%")
+	for _, site := range s.SiteList() {
+		fmt.Fprintf(&b, "%-8s %6d %8d", site.Site, site.Armed, site.Applied)
+		for _, col := range outcomeColumns {
+			fmt.Fprintf(&b, " %*d", col.width, site.Outcomes[col.class])
+		}
+		if site.Applied == 0 {
+			// No flip landed (e.g. no armed timer to upset): a masking
+			// rate would be 0/0, not zero.
+			b.WriteString("        -\n")
+			continue
+		}
+		fmt.Fprintf(&b, " %7.1f%%\n", 100*site.MaskingRate())
+	}
+	b.WriteString("\nmask% = applied flips with no observable difference from the clean reference leg\n")
+	return b.String()
+}

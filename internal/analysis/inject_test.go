@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/inject"
+)
+
+// injectedResult builds one result carrying an injection record.
+func injectedResult(site, outcome string, applied bool) campaign.Result {
+	var r campaign.Result
+	r.Injection = &inject.Injection{Site: site, Phase: inject.PhaseMid, Applied: applied, Outcome: outcome}
+	return r
+}
+
+func TestInjectionStudyTallies(t *testing.T) {
+	s := NewInjectionStudy()
+	s.Add(campaign.Result{}) // clean test: counted, not armed
+	s.Add(injectedResult(inject.SiteRAM, inject.OutcomeMasked, true))
+	s.Add(injectedResult(inject.SiteRAM, inject.OutcomeCrash, true))
+	s.Add(injectedResult(inject.SiteRAM, "", false)) // armed, nowhere to land
+	s.Add(injectedResult(inject.SiteMMU, inject.OutcomeDetected, true))
+
+	if s.Tests != 5 || s.Armed != 4 || s.Applied != 3 {
+		t.Fatalf("tests/armed/applied = %d/%d/%d", s.Tests, s.Armed, s.Applied)
+	}
+	ram := s.Sites[inject.SiteRAM]
+	if ram == nil || ram.Armed != 3 || ram.Applied != 2 {
+		t.Fatalf("ram site = %+v", ram)
+	}
+	if got := ram.MaskingRate(); got != 0.5 {
+		t.Fatalf("ram masking rate = %v", got)
+	}
+	if s.Outcome(inject.OutcomeCrash) != 1 || s.Outcome(inject.OutcomeDetected) != 1 {
+		t.Fatal("campaign-wide outcome counts wrong")
+	}
+	if s.Empty() {
+		t.Fatal("study with armed tests reports empty")
+	}
+	if !NewInjectionStudy().Empty() || !(*InjectionStudy)(nil).Empty() {
+		t.Fatal("empty/nil study must report empty")
+	}
+	sites := s.SiteList()
+	if len(sites) != 2 || sites[0].Site != inject.SiteMMU || sites[1].Site != inject.SiteRAM {
+		t.Fatalf("site list order: %+v", sites)
+	}
+}
+
+func TestInjectionSummaryRendersSitesAndRates(t *testing.T) {
+	s := NewInjectionStudy()
+	for i := 0; i < 3; i++ {
+		s.Add(injectedResult(inject.SiteIU, inject.OutcomeMasked, true))
+	}
+	s.Add(injectedResult(inject.SiteIU, inject.OutcomeCrash, true))
+	s.Add(injectedResult(inject.SiteTimer, "", false))
+	out := InjectionSummary(s)
+	for _, want := range []string{
+		"SEU FAULT INJECTION",
+		"injection: 5 of 5 tests armed, 4 flips applied — masked 3, wrong-result 0, hm-detected 0, crash 1, hang 0",
+		"iu",
+		"75.0%",
+		"timer",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary lacks %q:\n%s", want, out)
+		}
+	}
+	// A site with nothing applied renders a dash, not a bogus 0% rate.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "timer") && !strings.HasSuffix(line, "-") {
+			t.Fatalf("timer row should end with '-': %q", line)
+		}
+	}
+}

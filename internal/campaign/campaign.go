@@ -17,6 +17,7 @@ import (
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/corpus"
 	"xmrobust/internal/dict"
+	"xmrobust/internal/inject"
 	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
@@ -70,6 +71,12 @@ type Options struct {
 	// previously admitted datasets load as mutation parents, and new
 	// admissions append as they happen. Only valid with -plan feedback:N.
 	Corpus string
+	// Inject parameterises the SEU schedule of inject:* targets (see
+	// internal/inject): the fraction of tests injected and the enabled
+	// flip sites. The zero value injects every test across every site.
+	// The schedule is keyed by Seed, so one campaign seed reproduces
+	// both the plan and the fault sequence.
+	Inject inject.Params
 	// Progress, when non-nil, receives (done, total) after every test.
 	Progress func(done, total int)
 }
@@ -93,6 +100,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// injectParams resolves the SEU schedule parameters, anchoring the
+// schedule to the campaign seed.
+func (o Options) injectParams() inject.Params {
+	p := o.Inject
+	p.Seed = o.Seed
+	return p
+}
+
 // runSpec projects the campaign options onto the per-run execution
 // parameters of the target layer.
 func (o Options) runSpec() target.RunSpec {
@@ -110,7 +125,7 @@ func (o Options) runSpec() target.RunSpec {
 // fresh testbed) and returns its execution log.
 func RunOne(ds testgen.Dataset, opts Options) Result {
 	opts = opts.withDefaults()
-	tgt, err := target.New(opts.Target, target.Config{})
+	tgt, err := target.New(opts.Target, target.Config{Inject: opts.injectParams()})
 	if err != nil {
 		return Result{Dataset: ds, RunErr: err.Error()}
 	}
@@ -124,11 +139,18 @@ func RunOne(ds testgen.Dataset, opts Options) Result {
 
 // BuildPlan applies the option defaults and constructs the campaign's
 // test plan — the shared generation front of the eager and streaming
-// pipelines. A configured corpus file attaches to the feedback plan
-// (and is rejected for any other strategy); the caller owns closing the
-// plan when it is a Closer.
+// pipelines. The execution side is validated here too: a broken target
+// spec (unknown backend, bad composite component, bad injection
+// schedule) fails the campaign up front with the resolution error
+// instead of surfacing as one harness error per test on the eager path.
+// A configured corpus file attaches to the feedback plan (and is
+// rejected for any other strategy); the caller owns closing the plan
+// when it is a Closer.
 func BuildPlan(opts Options) (testgen.Plan, Options, error) {
 	opts = opts.withDefaults()
+	if _, err := target.New(opts.Target, target.Config{Inject: opts.injectParams()}); err != nil {
+		return nil, opts, err
+	}
 	plan, err := testgen.NewPlan(opts.Plan, opts.Header, opts.Dict, opts.Seed)
 	if err != nil {
 		return nil, opts, err

@@ -175,6 +175,7 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	tgt, err := target.New(opts.Target, target.Config{
 		FreshMachines: eo.FreshMachines,
 		PoolStrict:    eo.PoolStrict,
+		Inject:        opts.injectParams(),
 	})
 	if err != nil {
 		return stats, err
@@ -202,6 +203,9 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 			Target:      tgt.Name(),
 			Plan:        sourcePlan(src),
 			Fingerprint: src.Fingerprint(),
+		}
+		if is, ok := tgt.(interface{ InjectSignature() string }); ok {
+			hdr.Inject = is.InjectSignature()
 		}
 		ckpt, done, err = openCheckpoint(eo.CheckpointPath, hdr, eo.Resume)
 		if err != nil {
@@ -389,6 +393,11 @@ type ckptHeader struct {
 	// two campaigns.
 	Plan        string `json:"plan,omitempty"`
 	Fingerprint string `json:"plan_fp,omitempty"`
+	// Inject is the SEU schedule signature of inject:* targets (empty
+	// elsewhere). A resume under a different schedule is refused — the
+	// recorded logs would splice two distinct fault sequences into one
+	// campaign.
+	Inject string `json:"inject,omitempty"`
 }
 
 // ckptMark is one completed-test line.
@@ -437,6 +446,11 @@ func openCheckpoint(path string, want ckptHeader, resume bool) (*checkpoint, map
 				return nil, nil, fmt.Errorf(
 					"campaign: checkpoint %s records target %q, but this run executes on %q — rerun with the checkpointed target, or start fresh without resume",
 					path, hdr.Target, want.Target)
+			}
+			if hdr.Inject != want.Inject {
+				return nil, nil, fmt.Errorf(
+					"campaign: checkpoint %s records injection schedule %q, but this run injects %q — rerun with the checkpointed schedule, or start fresh without resume",
+					path, hdr.Inject, want.Inject)
 			}
 			if hdr.Plan != want.Plan || hdr.Fingerprint != want.Fingerprint {
 				return nil, nil, fmt.Errorf(

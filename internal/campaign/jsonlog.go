@@ -8,6 +8,7 @@ import (
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
+	"xmrobust/internal/inject"
 	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
@@ -58,6 +59,11 @@ type JSONRecord struct {
 	// Divergence is the diff target's disagreement record (nil outside
 	// diff campaigns and on agreeing tests).
 	Divergence *Divergence `json:"divergence,omitempty"`
+	// Injection is the SEU record of an inject-target run: where the
+	// schedule flipped a bit and how the injected run's observables
+	// compared to the clean reference leg (nil outside inject campaigns
+	// and on tests the schedule left clean).
+	Injection *inject.Injection `json:"injection,omitempty"`
 }
 
 // JSONHMEvent is one structured health-monitor log entry.
@@ -122,6 +128,7 @@ func ToRecord(seq int, r Result) JSONRecord {
 		out.CoverSig = fmt.Sprintf("%016x", r.Cover.Signature())
 	}
 	out.Divergence = r.Divergence
+	out.Injection = r.Injection
 	return out
 }
 
@@ -149,6 +156,7 @@ func (rec JSONRecord) Result(h *apispec.Header) (Result, error) {
 		CrashReason:   rec.CrashReason,
 		RunErr:        rec.RunErr,
 		Divergence:    rec.Divergence,
+		Injection:     rec.Injection,
 	}
 	if r.Target == "" {
 		// Records without a target field are the default backend's —

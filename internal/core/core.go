@@ -47,6 +47,9 @@ type CampaignReport struct {
 	Classified  []analysis.Classified
 	Issues      []analysis.Issue
 	Divergences []DivergenceFinding
+	// Injection is the SEU study of an inject-target campaign (nil when
+	// nothing was injected).
+	Injection *analysis.InjectionStudy
 }
 
 // RunCampaign executes the full pipeline with the given options (zero
@@ -82,12 +85,17 @@ func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
 		rep.Results = campaign.RunDatasets(rep.Datasets, ropts)
 	}
 	var agg cover.Map
+	study := analysis.NewInjectionStudy()
 	for _, r := range rep.Results {
 		if r.Cover != nil {
 			agg.Merge(r.Cover)
 		}
+		study.Add(r)
 	}
 	rep.Coverage = coverageStats(plan, &agg)
+	if !study.Empty() {
+		rep.Injection = study
+	}
 	for i, r := range rep.Results {
 		if r.Divergence != nil {
 			rep.Divergences = append(rep.Divergences, DivergenceFinding{

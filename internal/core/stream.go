@@ -41,6 +41,9 @@ type StreamReport struct {
 	// Coverage summarises the campaign's kernel edge coverage (zero
 	// value when collection was off).
 	Coverage CoverageStats
+	// Injection is the SEU study of an inject-target campaign (nil when
+	// nothing was injected).
+	Injection *analysis.InjectionStudy
 	// Engine reports what the execution engine did.
 	Engine campaign.EngineStats
 }
@@ -87,6 +90,7 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 	rep := &StreamReport{Plan: testgen.Measure(plan), Target: ropts.Target, Total: plan.Len()}
 	cls := analysis.NewClassifier(analysis.NewOracle(ropts.Faults))
 	clu := analysis.NewClusterer()
+	study := analysis.NewInjectionStudy()
 	var agg cover.Map
 	diverged := func(pos int, res campaign.Result) {
 		if res.Divergence != nil {
@@ -104,6 +108,7 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 				agg.Merge(res.Cover)
 			}
 			diverged(pos, res)
+			study.Add(res)
 			clu.Add(pos, cls.Add(res))
 		})
 		if err != nil {
@@ -112,6 +117,9 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 		rep.Engine, rep.Executed, rep.Skipped = stats, stats.Executed, stats.Skipped
 		rep.adopt(cls, clu)
 		rep.Coverage = coverageStats(plan, &agg)
+		if !study.Empty() {
+			rep.Injection = study
+		}
 		return rep, nil
 	}
 
@@ -139,6 +147,7 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 			agg.Merge(res.Cover)
 		}
 		diverged(rec.Seq, res)
+		study.Add(res)
 		clu.Add(rec.Seq, cls.Add(res))
 		return nil
 	})
@@ -147,5 +156,8 @@ func RunCampaignStream(opts campaign.Options, eo campaign.EngineOptions) (*Strea
 	}
 	rep.adopt(cls, clu)
 	rep.Coverage = coverageStats(plan, &agg)
+	if !study.Empty() {
+		rep.Injection = study
+	}
 	return rep, nil
 }

@@ -1,0 +1,351 @@
+// Package inject is the single-event-upset (SEU) fault-injection
+// subsystem: the scenario axis the paper's API campaign cannot express.
+// The platform the campaign targets (LEON3 in orbit) fails primarily
+// through radiation flipping bits in live machine state, not through
+// hostile hypercall arguments; this package models that fault class as a
+// deterministic *schedule* of bit flips layered over any execution
+// backend, the way the divergence oracle layers over two of them.
+//
+// A Schedule is a pure function of (seed, dataset): for every test it
+// decides whether to upset the run, at which site, at which point of the
+// execution, and which bit to flip. Nothing is sampled at execution time
+// — the pseudo-random draws are all taken up front from a splitmix64
+// stream keyed by the dataset's rendered call, so an interrupted campaign
+// resumes to byte-identical records and a fixed seed reproduces the
+// identical fault sequence on any platform.
+//
+// Sites model where radiation strikes the simulated machine:
+//
+//   - ram:   one bit of a live (dirty) memory page — kernel image,
+//     partition data, IPC buffers. Pages no run has touched are skipped
+//     in favour of the test partition's data area: flipping a bit nobody
+//     reads cannot be observed, and the study is about what the system
+//     does when the upset lands somewhere that matters.
+//   - mmu:   one bit of the test partition's MMU context (a mapped
+//     region's base address) — the spatial-separation hardware itself.
+//   - iu:    the interrupt unit's register state (IRQ mask and pending
+//     lines).
+//   - timer: an armed GPTIMER compare value — the clocks XtratuM
+//     multiplexes its scheduling on.
+//   - clock: the virtual timebase.
+//
+// The injected execution runs next to an uninjected reference leg of the
+// same dataset; comparing the two classifies the upset's outcome: masked
+// (no observable difference), wrong-result (observables diverge without
+// any error report), hm-detected (the health monitor logged the upset),
+// crash (simulator death, hypervisor halt or an unexpected reset), or
+// hang (control never returned to the test partition).
+package inject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// Injection sites.
+const (
+	SiteRAM   = "ram"
+	SiteMMU   = "mmu"
+	SiteIU    = "iu"
+	SiteTimer = "timer"
+	SiteClock = "clock"
+)
+
+// Injection phases: where in the test's execution the flip lands.
+const (
+	// PhasePre flips before the fault placeholder is armed — the upset
+	// predates the test call.
+	PhasePre = "pre"
+	// PhaseMid flips between two observation frames (for single-frame
+	// tests: after arming, before the frame) — the upset lands mid-run.
+	PhaseMid = "mid"
+	// PhasePost flips after the observation frames, before the log is
+	// harvested — the upset can only corrupt the final state.
+	PhasePost = "post"
+)
+
+// Outcome classes of an applied flip, judged against the clean reference
+// leg.
+const (
+	OutcomeMasked   = "masked"
+	OutcomeWrong    = "wrong-result"
+	OutcomeDetected = "hm-detected"
+	OutcomeCrash    = "crash"
+	OutcomeHang     = "hang"
+)
+
+// phases is the draw order of the phase pick.
+var phases = [...]string{PhasePre, PhaseMid, PhasePost}
+
+// Sites returns every injection site, sorted — the default site set and
+// the vocabulary -inject-sites validates against.
+func Sites() []string {
+	return []string{SiteClock, SiteIU, SiteMMU, SiteRAM, SiteTimer}
+}
+
+// timeBitLimit clamps clock and timer flips to the low 28 bits (≈134 s of
+// skew): an upset in a high bit would fast-forward the timebase past
+// every armed expiry or overflow the kernel's deadline arithmetic, which
+// models a broken simulator rather than a surviving system.
+const timeBitLimit = 28
+
+// Params configures a Schedule. The zero value injects every test across
+// every site, seeded by seed 0.
+type Params struct {
+	// Rate is the fraction of tests injected, in (0, 1]. The zero value
+	// selects 1: every test carries an upset.
+	Rate float64
+	// Sites restricts the flip sites (nil/empty: all of Sites()).
+	Sites []string
+	// Seed keys the schedule. Campaigns anchor it to the campaign seed so
+	// one -seed flag reproduces both the plan and the fault sequence.
+	Seed int64
+}
+
+// Schedule is a validated, immutable injection schedule: a pure function
+// from dataset to (optional) injection plan. It is safe for concurrent
+// use — Plan shares no state between calls.
+type Schedule struct {
+	rate  float64
+	sites []string
+	seed  int64
+}
+
+// NewSchedule validates the parameters and builds the schedule.
+func NewSchedule(p Params) (Schedule, error) {
+	s := Schedule{rate: p.Rate, seed: p.Seed}
+	if s.rate == 0 {
+		s.rate = 1
+	}
+	// Negated form so NaN fails the range check too.
+	if !(s.rate > 0 && s.rate <= 1) {
+		return Schedule{}, fmt.Errorf("inject: rate %v outside (0, 1]", p.Rate)
+	}
+	if len(p.Sites) == 0 {
+		s.sites = Sites()
+		return s, nil
+	}
+	known := map[string]bool{}
+	for _, site := range Sites() {
+		known[site] = true
+	}
+	seen := map[string]bool{}
+	for _, site := range p.Sites {
+		if !known[site] {
+			return Schedule{}, fmt.Errorf("inject: unknown site %q (have %s)",
+				site, strings.Join(Sites(), ", "))
+		}
+		if !seen[site] {
+			seen[site] = true
+			s.sites = append(s.sites, site)
+		}
+	}
+	sort.Strings(s.sites)
+	return s, nil
+}
+
+// Signature renders the schedule's full identity — campaign checkpoints
+// record it and refuse to resume under a different one, exactly as they
+// refuse a mismatched plan fingerprint or target name.
+func (s Schedule) Signature() string {
+	return fmt.Sprintf("rate=%s|sites=%s|seed=%d",
+		strconv.FormatFloat(s.rate, 'g', -1, 64), strings.Join(s.sites, ","), s.seed)
+}
+
+// hash64 is FNV-1a over the dataset's rendered call: the per-test key of
+// the schedule. Identical datasets draw identical injections in any
+// campaign position, which is what makes checkpoint resume an exact
+// replay without threading any injector state.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Plan decides the injection for one test: nil when the schedule leaves
+// this test clean, otherwise a freshly armed plan (plans are single-use
+// and not safe to share across executions).
+func (s Schedule) Plan(ds testgen.Dataset) *Plan {
+	rng := testgen.NewSplitMix64(s.seed ^ int64(hash64(ds.String())))
+	if float64(rng.Next()>>11) >= s.rate*float64(uint64(1)<<53) {
+		return nil
+	}
+	p := &Plan{
+		frameDraw: rng.Next(),
+		pageDraw:  rng.Next(),
+		offDraw:   rng.Next(),
+		unitDraw:  rng.Next(),
+	}
+	p.Injection.Site = s.sites[rng.Intn(len(s.sites))]
+	p.Injection.Phase = phases[rng.Intn(len(phases))]
+	p.Injection.Bit = uint8(rng.Next() % 64)
+	return p
+}
+
+// Injection is the record of one scheduled upset — what the schedule
+// decided, where the flip actually landed, and how the injected run's
+// observables compared to its clean reference leg. It is threaded through
+// the campaign log (campaign.JSONRecord) like every other observable.
+type Injection struct {
+	// Site and Phase are the schedule's picks; Bit is the drawn bit index
+	// (each site interprets it modulo its register width).
+	Site  string `json:"site"`
+	Phase string `json:"phase"`
+	Bit   uint8  `json:"bit"`
+	// Frame is the observation frame the flip preceded (0 for pre-arm,
+	// the frame count for post-run).
+	Frame int `json:"frame,omitempty"`
+	// Addr locates memory and MMU flips (0 for register sites); Cycle is
+	// the virtual time in microseconds at which the flip was applied.
+	Addr  uint64 `json:"addr,omitempty"`
+	Cycle int64  `json:"cycle,omitempty"`
+	// Applied reports whether the flip landed (a timer flip on a machine
+	// with nothing armed, or any flip on an already-crashed simulator,
+	// has nowhere to go).
+	Applied bool `json:"applied"`
+	// Outcome classifies an applied flip against the reference leg
+	// (OutcomeMasked … OutcomeHang); Delta is the compact rendering of
+	// the observable differences ("" when masked).
+	Outcome string `json:"outcome,omitempty"`
+	Delta   string `json:"delta,omitempty"`
+}
+
+// Plan is one test's armed injection: the schedule's draws plus the
+// record they resolve into during execution. The executing backend calls
+// the three hook methods at its phase anchors; each is a single nil check
+// away on the no-injection path.
+type Plan struct {
+	Injection Injection
+
+	frameDraw uint64
+	pageDraw  uint64
+	offDraw   uint64
+	unitDraw  uint64
+	done      bool
+}
+
+// PreArm is the hook before the fault placeholder is armed.
+func (p *Plan) PreArm(k *xm.Kernel, testPart int) {
+	if p.Injection.Phase == PhasePre {
+		p.apply(k, testPart, 0)
+	}
+}
+
+// BeforeFrame is the hook before observation frame `frame` of `mafs`. A
+// mid-phase plan fires before one deterministically drawn frame — frame
+// 1..mafs-1 when the test runs several, frame 0 (after arming) when it
+// runs one.
+func (p *Plan) BeforeFrame(frame, mafs int, k *xm.Kernel, testPart int) {
+	if p.Injection.Phase != PhaseMid {
+		return
+	}
+	at := 0
+	if mafs > 1 {
+		at = 1 + int(p.frameDraw%uint64(mafs-1))
+	}
+	if frame == at {
+		p.apply(k, testPart, frame)
+	}
+}
+
+// PostRun is the hook after the last observation frame, before harvest.
+func (p *Plan) PostRun(k *xm.Kernel, testPart, mafs int) {
+	if p.Injection.Phase == PhasePost {
+		p.apply(k, testPart, mafs)
+	}
+}
+
+// apply performs the flip. It runs at most once per plan and never on a
+// crashed simulator (radiation cannot upset a machine that no longer
+// exists — and the harness must not trust one).
+func (p *Plan) apply(k *xm.Kernel, testPart, frame int) {
+	if p.done {
+		return
+	}
+	p.done = true
+	m := k.Machine()
+	if crashed, _ := m.Crashed(); crashed {
+		return
+	}
+	p.Injection.Frame = frame
+	p.Injection.Cycle = int64(m.Now())
+	switch p.Injection.Site {
+	case SiteRAM:
+		addr, ok := p.ramTarget(k, testPart, m)
+		if ok && m.FlipBit(addr, p.Injection.Bit) {
+			p.Injection.Addr = uint64(addr)
+			p.Injection.Applied = true
+		}
+	case SiteMMU:
+		// Radiation does not aim at the test partition: the victim is
+		// drawn across the whole partition table, so an upset in an OBSW
+		// partition's context surfaces through that partition's own
+		// traffic (and the health monitor's reaction to it).
+		parts := k.NumPartitions()
+		if parts == 0 {
+			return
+		}
+		sp := k.PartitionSpace(int(p.unitDraw % uint64(parts)))
+		if sp == nil {
+			return
+		}
+		regions := sp.Regions()
+		if len(regions) == 0 {
+			return
+		}
+		if base, ok := sp.FlipRegionBit(int(p.pageDraw%uint64(len(regions))), p.Injection.Bit); ok {
+			p.Injection.Addr = uint64(base)
+			p.Injection.Applied = true
+		}
+	case SiteIU:
+		irq := m.IRQ()
+		if p.Injection.Bit%32 < 16 {
+			irq.SetMask(irq.Mask() ^ 1<<(p.Injection.Bit%16))
+		} else {
+			line := 1 + int(p.Injection.Bit)%(sparc.NumIRQLines-1)
+			if irq.Pending()&(1<<line) != 0 {
+				irq.Ack(line)
+			} else {
+				irq.Raise(line)
+			}
+		}
+		p.Injection.Applied = true
+	case SiteTimer:
+		// Try the drawn unit first, then the others: an upset needs an
+		// armed compare register to land in.
+		for i := 0; i < sparc.NumTimerUnits; i++ {
+			unit := int((p.unitDraw + uint64(i)) % sparc.NumTimerUnits)
+			if _, ok := m.Timer(unit).FlipExpiryBit(p.Injection.Bit % timeBitLimit); ok {
+				p.Injection.Applied = true
+				return
+			}
+		}
+	case SiteClock:
+		m.FlipClockBit(p.Injection.Bit % timeBitLimit)
+		p.Injection.Applied = true
+	}
+}
+
+// ramTarget picks the memory flip's address: a deterministically drawn
+// byte of a live (dirty) page, falling back to the test partition's data
+// area when the run has not written anywhere yet (flips go where state
+// can be observed; FlipBit marks the page dirty either way, so Reset
+// scrubs the upset like any other store).
+func (p *Plan) ramTarget(k *xm.Kernel, testPart int, m *sparc.Machine) (sparc.Addr, bool) {
+	if pages := m.DirtyPages(); len(pages) > 0 {
+		page := pages[p.pageDraw%uint64(len(pages))]
+		return page + sparc.Addr(p.offDraw%sparc.DirtyPageSize), true
+	}
+	area, ok := k.PartitionDataArea(testPart)
+	if !ok || area.Size == 0 {
+		return 0, false
+	}
+	return area.Base + sparc.Addr(p.offDraw%uint64(area.Size)), true
+}

@@ -1,0 +1,315 @@
+package inject
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xmrobust/internal/apispec"
+	"xmrobust/internal/dict"
+	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/sparc"
+	"xmrobust/internal/testgen"
+	"xmrobust/internal/xm"
+)
+
+// sampleDatasets returns a deterministic slice of real campaign datasets.
+func sampleDatasets(t *testing.T, n int) []testgen.Dataset {
+	t.Helper()
+	plan, err := testgen.NewPlan("rand:"+strconv.Itoa(n), apispec.Default(), dict.Builtin(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return testgen.Materialize(plan)
+}
+
+func TestScheduleIsPureFunctionOfSeedAndDataset(t *testing.T) {
+	s, err := NewSchedule(Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range sampleDatasets(t, 40) {
+		a, b := s.Plan(ds), s.Plan(ds)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("%s: inconsistent decision", ds)
+		}
+		if a == nil {
+			continue
+		}
+		aj, _ := json.Marshal(a.Injection)
+		bj, _ := json.Marshal(b.Injection)
+		if string(aj) != string(bj) {
+			t.Fatalf("%s: plans differ across calls:\n%s\n%s", ds, aj, bj)
+		}
+		if a.frameDraw != b.frameDraw || a.pageDraw != b.pageDraw ||
+			a.offDraw != b.offDraw || a.unitDraw != b.unitDraw {
+			t.Fatalf("%s: draws differ across calls", ds)
+		}
+	}
+}
+
+func TestScheduleSeedChangesDecisions(t *testing.T) {
+	s1, _ := NewSchedule(Params{Seed: 1})
+	s2, _ := NewSchedule(Params{Seed: 2})
+	differ := false
+	for _, ds := range sampleDatasets(t, 40) {
+		a, b := s1.Plan(ds), s2.Plan(ds)
+		switch {
+		case a == nil || b == nil:
+			differ = differ || (a == nil) != (b == nil)
+		case a.Injection.Site != b.Injection.Site || a.Injection.Bit != b.Injection.Bit ||
+			a.Injection.Phase != b.Injection.Phase:
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("40 datasets drew identical injections under two different seeds")
+	}
+}
+
+func TestScheduleRate(t *testing.T) {
+	datasets := sampleDatasets(t, 100)
+	full, _ := NewSchedule(Params{Rate: 1, Seed: 3})
+	half, _ := NewSchedule(Params{Rate: 0.5, Seed: 3})
+	nFull, nHalf := 0, 0
+	for _, ds := range datasets {
+		if full.Plan(ds) != nil {
+			nFull++
+		}
+		if half.Plan(ds) != nil {
+			nHalf++
+		}
+	}
+	if nFull != len(datasets) {
+		t.Fatalf("rate 1 injected %d of %d", nFull, len(datasets))
+	}
+	if nHalf == 0 || nHalf == len(datasets) {
+		t.Fatalf("rate 0.5 injected %d of %d — not a coin at all", nHalf, len(datasets))
+	}
+}
+
+func TestNewScheduleValidates(t *testing.T) {
+	if _, err := NewSchedule(Params{Rate: 1.5}); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+	if _, err := NewSchedule(Params{Rate: -0.1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := NewSchedule(Params{Rate: math.NaN()}); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	if _, err := NewSchedule(Params{Sites: []string{"rom"}}); err == nil ||
+		!strings.Contains(err.Error(), "rom") || !strings.Contains(err.Error(), SiteRAM) {
+		t.Fatal("unknown site must be named alongside the inventory")
+	}
+	s, err := NewSchedule(Params{Sites: []string{SiteRAM, SiteRAM, SiteClock}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Signature(); !strings.Contains(got, "sites=clock,ram") {
+		t.Fatalf("sites not deduped+sorted in signature: %s", got)
+	}
+}
+
+func TestSignatureDistinguishesSchedules(t *testing.T) {
+	base, _ := NewSchedule(Params{})
+	seeded, _ := NewSchedule(Params{Seed: 9})
+	rated, _ := NewSchedule(Params{Rate: 0.25})
+	sited, _ := NewSchedule(Params{Sites: []string{SiteIU}})
+	sigs := map[string]bool{}
+	for _, s := range []Schedule{base, seeded, rated, sited} {
+		sigs[s.Signature()] = true
+	}
+	if len(sigs) != 4 {
+		t.Fatalf("4 distinct schedules produced %d signatures", len(sigs))
+	}
+	if base.Signature() != "rate=1|sites=clock,iu,mmu,ram,timer|seed=0" {
+		t.Fatalf("default signature drifted: %s", base.Signature())
+	}
+}
+
+func TestScheduleSiteRestriction(t *testing.T) {
+	s, _ := NewSchedule(Params{Sites: []string{SiteMMU}})
+	for _, ds := range sampleDatasets(t, 20) {
+		if p := s.Plan(ds); p != nil && p.Injection.Site != SiteMMU {
+			t.Fatalf("%s: drew site %s outside the restriction", ds, p.Injection.Site)
+		}
+	}
+}
+
+// bootSystem builds an EagleEye system on a fresh machine and runs one
+// major frame so the banks hold live state.
+func bootSystem(t *testing.T) *xm.Kernel {
+	t.Helper()
+	k, err := eagleeye.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunMajorFrames(1); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// forcedPlan builds a plan pinned to one site with fixed draws.
+func forcedPlan(site, phase string, bit uint8) *Plan {
+	p := &Plan{pageDraw: 1, offDraw: 5, unitDraw: 0, frameDraw: 0}
+	p.Injection.Site = site
+	p.Injection.Phase = phase
+	p.Injection.Bit = bit
+	return p
+}
+
+func TestApplyRAMFlipLandsInDirtyPage(t *testing.T) {
+	k := bootSystem(t)
+	m := k.Machine()
+	pages := m.DirtyPages()
+	if len(pages) == 0 {
+		t.Fatal("a booted system left no dirty pages — the testbed changed shape")
+	}
+	p := forcedPlan(SiteRAM, PhasePost, 3)
+	p.PostRun(k, eagleeye.FDIR, 1)
+	if !p.Injection.Applied {
+		t.Fatalf("ram flip did not apply: %+v", p.Injection)
+	}
+	want := pages[1%len(pages)] + sparc.Addr(5%sparc.DirtyPageSize)
+	if p.Injection.Addr != uint64(want) {
+		t.Fatalf("flip landed at %#x, drawn target %#x", p.Injection.Addr, want)
+	}
+	if p.Injection.Cycle != int64(m.Now()) {
+		t.Fatalf("cycle %d, clock %d", p.Injection.Cycle, m.Now())
+	}
+}
+
+func TestApplyRAMFallsBackToDataArea(t *testing.T) {
+	k, err := eagleeye.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No frame has run: nothing is dirty yet.
+	if pages := k.Machine().DirtyPages(); len(pages) != 0 {
+		t.Skipf("boot already dirtied %d pages; fallback untestable", len(pages))
+	}
+	area, ok := k.PartitionDataArea(eagleeye.FDIR)
+	if !ok {
+		t.Fatal("no FDIR data area")
+	}
+	p := forcedPlan(SiteRAM, PhasePre, 0)
+	p.PreArm(k, eagleeye.FDIR)
+	if !p.Injection.Applied {
+		t.Fatalf("fallback flip did not apply: %+v", p.Injection)
+	}
+	if !area.Contains(sparc.Addr(p.Injection.Addr), 1) {
+		t.Fatalf("fallback landed at %#x outside the data area %v", p.Injection.Addr, area)
+	}
+}
+
+func TestApplyEachSiteOnLiveSystem(t *testing.T) {
+	for _, site := range Sites() {
+		k := bootSystem(t)
+		p := forcedPlan(site, PhasePost, 17)
+		p.PostRun(k, eagleeye.FDIR, 1)
+		switch site {
+		case SiteTimer:
+			// Between frames the GPTIMER units may legitimately be
+			// disarmed; either way the plan must have resolved.
+			if armedAny(k.Machine()) != p.Injection.Applied {
+				t.Fatalf("timer applied=%v with armed=%v", p.Injection.Applied, armedAny(k.Machine()))
+			}
+		default:
+			if !p.Injection.Applied {
+				t.Fatalf("site %s did not apply on a live system", site)
+			}
+		}
+	}
+}
+
+func armedAny(m *sparc.Machine) bool {
+	for i := 0; i < sparc.NumTimerUnits; i++ {
+		if armed, _ := m.Timer(i).Armed(); armed {
+			return true
+		}
+	}
+	return false
+}
+
+func TestApplyRunsAtMostOnce(t *testing.T) {
+	k := bootSystem(t)
+	p := forcedPlan(SiteClock, PhaseMid, 4)
+	before := k.Machine().Now()
+	p.BeforeFrame(1, 3, k, eagleeye.FDIR) // frameDraw 0 -> fires before frame 1
+	first := k.Machine().Now()
+	if first == before {
+		t.Fatal("clock flip did not move the clock")
+	}
+	p.BeforeFrame(2, 3, k, eagleeye.FDIR)
+	if k.Machine().Now() != first {
+		t.Fatal("second hook call flipped again")
+	}
+}
+
+func TestApplySkipsCrashedSimulator(t *testing.T) {
+	k := bootSystem(t)
+	k.Machine().Crash("died earlier")
+	p := forcedPlan(SiteClock, PhasePost, 4)
+	p.PostRun(k, eagleeye.FDIR, 1)
+	if p.Injection.Applied {
+		t.Fatal("flip applied to a crashed simulator")
+	}
+}
+
+func TestMidPhaseFrameSelection(t *testing.T) {
+	// With mafs > 1 the mid flip must land on a frame in [1, mafs).
+	for draw := uint64(0); draw < 5; draw++ {
+		k := bootSystem(t)
+		p := forcedPlan(SiteClock, PhaseMid, 2)
+		p.frameDraw = draw
+		fired := -1
+		for f := 0; f < 4; f++ {
+			was := p.Injection.Applied
+			p.BeforeFrame(f, 4, k, eagleeye.FDIR)
+			if !was && p.Injection.Applied {
+				fired = f
+			}
+		}
+		want := 1 + int(draw%3)
+		if fired != want {
+			t.Fatalf("draw %d fired before frame %d, want %d", draw, fired, want)
+		}
+	}
+	// With mafs == 1 it degrades to frame 0 (after arming).
+	k := bootSystem(t)
+	p := forcedPlan(SiteClock, PhaseMid, 2)
+	p.BeforeFrame(0, 1, k, eagleeye.FDIR)
+	if !p.Injection.Applied {
+		t.Fatal("single-frame mid flip never fired")
+	}
+}
+
+// TestInjectionLeavesNoMachineResidue extends sparc's
+// TestResetScrubsEverything across the injector's primitives: whatever a
+// flip touched, Reset must scrub back to a state the exhaustive
+// VerifyClean scan accepts — the invariant the campaign's recycling
+// machine pool stands on.
+func TestInjectionLeavesNoMachineResidue(t *testing.T) {
+	for _, site := range Sites() {
+		for bit := uint8(0); bit < 64; bit += 7 {
+			k, err := eagleeye.NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := k.Machine()
+			if err := k.RunMajorFrames(1); err != nil {
+				t.Fatal(err)
+			}
+			p := forcedPlan(site, PhasePost, bit)
+			p.PostRun(k, eagleeye.FDIR, 1)
+			m.Reset()
+			if err := m.VerifyClean(); err != nil {
+				t.Fatalf("site %s bit %d left residue: %v", site, bit, err)
+			}
+		}
+	}
+}

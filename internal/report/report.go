@@ -262,6 +262,16 @@ func historyQuartiles(h []int) string {
 	return strings.Join(parts, "  ")
 }
 
+// InjectionSection renders the SEU fault-injection section of a report:
+// the campaign-wide outcome tally and the per-site masking-rate table.
+// Empty when the campaign injected nothing.
+func InjectionSection(st *analysis.InjectionStudy) string {
+	if st.Empty() {
+		return ""
+	}
+	return analysis.InjectionSummary(st)
+}
+
 // maxDivergenceLines caps the per-test listing of the divergence
 // section; the full list lives in the campaign log records.
 const maxDivergenceLines = 25
@@ -310,6 +320,10 @@ func StreamSummary(rep *core.StreamReport) string {
 		b.WriteByte('\n')
 		b.WriteString(div)
 	}
+	if inj := InjectionSection(rep.Injection); inj != "" {
+		b.WriteByte('\n')
+		b.WriteString(inj)
+	}
 	fmt.Fprintf(&b, "\nengine: %d tests (%d executed, %d resumed from checkpoint)\n",
 		rep.Total, rep.Executed, rep.Skipped)
 	p := rep.Engine.Pool
@@ -342,6 +356,10 @@ func Full(rep *core.CampaignReport) string {
 	if div := DivergenceSection(rep.Options.Target, len(rep.Results), rep.Divergences); div != "" {
 		b.WriteByte('\n')
 		b.WriteString(div)
+	}
+	if inj := InjectionSection(rep.Injection); inj != "" {
+		b.WriteByte('\n')
+		b.WriteString(inj)
 	}
 	return b.String()
 }

@@ -77,6 +77,10 @@ type Machine struct {
 // dirtyPageShift sets the dirty-tracking granularity: 4 KiB pages.
 const dirtyPageShift = 12
 
+// DirtyPageSize is the dirty-tracking granularity in bytes — the page
+// size DirtyPages addresses are aligned to.
+const DirtyPageSize = 1 << dirtyPageShift
+
 // dirtySet is a page-granular dirty bitmap over one memory bank.
 type dirtySet []uint64
 
@@ -345,6 +349,70 @@ func (m *Machine) Write64(addr Addr, v uint64) *Trap {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], v)
 	return m.Write(addr, b[:])
+}
+
+// DirtyPages returns the base addresses of the writable pages stored to
+// since power-on (or the last Reset), ascending, RAM bank before I/O.
+// This is the SEU injector's target list: a bit flipped in a page no run
+// has touched cannot influence a deterministic execution, so live pages
+// are where upsets matter. The walk reuses the dirty bitmaps Reset
+// scrubs from, so the list is exact, not heuristic.
+func (m *Machine) DirtyPages() []Addr {
+	var out []Addr
+	collect := func(d dirtySet, base Addr, size uint32) {
+		for wi, w := range d {
+			if w == 0 {
+				continue
+			}
+			for b := 0; b < 64; b++ {
+				if w&(1<<b) == 0 {
+					continue
+				}
+				off := (uint64(wi)*64 + uint64(b)) << dirtyPageShift
+				if off < uint64(size) {
+					out = append(out, base+Addr(off))
+				}
+			}
+		}
+	}
+	collect(m.dirtyRAM, m.cfg.RAMBase, m.cfg.RAMSize)
+	collect(m.dirtyIO, m.cfg.IOBase, m.cfg.IOSize)
+	return out
+}
+
+// FlipBit inverts one bit of backed writable memory — the single-event-
+// upset primitive. The touched page is marked dirty, so Reset scrubs an
+// injected machine exactly like any other and it recycles through the
+// pool without residue. Unlike Write, a flip models radiation, not a bus
+// transaction: it bypasses the access counters and cannot trap; flips
+// aimed at ROM or unbacked addresses report false and change nothing
+// (PROM cells are not writable by an upset in this model). The bit index
+// is taken modulo 8. Crashed machines refuse flips.
+func (m *Machine) FlipBit(addr Addr, bit uint8) bool {
+	if m.crashed {
+		return false
+	}
+	if off, ok := bankOffset(addr, 1, m.cfg.RAMBase, m.ram); ok {
+		m.ram[off] ^= 1 << (bit % 8)
+		m.dirtyRAM.mark(off, 1)
+		return true
+	}
+	if off, ok := bankOffset(addr, 1, m.cfg.IOBase, m.io); ok {
+		m.io[off] ^= 1 << (bit % 8)
+		m.dirtyIO.mark(off, 1)
+		return true
+	}
+	return false
+}
+
+// FlipClockBit inverts one low bit of the virtual clock — an upset in
+// the timebase. The bit index is taken modulo 28 (≈134 s of skew) so a
+// flipped timestamp stays within the timer arithmetic's horizon: the
+// point is a surviving system observing skewed time, not an overflowed
+// simulation. It returns the new clock value.
+func (m *Machine) FlipClockBit(bit uint8) Time {
+	m.now ^= 1 << (bit % 28)
+	return m.now
 }
 
 // Stats reports bus and trap counters, for the campaign's execution logs.

@@ -101,6 +101,23 @@ func (s *Space) AddRegion(r Region) {
 	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
 }
 
+// FlipRegionBit inverts one bit of region i's base address — the SEU
+// model of an upset in the MMU context that maps this space: every
+// subsequent access through the displaced region resolves against the
+// wrong physical window, which is exactly the spatial-separation hazard
+// the health monitor exists to catch. The bit index is taken modulo 32;
+// the region list is re-sorted to preserve the lookup invariant. Spaces
+// without a region i report false. It returns the new base.
+func (s *Space) FlipRegionBit(i int, bit uint8) (Addr, bool) {
+	if i < 0 || i >= len(s.regions) {
+		return 0, false
+	}
+	s.regions[i].Base ^= 1 << (bit % 32)
+	base := s.regions[i].Base
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
+	return base, true
+}
+
 // Check validates an access of size bytes at addr with rights p. It returns
 // nil when some region fully covers the access with sufficient rights, and
 // a data_access_exception trap otherwise. Accesses that straddle two

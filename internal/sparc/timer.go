@@ -41,6 +41,19 @@ func (t *TimerUnit) Armed() (bool, Time) { return t.armed, t.expiry }
 // Fired returns the number of expiries delivered since power-on.
 func (t *TimerUnit) Fired() uint64 { return t.fired }
 
+// FlipExpiryBit inverts one low bit of an armed unit's expiry — the SEU
+// model of an upset in the GPTIMER compare register. The bit index is
+// taken modulo 28 so the skewed expiry stays within the timer
+// arithmetic's horizon. Unarmed units report false: there is no compare
+// value to upset. It returns the new expiry.
+func (t *TimerUnit) FlipExpiryBit(bit uint8) (Time, bool) {
+	if !t.armed {
+		return 0, false
+	}
+	t.expiry ^= 1 << (bit % 28)
+	return t.expiry, true
+}
+
 // fire delivers one expiry. The unit is disarmed before the handler runs so
 // the handler can re-arm it.
 func (t *TimerUnit) fire(m *Machine) {

@@ -5,6 +5,7 @@ import (
 
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/dict"
+	"xmrobust/internal/inject"
 	"xmrobust/internal/testgen"
 )
 
@@ -67,6 +68,66 @@ func BenchmarkTargetDispatch(b *testing.B) {
 			if r.RunErr != "" {
 				b.Fatal(r.RunErr)
 			}
+		}
+	})
+}
+
+// BenchmarkInjectOverhead guards the SEU subsystem's hot-path claim: a
+// run that carries no injection pays exactly the RunSpec.Inject nil
+// checks in sim.Execute — nothing else. "bare-sim" executes without the
+// inject layer at all; "inject-skipped" executes through an inject:sim
+// composite whose schedule deterministically leaves the benchmark's
+// dataset clean, so both time the identical single-leg execution and any
+// gap between them is the wrapper's bookkeeping. (An injected test runs
+// two legs by design — that path is priced by construction, not guarded
+// here.)
+func BenchmarkInjectOverhead(b *testing.B) {
+	h := apispec.Default()
+	f, _ := h.Function("XM_get_time")
+	m, err := testgen.BuildMatrix(f, dict.Builtin())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := m.Datasets()[0]
+	rs := RunSpec{MAFs: 1, Header: h, Dict: dict.Builtin()}
+
+	run := func(b *testing.B, tgt Target) {
+		if err := tgt.Provision(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := tgt.Acquire()
+			r := tgt.Execute(slot, ds, rs)
+			tgt.Release(slot)
+			if r.RunErr != "" {
+				b.Fatal(r.RunErr)
+			}
+		}
+	}
+
+	b.Run("bare-sim", func(b *testing.B) {
+		run(b, NewSim(Config{}))
+	})
+	b.Run("inject-skipped", func(b *testing.B) {
+		// Search the seed space for a schedule that skips this dataset
+		// at a fair coin — deterministic, and by construction the same
+		// execution path minus nothing but the wrapper.
+		for seed := int64(0); ; seed++ {
+			sched, err := inject.NewSchedule(inject.Params{Rate: 0.5, Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sched.Plan(ds) != nil {
+				continue
+			}
+			tgt, err := New("inject:sim", Config{Inject: inject.Params{Rate: 0.5, Seed: seed}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, tgt)
+			return
 		}
 	})
 }

@@ -44,11 +44,11 @@ func NewDiff(arg string, cfg Config) (*Diff, error) {
 	}
 	a, err := New(parts[0], cfg)
 	if err != nil {
-		return nil, err
+		return nil, componentErr(DiffName+":"+arg, parts[0], err)
 	}
 	b, err := New(parts[1], cfg)
 	if err != nil {
-		return nil, err
+		return nil, componentErr(DiffName+":"+arg, parts[1], err)
 	}
 	return &Diff{name: fmt.Sprintf("%s:%s,%s", DiffName, a.Name(), b.Name()), a: a, b: b}, nil
 }
@@ -72,6 +72,21 @@ func (d *Diff) Release(s Slot) {
 	ds, _ := s.(diffSlot)
 	d.a.Release(ds.a)
 	d.b.Release(ds.b)
+}
+
+// InjectSignature forwards the SEU schedule signature of an injecting
+// sub-target ("" when neither leg injects), so a checkpointed
+// diff:inject:... campaign refuses a mismatched-schedule resume exactly
+// like a bare inject campaign.
+func (d *Diff) InjectSignature() string {
+	for _, t := range []Target{d.a, d.b} {
+		if is, ok := t.(interface{ InjectSignature() string }); ok {
+			if sig := is.InjectSignature(); sig != "" {
+				return sig
+			}
+		}
+	}
+	return ""
 }
 
 // PoolStats aggregates the machine-pool counters of pooling sub-targets.
@@ -103,6 +118,11 @@ func (d *Diff) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
 		// simulating leg's edge coverage — the feedback loop and the
 		// coverage report read it off the composite's Result.
 		res.Cover = rb.Cover
+	}
+	if res.Injection == nil {
+		// Likewise an injecting second leg (diff:phantom,inject:sim):
+		// the SEU study reads the record off the composite's Result.
+		res.Injection = rb.Injection
 	}
 	return res
 }

@@ -6,6 +6,7 @@ import (
 
 	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
+	"xmrobust/internal/inject"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
@@ -58,6 +59,12 @@ type Result struct {
 	// composed backends (nil outside diff targets, and on diff tests
 	// whose backends agreed).
 	Divergence *Divergence
+
+	// Injection records the scheduled SEU of an inject-target run — the
+	// flip's site/bit/cycle and its outcome against the clean reference
+	// leg (nil outside inject targets and on tests the schedule left
+	// clean).
+	Injection *inject.Injection
 }
 
 // Returned reports whether every invocation returned to the guest.

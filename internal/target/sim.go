@@ -177,6 +177,9 @@ func (s *Sim) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
 			}
 		}
 	}
+	if spec.Inject != nil {
+		spec.Inject.PreArm(k, eagleeye.FDIR)
+	}
 
 	prog := &testProg{nr: hc.Nr, args: args}
 	if err := k.AttachProgram(eagleeye.FDIR, prog); err != nil {
@@ -189,9 +192,15 @@ func (s *Sim) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
 
 	var runErr error
 	for i := 0; i < spec.MAFs; i++ {
+		if spec.Inject != nil {
+			spec.Inject.BeforeFrame(i, spec.MAFs, k, eagleeye.FDIR)
+		}
 		if runErr = k.RunMajorFrames(1); runErr != nil {
 			break
 		}
+	}
+	if spec.Inject != nil {
+		spec.Inject.PostRun(k, eagleeye.FDIR, spec.MAFs)
 	}
 	switch runErr {
 	case nil, xm.ErrHalted:

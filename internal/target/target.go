@@ -4,7 +4,7 @@
 // step behind one pluggable interface.
 //
 // A Target turns one generated dataset into one execution log (Result).
-// Three backends ship built in:
+// Four backends ship built in:
 //
 //   - sim:     the simulated LEON3 machine running the XtratuM-like
 //     kernel on the EagleEye testbed — the paper's execution environment
@@ -19,6 +19,11 @@
 //     states) in Result.Divergence. diff:sim,phantom is the
 //     model-vs-simulation oracle: a divergence is behaviour the manual
 //     does not predict, a finding class the paper could not observe.
+//   - inject:<base> — a composite that runs every dataset twice on the
+//     wrapped backend, once clean and once under a scheduled SEU bit
+//     flip (internal/inject), and classifies the upset's outcome against
+//     the clean leg (masked / wrong-result / hm-detected / crash /
+//     hang) in Result.Injection.
 //
 // The registry mirrors testgen's strategy registry: Register adds a
 // backend, New resolves a "name" or "name:arg" spec, and Inventory is the
@@ -32,6 +37,7 @@ import (
 
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/dict"
+	"xmrobust/internal/inject"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
@@ -41,6 +47,7 @@ const (
 	SimName     = "sim"
 	PhantomName = "phantom"
 	DiffName    = "diff"
+	InjectName  = "inject"
 )
 
 // Slot is one execution slot of a provisioned target: whatever state the
@@ -65,6 +72,13 @@ type RunSpec struct {
 	// Coverage collects kernel edge coverage per test on backends that
 	// support it (Result.Cover stays nil elsewhere).
 	Coverage bool
+	// Inject is the armed SEU plan of one injected execution, set by the
+	// inject:* composite for its injected leg (nil everywhere else — the
+	// only cost of the no-injection path is that nil check, see
+	// BenchmarkInjectOverhead). Machine-backed targets apply it at their
+	// phase anchors; analytical backends have no machine state to upset
+	// and ignore it.
+	Inject *inject.Plan
 }
 
 // Target is one execution backend. Execute must be safe for concurrent
@@ -95,6 +109,9 @@ type Config struct {
 	// PoolStrict makes the machine pool scan every byte of every
 	// recycled machine. Slow; for isolation tests.
 	PoolStrict bool
+	// Inject parameterises the SEU schedule of inject:* targets (rate,
+	// sites, seed); other backends ignore it.
+	Inject inject.Params
 }
 
 // Factory builds a target from the text after ":" in its spec ("" when
@@ -137,6 +154,15 @@ func New(spec string, cfg Config) (Target, error) {
 		return nil, fmt.Errorf("target: unknown target %q (have %s)", name, strings.Join(Names(), ", "))
 	}
 	return e.factory(arg, cfg)
+}
+
+// componentErr decorates a sub-target resolution failure of a composite
+// spec ("diff:sim,bogus", "inject:bogus") with the component that failed
+// and the composite it sat in — the wrapped unknown-target error already
+// lists the registry inventory, so the user sees the bad name, the full
+// menu, and where the bad name appeared.
+func componentErr(composite, component string, err error) error {
+	return fmt.Errorf("%w (resolving component %q of %q)", err, component, composite)
 }
 
 // Names returns the registered backend names, sorted.

@@ -205,6 +205,17 @@ func (k *Kernel) PartitionDataArea(id int) (sparc.Region, bool) {
 	return k.parts[id].dataArea()
 }
 
+// PartitionSpace returns partition id's MMU view (nil when the id is not
+// configured) — the injection surface for single-event upsets in the MMU
+// context. A partition reset rebuilds the space from the static
+// configuration, clearing any upset, as a real context reload would.
+func (k *Kernel) PartitionSpace(id int) *sparc.Space {
+	if id < 0 || id >= len(k.parts) {
+		return nil
+	}
+	return k.parts[id].space
+}
+
 // WriteGuest writes into a partition's space from the host harness,
 // enforcing the partition's own access rights.
 func (k *Kernel) WriteGuest(id int, addr sparc.Addr, data []byte) error {

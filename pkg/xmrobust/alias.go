@@ -11,6 +11,7 @@ import (
 	"xmrobust/internal/core"
 	"xmrobust/internal/dict"
 	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/inject"
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
@@ -25,6 +26,12 @@ type (
 	Divergence = target.Divergence
 	// DivergenceFinding locates a divergence in a campaign.
 	DivergenceFinding = core.DivergenceFinding
+	// Injection is the SEU record of one inject-target run: where the
+	// schedule flipped a bit and how the outcome compared to the clean
+	// reference leg.
+	Injection = inject.Injection
+	// InjectionStudy is the per-site outcome tally of an SEU campaign.
+	InjectionStudy = analysis.InjectionStudy
 	// Dataset is one generated test case: a hypercall with one value per
 	// parameter (and, for §V extension tests, a phantom state).
 	Dataset = testgen.Dataset

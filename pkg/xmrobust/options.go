@@ -5,6 +5,8 @@ import (
 
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/campaign"
+	"xmrobust/internal/inject"
+	"xmrobust/internal/target"
 )
 
 // Option configures a campaign run (functional options over
@@ -14,9 +16,10 @@ type Option func(*config)
 // config collects the campaign and engine configuration an option list
 // builds.
 type config struct {
-	opts campaign.Options
-	eng  campaign.EngineOptions
-	fn   string
+	opts      campaign.Options
+	eng       campaign.EngineOptions
+	fn        string
+	injectSet bool
 }
 
 // build folds an option list into the resolved configuration.
@@ -24,6 +27,27 @@ func build(options []Option) (config, error) {
 	var cfg config
 	for _, o := range options {
 		o(&cfg)
+	}
+	if cfg.injectSet {
+		// Reject out-of-range rates here rather than at target
+		// construction: a rate of 0 would otherwise silently select the
+		// schedule default of 1 — the opposite of what the caller asked.
+		// Negated form so NaN fails too.
+		if r := cfg.opts.Inject.Rate; !(r > 0 && r <= 1) {
+			return cfg, fmt.Errorf("xmrobust: injection rate %v outside (0, 1]", r)
+		}
+		// And reject a schedule aimed at a target that never injects —
+		// the silent alternative is a user believing they ran an SEU
+		// campaign when zero faults were injected (the WithCorpus /
+		// feedback-plan pairing is policed the same way).
+		tgt, err := target.New(cfg.opts.Target, target.Config{Inject: cfg.opts.Inject})
+		if err != nil {
+			return cfg, err
+		}
+		is, ok := tgt.(interface{ InjectSignature() string })
+		if !ok || is.InjectSignature() == "" {
+			return cfg, fmt.Errorf("xmrobust: WithInjection requires an inject:* target, not %q", tgt.Name())
+		}
 	}
 	if cfg.fn != "" {
 		base := apispec.Default()
@@ -69,6 +93,22 @@ func WithSeed(seed int64) Option { return func(c *config) { c.opts.Seed = seed }
 // WithCoverage collects kernel edge coverage per test (feedback plans
 // force it on).
 func WithCoverage() Option { return func(c *config) { c.opts.Coverage = true } }
+
+// WithInjection arms the SEU schedule of an inject:* target: rate is the
+// fraction of tests injected (in (0, 1]) and sites restricts the flip
+// sites ("ram", "mmu", "iu", "timer", "clock"; none listed: all). The
+// schedule is keyed by WithSeed, so one seed reproduces both the test
+// plan and the fault sequence. Requires a target that injects (an
+// inject:* spec, possibly diff-wrapped) — pairing it with any other
+// backend is rejected up front rather than silently injecting nothing.
+// Inject targets run without it at the default schedule (every test
+// injected, all sites).
+func WithInjection(rate float64, sites ...string) Option {
+	return func(c *config) {
+		c.opts.Inject = inject.Params{Rate: rate, Sites: sites}
+		c.injectSet = true
+	}
+}
 
 // WithCorpus attaches the feedback plan's JSON Lines corpus file:
 // previously admitted datasets load as mutation parents, new admissions

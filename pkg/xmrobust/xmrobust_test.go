@@ -2,6 +2,7 @@ package xmrobust_test
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -226,5 +227,48 @@ func TestNewSystemBootsAndFlies(t *testing.T) {
 	}
 	if rep.PartitionsUp == 0 {
 		t.Fatal("FDIR saw no partitions up")
+	}
+}
+
+// TestWithInjectionValidatesRate: the facade rejects rates outside
+// (0, 1] up front — including NaN, which slips through naive comparison
+// guards — instead of silently running the schedule default.
+func TestWithInjectionValidatesRate(t *testing.T) {
+	for _, rate := range []float64{0, -1, 1.5, math.NaN()} {
+		if _, err := xmrobust.Run(
+			xmrobust.WithTarget("inject:sim"),
+			xmrobust.WithInjection(rate),
+		); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+	// A schedule aimed at a target that never injects is a user mistake
+	// (zero faults would be injected); it is rejected by name.
+	for _, tgt := range []string{"", "sim", "phantom", "diff:sim,phantom"} {
+		_, err := xmrobust.Run(xmrobust.WithTarget(tgt), xmrobust.WithInjection(1))
+		if err == nil || !strings.Contains(err.Error(), "inject:*") {
+			t.Errorf("target %q with WithInjection: %v", tgt, err)
+		}
+	}
+	// A diff-wrapped inject leg injects; the pairing is legitimate.
+	if _, err := xmrobust.Run(
+		xmrobust.WithTarget("diff:phantom,inject:sim"),
+		xmrobust.WithPlan("rand:3"), xmrobust.WithMAFs(1),
+		xmrobust.WithInjection(1, "ram"),
+	); err != nil {
+		t.Errorf("diff-wrapped inject rejected: %v", err)
+	}
+	rep, err := xmrobust.Run(
+		xmrobust.WithTarget("inject:sim"),
+		xmrobust.WithPlan("rand:5"),
+		xmrobust.WithSeed(1),
+		xmrobust.WithMAFs(1),
+		xmrobust.WithInjection(1, "ram"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Summary(), "SEU FAULT INJECTION") {
+		t.Fatal("injected facade campaign reports no SEU section")
 	}
 }
