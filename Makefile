@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test bench bench-smoke plan-smoke feedback-smoke diff-smoke inject-smoke lint fmt ci
+.PHONY: build examples test bench bench-1x bench-smoke plan-smoke feedback-smoke diff-smoke inject-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,17 @@ bench:
 
 # One iteration of every benchmark: keeps benchmark code compiling and
 # executing without paying for stable numbers. CI runs this.
-bench-smoke:
+bench-1x:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The perf trajectory: xmbench measures steady-state engine throughput
+# on sim (shared target, warm pool, fixed-seed plan), writes the
+# measurement to BENCH_smoke.json, and gates tests/sec and allocs/test
+# against the committed BENCH_1.json baseline at ±15%. BENCH_0.json is
+# the pre-snapshot-pool seed — the committed pair records the speedup
+# instead of claiming it. CI runs this and uploads the JSON artifact.
+bench-smoke: bench-1x
+	$(GO) run ./cmd/xmbench -reps 10 -o BENCH_smoke.json -baseline BENCH_1.json -gate 15
 
 # A full pairwise-plan campaign through the streaming engine: exercises
 # plan generation, coverage reporting and the sharded log end to end, and

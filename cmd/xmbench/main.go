@@ -1,0 +1,197 @@
+// Xmbench measures the campaign engine's steady-state throughput on the
+// sim backend and the per-record codec cost, and records the measurement
+// as a BENCH JSON file — the perf-trajectory format the repository
+// commits (BENCH_0.json is the pre-snapshot-pool baseline) and CI gates.
+//
+// The protocol: one shared sim target (warm machine pool and parked
+// testbed kernels, exactly a long campaign's steady state) executes the
+// same fixed-seed plan for -reps repetitions through the streaming
+// engine with sharded logs; the first repetition is warm-up and is not
+// timed. Encode cost is measured separately by serialising one
+// representative executed record in a tight loop per codec.
+//
+//	go run ./cmd/xmbench -o BENCH_1.json
+//	go run ./cmd/xmbench -baseline BENCH_1.json -gate 15
+//
+// With -baseline, the run compares its tests/sec and allocs/test against
+// the baseline file and exits non-zero when either regresses past the
+// gate percentage — allocs/test is machine-stable, tests/sec assumes the
+// baseline was measured on comparable hardware.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/target"
+)
+
+// Bench is one recorded measurement — the schema of BENCH_*.json.
+type Bench struct {
+	Schema        int     `json:"schema"`
+	Plan          string  `json:"plan"`
+	Seed          int64   `json:"seed"`
+	Reps          int     `json:"reps"`
+	Batch         int     `json:"batch"`
+	Codec         string  `json:"codec"`
+	Workers       int     `json:"workers"`
+	Tests         int     `json:"tests"`
+	TestsPerSec   float64 `json:"tests_per_sec"`
+	AllocsPerTest float64 `json:"allocs_per_test"`
+	BytesPerTest  float64 `json:"bytes_per_test"`
+	EncodeNsJSON  float64 `json:"encode_ns_json,omitempty"`
+	EncodeNsRaw   float64 `json:"encode_ns_raw,omitempty"`
+	Note          string  `json:"note,omitempty"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xmbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 2000, "tests per repetition (rand:N plan)")
+		reps     = flag.Int("reps", 20, "timed repetitions (one extra warm-up rep runs untimed)")
+		batch    = flag.Int("batch", 16, "tests leased per worker slot (0 = unbatched)")
+		codec    = flag.String("codec", "raw", "shard record codec")
+		workers  = flag.Int("workers", 1, "engine workers (1 = stable per-test numbers)")
+		seed     = flag.Int64("seed", 1, "plan seed")
+		out      = flag.String("o", "", "write the measurement JSON to this file (default stdout)")
+		baseline = flag.String("baseline", "", "compare against this BENCH_*.json and gate regressions")
+		gate     = flag.Float64("gate", 15, "regression gate in percent for -baseline")
+		note     = flag.String("note", "", "free-form note recorded in the measurement")
+	)
+	flag.Parse()
+
+	b := Bench{
+		Schema: 1, Plan: fmt.Sprintf("rand:%d", *n), Seed: *seed,
+		Reps: *reps, Batch: *batch, Codec: *codec, Workers: *workers,
+		Note: *note,
+	}
+	opts := campaign.Options{Plan: b.Plan, Seed: *seed, Workers: *workers}
+	plan, ropts, err := campaign.BuildPlan(opts)
+	if err != nil {
+		fail(err)
+	}
+	dir, err := os.MkdirTemp("", "xmbench")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	eo := campaign.EngineOptions{
+		Options:   ropts,
+		BatchSize: *batch,
+		Codec:     *codec,
+		ShardDir:  dir,
+		// One shared target across repetitions: the warm pool and parked
+		// kernels make every timed rep a steady-state sample.
+		TargetInstance: target.NewSim(target.Config{}),
+	}
+
+	run := func() error { _, err := campaign.StreamPlan(plan, eo, nil); return err }
+	if err := run(); err != nil { // warm-up, untimed
+		fail(err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for r := 0; r < *reps; r++ {
+		if err := run(); err != nil {
+			fail(err)
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	b.Tests = plan.Len() * *reps
+	b.TestsPerSec = float64(b.Tests) / wall.Seconds()
+	b.AllocsPerTest = float64(ms1.Mallocs-ms0.Mallocs) / float64(b.Tests)
+	b.BytesPerTest = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.Tests)
+	b.EncodeNsJSON, b.EncodeNsRaw = encodeCost()
+
+	fmt.Fprintf(os.Stderr,
+		"xmbench: %d tests in %v — %.0f tests/sec, %.0f allocs/test, %.0f bytes/test, encode %.0fns json / %.0fns raw\n",
+		b.Tests, wall.Round(time.Millisecond), b.TestsPerSec, b.AllocsPerTest, b.BytesPerTest,
+		b.EncodeNsJSON, b.EncodeNsRaw)
+
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+
+	if *baseline != "" {
+		if err := compare(b, *baseline, *gate); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// encodeCost times one representative record through both codecs.
+func encodeCost() (jsonNs, rawNs float64) {
+	var res campaign.Result
+	// A single executed test gives a record with realistic field content
+	// (resolved dataset values, return codes, kernel and partition state).
+	plan, ropts, err := campaign.BuildPlan(campaign.Options{Plan: "rand:1", Seed: 1})
+	if err != nil {
+		fail(err)
+	}
+	if _, err := campaign.StreamPlan(plan, campaign.EngineOptions{Options: ropts},
+		func(pos int, r campaign.Result) { res = r }); err != nil {
+		fail(err)
+	}
+	rec := campaign.ToRecord(0, res)
+	time1 := func(name string) float64 {
+		c, err := campaign.NewCodec(name)
+		if err != nil {
+			fail(err)
+		}
+		const iters = 100000
+		buf := make([]byte, 0, 4096)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			buf = buf[:0]
+			if buf, err = c.AppendEncode(buf, &rec); err != nil {
+				fail(err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / iters
+	}
+	return time1("json"), time1("raw")
+}
+
+// compare gates the measurement against a committed baseline: tests/sec
+// may not drop, and allocs/test may not rise, past the gate percentage.
+// Improvements always pass.
+func compare(cur Bench, path string, gatePct float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Bench
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	speed := 100 * (cur.TestsPerSec - base.TestsPerSec) / base.TestsPerSec
+	allocs := 100 * (cur.AllocsPerTest - base.AllocsPerTest) / base.AllocsPerTest
+	fmt.Fprintf(os.Stderr, "xmbench: vs %s: tests/sec %+.1f%% (%.0f -> %.0f), allocs/test %+.1f%% (%.1f -> %.1f), gate ±%.0f%%\n",
+		path, speed, base.TestsPerSec, cur.TestsPerSec, allocs, base.AllocsPerTest, cur.AllocsPerTest, gatePct)
+	if speed < -gatePct {
+		return fmt.Errorf("throughput regressed %.1f%% past the %.0f%% gate", -speed, gatePct)
+	}
+	if allocs > gatePct {
+		return fmt.Errorf("allocations regressed %.1f%% past the %.0f%% gate", allocs, gatePct)
+	}
+	return nil
+}

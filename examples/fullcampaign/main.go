@@ -28,10 +28,15 @@ func run(name string, opts ...xmrobust.Option) *xmrobust.Report {
 }
 
 func main() {
-	legacy := run("legacy", xmrobust.WithFaults(xmrobust.LegacyFaults()))
+	// Batched execution leases runs of 16 tests per worker slot on the
+	// copy-on-write snapshot pool — the fast path; results are
+	// byte-identical to the unbatched engine.
+	legacy := run("legacy", xmrobust.WithFaults(xmrobust.LegacyFaults()),
+		xmrobust.WithSnapshotPool(false), xmrobust.WithBatchSize(16))
 	fmt.Println(legacy.Summary())
 
-	patched := run("patched", xmrobust.WithPatchedKernel())
+	patched := run("patched", xmrobust.WithPatchedKernel(),
+		xmrobust.WithBatchSize(16))
 	fmt.Println(patched.TableText())
 	fmt.Printf("fault-removal ablation: %d issues on the legacy kernel, %d after the fixes\n",
 		len(legacy.Issues()), len(patched.Issues()))

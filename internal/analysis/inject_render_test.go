@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"xmrobust/internal/inject"
+)
+
+// TestInjectionSummaryZeroFlipSites pins the zero-flip guard of the
+// per-site masking-rate table: a site whose schedule armed it but whose
+// flips never landed (no armed timer to upset, a crashed simulator)
+// renders a "-" cell, never the NaN of 0/0 — the tiny-campaign case
+// where a site appears with Applied == 0.
+func TestInjectionSummaryZeroFlipSites(t *testing.T) {
+	s := NewInjectionStudy()
+	s.Tests, s.Armed, s.Applied = 10, 4, 2
+	s.Sites = map[string]*InjectionSite{
+		"ram": {Site: "ram", Armed: 2, Applied: 2,
+			Outcomes: map[string]int{inject.OutcomeMasked: 1, inject.OutcomeCrash: 1}},
+		"timer": {Site: "timer", Armed: 2, Applied: 0, Outcomes: map[string]int{}},
+	}
+	out := InjectionSummary(s)
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("summary leaks NaN:\n%s", out)
+	}
+	var timerRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "timer") {
+			timerRow = line
+		}
+	}
+	if timerRow == "" {
+		t.Fatalf("no timer row in:\n%s", out)
+	}
+	if !strings.HasSuffix(timerRow, "-") {
+		t.Fatalf("zero-flip site should render '-', got %q", timerRow)
+	}
+
+	if rate := s.Sites["timer"].MaskingRate(); rate != 0 {
+		t.Fatalf("MaskingRate with zero applied flips = %v, want 0", rate)
+	}
+}
+
+// TestInjectionSummaryColumnAlignment pins the per-site table layout:
+// every row ends at the same column as the header, so the mask% values
+// (and the zero-flip "-" cells) line up under their heading.
+func TestInjectionSummaryColumnAlignment(t *testing.T) {
+	s := NewInjectionStudy()
+	s.Tests, s.Armed, s.Applied = 400, 300, 250
+	s.Sites = map[string]*InjectionSite{}
+	for _, site := range []string{"clock", "iu", "mmu", "ram", "timer"} {
+		applied := 50
+		if site == "clock" {
+			applied = 0 // the "-" cell must align too
+		}
+		s.Sites[site] = &InjectionSite{Site: site, Armed: 60, Applied: applied,
+			Outcomes: map[string]int{inject.OutcomeMasked: applied}}
+	}
+	var header string
+	var width int
+	for _, line := range strings.Split(InjectionSummary(s), "\n") {
+		switch {
+		case strings.HasPrefix(line, "site "):
+			header = line
+			width = len(line)
+		case header != "" && width > 0 && line != "" && !strings.HasPrefix(line, "mask%"):
+			if len(line) != width {
+				t.Errorf("row width %d != header width %d: %q", len(line), width, line)
+			}
+		}
+	}
+	if header == "" {
+		t.Fatal("no header row found")
+	}
+}

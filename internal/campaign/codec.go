@@ -1,0 +1,1142 @@
+package campaign
+
+// This file is the record codec seam: campaign-log records reach disk
+// through a Codec, registered like targets and plans. Two codecs ship
+// built in — "json" (encoding/json, the reference implementation) and
+// "raw" (a hand-rolled encoder/decoder producing byte-identical lines
+// without encoding/json's per-record reflection and allocation cost).
+// The wire format never varies with the codec: a shard written with one
+// reads back with the other, and the golden test pins both to the same
+// bytes across the fuzz corpus.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"xmrobust/internal/inject"
+)
+
+// injectInjection keeps the decoder's nested-object parser on the same
+// type the record embeds.
+type injectInjection = inject.Injection
+
+// Codec serialises campaign-log records to JSON Lines and back. Every
+// codec speaks the same wire format — the encoding/json rendering of
+// JSONRecord — so the codec choice is a cost decision, never a
+// compatibility one. AppendEncode appends one record (without the
+// trailing newline) to dst and returns the extended buffer; Decode
+// overwrites *rec with the record parsed from one line.
+type Codec interface {
+	Name() string
+	AppendEncode(dst []byte, rec *JSONRecord) ([]byte, error)
+	Decode(line []byte, rec *JSONRecord) error
+}
+
+// CodecInfo describes one registered codec for discovery surfaces.
+type CodecInfo struct {
+	Name string
+	Desc string
+}
+
+type codecEntry struct {
+	desc  string
+	codec Codec
+}
+
+// codecRegistry mirrors the target and plan registries.
+var codecRegistry = map[string]codecEntry{}
+
+// RegisterCodec adds (or replaces) a record codec under its own Name,
+// with a one-line description for the discovery surfaces.
+func RegisterCodec(desc string, c Codec) {
+	codecRegistry[c.Name()] = codecEntry{desc: desc, codec: c}
+}
+
+// NewCodec resolves a codec name against the registry ("" defaults to
+// json, the reference implementation).
+func NewCodec(name string) (Codec, error) {
+	if name == "" {
+		name = "json"
+	}
+	e, ok := codecRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown codec %q (have %s)", name, strings.Join(CodecNames(), ", "))
+	}
+	return e.codec, nil
+}
+
+// CodecNames returns the registered codec names, sorted.
+func CodecNames() []string {
+	out := make([]string, 0, len(codecRegistry))
+	for n := range codecRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CodecInventory returns every registered codec with its description,
+// sorted by name.
+func CodecInventory() []CodecInfo {
+	out := make([]CodecInfo, 0, len(codecRegistry))
+	for n, e := range codecRegistry {
+		out = append(out, CodecInfo{Name: n, Desc: e.desc})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+func init() {
+	RegisterCodec("encoding/json record serialisation — the reference wire format (default)", jsonCodec{})
+	RegisterCodec("hand-rolled allocation-free serialisation, byte-identical to json", rawCodec{})
+}
+
+// --- json codec ---------------------------------------------------------
+
+// jsonCodec is the reference codec: encoding/json, whose rendering of
+// JSONRecord defines the wire format every other codec must reproduce.
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string { return "json" }
+
+func (jsonCodec) AppendEncode(dst []byte, rec *JSONRecord) ([]byte, error) {
+	out, err := json.Marshal(rec)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, out...), nil
+}
+
+func (jsonCodec) Decode(line []byte, rec *JSONRecord) error {
+	*rec = JSONRecord{}
+	return json.Unmarshal(line, rec)
+}
+
+// --- raw codec ----------------------------------------------------------
+
+// rawCodec hand-rolls the JSONRecord wire format: the encoder reproduces
+// encoding/json's rendering byte for byte (field order, omitempty, nil
+// slices as null, HTML escaping, U+FFFD replacement) without reflection
+// or per-record allocation; the decoder parses the same format strictly
+// and defers to encoding/json on any line it does not fully recognise,
+// so hostile or foreign input gets exactly the reference semantics.
+type rawCodec struct{}
+
+func (rawCodec) Name() string { return "raw" }
+
+func (rawCodec) AppendEncode(dst []byte, rec *JSONRecord) ([]byte, error) {
+	return rawAppendRecord(dst, rec), nil
+}
+
+func (rawCodec) Decode(line []byte, rec *JSONRecord) error {
+	*rec = JSONRecord{}
+	if rawDecodeRecord(line, rec) != nil {
+		*rec = JSONRecord{}
+		return json.Unmarshal(line, rec)
+	}
+	return nil
+}
+
+// --- raw encoder --------------------------------------------------------
+
+const rawHexDigits = "0123456789abcdef"
+
+// rawAppendString appends the encoding/json rendering of s: quoted, with
+// HTML-sensitive characters (<, >, &) and controls escaped, invalid
+// UTF-8 replaced by �, and U+2028/U+2029 escaped for embedders.
+func rawAppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= ' ' && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', rawHexDigits[b>>4], rawHexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == ' ' || c == ' ' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', rawHexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// rawAppendStrings renders a []string field without omitempty semantics:
+// nil is null, empty is [].
+func rawAppendStrings(dst []byte, ss []string) []byte {
+	if ss == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, s := range ss {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = rawAppendString(dst, s)
+	}
+	return append(dst, ']')
+}
+
+func rawAppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// rawAppendRecord appends the wire rendering of rec — field for field
+// the order and omitempty behaviour of the JSONRecord struct tags.
+func rawAppendRecord(dst []byte, rec *JSONRecord) []byte {
+	dst = append(dst, `{"func":`...)
+	dst = rawAppendString(dst, rec.Func)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Seq), 10)
+	if rec.Target != "" {
+		dst = append(dst, `,"target":`...)
+		dst = rawAppendString(dst, rec.Target)
+	}
+	if rec.State != "" {
+		dst = append(dst, `,"state":`...)
+		dst = rawAppendString(dst, rec.State)
+	}
+	if rec.TestPart != 0 {
+		dst = append(dst, `,"test_part":`...)
+		dst = strconv.AppendInt(dst, int64(rec.TestPart), 10)
+	}
+	dst = append(dst, `,"dataset":`...)
+	dst = rawAppendStrings(dst, rec.Dataset)
+	if len(rec.Descs) > 0 {
+		dst = append(dst, `,"descs":`...)
+		dst = rawAppendStrings(dst, rec.Descs)
+	}
+	if len(rec.Validity) > 0 {
+		dst = append(dst, `,"validity":`...)
+		dst = rawAppendStrings(dst, rec.Validity)
+	}
+	dst = append(dst, `,"invocations":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Invocations), 10)
+	dst = append(dst, `,"returns":`...)
+	if rec.Returns == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, rc := range rec.Returns {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(rc), 10)
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"return_names":`...)
+	dst = rawAppendStrings(dst, rec.ReturnNames)
+	dst = append(dst, `,"kernel_state":`...)
+	dst = rawAppendString(dst, rec.KernelState)
+	if rec.KernelHalt != "" {
+		dst = append(dst, `,"kernel_halt":`...)
+		dst = rawAppendString(dst, rec.KernelHalt)
+	}
+	dst = append(dst, `,"cold_resets":`...)
+	dst = strconv.AppendUint(dst, uint64(rec.ColdResets), 10)
+	dst = append(dst, `,"warm_resets":`...)
+	dst = strconv.AppendUint(dst, uint64(rec.WarmResets), 10)
+	if len(rec.HMEvents) > 0 {
+		dst = append(dst, `,"hm_events":`...)
+		dst = rawAppendStrings(dst, rec.HMEvents)
+	}
+	if len(rec.HMLog) > 0 {
+		dst = append(dst, `,"hm":[`...)
+		for i := range rec.HMLog {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = rawAppendHMEvent(dst, &rec.HMLog[i])
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"part_state":`...)
+	dst = rawAppendString(dst, rec.PartState)
+	if rec.PartDetail != "" {
+		dst = append(dst, `,"part_detail":`...)
+		dst = rawAppendString(dst, rec.PartDetail)
+	}
+	dst = append(dst, `,"sim_crashed":`...)
+	dst = rawAppendBool(dst, rec.SimCrashed)
+	if rec.CrashReason != "" {
+		dst = append(dst, `,"crash_reason":`...)
+		dst = rawAppendString(dst, rec.CrashReason)
+	}
+	if rec.RunErr != "" {
+		dst = append(dst, `,"run_err":`...)
+		dst = rawAppendString(dst, rec.RunErr)
+	}
+	if len(rec.Cover) > 0 {
+		dst = append(dst, `,"cover":[`...)
+		for i, site := range rec.Cover {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendUint(dst, uint64(site), 10)
+		}
+		dst = append(dst, ']')
+	}
+	if rec.CoverSig != "" {
+		dst = append(dst, `,"cover_sig":`...)
+		dst = rawAppendString(dst, rec.CoverSig)
+	}
+	if d := rec.Divergence; d != nil {
+		dst = append(dst, `,"divergence":{"targets":[`...)
+		dst = rawAppendString(dst, d.Targets[0])
+		dst = append(dst, ',')
+		dst = rawAppendString(dst, d.Targets[1])
+		dst = append(dst, `],"fields":`...)
+		dst = rawAppendStrings(dst, d.Fields)
+		dst = append(dst, `,"a":`...)
+		dst = rawAppendStrings(dst, d.A)
+		dst = append(dst, `,"b":`...)
+		dst = rawAppendStrings(dst, d.B)
+		dst = append(dst, '}')
+	}
+	if inj := rec.Injection; inj != nil {
+		dst = append(dst, `,"injection":{"site":`...)
+		dst = rawAppendString(dst, inj.Site)
+		dst = append(dst, `,"phase":`...)
+		dst = rawAppendString(dst, inj.Phase)
+		dst = append(dst, `,"bit":`...)
+		dst = strconv.AppendUint(dst, uint64(inj.Bit), 10)
+		if inj.Frame != 0 {
+			dst = append(dst, `,"frame":`...)
+			dst = strconv.AppendInt(dst, int64(inj.Frame), 10)
+		}
+		if inj.Addr != 0 {
+			dst = append(dst, `,"addr":`...)
+			dst = strconv.AppendUint(dst, inj.Addr, 10)
+		}
+		if inj.Cycle != 0 {
+			dst = append(dst, `,"cycle":`...)
+			dst = strconv.AppendInt(dst, inj.Cycle, 10)
+		}
+		dst = append(dst, `,"applied":`...)
+		dst = rawAppendBool(dst, inj.Applied)
+		if inj.Outcome != "" {
+			dst = append(dst, `,"outcome":`...)
+			dst = rawAppendString(dst, inj.Outcome)
+		}
+		if inj.Delta != "" {
+			dst = append(dst, `,"delta":`...)
+			dst = rawAppendString(dst, inj.Delta)
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
+}
+
+func rawAppendHMEvent(dst []byte, e *JSONHMEvent) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, uint64(e.Seq), 10)
+	dst = append(dst, `,"t":`...)
+	dst = strconv.AppendInt(dst, e.Time, 10)
+	dst = append(dst, `,"ev":`...)
+	dst = strconv.AppendInt(dst, int64(e.Event), 10)
+	dst = append(dst, `,"act":`...)
+	dst = strconv.AppendInt(dst, int64(e.Action), 10)
+	if e.Sys {
+		dst = append(dst, `,"sys":true`...)
+	}
+	dst = append(dst, `,"part":`...)
+	dst = strconv.AppendInt(dst, int64(e.Part), 10)
+	if e.Detail != "" {
+		dst = append(dst, `,"detail":`...)
+		dst = rawAppendString(dst, e.Detail)
+	}
+	return append(dst, '}')
+}
+
+// --- raw decoder --------------------------------------------------------
+
+// errRawFallback marks a line the strict parser declines: anything
+// outside the wire format's own shape (unknown keys, non-integer
+// numbers, out-of-range values, trailing garbage). The codec then hands
+// the line to encoding/json, whose semantics — including its exact
+// error — are authoritative.
+var errRawFallback = fmt.Errorf("campaign: raw codec: line outside the strict wire format")
+
+type rawParser struct {
+	b []byte
+	i int
+}
+
+func (p *rawParser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// lit consumes c (after whitespace) and reports whether it was there.
+func (p *rawParser) lit(c byte) bool {
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// null consumes the null literal when present.
+func (p *rawParser) null() bool {
+	p.ws()
+	if p.i+4 <= len(p.b) && string(p.b[p.i:p.i+4]) == "null" {
+		p.i += 4
+		return true
+	}
+	return false
+}
+
+// str parses one JSON string with full escape handling. Raw control
+// characters and malformed escapes defer to the fallback, matching
+// encoding/json's rejections; invalid UTF-8 passes through as U+FFFD,
+// matching its coercion.
+func (p *rawParser) str() (string, error) {
+	p.ws()
+	if p.i >= len(p.b) || p.b[p.i] != '"' {
+		return "", errRawFallback
+	}
+	p.i++
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == '"' {
+			s := string(p.b[start:p.i])
+			p.i++
+			return s, nil
+		}
+		if c == '\\' || c < ' ' || c >= utf8.RuneSelf {
+			break
+		}
+		p.i++
+	}
+	buf := append(make([]byte, 0, 64), p.b[start:p.i]...)
+	for p.i < len(p.b) {
+		switch c := p.b[p.i]; {
+		case c == '"':
+			p.i++
+			return string(buf), nil
+		case c < ' ':
+			return "", errRawFallback
+		case c == '\\':
+			p.i++
+			if p.i >= len(p.b) {
+				return "", errRawFallback
+			}
+			switch e := p.b[p.i]; e {
+			case '"', '\\', '/':
+				buf = append(buf, e)
+				p.i++
+			case 'b':
+				buf = append(buf, '\b')
+				p.i++
+			case 'f':
+				buf = append(buf, '\f')
+				p.i++
+			case 'n':
+				buf = append(buf, '\n')
+				p.i++
+			case 'r':
+				buf = append(buf, '\r')
+				p.i++
+			case 't':
+				buf = append(buf, '\t')
+				p.i++
+			case 'u':
+				p.i++
+				r, err := p.hex4()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(r) {
+					r2 := rune(utf8.RuneError)
+					if p.i+2 <= len(p.b) && p.b[p.i] == '\\' && p.b[p.i+1] == 'u' {
+						save := p.i
+						p.i += 2
+						lo, err := p.hex4()
+						if err != nil {
+							return "", err
+						}
+						if dec := utf16.DecodeRune(r, lo); dec != utf8.RuneError {
+							r2 = dec
+						} else {
+							p.i = save
+						}
+					}
+					r = r2
+				}
+				buf = utf8.AppendRune(buf, r)
+			default:
+				return "", errRawFallback
+			}
+		case c < utf8.RuneSelf:
+			buf = append(buf, c)
+			p.i++
+		default:
+			r, size := utf8.DecodeRune(p.b[p.i:])
+			if r == utf8.RuneError && size == 1 {
+				buf = utf8.AppendRune(buf, utf8.RuneError)
+				p.i++
+			} else {
+				buf = append(buf, p.b[p.i:p.i+size]...)
+				p.i += size
+			}
+		}
+	}
+	return "", errRawFallback
+}
+
+// hex4 parses four hex digits of a \u escape.
+func (p *rawParser) hex4() (rune, error) {
+	if p.i+4 > len(p.b) {
+		return 0, errRawFallback
+	}
+	var r rune
+	for _, c := range p.b[p.i : p.i+4] {
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 + rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 + rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 + rune(c-'A'+10)
+		default:
+			return 0, errRawFallback
+		}
+	}
+	p.i += 4
+	return r, nil
+}
+
+// intIn parses a JSON integer within [min, max]. Fractions, exponents,
+// leading zeros and out-of-range values defer to the fallback — exactly
+// the inputs encoding/json rejects (or that would overflow the field).
+func (p *rawParser) intIn(min, max int64) (int64, error) {
+	p.ws()
+	neg := false
+	if p.i < len(p.b) && p.b[p.i] == '-' {
+		neg = true
+		p.i++
+	}
+	start := p.i
+	var v uint64
+	for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+		d := uint64(p.b[p.i] - '0')
+		// Cap the magnitude at 1<<63 (the widest any int64 field needs);
+		// anything larger overflows every integer field and falls back.
+		if v > ((1<<63)-d)/10 {
+			return 0, errRawFallback
+		}
+		v = v*10 + d
+		p.i++
+	}
+	if p.i == start || (p.b[start] == '0' && p.i-start > 1) {
+		return 0, errRawFallback
+	}
+	if p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '.', 'e', 'E':
+			return 0, errRawFallback
+		}
+	}
+	var out int64
+	if neg {
+		// v == 1<<63 negates to exactly minInt64.
+		out = -int64(v)
+	} else {
+		if v > 1<<63-1 {
+			return 0, errRawFallback
+		}
+		out = int64(v)
+	}
+	if out < min || out > max {
+		return 0, errRawFallback
+	}
+	return out, nil
+}
+
+// uintIn parses a JSON non-negative integer within [0, max].
+func (p *rawParser) uintIn(max uint64) (uint64, error) {
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == '-' {
+		return 0, errRawFallback
+	}
+	start := p.i
+	var v uint64
+	for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+		d := uint64(p.b[p.i] - '0')
+		if v > max/10 || v*10 > max-d {
+			return 0, errRawFallback
+		}
+		v = v*10 + d
+		p.i++
+	}
+	if p.i == start || (p.b[start] == '0' && p.i-start > 1) {
+		return 0, errRawFallback
+	}
+	if p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '.', 'e', 'E':
+			return 0, errRawFallback
+		}
+	}
+	return v, nil
+}
+
+func (p *rawParser) boolVal(cur bool) (bool, error) {
+	p.ws()
+	if p.i+4 <= len(p.b) && string(p.b[p.i:p.i+4]) == "true" {
+		p.i += 4
+		return true, nil
+	}
+	if p.i+5 <= len(p.b) && string(p.b[p.i:p.i+5]) == "false" {
+		p.i += 5
+		return false, nil
+	}
+	if p.null() {
+		return cur, nil
+	}
+	return false, errRawFallback
+}
+
+// strVal parses a string value, with null keeping the current value —
+// encoding/json's no-op semantics for null.
+func (p *rawParser) strVal(cur string) (string, error) {
+	if p.null() {
+		return cur, nil
+	}
+	return p.str()
+}
+
+// strsVal parses a []string value (null → nil, [] → empty non-nil, as
+// encoding/json decodes).
+func (p *rawParser) strsVal() ([]string, error) {
+	if p.null() {
+		return nil, nil
+	}
+	if !p.lit('[') {
+		return nil, errRawFallback
+	}
+	if p.lit(']') {
+		return []string{}, nil
+	}
+	var out []string
+	for {
+		s, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if p.lit(']') {
+			return out, nil
+		}
+		if !p.lit(',') {
+			return nil, errRawFallback
+		}
+	}
+}
+
+// comma consumes the separator after one object member and reports
+// whether the object continues (false: it closed).
+func (p *rawParser) comma() (bool, error) {
+	p.ws()
+	if p.i >= len(p.b) {
+		return false, errRawFallback
+	}
+	switch p.b[p.i] {
+	case ',':
+		p.i++
+		return true, nil
+	case '}':
+		p.i++
+		return false, nil
+	}
+	return false, errRawFallback
+}
+
+// rawDecodeRecord strictly parses one wire-format line into rec. Any
+// deviation from the format returns errRawFallback, and the caller
+// re-parses with encoding/json; unknown (and case-variant) keys fall
+// back wholesale so encoding/json's lenient field matching stays the
+// single source of truth for foreign input.
+func rawDecodeRecord(line []byte, rec *JSONRecord) error {
+	p := rawParser{b: line}
+	if !p.lit('{') {
+		return errRawFallback
+	}
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == '}' {
+		p.i++
+		return p.end()
+	}
+	for {
+		key, err := p.str()
+		if err != nil {
+			return err
+		}
+		if !p.lit(':') {
+			return errRawFallback
+		}
+		switch key {
+		case "func":
+			rec.Func, err = p.strVal(rec.Func)
+		case "seq":
+			var v int64
+			if p.null() {
+				break
+			}
+			if v, err = p.intIn(minInt, maxInt); err == nil {
+				rec.Seq = int(v)
+			}
+		case "target":
+			rec.Target, err = p.strVal(rec.Target)
+		case "state":
+			rec.State, err = p.strVal(rec.State)
+		case "test_part":
+			var v int64
+			if p.null() {
+				break
+			}
+			if v, err = p.intIn(minInt, maxInt); err == nil {
+				rec.TestPart = int(v)
+			}
+		case "dataset":
+			rec.Dataset, err = p.strsVal()
+		case "descs":
+			rec.Descs, err = p.strsVal()
+		case "validity":
+			rec.Validity, err = p.strsVal()
+		case "invocations":
+			var v int64
+			if p.null() {
+				break
+			}
+			if v, err = p.intIn(minInt, maxInt); err == nil {
+				rec.Invocations = int(v)
+			}
+		case "returns":
+			rec.Returns, err = p.returnsVal()
+		case "return_names":
+			rec.ReturnNames, err = p.strsVal()
+		case "kernel_state":
+			rec.KernelState, err = p.strVal(rec.KernelState)
+		case "kernel_halt":
+			rec.KernelHalt, err = p.strVal(rec.KernelHalt)
+		case "cold_resets":
+			var v uint64
+			if p.null() {
+				break
+			}
+			if v, err = p.uintIn(1<<32 - 1); err == nil {
+				rec.ColdResets = uint32(v)
+			}
+		case "warm_resets":
+			var v uint64
+			if p.null() {
+				break
+			}
+			if v, err = p.uintIn(1<<32 - 1); err == nil {
+				rec.WarmResets = uint32(v)
+			}
+		case "hm_events":
+			rec.HMEvents, err = p.strsVal()
+		case "hm":
+			rec.HMLog, err = p.hmVal()
+		case "part_state":
+			rec.PartState, err = p.strVal(rec.PartState)
+		case "part_detail":
+			rec.PartDetail, err = p.strVal(rec.PartDetail)
+		case "sim_crashed":
+			rec.SimCrashed, err = p.boolVal(rec.SimCrashed)
+		case "crash_reason":
+			rec.CrashReason, err = p.strVal(rec.CrashReason)
+		case "run_err":
+			rec.RunErr, err = p.strVal(rec.RunErr)
+		case "cover":
+			rec.Cover, err = p.coverVal()
+		case "cover_sig":
+			rec.CoverSig, err = p.strVal(rec.CoverSig)
+		case "divergence":
+			rec.Divergence, err = p.divergenceVal()
+		case "injection":
+			rec.Injection, err = p.injectionVal()
+		default:
+			return errRawFallback
+		}
+		if err != nil {
+			return err
+		}
+		more, err := p.comma()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return p.end()
+		}
+	}
+}
+
+const (
+	maxInt = int64(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)
+
+// end requires the line to hold nothing but trailing whitespace.
+func (p *rawParser) end() error {
+	p.ws()
+	if p.i != len(p.b) {
+		return errRawFallback
+	}
+	return nil
+}
+
+func (p *rawParser) returnsVal() ([]int32, error) {
+	if p.null() {
+		return nil, nil
+	}
+	if !p.lit('[') {
+		return nil, errRawFallback
+	}
+	if p.lit(']') {
+		return []int32{}, nil
+	}
+	var out []int32
+	for {
+		v, err := p.intIn(-1<<31, 1<<31-1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, int32(v))
+		if p.lit(']') {
+			return out, nil
+		}
+		if !p.lit(',') {
+			return nil, errRawFallback
+		}
+	}
+}
+
+func (p *rawParser) coverVal() ([]uint32, error) {
+	if p.null() {
+		return nil, nil
+	}
+	if !p.lit('[') {
+		return nil, errRawFallback
+	}
+	if p.lit(']') {
+		return []uint32{}, nil
+	}
+	var out []uint32
+	for {
+		v, err := p.uintIn(1<<32 - 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, uint32(v))
+		if p.lit(']') {
+			return out, nil
+		}
+		if !p.lit(',') {
+			return nil, errRawFallback
+		}
+	}
+}
+
+func (p *rawParser) hmVal() ([]JSONHMEvent, error) {
+	if p.null() {
+		return nil, nil
+	}
+	if !p.lit('[') {
+		return nil, errRawFallback
+	}
+	if p.lit(']') {
+		return []JSONHMEvent{}, nil
+	}
+	var out []JSONHMEvent
+	for {
+		e, err := p.hmEvent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if p.lit(']') {
+			return out, nil
+		}
+		if !p.lit(',') {
+			return nil, errRawFallback
+		}
+	}
+}
+
+func (p *rawParser) hmEvent() (JSONHMEvent, error) {
+	var e JSONHMEvent
+	if !p.lit('{') {
+		return e, errRawFallback
+	}
+	if p.lit('}') {
+		return e, nil
+	}
+	for {
+		key, err := p.str()
+		if err != nil {
+			return e, err
+		}
+		if !p.lit(':') {
+			return e, errRawFallback
+		}
+		switch key {
+		case "seq":
+			var v uint64
+			if p.null() {
+				break
+			}
+			if v, err = p.uintIn(1<<32 - 1); err == nil {
+				e.Seq = uint32(v)
+			}
+		case "t":
+			if p.null() {
+				break
+			}
+			e.Time, err = p.intIn(minInt64, maxInt64)
+		case "ev":
+			var v int64
+			if p.null() {
+				break
+			}
+			if v, err = p.intIn(minInt, maxInt); err == nil {
+				e.Event = int(v)
+			}
+		case "act":
+			var v int64
+			if p.null() {
+				break
+			}
+			if v, err = p.intIn(minInt, maxInt); err == nil {
+				e.Action = int(v)
+			}
+		case "sys":
+			e.Sys, err = p.boolVal(e.Sys)
+		case "part":
+			var v int64
+			if p.null() {
+				break
+			}
+			if v, err = p.intIn(minInt, maxInt); err == nil {
+				e.Part = int(v)
+			}
+		case "detail":
+			e.Detail, err = p.strVal(e.Detail)
+		default:
+			return e, errRawFallback
+		}
+		if err != nil {
+			return e, err
+		}
+		more, err := p.comma()
+		if err != nil {
+			return e, err
+		}
+		if !more {
+			return e, nil
+		}
+	}
+}
+
+const (
+	maxInt64 = int64(1<<63 - 1)
+	minInt64 = -maxInt64 - 1
+)
+
+func (p *rawParser) divergenceVal() (*Divergence, error) {
+	if p.null() {
+		return nil, nil
+	}
+	if !p.lit('{') {
+		return nil, errRawFallback
+	}
+	d := &Divergence{}
+	if p.lit('}') {
+		return d, nil
+	}
+	for {
+		key, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit(':') {
+			return nil, errRawFallback
+		}
+		switch key {
+		case "targets":
+			err = p.targetsVal(&d.Targets)
+		case "fields":
+			d.Fields, err = p.strsVal()
+		case "a":
+			d.A, err = p.strsVal()
+		case "b":
+			d.B, err = p.strsVal()
+		default:
+			return nil, errRawFallback
+		}
+		if err != nil {
+			return nil, err
+		}
+		more, err := p.comma()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			return d, nil
+		}
+	}
+}
+
+// targetsVal decodes into the fixed [2]string with encoding/json's array
+// semantics: missing trailing elements stay zero, extras are discarded.
+func (p *rawParser) targetsVal(dst *[2]string) error {
+	if p.null() {
+		return nil
+	}
+	if !p.lit('[') {
+		return errRawFallback
+	}
+	if p.lit(']') {
+		return nil
+	}
+	for n := 0; ; n++ {
+		s, err := p.str()
+		if err != nil {
+			return err
+		}
+		if n < len(dst) {
+			dst[n] = s
+		}
+		if p.lit(']') {
+			return nil
+		}
+		if !p.lit(',') {
+			return errRawFallback
+		}
+	}
+}
+
+func (p *rawParser) injectionVal() (*injectInjection, error) {
+	if p.null() {
+		return nil, nil
+	}
+	if !p.lit('{') {
+		return nil, errRawFallback
+	}
+	inj := &injectInjection{}
+	if p.lit('}') {
+		return inj, nil
+	}
+	for {
+		key, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit(':') {
+			return nil, errRawFallback
+		}
+		switch key {
+		case "site":
+			inj.Site, err = p.strVal(inj.Site)
+		case "phase":
+			inj.Phase, err = p.strVal(inj.Phase)
+		case "bit":
+			var v uint64
+			if p.null() {
+				break
+			}
+			if v, err = p.uintIn(255); err == nil {
+				inj.Bit = uint8(v)
+			}
+		case "frame":
+			var v int64
+			if p.null() {
+				break
+			}
+			if v, err = p.intIn(minInt, maxInt); err == nil {
+				inj.Frame = int(v)
+			}
+		case "addr":
+			if p.null() {
+				break
+			}
+			inj.Addr, err = p.uintIn(1<<64 - 1)
+		case "cycle":
+			if p.null() {
+				break
+			}
+			inj.Cycle, err = p.intIn(minInt64, maxInt64)
+		case "applied":
+			inj.Applied, err = p.boolVal(inj.Applied)
+		case "outcome":
+			inj.Outcome, err = p.strVal(inj.Outcome)
+		case "delta":
+			inj.Delta, err = p.strVal(inj.Delta)
+		default:
+			return nil, errRawFallback
+		}
+		if err != nil {
+			return nil, err
+		}
+		more, err := p.comma()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			return inj, nil
+		}
+	}
+}

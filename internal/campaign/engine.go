@@ -49,11 +49,41 @@ type EngineOptions struct {
 	// machine (sparc.MachinePool strict mode). Slow; for isolation tests.
 	PoolStrict bool
 
+	// LegacyPool selects the reset-and-verify MachinePool instead of the
+	// default copy-on-write SnapshotPool on backends that pool — the A/B
+	// switch behind the performance trajectory.
+	LegacyPool bool
+
 	// ShardDir, when set, streams every execution log into JSON Lines
 	// shard files <ShardDir>/shard-NNN.jsonl. Shards are opened in append
 	// mode so a resumed campaign extends them; MergeShards restores
 	// campaign order.
 	ShardDir string
+
+	// Codec selects the record codec shard files are written with
+	// ("json", the encoding/json reference and the default, or "raw",
+	// the hand-rolled allocation-free encoder). Every codec produces the
+	// same wire format byte for byte, so the choice never affects what a
+	// campaign log contains — only what encoding it costs.
+	Codec string
+
+	// BatchSize leases contiguous runs of pending tests to each worker
+	// when the target can execute them in one held slot (the
+	// target.BatchExecutor capability), amortising the per-test
+	// recycle-and-verify baseline across the lease. Results are
+	// byte-identical to unbatched execution — the capability's contract.
+	// 0 or 1, targets without the capability, and feedback-driven plans
+	// (whose At blocks on earlier positions' coverage) execute one test
+	// per slot acquisition as before.
+	BatchSize int
+
+	// TargetInstance, when non-nil, is the execution backend itself,
+	// bypassing the Options.Target registry lookup. A caller that runs
+	// several campaigns against one target (the bench harness, embedders
+	// with a prepared backend) keeps its warm state — machine pool,
+	// parked kernels — across StreamPlan calls instead of rebuilding it
+	// each time; Provision is idempotent on the shared instance.
+	TargetInstance target.Target
 
 	// Shards is the number of shard writers (default Workers).
 	Shards int
@@ -172,13 +202,18 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	}
 	total := src.Len()
 	stats := EngineStats{Total: total}
-	tgt, err := target.New(opts.Target, target.Config{
-		FreshMachines: eo.FreshMachines,
-		PoolStrict:    eo.PoolStrict,
-		Inject:        opts.injectParams(),
-	})
-	if err != nil {
-		return stats, err
+	var err error
+	tgt := eo.TargetInstance
+	if tgt == nil {
+		tgt, err = target.New(opts.Target, target.Config{
+			FreshMachines: eo.FreshMachines,
+			PoolStrict:    eo.PoolStrict,
+			LegacyPool:    eo.LegacyPool,
+			Inject:        opts.injectParams(),
+		})
+		if err != nil {
+			return stats, err
+		}
 	}
 	if eo.Resume && eo.ShardDir == "" {
 		// A checkpoint mark promises a durable record; without shards the
@@ -237,10 +272,19 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		pendingCount = eo.Limit
 	}
 
+	codec, err := NewCodec(eo.Codec)
+	if err != nil {
+		return stats, err
+	}
 	var writers []*shardWriter
 	if eo.ShardDir != "" {
-		if writers, err = openShards(eo.ShardDir, eo.Shards, eo.Resume); err != nil {
+		if writers, err = openShards(eo.ShardDir, eo.Shards, eo.Resume, codec); err != nil {
 			return stats, err
+		}
+		// Checkpoint marks promise their record is on disk, so shards
+		// flush per record only while a checkpoint is being written.
+		for _, w := range writers {
+			w.flushEach = ckpt != nil
 		}
 	}
 	if pendingCount == 0 {
@@ -257,21 +301,40 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	}
 	spec := opts.runSpec()
 
-	jobs := make(chan int, eo.QueueDepth)
 	results := make(chan posResult, workers)
 	finished := make(chan posResult, workers)
+
+	// A batch lease hands a worker several pending positions to execute
+	// in one held slot. Only targets with the BatchExecutor capability
+	// batch, and feedback sources never do: their At blocks until every
+	// earlier position's coverage arrives, which a multi-test lease would
+	// deadlock on (results only flow after the whole lease completes).
+	batch := eo.BatchSize
+	be, _ := tgt.(target.BatchExecutor)
+	if batch < 1 || be == nil || fb != nil {
+		batch = 1
+	}
 
 	// The feeder walks the source's index space lazily — no pending list
 	// is materialised, so a billion-test plan costs the same as a small
 	// one until its tests actually run.
+	jobs := make(chan []int, eo.QueueDepth)
 	go func() {
 		sent := 0
+		lease := make([]int, 0, batch)
 		for pos := 0; pos < total && sent < pendingCount; pos++ {
 			if done[pos] {
 				continue
 			}
-			jobs <- pos
+			lease = append(lease, pos)
 			sent++
+			if len(lease) == batch {
+				jobs <- lease
+				lease = make([]int, 0, batch)
+			}
+		}
+		if len(lease) > 0 {
+			jobs <- lease
 		}
 		close(jobs)
 	}()
@@ -281,11 +344,27 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for pos := range jobs {
+			dss := make([]testgen.Dataset, 0, batch)
+			for lease := range jobs {
+				if be == nil || len(lease) == 1 {
+					for _, pos := range lease {
+						slot := tgt.Acquire()
+						r := tgt.Execute(slot, src.At(pos), spec)
+						tgt.Release(slot)
+						results <- posResult{pos: pos, res: r}
+					}
+					continue
+				}
+				dss = dss[:0]
+				for _, pos := range lease {
+					dss = append(dss, src.At(pos))
+				}
 				slot := tgt.Acquire()
-				r := tgt.Execute(slot, src.At(pos), spec)
+				rs := be.ExecuteBatch(slot, dss, spec)
 				tgt.Release(slot)
-				results <- posResult{pos: pos, res: r}
+				for i, pos := range lease {
+					results <- posResult{pos: pos, res: rs[i]}
+				}
 			}
 		}()
 	}
@@ -509,16 +588,23 @@ func (c *checkpoint) close() error { return c.f.Close() }
 
 // --- shards ------------------------------------------------------------
 
-// shardWriter owns one JSON Lines shard file. Records are flushed per
-// write so a completion mark in the checkpoint always refers to a record
-// already on disk. After a failed write the writer latches broken: a short
-// write leaves a partial record at the tail, and appending anything after
-// it would corrupt the shard mid-file, beyond what readers can skip.
+// shardWriter owns one JSON Lines shard file. Records encode through the
+// campaign's codec into a reused buffer. When a checkpoint is in play the
+// writer flushes per record so a completion mark always refers to a
+// record already on disk; without one the only reader is the post-run
+// merge, so records ride the bufio buffer until close and the per-record
+// write(2) disappears from the hot path. After a failed write the writer
+// latches broken: a short write leaves a partial record at the tail, and
+// appending anything after it would corrupt the shard mid-file, beyond
+// what readers can skip.
 type shardWriter struct {
-	f      *os.File
-	bw     *bufio.Writer
-	enc    *json.Encoder
-	broken error
+	f         *os.File
+	bw        *bufio.Writer
+	codec     Codec
+	flushEach bool
+	buf       []byte
+	scr       recordScratch
+	broken    error
 }
 
 // ShardPattern matches the shard files of a campaign directory.
@@ -529,7 +615,7 @@ func shardPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d.jsonl", i))
 }
 
-func openShards(dir string, n int, resume bool) ([]*shardWriter, error) {
+func openShards(dir string, n int, resume bool, codec Codec) ([]*shardWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: shards: %w", err)
 	}
@@ -561,8 +647,7 @@ func openShards(dir string, n int, resume bool) ([]*shardWriter, error) {
 			closeShards(writers)
 			return nil, fmt.Errorf("campaign: shards: %w", err)
 		}
-		bw := bufio.NewWriter(f)
-		writers = append(writers, &shardWriter{f: f, bw: bw, enc: json.NewEncoder(bw)})
+		writers = append(writers, &shardWriter{f: f, bw: bufio.NewWriter(f), codec: codec})
 	}
 	return writers, nil
 }
@@ -618,13 +703,21 @@ func (w *shardWriter) write(pos int, r Result) error {
 	if w.broken != nil {
 		return w.broken
 	}
-	if err := w.enc.Encode(ToRecord(pos, r)); err != nil {
+	rec := w.scr.toRecord(pos, r)
+	buf, err := w.codec.AppendEncode(w.buf[:0], &rec)
+	if err == nil {
+		w.buf = append(buf, '\n')
+		_, err = w.bw.Write(w.buf)
+	}
+	if err != nil {
 		w.broken = fmt.Errorf("campaign: shard record %d: %w", pos, err)
 		return w.broken
 	}
-	if err := w.bw.Flush(); err != nil {
-		w.broken = fmt.Errorf("campaign: shard record %d: %w", pos, err)
-		return w.broken
+	if w.flushEach {
+		if err := w.bw.Flush(); err != nil {
+			w.broken = fmt.Errorf("campaign: shard record %d: %w", pos, err)
+			return w.broken
+		}
 	}
 	return nil
 }
@@ -659,26 +752,40 @@ func ScanShards(dir string, fn func(JSONRecord) error) error {
 		return err
 	}
 	sort.Strings(paths)
+	// Shards read back through the raw codec: the wire format is the same
+	// whatever codec wrote them, and the hand-rolled decoder (with its
+	// encoding/json fallback for anything irregular) reads it cheapest.
+	codec, err := NewCodec("raw")
+	if err != nil {
+		return err
+	}
 	for _, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
 			return fmt.Errorf("campaign: shards: %w", err)
 		}
-		dec := json.NewDecoder(f)
-		for dec.More() {
-			var rec JSONRecord
-			if err := dec.Decode(&rec); err != nil {
-				// A torn trailing record from an interrupted run is
-				// expected; anything else is corruption worth reporting.
-				if errors.Is(err, io.ErrUnexpectedEOF) {
-					break
+		br := bufio.NewReaderSize(f, 1<<16)
+		for {
+			line, rerr := br.ReadBytes('\n')
+			if len(bytes.TrimSpace(line)) > 0 {
+				var rec JSONRecord
+				if derr := codec.Decode(line, &rec); derr != nil {
+					// A torn trailing record from an interrupted run —
+					// "complete" means newline-terminated, see trimTornTail
+					// — is expected; mid-file corruption is worth reporting.
+					if rerr != nil {
+						break
+					}
+					f.Close()
+					return fmt.Errorf("campaign: shard %s: %w", p, derr)
 				}
-				f.Close()
-				return fmt.Errorf("campaign: shard %s: %w", p, err)
+				if err := fn(rec); err != nil {
+					f.Close()
+					return err
+				}
 			}
-			if err := fn(rec); err != nil {
-				f.Close()
-				return err
+			if rerr != nil {
+				break
 			}
 		}
 		f.Close()
@@ -711,15 +818,24 @@ func CollectShards(dir string) ([]JSONRecord, error) {
 
 // MergeShards writes the shard records of dir to w as one JSON Lines log
 // in campaign order — the same byte stream WriteJSON produces for an
-// uninterrupted eager campaign. It returns the record count.
+// uninterrupted eager campaign, whichever codec wrote the shards. It
+// returns the record count.
 func MergeShards(dir string, w io.Writer) (int, error) {
 	records, err := CollectShards(dir)
 	if err != nil {
 		return 0, err
 	}
-	enc := json.NewEncoder(w)
-	for _, rec := range records {
-		if err := enc.Encode(rec); err != nil {
+	codec, err := NewCodec("raw")
+	if err != nil {
+		return 0, err
+	}
+	var buf []byte
+	for i := range records {
+		if buf, err = codec.AppendEncode(buf[:0], &records[i]); err != nil {
+			return 0, err
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return 0, err
 		}
 	}

@@ -47,10 +47,27 @@ func FuzzJSONRecordRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"func":"XM_get_time","injection":{"site":"warp","phase":"never","bit":255,"applied":true,"outcome":"??"}}`))
 	f.Add([]byte(`{"func":"XM_get_time","divergence":{"targets":["a","b"],"fields":["x"],"a":[],"b":["1","2"]}}`))
 
+	rawC, err := NewCodec("raw")
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Fuzz(func(t *testing.T, line []byte) {
-		var rec JSONRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
+		// The raw codec must agree with encoding/json on every input,
+		// however hostile: same accept/reject outcome, same record.
+		var rec, viaRaw JSONRecord
+		jsonErr := json.Unmarshal(line, &rec)
+		rawErr := rawC.Decode(line, &viaRaw)
+		if (jsonErr == nil) != (rawErr == nil) {
+			t.Fatalf("codecs disagree on acceptance: json %v vs raw %v", jsonErr, rawErr)
+		}
+		if jsonErr != nil {
 			t.Skip()
+		}
+		if a, _ := json.Marshal(rec); true {
+			b, _ := json.Marshal(viaRaw)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("codecs decode differently:\n  json: %s\n  raw:  %s", a, b)
+			}
 		}
 		res, err := rec.Result(nil)
 		if err != nil {
@@ -62,6 +79,15 @@ func FuzzJSONRecordRoundTrip(f *testing.F) {
 		first, err := json.Marshal(norm)
 		if err != nil {
 			t.Fatalf("normalised record does not marshal: %v", err)
+		}
+		// The raw encoder must reproduce the reference wire format byte
+		// for byte on every record the pipeline can produce.
+		raw, err := rawC.AppendEncode(nil, &norm)
+		if err != nil {
+			t.Fatalf("raw encode: %v", err)
+		}
+		if !bytes.Equal(first, raw) {
+			t.Fatalf("raw encoding diverges from the wire format:\n  json: %s\n  raw:  %s", first, raw)
 		}
 		res2, err := norm.Result(nil)
 		if err != nil {

@@ -84,6 +84,28 @@ type JSONSummary = JSONRecord
 // ToRecord serialises one execution log as the campaign-log record at
 // position seq.
 func ToRecord(seq int, r Result) JSONRecord {
+	// A fresh scratch per call keeps the historical behaviour: every
+	// slice in the returned record is caller-owned.
+	var s recordScratch
+	return s.toRecord(seq, r)
+}
+
+// recordScratch owns the slice capacity behind a shard writer's records:
+// toRecord hands out records whose slices alias the scratch, so one
+// encode-and-discard cycle per record stops allocating in steady state.
+// The aliased record is only valid until the next toRecord call.
+type recordScratch struct {
+	dataset, descs, validity []string
+	returns                  []int32
+	returnNames              []string
+	hmEvents                 []string
+	hmLog                    []JSONHMEvent
+}
+
+// toRecord is ToRecord with scratch-backed slices. Field-absence
+// semantics are identical: an empty field stays nil — never a non-nil
+// empty slice — so the wire bytes match ToRecord exactly.
+func (s *recordScratch) toRecord(seq int, r Result) JSONRecord {
 	out := JSONRecord{
 		Func:        r.Dataset.Func.Name,
 		Seq:         seq,
@@ -107,21 +129,33 @@ func ToRecord(seq int, r Result) JSONRecord {
 		// and Result restores the default on read.
 		out.Target = ""
 	}
-	for _, v := range r.Resolved {
-		out.Dataset = append(out.Dataset, v.Raw)
-		out.Descs = append(out.Descs, v.Desc)
-		out.Validity = append(out.Validity, v.Validity.String())
+	if len(r.Resolved) > 0 {
+		s.dataset, s.descs, s.validity = s.dataset[:0], s.descs[:0], s.validity[:0]
+		for _, v := range r.Resolved {
+			s.dataset = append(s.dataset, v.Raw)
+			s.descs = append(s.descs, v.Desc)
+			s.validity = append(s.validity, v.Validity.String())
+		}
+		out.Dataset, out.Descs, out.Validity = s.dataset, s.descs, s.validity
 	}
-	for _, rc := range r.Returns {
-		out.Returns = append(out.Returns, int32(rc))
-		out.ReturnNames = append(out.ReturnNames, rc.String())
+	if len(r.Returns) > 0 {
+		s.returns, s.returnNames = s.returns[:0], s.returnNames[:0]
+		for _, rc := range r.Returns {
+			s.returns = append(s.returns, int32(rc))
+			s.returnNames = append(s.returnNames, rc.String())
+		}
+		out.Returns, out.ReturnNames = s.returns, s.returnNames
 	}
-	for _, e := range r.HMEvents {
-		out.HMEvents = append(out.HMEvents, e.String())
-		out.HMLog = append(out.HMLog, JSONHMEvent{
-			Seq: e.Seq, Time: int64(e.Time), Event: int(e.Event), Action: int(e.Action),
-			Sys: e.SystemScope, Part: e.PartitionID, Detail: e.Detail,
-		})
+	if len(r.HMEvents) > 0 {
+		s.hmEvents, s.hmLog = s.hmEvents[:0], s.hmLog[:0]
+		for _, e := range r.HMEvents {
+			s.hmEvents = append(s.hmEvents, e.String())
+			s.hmLog = append(s.hmLog, JSONHMEvent{
+				Seq: e.Seq, Time: int64(e.Time), Event: int(e.Event), Action: int(e.Action),
+				Sys: e.SystemScope, Part: e.PartitionID, Detail: e.Detail,
+			})
+		}
+		out.HMEvents, out.HMLog = s.hmEvents, s.hmLog
 	}
 	if r.Cover != nil {
 		out.Cover = r.Cover.Sites()

@@ -55,15 +55,21 @@ type CampaignReport struct {
 // RunCampaign executes the full pipeline with the given options (zero
 // value: the paper's campaign — legacy kernel, default spec and
 // dictionaries, exhaustive plan, two major frames per test), retaining
-// every execution log in memory. Large or reduced campaigns stream
-// instead: RunCampaignStream.
-func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
+// every execution log in memory. Optional engine options tune the
+// execution machinery (batch size, pool selection) without changing
+// results. Large or reduced campaigns stream instead: RunCampaignStream.
+func RunCampaign(opts campaign.Options, engine ...campaign.EngineOptions) (*CampaignReport, error) {
+	var eo campaign.EngineOptions
+	if len(engine) > 0 {
+		eo = engine[0]
+	}
 	rep := &CampaignReport{Options: opts}
 	plan, ropts, err := campaign.BuildPlan(opts)
 	if err != nil {
 		return nil, err
 	}
 	rep.Options = ropts
+	eo.Options = ropts
 	defer closePlan(plan)
 	rep.Plan = testgen.Measure(plan)
 	if testgen.IsDynamic(plan) {
@@ -71,7 +77,7 @@ func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
 		// cannot be materialised up front: stream it through the engine
 		// with an in-memory sink to keep the eager report shape.
 		results := make([]campaign.Result, plan.Len())
-		if _, err := campaign.StreamPlan(plan, campaign.EngineOptions{Options: ropts},
+		if _, err := campaign.StreamPlan(plan, eo,
 			func(pos int, r campaign.Result) { results[pos] = r }); err != nil {
 			return nil, err
 		}
@@ -82,7 +88,18 @@ func RunCampaign(opts campaign.Options) (*CampaignReport, error) {
 		}
 	} else {
 		rep.Datasets = testgen.Materialize(plan)
-		rep.Results = campaign.RunDatasets(rep.Datasets, ropts)
+		results := make([]campaign.Result, len(rep.Datasets))
+		// Without shard or checkpoint configuration Stream fails only on
+		// a broken target spec, before anything executes; the error then
+		// surfaces in every result's RunErr (RunDatasets' behaviour).
+		if _, err := campaign.Stream(rep.Datasets, eo, func(pos int, r campaign.Result) {
+			results[pos] = r
+		}); err != nil {
+			for i := range results {
+				results[i] = campaign.Result{Dataset: rep.Datasets[i], RunErr: err.Error()}
+			}
+		}
+		rep.Results = results
 	}
 	var agg cover.Map
 	study := analysis.NewInjectionStudy()

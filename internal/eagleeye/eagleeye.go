@@ -19,6 +19,7 @@ package eagleeye
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/xal"
@@ -128,15 +129,26 @@ func NewSystem(opts ...xm.Option) (*xm.Kernel, error) {
 // AttachOBSW hosts the synthetic on-board software in every partition of
 // an EagleEye-configured kernel.
 func AttachOBSW(k *xm.Kernel) error {
-	progs := map[int]xm.Program{
-		Platform: &platformProg{},
-		Payload:  &payloadProg{},
-		GNC:      &gncProg{},
-		TMTC:     &tmtcProg{},
-		FDIR:     &fdirProg{},
-	}
-	for id, prog := range progs {
-		if err := k.AttachProgram(id, prog); err != nil {
+	// One allocation carries all five program states; each incarnation
+	// still starts from zero values, exactly like five fresh literals.
+	ps := new(struct {
+		platform platformProg
+		payload  payloadProg
+		gnc      gncProg
+		tmtc     tmtcProg
+		fdir     fdirProg
+	})
+	for _, a := range [...]struct {
+		id   int
+		prog xm.Program
+	}{
+		{Platform, &ps.platform},
+		{Payload, &ps.payload},
+		{GNC, &ps.gnc},
+		{TMTC, &ps.tmtc},
+		{FDIR, &ps.fdir},
+	} {
+		if err := k.AttachProgram(a.id, a.prog); err != nil {
 			return err
 		}
 	}
@@ -154,6 +166,9 @@ type gncProg struct {
 	ctx  *xal.Ctx
 	port *xal.Port
 	seq  uint32
+	// msg is the reused attitude message image. Bytes the step below
+	// does not write stay zero, exactly as in a freshly made buffer.
+	msg [32]byte
 }
 
 func (g *gncProg) Boot(env xm.Env) {
@@ -169,7 +184,7 @@ func (g *gncProg) Step(env xm.Env) bool {
 		return false
 	}
 	g.seq++
-	msg := make([]byte, 32)
+	msg := g.msg[:]
 	binary.BigEndian.PutUint32(msg[0:4], g.seq)
 	binary.BigEndian.PutUint64(msg[8:16], uint64(env.Now()))
 	// A synthetic quaternion derived from the sequence number.
@@ -186,6 +201,8 @@ type platformProg struct {
 	hktm     *xal.Port
 	cycles   uint32
 	lastAtt  uint32
+	rbuf     [32]byte
+	tm       [64]byte
 }
 
 func (p *platformProg) Boot(env xm.Env) {
@@ -199,12 +216,12 @@ func (p *platformProg) Step(env xm.Env) bool {
 	env.Compute(3000) // thermal, power and mode management
 	p.cycles++
 	if p.attitude != nil {
-		if msg, rc := p.attitude.ReadSampling(32); rc == xm.OK && len(msg) >= 4 {
-			p.lastAtt = binary.BigEndian.Uint32(msg[0:4])
+		if n, rc := p.attitude.ReadSamplingInto(p.rbuf[:]); rc == xm.OK && n >= 4 {
+			p.lastAtt = binary.BigEndian.Uint32(p.rbuf[0:4])
 		}
 	}
 	if p.hktm != nil {
-		tm := make([]byte, 64)
+		tm := p.tm[:]
 		binary.BigEndian.PutUint32(tm[0:4], p.cycles)
 		binary.BigEndian.PutUint32(tm[4:8], p.lastAtt)
 		binary.BigEndian.PutUint64(tm[8:16], uint64(env.Now()))
@@ -219,6 +236,7 @@ type payloadProg struct {
 	ctx    *xal.Ctx
 	sci    *xal.Port
 	frames uint32
+	frame  [64]byte
 }
 
 func (p *payloadProg) Boot(env xm.Env) {
@@ -231,7 +249,7 @@ func (p *payloadProg) Step(env xm.Env) bool {
 	env.Compute(8000) // instrument readout and compression
 	if p.sci != nil {
 		p.frames++
-		frame := make([]byte, 64)
+		frame := p.frame[:]
 		binary.BigEndian.PutUint32(frame[0:4], p.frames)
 		for i := 8; i < 64; i++ {
 			frame[i] = byte(p.frames + uint32(i)) // deterministic pseudo-payload
@@ -250,6 +268,8 @@ type tmtcProg struct {
 	downlink *xal.Port
 	sent     uint32
 	overflow uint32
+	rbuf     [64]byte
+	frame    [16]byte
 }
 
 func (t *tmtcProg) Boot(env xm.Env) {
@@ -262,24 +282,32 @@ func (t *tmtcProg) Boot(env xm.Env) {
 func (t *tmtcProg) Step(env xm.Env) bool {
 	t.ctx.ResetHeap()
 	env.Compute(2500)
-	for _, src := range []*xal.Port{t.hktm, t.sci} {
-		if src == nil || t.downlink == nil {
-			continue
-		}
-		msg, rc := src.ReadSampling(64)
-		if rc != xm.OK || len(msg) < 4 {
-			continue
-		}
-		frame := make([]byte, 16)
-		copy(frame, msg[:16])
-		switch t.downlink.Send(frame) {
-		case xm.OK:
-			t.sent++
-		case xm.NotAvailable:
-			t.overflow++ // downlink queue full; frame dropped
-		}
-	}
+	t.drain(t.hktm)
+	t.drain(t.sci)
 	return false
+}
+
+// drain forwards one telemetry source into the downlink queue.
+func (t *tmtcProg) drain(src *xal.Port) {
+	if src == nil || t.downlink == nil {
+		return
+	}
+	n, rc := src.ReadSamplingInto(t.rbuf[:])
+	if rc != xm.OK || n < 4 {
+		return
+	}
+	// A fresh read buffer is zero past the message; the reused one must
+	// be scrubbed there so short messages frame identically.
+	for i := n; i < len(t.frame); i++ {
+		t.rbuf[i] = 0
+	}
+	copy(t.frame[:], t.rbuf[:16])
+	switch t.downlink.Send(t.frame[:]) {
+	case xm.OK:
+		t.sent++
+	case xm.NotAvailable:
+		t.overflow++ // downlink queue full; frame dropped
+	}
 }
 
 // --- FDIR: fault detection, isolation and recovery (system partition) -------
@@ -299,6 +327,8 @@ type fdirProg struct {
 	ctx      *xal.Ctx
 	downlink *xal.Port
 	report   FDIRReport
+	dbuf     [16]byte
+	line     []byte
 }
 
 func (f *fdirProg) Boot(env xm.Env) {
@@ -339,15 +369,24 @@ func (f *fdirProg) Step(env xm.Env) bool {
 	// Account downlink frames.
 	if f.downlink != nil {
 		for {
-			_, rc := f.downlink.Receive(16)
+			_, rc := f.downlink.ReceiveInto(f.dbuf[:])
 			if rc < 0 || rc == xm.NoAction {
 				break
 			}
 			f.report.FramesDrained++
 		}
 	}
-	f.ctx.Printf("[FDIR] cycle=%d up=%d hm=%d\n",
-		f.report.Cycles, f.report.PartitionsUp, f.report.HMEntriesSeen)
+	// Hand-rolled Printf("[FDIR] cycle=%d up=%d hm=%d\n", ...): the
+	// cycle report runs every FDIR slot, so it formats into a reused
+	// line buffer — the bytes on the console are identical.
+	f.line = append(f.line[:0], "[FDIR] cycle="...)
+	f.line = strconv.AppendUint(f.line, uint64(f.report.Cycles), 10)
+	f.line = append(f.line, " up="...)
+	f.line = strconv.AppendInt(f.line, int64(f.report.PartitionsUp), 10)
+	f.line = append(f.line, " hm="...)
+	f.line = strconv.AppendInt(f.line, int64(f.report.HMEntriesSeen), 10)
+	f.line = append(f.line, '\n')
+	f.ctx.PrintBytes(f.line)
 	return false
 }
 

@@ -232,21 +232,17 @@ func (m *Machine) nextDue(limit Time) (int, Time) {
 }
 
 // backing resolves a physical address range to its backing store, or nil if
-// the range is not backed (a bus error on real hardware).
+// the range is not backed (a bus error on real hardware). Straight-line
+// bank checks: this sits under every memory access of the simulator.
 func (m *Machine) backing(addr Addr, size uint32) []byte {
-	type bank struct {
-		base Addr
-		mem  []byte
+	if off, ok := bankOffset(addr, size, m.cfg.RAMBase, m.ram); ok {
+		return m.ram[off : off+uint64(size)]
 	}
-	for _, b := range [...]bank{
-		{m.cfg.ROMBase, m.rom},
-		{m.cfg.RAMBase, m.ram},
-		{m.cfg.IOBase, m.io},
-	} {
-		off := uint64(addr) - uint64(b.base)
-		if uint64(addr) >= uint64(b.base) && off+uint64(size) <= uint64(len(b.mem)) {
-			return b.mem[off : off+uint64(size)]
-		}
+	if off, ok := bankOffset(addr, size, m.cfg.ROMBase, m.rom); ok {
+		return m.rom[off : off+uint64(size)]
+	}
+	if off, ok := bankOffset(addr, size, m.cfg.IOBase, m.io); ok {
+		return m.io[off : off+uint64(size)]
 	}
 	return nil
 }
@@ -254,7 +250,8 @@ func (m *Machine) backing(addr Addr, size uint32) []byte {
 // Read reads size bytes at addr into a fresh slice, returning a
 // data_access_exception trap for unbacked addresses. This is the raw bus
 // access; permission checks belong to Space.Check and are the caller's
-// (the kernel's) responsibility.
+// (the kernel's) responsibility. Hot paths that can provide their own
+// buffer use ReadInto and skip the allocation.
 func (m *Machine) Read(addr Addr, size uint32) ([]byte, *Trap) {
 	m.reads++
 	b := m.backing(addr, size)
@@ -265,6 +262,20 @@ func (m *Machine) Read(addr Addr, size uint32) ([]byte, *Trap) {
 	out := make([]byte, size)
 	copy(out, b)
 	return out, nil
+}
+
+// ReadInto reads len(buf) bytes at addr into buf — the allocation-free
+// form of Read, for the kernel's bulk-copy and string-walk paths. The
+// bus and trap accounting is identical to Read's.
+func (m *Machine) ReadInto(addr Addr, buf []byte) *Trap {
+	m.reads++
+	b := m.backing(addr, uint32(len(buf)))
+	if b == nil {
+		m.trapsRaised++
+		return DataAccessTrap(addr, PermRead, "bus error: unbacked address")
+	}
+	copy(buf, b)
+	return nil
 }
 
 // bankOffset resolves addr against one bank, returning the in-bank offset.
@@ -303,15 +314,18 @@ func (m *Machine) Write(addr Addr, data []byte) *Trap {
 	return DataAccessTrap(addr, PermWrite, "bus error: unbacked address")
 }
 
-// Read32 loads a big-endian word (SPARC is big-endian).
+// Read32 loads a big-endian word (SPARC is big-endian). It decodes
+// straight out of the backing store — no per-word allocation.
 func (m *Machine) Read32(addr Addr) (uint32, *Trap) {
 	if uint32(addr)%4 != 0 {
 		m.trapsRaised++
 		return 0, AlignmentTrap(addr, PermRead)
 	}
-	b, tr := m.Read(addr, 4)
-	if tr != nil {
-		return 0, tr
+	m.reads++
+	b := m.backing(addr, 4)
+	if b == nil {
+		m.trapsRaised++
+		return 0, DataAccessTrap(addr, PermRead, "bus error: unbacked address")
 	}
 	return binary.BigEndian.Uint32(b), nil
 }
@@ -327,15 +341,18 @@ func (m *Machine) Write32(addr Addr, v uint32) *Trap {
 	return m.Write(addr, b[:])
 }
 
-// Read64 loads a big-endian doubleword.
+// Read64 loads a big-endian doubleword, straight out of the backing
+// store like Read32.
 func (m *Machine) Read64(addr Addr) (uint64, *Trap) {
 	if uint32(addr)%8 != 0 {
 		m.trapsRaised++
 		return 0, AlignmentTrap(addr, PermRead)
 	}
-	b, tr := m.Read(addr, 8)
-	if tr != nil {
-		return 0, tr
+	m.reads++
+	b := m.backing(addr, 8)
+	if b == nil {
+		m.trapsRaised++
+		return 0, DataAccessTrap(addr, PermRead, "bus error: unbacked address")
 	}
 	return binary.BigEndian.Uint64(b), nil
 }
@@ -499,7 +516,16 @@ func (m *Machine) AuditPages(n int) error {
 		if hi > uint64(len(mem)) {
 			hi = uint64(len(mem))
 		}
-		for off := lo; off < hi; off++ {
+		// Word-wise scan; on a hit, pin down the exact byte for the
+		// error message. Pages are power-of-two sized so only the last
+		// page of a bank can leave a sub-word tail.
+		off := lo
+		for ; off+8 <= hi; off += 8 {
+			if binary.BigEndian.Uint64(mem[off:off+8]) != 0 {
+				break
+			}
+		}
+		for ; off < hi; off++ {
 			if mem[off] != 0 {
 				return fmt.Errorf("sparc: %s residue at page %d offset %#x (untracked write?)",
 					name, page, off)

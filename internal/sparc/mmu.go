@@ -91,6 +91,20 @@ func NewSpace(name string, regions ...Region) *Space {
 // Name returns the label the space was created with.
 func (s *Space) Name() string { return s.name }
 
+// Rebuild resets the view to exactly the given regions, reusing the
+// backing array — the in-place twin of NewSpace for recycled kernels,
+// undoing any run-time AddRegion grants or FlipRegionBit upsets. The
+// insertion sort (spaces hold a handful of regions) keeps the hot
+// recycle path free of sort.Slice's closure allocations.
+func (s *Space) Rebuild(regions ...Region) {
+	s.regions = append(s.regions[:0], regions...)
+	for i := 1; i < len(s.regions); i++ {
+		for j := i; j > 0 && s.regions[j].Base < s.regions[j-1].Base; j-- {
+			s.regions[j], s.regions[j-1] = s.regions[j-1], s.regions[j]
+		}
+	}
+}
+
 // Regions returns a copy of the regions in the space.
 func (s *Space) Regions() []Region { return append([]Region(nil), s.regions...) }
 

@@ -2,6 +2,17 @@ package sparc
 
 import "sync"
 
+// Pool is the machine-recycling contract shared by MachinePool (the
+// legacy reset-and-verify recycler) and SnapshotPool (the copy-on-write
+// snapshot recycler): Get returns a verified power-on machine, Put hands
+// one back.
+type Pool interface {
+	Get() *Machine
+	Put(*Machine)
+	Stats() PoolStats
+	SetStrict(bool)
+}
+
 // PoolStats counts what a MachinePool did over its lifetime.
 type PoolStats struct {
 	// Allocated is the number of machines built from scratch.

@@ -22,29 +22,54 @@ type UART struct {
 func (u *UART) writeByte(b byte) {
 	u.written++
 	if u.buf.Len() >= uartCap {
-		// Drop the oldest half to amortise the trimming cost.
-		half := u.buf.Bytes()[uartCap/2:]
-		rest := make([]byte, len(half))
-		copy(rest, half)
-		u.dropped += uint64(u.buf.Len() - len(rest))
-		u.buf.Reset()
-		u.buf.Write(rest)
+		u.trim()
 	}
 	u.buf.WriteByte(b)
 }
 
-// Write appends a byte slice to the console stream.
+// trim drops the oldest half of the buffer to amortise the trimming
+// cost, like a scrollback buffer.
+func (u *UART) trim() {
+	half := u.buf.Bytes()[uartCap/2:]
+	rest := make([]byte, len(half))
+	copy(rest, half)
+	u.dropped += uint64(u.buf.Len() - len(rest))
+	u.buf.Reset()
+	u.buf.Write(rest)
+}
+
+// Write appends a byte slice to the console stream. Bytes land in
+// capacity-bounded chunks — the content and drop accounting are exactly
+// those of a byte-at-a-time append, without the per-byte bounds check.
 func (u *UART) Write(p []byte) (int, error) {
-	for _, b := range p {
-		u.writeByte(b)
+	for done := 0; done < len(p); {
+		if u.buf.Len() >= uartCap {
+			u.trim()
+		}
+		n := uartCap - u.buf.Len()
+		if rest := len(p) - done; n > rest {
+			n = rest
+		}
+		u.buf.Write(p[done : done+n])
+		u.written += uint64(n)
+		done += n
 	}
 	return len(p), nil
 }
 
 // WriteString appends a string to the console stream.
 func (u *UART) WriteString(s string) {
-	for i := 0; i < len(s); i++ {
-		u.writeByte(s[i])
+	for done := 0; done < len(s); {
+		if u.buf.Len() >= uartCap {
+			u.trim()
+		}
+		n := uartCap - u.buf.Len()
+		if rest := len(s) - done; n > rest {
+			n = rest
+		}
+		u.buf.WriteString(s[done : done+n])
+		u.written += uint64(n)
+		done += n
 	}
 }
 

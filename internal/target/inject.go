@@ -109,8 +109,15 @@ func (t *Inject) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
 		return res
 	}
 	ref := t.base.Execute(is.s, ds, spec)
-	t.base.Release(is.s)
-	is.s = t.base.Acquire()
+	// The injected leg must start from power-on state. Slots with the
+	// snapshot capability rewind in place — the copy-on-write analogue
+	// of the pool round-trip, producing exactly the same power-on state;
+	// anything else (or a slot that refuses the rewind) recycles through
+	// the base backend as before.
+	if ss, ok := is.s.(SnapshotSlot); !ok || ss.Restore() != nil {
+		t.base.Release(is.s)
+		is.s = t.base.Acquire()
+	}
 	ispec := spec
 	ispec.Inject = plan
 	res := t.base.Execute(is.s, ds, ispec)

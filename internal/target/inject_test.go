@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"xmrobust/internal/inject"
-	"xmrobust/internal/sparc"
 	"xmrobust/internal/xm"
 )
 
@@ -243,7 +242,7 @@ func TestInjectedMachineVerifiesCleanAfterReset(t *testing.T) {
 			rs.MAFs = 2
 			rs.Inject = plan
 			slot := sim.Acquire()
-			m, _ := slot.(*sparc.Machine)
+			m := machineOf(slot)
 			if m == nil {
 				t.Fatal("pooled sim handed out a nil machine")
 			}

@@ -2,6 +2,7 @@ package target
 
 import (
 	"fmt"
+	"sync"
 
 	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
@@ -23,47 +24,146 @@ func init() {
 }
 
 // Sim is the simulation backend: every test packs a fresh testbed onto a
-// simulated LEON3 machine (recycled through a reset-and-verify pool
-// unless Config.FreshMachines) and runs the TSP system for the selected
-// number of cyclic schedules — the paper's execution environment.
+// simulated LEON3 machine (recycled through a pool unless
+// Config.FreshMachines — the copy-on-write SnapshotPool by default, the
+// reset-and-verify MachinePool under Config.LegacyPool) and runs the TSP
+// system for the selected number of cyclic schedules — the paper's
+// execution environment.
 type Sim struct {
-	cfg  Config
-	pool *sparc.MachinePool
+	cfg      Config
+	pool     sparc.Pool
+	baseline *sparc.Snapshot
+
+	// kernels parks each pooled machine's recycled testbed kernel between
+	// batch leases, so system construction amortises across a campaign
+	// rather than per lease. A parked kernel is always dirty — ExecuteBatch
+	// recycles it before first use, the same in-place reset it applies
+	// between the lease's own tests.
+	mu      sync.Mutex
+	kernels map[*sparc.Machine]*xm.Kernel
 }
 
 // NewSim builds the simulation backend.
-func NewSim(cfg Config) *Sim { return &Sim{cfg: cfg} }
+func NewSim(cfg Config) *Sim {
+	return &Sim{cfg: cfg, baseline: sparc.PowerOnSnapshot(sparc.DefaultConfig())}
+}
 
 // Name returns "sim".
 func (s *Sim) Name() string { return SimName }
 
 // Provision sizes the machine pool to the campaign's worker parallelism.
+// It is idempotent: a target shared across engine runs keeps its warm
+// pool (and parked kernels) instead of dropping them on every campaign.
 func (s *Sim) Provision(workers int) error {
 	if s.cfg.FreshMachines {
+		return nil
+	}
+	if s.pool != nil {
 		return nil
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	s.pool = sparc.NewMachinePool(sparc.DefaultConfig(), workers)
+	if s.cfg.LegacyPool {
+		s.pool = sparc.NewMachinePool(sparc.DefaultConfig(), workers)
+	} else {
+		s.pool = sparc.NewSnapshotPool(sparc.DefaultConfig(), workers)
+	}
 	s.pool.SetStrict(s.cfg.PoolStrict)
 	return nil
 }
 
-// Acquire reserves a pooled machine (nil when pooling is off — Execute
-// then allocates a fresh one).
-func (s *Sim) Acquire() Slot {
-	if s.pool == nil {
-		return (*sparc.Machine)(nil)
-	}
-	return s.pool.Get()
+// simSlot is the sim backend's execution slot: the leased machine (nil
+// when pooling is off — Execute then allocates fresh per test) and the
+// restore point backing the SnapshotSlot capability.
+type simSlot struct {
+	owner *Sim
+	m     *sparc.Machine
+	snap  *sparc.Snapshot
 }
 
-// Release returns a pooled machine.
-func (s *Sim) Release(slot Slot) {
-	if m, _ := slot.(*sparc.Machine); m != nil && s.pool != nil {
-		s.pool.Put(m)
+// Machine exposes the slot's leased machine (nil when pooling is off).
+func (sl *simSlot) Machine() *sparc.Machine { return sl.m }
+
+// Snapshot captures the slot's current machine state as its restore
+// point.
+func (sl *simSlot) Snapshot() error {
+	if sl.m == nil {
+		return fmt.Errorf("target: slot holds no machine to snapshot")
 	}
+	sl.snap = sl.m.Snapshot()
+	return nil
+}
+
+// Restore rewinds the slot's machine to the last captured restore point
+// — the power-on baseline when none was captured. A crashed machine
+// rewinds like any other. Power-on restores additionally pass the reset
+// invariant check, so the restored state is exactly what a pool
+// round-trip would have certified; a captured mid-run state is restored
+// verbatim (its clock, console and devices are part of the capture, so
+// the power-on invariants deliberately do not apply).
+func (sl *simSlot) Restore() error {
+	if sl.m == nil {
+		return fmt.Errorf("target: slot holds no machine to restore")
+	}
+	if sl.snap != nil {
+		return sl.m.RestoreSnapshot(sl.snap)
+	}
+	if err := sl.m.RestoreSnapshot(sl.owner.baseline); err != nil {
+		return err
+	}
+	return sl.m.VerifyReset()
+}
+
+// Acquire reserves an execution slot (its machine is nil when pooling
+// is off — Execute then allocates a fresh one per test).
+func (s *Sim) Acquire() Slot {
+	sl := &simSlot{owner: s}
+	if s.pool != nil {
+		sl.m = s.pool.Get()
+	}
+	return sl
+}
+
+// Release returns a slot's machine to the pool.
+func (s *Sim) Release(slot Slot) {
+	if sl, _ := slot.(*simSlot); sl != nil && sl.m != nil && s.pool != nil {
+		s.pool.Put(sl.m)
+		sl.m = nil
+	}
+}
+
+// takeKernel claims the kernel parked for m, removing it from the cache.
+// It returns nil when no kernel is parked (a fresh or replaced machine).
+func (s *Sim) takeKernel(m *sparc.Machine) *xm.Kernel {
+	if m == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := s.kernels[m]
+	if k != nil {
+		delete(s.kernels, m)
+	}
+	return k
+}
+
+// parkKernel caches m's kernel for the machine's next lease. Machines the
+// pool has discarded leave dead entries behind; the cap bounds that drift
+// by restarting the cache, which only costs the next few leases a rebuild.
+func (s *Sim) parkKernel(m *sparc.Machine, k *xm.Kernel) {
+	if m == nil || k == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.kernels) >= 32 {
+		s.kernels = nil
+	}
+	if s.kernels == nil {
+		s.kernels = make(map[*sparc.Machine]*xm.Kernel)
+	}
+	s.kernels[m] = k
+	s.mu.Unlock()
 }
 
 // PoolStats reports the machine-pool counters (zero when pooling is off).
@@ -72,6 +172,99 @@ func (s *Sim) PoolStats() sparc.PoolStats {
 		return sparc.PoolStats{}
 	}
 	return s.pool.Stats()
+}
+
+// machineOf extracts the leased machine from a slot: the sim backend's
+// own slot struct, or a bare machine handed in directly by embedders.
+func machineOf(slot Slot) *sparc.Machine {
+	switch v := slot.(type) {
+	case *simSlot:
+		return v.m
+	case *sparc.Machine:
+		return v
+	}
+	return nil
+}
+
+// ExecuteBatch runs a contiguous lease of datasets while holding one
+// slot. Between tests the machine rewinds to the power-on baseline
+// in-slot — the copy-on-write analogue of the pool's Put/Get round-trip
+// — and the testbed kernel is recycled in place rather than rebuilt, so
+// both the per-test verification baseline and the system construction
+// cost amortise across the lease. Every test still boots a fresh
+// incarnation from power-on state: results are byte-identical to a loop
+// of Execute calls. A machine the in-slot rewind cannot certify is
+// replaced through the pool, exactly as a round-trip would have
+// replaced it, and the recycled kernel is re-pointed at the
+// replacement.
+func (s *Sim) ExecuteBatch(slot Slot, batch []testgen.Dataset, spec RunSpec) []Result {
+	out := make([]Result, len(batch))
+	sl, _ := slot.(*simSlot)
+	if sl == nil || sl.m == nil || s.pool == nil {
+		// No leased machine to rewind (pooling off, or a foreign slot):
+		// fall back to the single-test path per dataset.
+		for i, ds := range batch {
+			out[i] = s.Execute(slot, ds, spec)
+		}
+		return out
+	}
+	k := s.takeKernel(sl.m) // parked dirty: recycled below before use
+	var opts []xm.Option    // rebuilt only when the machine or sink changes
+	for i, ds := range batch {
+		if i > 0 {
+			sl.snap = nil
+			if sl.Restore() != nil {
+				// Rewind refused (layout drift, invariant failure):
+				// replace the machine through the pool's discard path.
+				s.pool.Put(sl.m)
+				sl.m = s.pool.Get()
+				opts = nil
+				if k == nil {
+					k = s.takeKernel(sl.m)
+				}
+			}
+		}
+		var cov *cover.Map
+		if spec.Coverage {
+			cov = &cover.Map{}
+			opts = nil // the sink is per test
+		}
+		if opts == nil {
+			opts = s.sysOptions(sl.m, spec, cov)
+		}
+		if k == nil {
+			var err error
+			if k, err = eagleeye.NewSystem(opts...); err != nil {
+				out[i] = Result{Dataset: ds, TestPartition: eagleeye.FDIR, Target: SimName, RunErr: err.Error()}
+				continue
+			}
+		} else {
+			k.Recycle(opts...)
+			if err := eagleeye.AttachOBSW(k); err != nil {
+				out[i] = Result{Dataset: ds, TestPartition: eagleeye.FDIR, Target: SimName, RunErr: err.Error()}
+				k = nil
+				continue
+			}
+		}
+		out[i] = s.runOn(k, cov, ds, spec)
+	}
+	s.parkKernel(sl.m, k)
+	return out
+}
+
+// sysOptions assembles the construction (or recycle) options for one
+// test: the campaign's fault set, the slot's machine, and the per-test
+// coverage sink when coverage is on.
+func (s *Sim) sysOptions(m *sparc.Machine, spec RunSpec, cov *cover.Map) []xm.Option {
+	opts := make([]xm.Option, 0, 3)
+	opts = append(opts, xm.WithFaults(spec.Faults))
+	if m != nil {
+		opts = append(opts, xm.WithMachine(m))
+	}
+	if cov != nil {
+		opts = append(opts, xm.WithCoverage(cov))
+	}
+	return opts
 }
 
 // layoutFor builds the symbolic-value resolution layout of the EagleEye
@@ -120,7 +313,23 @@ func (p *testProg) Step(env xm.Env) bool {
 // frames and harvest the log. The machine in the slot must be in its
 // power-on state; the reset-and-verify pool guarantees that.
 func (s *Sim) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
-	res := Result{Dataset: ds, TestPartition: eagleeye.FDIR, Target: SimName}
+	var cov *cover.Map
+	if spec.Coverage {
+		cov = &cover.Map{}
+	}
+	k, err := eagleeye.NewSystem(s.sysOptions(machineOf(slot), spec, cov)...)
+	if err != nil {
+		return Result{Dataset: ds, TestPartition: eagleeye.FDIR, Target: SimName, RunErr: err.Error()}
+	}
+	return s.runOn(k, cov, ds, spec)
+}
+
+// runOn drives one dataset on an already-constructed (or recycled)
+// testbed system: the kernel must be freshly built — no frames run, the
+// machine at power-on — with the OBSW attached and the right fault set
+// and coverage sink already wired in.
+func (s *Sim) runOn(k *xm.Kernel, cov *cover.Map, ds testgen.Dataset, spec RunSpec) Result {
+	res := Result{Dataset: ds, TestPartition: eagleeye.FDIR, Target: SimName, Cover: cov}
 
 	hc, ok := xm.LookupName(ds.Func.Name)
 	if !ok {
@@ -128,19 +337,6 @@ func (s *Sim) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
 		return res
 	}
 	st, err := stateFor(ds)
-	if err != nil {
-		res.RunErr = err.Error()
-		return res
-	}
-	sysOpts := []xm.Option{xm.WithFaults(spec.Faults)}
-	if m, _ := slot.(*sparc.Machine); m != nil {
-		sysOpts = append(sysOpts, xm.WithMachine(m))
-	}
-	if spec.Coverage {
-		res.Cover = &cover.Map{}
-		sysOpts = append(sysOpts, xm.WithCoverage(res.Cover))
-	}
-	k, err := eagleeye.NewSystem(sysOpts...)
 	if err != nil {
 		res.RunErr = err.Error()
 		return res

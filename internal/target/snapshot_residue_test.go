@@ -1,0 +1,144 @@
+package target
+
+import (
+	"bytes"
+	"testing"
+
+	"xmrobust/internal/inject"
+	"xmrobust/internal/sparc"
+)
+
+// The snapshot/restore sweep of the TestResetScrubsEverything family at
+// the target layer: whatever an execution leg does to the leased machine
+// — ordinary runs, crashed simulators, inject peek-poke flips — a slot
+// Restore must rewind it to a state the exhaustive VerifyClean scan
+// accepts, under the strict pool that re-scans every recycle.
+
+// TestSlotRestoreScrubsInjectedAndCrashedLegs drives the pooled sim
+// backend through forced injection plans (some legs crash the simulator
+// mid-flight), rewinds each leg in-slot instead of round-tripping the
+// pool, and requires the restored machine to pass the full-image scan.
+func TestSlotRestoreScrubsInjectedAndCrashedLegs(t *testing.T) {
+	sim := NewSim(Config{PoolStrict: true})
+	if err := sim.Provision(1); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := inject.NewSchedule(inject.Params{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := 0
+	for _, fn := range []string{"XM_set_timer", "XM_read_sampling_message", "XM_resume_partition"} {
+		for rank := int64(0); rank < 4; rank++ {
+			ds := dataset(t, fn, rank)
+			rs := spec1()
+			rs.MAFs = 2
+			rs.Inject = sched.Plan(ds)
+			slot := sim.Acquire()
+			sl, ok := slot.(*simSlot)
+			if !ok || sl.m == nil {
+				t.Fatal("pooled sim handed out no machine")
+			}
+			res := sim.Execute(slot, ds, rs)
+			if res.SimCrashed {
+				crashed++
+			}
+			// Rewind the leg in-slot: no captured restore point, so the
+			// power-on baseline — the batched engine's between-test path.
+			sl.snap = nil
+			if err := sl.Restore(); err != nil {
+				t.Fatalf("%s rank %d: restore after leg: %v", fn, rank, err)
+			}
+			if err := sl.m.VerifyClean(); err != nil {
+				t.Fatalf("%s rank %d (inject %+v): residue after restore: %v",
+					fn, rank, rs.Inject, err)
+			}
+			sim.Release(slot)
+		}
+	}
+	if crashed == 0 {
+		t.Log("no simulator crash in the sweep; the crash path rode along untested")
+	}
+}
+
+// TestSlotSnapshotOfDirtyMachineRestores captures a restore point on a
+// machine mid-campaign (dirty from a completed leg), diverges it with a
+// further leg, and checks Restore rewinds the observables — clock,
+// console, RAM — to exactly the captured point.
+func TestSlotSnapshotOfDirtyMachineRestores(t *testing.T) {
+	sim := NewSim(Config{PoolStrict: true})
+	if err := sim.Provision(1); err != nil {
+		t.Fatal(err)
+	}
+	slot := sim.Acquire()
+	defer sim.Release(slot)
+	sl := slot.(*simSlot)
+
+	// Leg one dirties the machine; its end state is the restore point.
+	if res := sim.Execute(slot, dataset(t, "XM_set_timer", 1), spec1()); res.RunErr != "" {
+		t.Fatalf("leg one: %v", res.RunErr)
+	}
+	if err := sl.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	window := sl.m.Config().RAMBase + 0x1000
+	ref, tr := sl.m.Read(window, 256)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	ref = append([]byte(nil), ref...)
+	refNow := sl.m.Now()
+	refConsole := sl.m.UART().String()
+
+	// Leg two diverges well past the capture, then crashes the machine.
+	if res := sim.Execute(slot, dataset(t, "XM_resume_partition", 2), spec1()); res.RunErr != "" {
+		t.Fatalf("leg two: %v", res.RunErr)
+	}
+	sl.m.Crash("post-snapshot crash")
+
+	if err := sl.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if crashed, _ := sl.m.Crashed(); crashed {
+		t.Fatal("restore did not rewind the crash flag")
+	}
+	if now := sl.m.Now(); now != refNow {
+		t.Fatalf("restored clock at %dus, want %d", now, refNow)
+	}
+	if got := sl.m.UART().String(); got != refConsole {
+		t.Fatalf("restored console diverges:\n got %q\nwant %q", got, refConsole)
+	}
+	got, tr := sl.m.Read(window, 256)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("restored RAM window diverges from the captured state")
+	}
+}
+
+// TestSlotRestoreComposesWithInjectPokes pins the Restore/FlipBit
+// composition directly: peek-poke upsets landed between capture and
+// restore (the inject target's primitives) vanish without trace.
+func TestSlotRestoreComposesWithInjectPokes(t *testing.T) {
+	sim := NewSim(Config{PoolStrict: true})
+	if err := sim.Provision(1); err != nil {
+		t.Fatal(err)
+	}
+	slot := sim.Acquire()
+	defer sim.Release(slot)
+	sl := slot.(*simSlot)
+	m := sl.m
+
+	base := m.Config().RAMBase
+	for i := 0; i < 6; i++ {
+		m.FlipBit(base+sparc.Addr(i)<<12, uint8(i))
+	}
+	sl.snap = nil
+	if err := sl.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyClean(); err != nil {
+		t.Fatalf("poke residue survived restore: %v", err)
+	}
+}

@@ -81,6 +81,29 @@ type RunSpec struct {
 	Inject *inject.Plan
 }
 
+// SnapshotSlot is an optional capability of slots whose backing state
+// can be checkpointed: Snapshot captures the slot's current state as
+// its restore point, and Restore rewinds the slot to the last captured
+// point — the power-on baseline when none was captured. Composites use
+// Restore to recycle a slot between execution legs without a
+// Release/Acquire round-trip through the backend's pool; the restored
+// state is exactly what a round-trip would have produced.
+type SnapshotSlot interface {
+	Snapshot() error
+	Restore() error
+}
+
+// BatchExecutor is an optional capability of targets that can execute a
+// contiguous lease of tests while holding one slot, amortising the
+// per-test recycle-and-verify baseline across the lease. Each dataset
+// executes with exactly Execute's semantics: the results are
+// byte-identical to a loop of Execute calls with pool round-trips in
+// between — only the verification and allocation overhead amortises,
+// never what a test observes.
+type BatchExecutor interface {
+	ExecuteBatch(slot Slot, batch []testgen.Dataset, spec RunSpec) []Result
+}
+
 // Target is one execution backend. Execute must be safe for concurrent
 // use across distinct slots — the campaign worker pool calls it from
 // several goroutines, each holding its own acquired slot.
@@ -109,6 +132,11 @@ type Config struct {
 	// PoolStrict makes the machine pool scan every byte of every
 	// recycled machine. Slow; for isolation tests.
 	PoolStrict bool
+	// LegacyPool selects the reset-and-verify MachinePool instead of the
+	// default copy-on-write SnapshotPool on backends that pool — the A/B
+	// switch behind the performance trajectory (and a fallback should
+	// the snapshot recycler ever be in doubt).
+	LegacyPool bool
 	// Inject parameterises the SEU schedule of inject:* targets (rate,
 	// sites, seed); other backends ignore it.
 	Inject inject.Params

@@ -21,10 +21,19 @@ import (
 // Ctx wraps the kernel-provided environment with the XAL conveniences.
 type Ctx struct {
 	Env xm.Env
+	// ri and hc4 cache the environment's optional allocation-free
+	// capabilities (nil when the Env does not provide them).
+	ri  xm.ReaderInto
+	hc4 xm.Hypercaller4
 	// heap is the bump-allocation cursor inside the data area.
 	heapBase sparc.Addr
 	heapEnd  sparc.Addr
 	heapCur  sparc.Addr
+	// scratch backs fixed-size kernel-structure reads (status records,
+	// clock values) and hmRaw the health-monitor drain, so steady-state
+	// polling does not allocate.
+	scratch [32]byte
+	hmRaw   []byte
 }
 
 // New builds a XAL context over a raw environment. dataArea is the
@@ -33,12 +42,40 @@ type Ctx struct {
 // lower half stays free for static program data.
 func New(env xm.Env, dataArea sparc.Region) *Ctx {
 	half := dataArea.Size / 2
-	return &Ctx{
+	c := &Ctx{
 		Env:      env,
 		heapBase: dataArea.Base + sparc.Addr(half),
 		heapEnd:  dataArea.Base + sparc.Addr(dataArea.Size),
 		heapCur:  dataArea.Base + sparc.Addr(half),
 	}
+	c.ri, _ = env.(xm.ReaderInto)
+	c.hc4, _ = env.(xm.Hypercaller4)
+	return c
+}
+
+// hc issues a hypercall through the fixed-arity fast path when the
+// environment has one; unused arguments are zero, which the dispatcher
+// treats exactly like missing ones.
+func (c *Ctx) hc(nr xm.Nr, a0, a1, a2, a3 uint64) xm.RetCode {
+	if c.hc4 != nil {
+		return c.hc4.Hypercall4(nr, a0, a1, a2, a3)
+	}
+	return c.Env.Hypercall(nr, a0, a1, a2, a3)
+}
+
+// readInto copies a kernel-written structure back out of guest memory
+// into a caller-owned buffer, without allocating when the environment
+// supports it.
+func (c *Ctx) readInto(addr sparc.Addr, buf []byte) bool {
+	if c.ri != nil {
+		return c.ri.ReadInto(addr, buf)
+	}
+	b, ok := c.Env.Read(addr, uint32(len(buf)))
+	if !ok {
+		return false
+	}
+	copy(buf, b)
+	return true
 }
 
 // ResetHeap rewinds the bump allocator. Long-running programs call it at
@@ -71,9 +108,19 @@ func (c *Ctx) AllocBytes(data []byte) sparc.Addr {
 	return addr
 }
 
-// AllocString allocates a NUL-terminated guest string.
+// AllocString allocates a NUL-terminated guest string. Short strings
+// (port and plan names) stage through the context's scratch buffer, so
+// the common create-port boot sequence does not allocate host memory.
 func (c *Ctx) AllocString(s string) sparc.Addr {
-	return c.AllocBytes(append([]byte(s), 0))
+	var buf []byte
+	if len(s)+1 <= len(c.scratch) {
+		buf = c.scratch[:len(s)+1]
+	} else {
+		buf = make([]byte, len(s)+1)
+	}
+	copy(buf, s)
+	buf[len(s)] = 0
+	return c.AllocBytes(buf)
 }
 
 // --- Time management -------------------------------------------------------
@@ -84,20 +131,19 @@ func (c *Ctx) GetTime(clock uint32) (xm.Time, xm.RetCode) {
 	if ptr == 0 {
 		return 0, xm.InvalidParam
 	}
-	rc := c.Env.Hypercall(xm.NrGetTime, uint64(clock), uint64(ptr))
+	rc := c.hc(xm.NrGetTime, uint64(clock), uint64(ptr), 0, 0)
 	if rc != xm.OK {
 		return 0, rc
 	}
-	b, ok := c.Env.Read(ptr, 8)
-	if !ok {
+	if !c.readInto(ptr, c.scratch[:8]) {
 		return 0, xm.InvalidParam
 	}
-	return xm.Time(binary.BigEndian.Uint64(b)), xm.OK
+	return xm.Time(binary.BigEndian.Uint64(c.scratch[:8])), xm.OK
 }
 
 // SetTimer arms the partition's timer on the given clock.
 func (c *Ctx) SetTimer(clock uint32, absTime, interval xm.Time) xm.RetCode {
-	return c.Env.Hypercall(xm.NrSetTimer, uint64(clock), uint64(absTime), uint64(interval))
+	return c.hc(xm.NrSetTimer, uint64(clock), uint64(absTime), uint64(interval), 0)
 }
 
 // --- Console ----------------------------------------------------------------
@@ -111,7 +157,21 @@ func (c *Ctx) Print(s string) xm.RetCode {
 	if buf == 0 {
 		return xm.InvalidParam
 	}
-	return c.Env.Hypercall(xm.NrWriteConsole, uint64(buf), uint64(len(s)))
+	return c.hc(xm.NrWriteConsole, uint64(buf), uint64(len(s)), 0, 0)
+}
+
+// PrintBytes writes a byte slice to the hypervisor console without
+// copying through a string — the allocation-free sibling of Print for
+// programs that format into a reused buffer.
+func (c *Ctx) PrintBytes(b []byte) xm.RetCode {
+	if len(b) == 0 {
+		return xm.NoAction
+	}
+	buf := c.AllocBytes(b)
+	if buf == 0 {
+		return xm.InvalidParam
+	}
+	return c.hc(xm.NrWriteConsole, uint64(buf), uint64(len(b)), 0, 0)
 }
 
 // Printf formats and writes to the hypervisor console.
@@ -133,7 +193,7 @@ func (c *Ctx) CreateSamplingPort(name string, maxMsgSize, direction uint32) (*Po
 	if namePtr == 0 {
 		return nil, xm.InvalidParam
 	}
-	rc := c.Env.Hypercall(xm.NrCreateSamplingPort, uint64(namePtr), uint64(maxMsgSize), uint64(direction))
+	rc := c.hc(xm.NrCreateSamplingPort, uint64(namePtr), uint64(maxMsgSize), uint64(direction), 0)
 	if rc < 0 {
 		return nil, rc
 	}
@@ -146,7 +206,7 @@ func (c *Ctx) CreateQueuingPort(name string, maxNoMsgs, maxMsgSize, direction ui
 	if namePtr == 0 {
 		return nil, xm.InvalidParam
 	}
-	rc := c.Env.Hypercall(xm.NrCreateQueuingPort,
+	rc := c.hc(xm.NrCreateQueuingPort,
 		uint64(namePtr), uint64(maxNoMsgs), uint64(maxMsgSize), uint64(direction))
 	if rc < 0 {
 		return nil, rc
@@ -160,24 +220,35 @@ func (p *Port) WriteSampling(msg []byte) xm.RetCode {
 	if buf == 0 {
 		return xm.InvalidParam
 	}
-	return p.ctx.Env.Hypercall(xm.NrWriteSamplingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(len(msg)))
+	return p.ctx.hc(xm.NrWriteSamplingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(len(msg)), 0)
 }
 
 // ReadSampling reads the freshest message (nil, XM_NO_ACTION when none).
 func (p *Port) ReadSampling(maxSize uint32) ([]byte, xm.RetCode) {
-	buf := p.ctx.Alloc(maxSize)
-	if buf == 0 {
-		return nil, xm.InvalidParam
-	}
-	rc := p.ctx.Env.Hypercall(xm.NrReadSamplingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(maxSize))
-	if rc < 0 {
+	b := make([]byte, maxSize)
+	n, rc := p.ReadSamplingInto(b)
+	if rc != xm.OK {
 		return nil, rc
 	}
-	b, ok := p.ctx.Env.Read(buf, uint32(rc))
-	if !ok {
-		return nil, xm.InvalidParam
+	return b[:n], xm.OK
+}
+
+// ReadSamplingInto reads the freshest message into a caller-owned
+// buffer, returning the number of bytes copied — the allocation-free
+// sibling of ReadSampling. len(buf) is the requested maximum size.
+func (p *Port) ReadSamplingInto(buf []byte) (int, xm.RetCode) {
+	addr := p.ctx.Alloc(uint32(len(buf)))
+	if addr == 0 {
+		return 0, xm.InvalidParam
 	}
-	return b, xm.OK
+	rc := p.ctx.hc(xm.NrReadSamplingMsg, uint64(uint32(p.ID)), uint64(addr), uint64(len(buf)), 0)
+	if rc < 0 {
+		return 0, rc
+	}
+	if !p.ctx.readInto(addr, buf[:uint32(rc)]) {
+		return 0, xm.InvalidParam
+	}
+	return int(rc), xm.OK
 }
 
 // Send enqueues a message on a queuing port.
@@ -186,29 +257,40 @@ func (p *Port) Send(msg []byte) xm.RetCode {
 	if buf == 0 {
 		return xm.InvalidParam
 	}
-	return p.ctx.Env.Hypercall(xm.NrSendQueuingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(len(msg)))
+	return p.ctx.hc(xm.NrSendQueuingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(len(msg)), 0)
 }
 
 // Receive dequeues the oldest message (nil, XM_NO_ACTION when empty).
 func (p *Port) Receive(maxSize uint32) ([]byte, xm.RetCode) {
-	buf := p.ctx.Alloc(maxSize)
-	if buf == 0 {
-		return nil, xm.InvalidParam
-	}
-	rc := p.ctx.Env.Hypercall(xm.NrReceiveQueuingMsg, uint64(uint32(p.ID)), uint64(buf), uint64(maxSize))
-	if rc < 0 {
+	b := make([]byte, maxSize)
+	n, rc := p.ReceiveInto(b)
+	if rc != xm.OK {
 		return nil, rc
 	}
-	b, ok := p.ctx.Env.Read(buf, uint32(rc))
-	if !ok {
-		return nil, xm.InvalidParam
+	return b[:n], xm.OK
+}
+
+// ReceiveInto dequeues the oldest message into a caller-owned buffer,
+// returning the number of bytes copied — the allocation-free sibling of
+// Receive. len(buf) is the requested maximum size.
+func (p *Port) ReceiveInto(buf []byte) (int, xm.RetCode) {
+	addr := p.ctx.Alloc(uint32(len(buf)))
+	if addr == 0 {
+		return 0, xm.InvalidParam
 	}
-	return b, xm.OK
+	rc := p.ctx.hc(xm.NrReceiveQueuingMsg, uint64(uint32(p.ID)), uint64(addr), uint64(len(buf)), 0)
+	if rc < 0 {
+		return 0, rc
+	}
+	if !p.ctx.readInto(addr, buf[:uint32(rc)]) {
+		return 0, xm.InvalidParam
+	}
+	return int(rc), xm.OK
 }
 
 // Close releases the port descriptor.
 func (p *Port) Close() xm.RetCode {
-	return p.ctx.Env.Hypercall(xm.NrClosePort, uint64(uint32(p.ID)))
+	return p.ctx.hc(xm.NrClosePort, uint64(uint32(p.ID)), 0, 0, 0)
 }
 
 // --- Health monitoring & partition management (system partitions) -----------
@@ -234,13 +316,19 @@ func (c *Ctx) ReadHM(max uint32) ([]HMEntry, xm.RetCode) {
 	if buf == 0 {
 		return nil, xm.InvalidParam
 	}
-	rc := c.Env.Hypercall(xm.NrHmRead, uint64(buf), uint64(max))
+	rc := c.hc(xm.NrHmRead, uint64(buf), uint64(max), 0, 0)
 	if rc < 0 {
 		return nil, rc
 	}
 	n := uint32(rc)
-	raw, ok := c.Env.Read(buf, n*hmEntrySize)
-	if !ok {
+	if n == 0 {
+		return nil, xm.OK
+	}
+	if uint32(cap(c.hmRaw)) < n*hmEntrySize {
+		c.hmRaw = make([]byte, n*hmEntrySize)
+	}
+	raw := c.hmRaw[:n*hmEntrySize]
+	if !c.readInto(buf, raw) {
 		return nil, xm.InvalidParam
 	}
 	out := make([]HMEntry, 0, n)
@@ -274,14 +362,14 @@ func (c *Ctx) GetPartitionStatus(id int32) (PartitionState, xm.RetCode) {
 	if buf == 0 {
 		return PartitionState{}, xm.InvalidParam
 	}
-	rc := c.Env.Hypercall(xm.NrGetPartitionStatus, uint64(uint32(id)), uint64(buf))
+	rc := c.hc(xm.NrGetPartitionStatus, uint64(uint32(id)), uint64(buf), 0, 0)
 	if rc != xm.OK {
 		return PartitionState{}, rc
 	}
-	b, ok := c.Env.Read(buf, 32)
-	if !ok {
+	if !c.readInto(buf, c.scratch[:32]) {
 		return PartitionState{}, xm.InvalidParam
 	}
+	b := c.scratch[:32]
 	return PartitionState{
 		ID:        binary.BigEndian.Uint32(b[0:4]),
 		State:     xm.PState(binary.BigEndian.Uint32(b[4:8])),
@@ -294,7 +382,7 @@ func (c *Ctx) GetPartitionStatus(id int32) (PartitionState, xm.RetCode) {
 
 // ResetPartition restarts another partition (system partitions only).
 func (c *Ctx) ResetPartition(id int32, mode uint32) xm.RetCode {
-	return c.Env.Hypercall(xm.NrResetPartition, uint64(uint32(id)), uint64(mode), 0)
+	return c.hc(xm.NrResetPartition, uint64(uint32(id)), uint64(mode), 0, 0)
 }
 
 // TraceEvent stores a 16-byte trace record in the caller's stream.
@@ -303,5 +391,5 @@ func (c *Ctx) TraceEvent(bitmask uint32, payload [16]byte) xm.RetCode {
 	if buf == 0 {
 		return xm.InvalidParam
 	}
-	return c.Env.Hypercall(xm.NrTraceEvent, uint64(bitmask), uint64(buf))
+	return c.hc(xm.NrTraceEvent, uint64(bitmask), uint64(buf), 0, 0)
 }

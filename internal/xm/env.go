@@ -41,6 +41,22 @@ func (e *guestEnv) Hypercall(nr Nr, args ...uint64) RetCode {
 	return ret
 }
 
+// Hypercall4 is the fixed-arity fast path of Hypercall: identical
+// semantics with exactly four arguments (the dispatcher zero-fills
+// missing ones and ignores extras, so padding with zeros is free),
+// without the variadic slice escaping to the heap on every call.
+func (e *guestEnv) Hypercall4(nr Nr, a0, a1, a2, a3 uint64) RetCode {
+	args := [4]uint64{a0, a1, a2, a3}
+	k, p := e.k, e.sc.p
+	ret := k.dispatch(p, nr, args[:])
+	if err := k.sync(e.sc); err != nil {
+		panic(guestStop{reason: err.Error()})
+	}
+	k.handleOverrun(e.sc)
+	e.checkConsequences()
+	return ret
+}
+
 // checkConsequences aborts guest execution when the world changed under it.
 func (e *guestEnv) checkConsequences() {
 	k, p := e.k, e.sc.p
@@ -78,6 +94,27 @@ func (e *guestEnv) Read(addr sparc.Addr, size uint32) ([]byte, bool) {
 	return data, true
 }
 
+// ReadInto copies len(buf) bytes from the partition's address space into
+// a caller-owned buffer — the allocation-free sibling of Read, surfaced
+// to guests as the optional ReaderInto capability.
+func (e *guestEnv) ReadInto(addr sparc.Addr, buf []byte) bool {
+	k, p := e.k, e.sc.p
+	if len(buf) == 0 {
+		return true
+	}
+	if tr := p.space.Check(addr, uint32(len(buf)), sparc.PermRead); tr != nil {
+		k.raiseHM(HMEvMemProtection, p, tr.String())
+		e.checkConsequences()
+		return false
+	}
+	if tr := k.machine.ReadInto(addr, buf); tr != nil {
+		k.raiseHM(HMEvMemProtection, p, tr.String())
+		e.checkConsequences()
+		return false
+	}
+	return true
+}
+
 // Write copies data into the partition's address space, with the same
 // spatial-violation semantics as Read.
 func (e *guestEnv) Write(addr sparc.Addr, data []byte) bool {
@@ -113,6 +150,19 @@ func (k *Kernel) copyFromGuest(p *Partition, addr sparc.Addr, size uint32) ([]by
 	return data, tr == nil
 }
 
+// copyFromGuestInto validates and reads len(buf) bytes at addr in p's
+// space into a caller-owned buffer, avoiding the per-call allocation of
+// copyFromGuest on hot service paths.
+func (k *Kernel) copyFromGuestInto(p *Partition, addr sparc.Addr, buf []byte) bool {
+	if len(buf) == 0 {
+		return true
+	}
+	if tr := p.space.Check(addr, uint32(len(buf)), sparc.PermRead); tr != nil {
+		return false
+	}
+	return k.machine.ReadInto(addr, buf) == nil
+}
+
 // copyToGuest validates and writes data at addr in p's space.
 func (k *Kernel) copyToGuest(p *Partition, addr sparc.Addr, data []byte) bool {
 	if len(data) == 0 {
@@ -134,20 +184,46 @@ func (k *Kernel) guestReadable(p *Partition, addr sparc.Addr, size uint32) bool 
 	return p.space.Check(addr, size, sparc.PermRead) == nil
 }
 
-// readGuestString reads a NUL-terminated string of at most max bytes.
-func (k *Kernel) readGuestString(p *Partition, addr sparc.Addr, max uint32) (string, bool) {
-	var out []byte
-	for i := uint32(0); i < max; i++ {
-		b, ok := k.copyFromGuest(p, addr+sparc.Addr(i), 1)
-		if !ok {
-			return "", false
+// readGuestString reads a NUL-terminated string of at most max bytes
+// into buf (usually a stack array resliced to zero length — every caller
+// only compares the name, so nothing heap-allocates on this path). The
+// fast path reads whole chunks when the caller's space admits them; the
+// byte-wise fallback preserves the exact semantics of a byte-at-a-time
+// probe — a string whose terminator lands before the first unreadable
+// byte still succeeds.
+func (k *Kernel) readGuestString(p *Partition, addr sparc.Addr, max uint32, buf []byte) ([]byte, bool) {
+	var chunk [64]byte
+	out := buf
+	for i := uint32(0); i < max; {
+		n := max - i
+		if n > uint32(len(chunk)) {
+			n = uint32(len(chunk))
 		}
-		if b[0] == 0 {
-			return string(out), true
+		a := addr + sparc.Addr(i)
+		if p.space.Check(a, n, sparc.PermRead) == nil && k.machine.ReadInto(a, chunk[:n]) == nil {
+			for j := uint32(0); j < n; j++ {
+				if chunk[j] == 0 {
+					return append(out, chunk[:j]...), true
+				}
+			}
+			out = append(out, chunk[:n]...)
+			i += n
+			continue
 		}
-		out = append(out, b[0])
+		// Chunk not fully readable: probe byte by byte so a terminator
+		// before the faulting byte still counts.
+		for ; i < max; i++ {
+			b, ok := k.copyFromGuest(p, addr+sparc.Addr(i), 1)
+			if !ok {
+				return nil, false
+			}
+			if b[0] == 0 {
+				return out, true
+			}
+			out = append(out, b[0])
+		}
 	}
-	return "", false // unterminated within max
+	return nil, false // unterminated within max
 }
 
 // be32/be64 build big-endian encodings for guest-visible structures.

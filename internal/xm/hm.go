@@ -185,6 +185,18 @@ func (h *healthMonitor) reset(cold bool) {
 	h.counts = [numHMEvents]uint32{}
 }
 
+// recycle returns the monitor to its as-constructed state for kernel
+// reuse, keeping the log's capacity (the entries themselves are
+// unreachable: entries() hands out copies). The action table survives —
+// it is fixed at construction and never written afterwards.
+func (h *healthMonitor) recycle() {
+	h.log = h.log[:0]
+	h.readCursor = 0
+	h.seq = 0
+	h.dropped = 0
+	h.counts = [numHMEvents]uint32{}
+}
+
 // clearLog empties the log on behalf of XM_hm_reset (counters persist).
 func (h *healthMonitor) clearLog() {
 	h.log = nil

@@ -142,6 +142,54 @@ func New(cfg Config, opts ...Option) (*Kernel, error) {
 	return k, nil
 }
 
+// Recycle returns the kernel to the state New left it in without
+// reallocating its object graph: partitions go back to BOOT with fresh
+// incarnation counters and rebuilt address spaces, channels and ports
+// clear, the health-monitor log and counters wipe, and scheduling
+// restarts at plan 0, MAF 0. Attached programs are detached — reattach
+// guest software before running frames.
+//
+// The machine is deliberately untouched: Recycle owns the host-side
+// state only, and the caller owns machine state (restore a snapshot
+// taken at the same point in the machine's life — for a kernel that has
+// run no frames, the power-on state, since construction never writes to
+// the machine). Options are re-applied after the reset, so a per-run
+// coverage sink, fault set or replacement machine can be supplied
+// exactly as to New.
+//
+// A recycled kernel is indistinguishable from a freshly constructed one
+// by guests and by every accessor: batch executors lean on that to reuse
+// one kernel across a lease of tests.
+func (k *Kernel) Recycle(opts ...Option) {
+	k.curPlan, k.nextPlan = 0, -1
+	k.mafCount = 0
+	k.state = KStateRunning
+	k.haltDetail = ""
+	k.coldResets, k.warmResets = 0, 0
+	k.pendingSysReset, k.pendingSysCold = false, false
+	k.cur = nil
+	k.hypercallCount = 0
+	k.cover, k.coverNr = nil, 0
+	k.faults = LegacyFaults()
+	k.hm.recycle()
+	k.ports = k.ports[:0]
+	for _, ch := range k.channels {
+		ch.reset()
+	}
+	for _, p := range k.parts {
+		p.program = nil
+		p.bootCount = 0
+		p.reset(true)
+		// The fault-injection "mmu" site flips bits in the space's region
+		// descriptors; rebuilding restores the configured layout
+		// unconditionally rather than trusting the last test's history.
+		p.rebuildSpace()
+	}
+	for _, o := range opts {
+		o(k)
+	}
+}
+
 // Machine returns the underlying machine.
 func (k *Kernel) Machine() *sparc.Machine { return k.machine }
 
@@ -297,20 +345,30 @@ func (k *Kernel) runMajorFrame() error {
 	return nil
 }
 
+// slotEnv bundles a slot context with its guest environment in a single
+// allocation. Each slot still gets a fresh identity: guest runtimes
+// retain their boot-time environment, and that environment must keep
+// observing its own slot, so the pair cannot be recycled across slots.
+type slotEnv struct {
+	sc  slotCtx
+	env guestEnv
+}
+
 func (k *Kernel) runSlot(slot SlotConfig, base Time) error {
 	p := k.parts[slot.PartitionID]
-	sc := &slotCtx{p: p, start: base + slot.Start, budget: slot.Duration}
+	se := &slotEnv{sc: slotCtx{p: p, start: base + slot.Start, budget: slot.Duration}}
+	sc, env := &se.sc, &se.env
+	env.k, env.sc = k, sc
 	k.cur = sc
 	defer func() { k.cur = nil }()
 
-	env := &guestEnv{k: k, sc: sc}
 	if p.state == PStateBoot && p.program != nil {
 		// The partition enters NORMAL mode as it boots, so boot code may
 		// already invoke hypercalls (create ports, arm timers).
 		p.state = PStateNormal
 		p.booted = true
 		k.charge(bootCost)
-		k.guarded(func() { p.program.Boot(env) })
+		k.guardedBoot(p.program, env)
 	}
 	for p.state == PStateNormal && k.state == KStateRunning && !k.pendingSysReset {
 		if p.program == nil {
@@ -320,8 +378,7 @@ func (k *Kernel) runSlot(slot SlotConfig, base Time) error {
 			break
 		}
 		before := sc.used
-		cont := true
-		k.guarded(func() { cont = p.program.Step(env) })
+		cont := k.guardedStep(p.program, env)
 		if sc.used == before {
 			// A step always consumes at least 1µs of the slot: guest code
 			// cannot execute in zero time.
@@ -353,6 +410,37 @@ func (k *Kernel) guarded(f func()) {
 		}
 	}()
 	f()
+}
+
+// guardedBoot runs a program's Boot hook under the guestStop guard,
+// without the closure allocation of guarded.
+func (k *Kernel) guardedBoot(prog Program, env Env) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(guestStop); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	prog.Boot(env)
+}
+
+// guardedStep runs one program step under the guestStop guard. A step
+// aborted by guestStop reports cont=true, exactly as the closure-based
+// form left the flag untouched — the scheduler's loop conditions decide
+// whether the partition keeps running.
+func (k *Kernel) guardedStep(prog Program, env Env) (cont bool) {
+	cont = true
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(guestStop); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	return prog.Step(env)
 }
 
 // charge burns d microseconds of the current slot. Running past the budget
@@ -432,7 +520,9 @@ func (k *Kernel) applySystemReset() {
 		k.covKernel(coverKernelWarmReset)
 	}
 	k.hm.reset(cold)
-	k.ports = nil
+	// Truncate rather than drop: the parked port structs are reused by
+	// the next incarnation's create calls (see portSlot).
+	k.ports = k.ports[:0]
 	for _, ch := range k.channels {
 		ch.reset()
 	}

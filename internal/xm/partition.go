@@ -62,6 +62,21 @@ type Env interface {
 	SlotRemaining() Time
 }
 
+// ReaderInto is an optional capability of Env implementations: an
+// allocation-free Read into a caller-owned buffer, with the same
+// spatial-violation semantics. Guest runtimes discover it by type
+// assertion and fall back to Read when absent.
+type ReaderInto interface {
+	ReadInto(addr sparc.Addr, buf []byte) bool
+}
+
+// Hypercaller4 is an optional capability of Env implementations: a
+// fixed-arity Hypercall whose arguments stay off the heap. Semantics
+// are identical to Hypercall with trailing zeros for unused arguments.
+type Hypercaller4 interface {
+	Hypercall4(nr Nr, a0, a1, a2, a3 uint64) RetCode
+}
+
 // Program is guest software hosted in a partition. The scheduler calls
 // Step repeatedly during the partition's slot; a false return parks the
 // partition until its next slot. Boot runs at (re)boot before the first
@@ -118,7 +133,11 @@ func newPartition(cfg PartitionConfig) *Partition {
 }
 
 func (p *Partition) rebuildSpace() {
-	p.space = sparc.NewSpace(fmt.Sprintf("P%d:%s", p.cfg.ID, p.cfg.Name), p.cfg.MemoryAreas...)
+	if p.space == nil {
+		p.space = sparc.NewSpace(fmt.Sprintf("P%d:%s", p.cfg.ID, p.cfg.Name), p.cfg.MemoryAreas...)
+		return
+	}
+	p.space.Rebuild(p.cfg.MemoryAreas...)
 }
 
 // ID returns the partition id.

@@ -18,13 +18,25 @@ type channel struct {
 	lastWrite Time
 	// queuing state
 	queue [][]byte
+	// spare recycles retired queue buffers so a steady-state
+	// send/receive cycle stops allocating.
+	spare [][]byte
 }
 
 func newChannel(cfg ChannelConfig) *channel { return &channel{cfg: cfg} }
 
 func (c *channel) reset() {
-	c.msg, c.msgValid, c.lastWrite = nil, false, 0
-	c.queue = nil
+	// Buffer capacity is invisible to guests — every reuse overwrites the
+	// whole message before it becomes readable — so reset parks the live
+	// queue buffers on the spare list and keeps the sampling buffer's
+	// backing array: a recycled kernel stops allocating in steady state.
+	c.msg = c.msg[:0]
+	c.msgValid, c.lastWrite = false, 0
+	for i, b := range c.queue {
+		c.spare = append(c.spare, b)
+		c.queue[i] = nil
+	}
+	c.queue = c.queue[:0]
 }
 
 // port is one partition's attachment to a channel.
@@ -41,9 +53,12 @@ type port struct {
 const maxPortNameLen = 32
 
 // findChannel resolves a channel by name and type.
-func (k *Kernel) findChannel(name string, typ ChannelType) *channel {
+// findChannel resolves a channel by name bytes and type. The name is a
+// []byte so guest-supplied names compare without a heap conversion (the
+// string(name) in the comparison compiles to an allocation-free match).
+func (k *Kernel) findChannel(name []byte, typ ChannelType) *channel {
 	for _, ch := range k.channels {
-		if ch.cfg.Name == name && ch.cfg.Type == typ {
+		if ch.cfg.Name == string(name) && ch.cfg.Type == typ {
 			return ch
 		}
 	}
@@ -68,7 +83,8 @@ func (k *Kernel) lookupPort(caller *Partition, id int32) (*port, RetCode) {
 // createPort is the shared implementation of the two create services.
 func (k *Kernel) createPort(caller *Partition, namePtr sparc.Addr, typ ChannelType,
 	maxNoMsgs, maxMsgSize, direction uint32) RetCode {
-	name, ok := k.readGuestString(caller, namePtr, maxPortNameLen)
+	var nameBuf [maxPortNameLen]byte
+	name, ok := k.readGuestString(caller, namePtr, maxPortNameLen, nameBuf[:0])
 	if !ok {
 		return InvalidParam
 	}
@@ -107,9 +123,28 @@ func (k *Kernel) createPort(caller *Partition, namePtr sparc.Addr, typ ChannelTy
 		}
 	}
 	k.cov(nr, 1) // fresh port attached
-	pt := &port{id: len(k.ports), owner: caller.ID(), ch: ch, direction: direction, open: true}
-	k.ports = append(k.ports, pt)
+	pt := k.portSlot()
+	*pt = port{id: len(k.ports) - 1, owner: caller.ID(), ch: ch, direction: direction, open: true}
 	return RetCode(pt.id)
+}
+
+// portSlot extends the descriptor table by one entry, reusing a retired
+// port struct when the backing array holds one — kernel recycling and
+// system resets truncate k.ports, leaving the structs parked in the
+// array's tail for the next incarnation's create calls.
+func (k *Kernel) portSlot() *port {
+	n := len(k.ports)
+	if n < cap(k.ports) {
+		k.ports = k.ports[:n+1]
+		if pt := k.ports[n]; pt != nil {
+			return pt
+		}
+	} else {
+		k.ports = append(k.ports, nil)
+	}
+	pt := &port{}
+	k.ports[n] = pt
+	return pt
 }
 
 // hcCreateSamplingPort implements XM_create_sampling_port(portName,
@@ -137,8 +172,17 @@ func (k *Kernel) hcWriteSamplingMsg(caller *Partition, id int32, msgPtr sparc.Ad
 	if size == 0 || size > pt.ch.cfg.MaxMsgSize {
 		return InvalidParam
 	}
-	data, ok := k.copyFromGuest(caller, msgPtr, size)
-	if !ok {
+	// Reuse the channel's message buffer: nothing outside the channel
+	// retains it, and a failed copy never partially writes (the guest
+	// range is validated and resolved as a whole), so the stale message
+	// stays observable on failure exactly as before.
+	data := pt.ch.msg
+	if uint32(cap(data)) < size {
+		data = make([]byte, size)
+	} else {
+		data = data[:size]
+	}
+	if !k.copyFromGuestInto(caller, msgPtr, data) {
 		return InvalidParam
 	}
 	k.charge(Time(size) / 64) // copy cost
@@ -191,11 +235,23 @@ func (k *Kernel) hcSendQueuingMsg(caller *Partition, id int32, msgPtr sparc.Addr
 	if size == 0 || size > pt.ch.cfg.MaxMsgSize {
 		return InvalidParam
 	}
-	data, ok := k.copyFromGuest(caller, msgPtr, size)
-	if !ok {
+	// Draw the message buffer from the channel's spare list when one is
+	// big enough. The copy still happens before the full-queue check —
+	// a bad pointer must report InvalidParam even when the queue is
+	// full — so on NotAvailable the buffer goes back on the spare list.
+	var data []byte
+	if n := len(pt.ch.spare); n > 0 && uint32(cap(pt.ch.spare[n-1])) >= size {
+		data = pt.ch.spare[n-1][:size]
+		pt.ch.spare[n-1] = nil
+		pt.ch.spare = pt.ch.spare[:n-1]
+	} else {
+		data = make([]byte, size)
+	}
+	if !k.copyFromGuestInto(caller, msgPtr, data) {
 		return InvalidParam
 	}
 	if uint32(len(pt.ch.queue)) >= pt.ch.cfg.MaxNoMsgs {
+		pt.ch.spare = append(pt.ch.spare, data)
 		return NotAvailable
 	}
 	k.charge(Time(size) / 64)
@@ -229,6 +285,9 @@ func (k *Kernel) hcReceiveQueuingMsg(caller *Partition, id int32, msgPtr sparc.A
 		return InvalidParam
 	}
 	pt.ch.queue = pt.ch.queue[1:]
+	if uint32(len(pt.ch.spare)) < pt.ch.cfg.MaxNoMsgs {
+		pt.ch.spare = append(pt.ch.spare, msg)
+	}
 	k.charge(Time(len(msg)) / 64)
 	return RetCode(len(msg))
 }
@@ -281,10 +340,14 @@ func (k *Kernel) hcFlushPort(caller *Partition, id int32) RetCode {
 	switch pt.ch.cfg.Type {
 	case SamplingChannel:
 		k.cov(NrFlushPort, 0)
-		pt.ch.msg, pt.ch.msgValid = nil, false
+		pt.ch.msg, pt.ch.msgValid = pt.ch.msg[:0], false
 	case QueuingChannel:
 		k.cov(NrFlushPort, 1)
-		pt.ch.queue = nil
+		for i, b := range pt.ch.queue {
+			pt.ch.spare = append(pt.ch.spare, b)
+			pt.ch.queue[i] = nil
+		}
+		pt.ch.queue = pt.ch.queue[:0]
 	}
 	return OK
 }
@@ -295,7 +358,8 @@ const portInfoSize = 16
 // hcGetPortInfo implements XM_get_port_info(portName, info*): resolves a
 // channel by name and reports its static attributes.
 func (k *Kernel) hcGetPortInfo(caller *Partition, namePtr, infoPtr sparc.Addr) RetCode {
-	name, ok := k.readGuestString(caller, namePtr, maxPortNameLen)
+	var nameBuf [maxPortNameLen]byte
+	name, ok := k.readGuestString(caller, namePtr, maxPortNameLen, nameBuf[:0])
 	if !ok {
 		return InvalidParam
 	}
@@ -303,7 +367,7 @@ func (k *Kernel) hcGetPortInfo(caller *Partition, namePtr, infoPtr sparc.Addr) R
 		return InvalidParam
 	}
 	for _, ch := range k.channels {
-		if ch.cfg.Name != name {
+		if ch.cfg.Name != string(name) {
 			continue
 		}
 		img := packWords(uint32(ch.cfg.Type), ch.cfg.MaxMsgSize, ch.cfg.MaxNoMsgs,

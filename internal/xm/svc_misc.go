@@ -101,14 +101,15 @@ func (k *Kernel) hcWriteConsole(caller *Partition, ptr sparc.Addr, length uint32
 // hcGetGidByName implements XM_get_gid_by_name(name, entity): resolves a
 // partition or channel name to its global identifier.
 func (k *Kernel) hcGetGidByName(caller *Partition, namePtr sparc.Addr, entity uint32) RetCode {
-	name, ok := k.readGuestString(caller, namePtr, maxPortNameLen)
+	var nameBuf [maxPortNameLen]byte
+	name, ok := k.readGuestString(caller, namePtr, maxPortNameLen, nameBuf[:0])
 	if !ok {
 		return InvalidParam
 	}
 	switch entity {
 	case EntityPartition:
 		for _, p := range k.parts {
-			if p.Name() == name {
+			if p.Name() == string(name) {
 				k.cov(NrGetGidByName, 0)
 				return RetCode(p.ID())
 			}
@@ -116,7 +117,7 @@ func (k *Kernel) hcGetGidByName(caller *Partition, namePtr sparc.Addr, entity ui
 		return InvalidConfig
 	case EntityChannel:
 		for i, ch := range k.channels {
-			if ch.cfg.Name == name {
+			if ch.cfg.Name == string(name) {
 				k.cov(NrGetGidByName, 1)
 				return RetCode(i)
 			}

@@ -52,7 +52,7 @@ func Run(options ...Option) (*Report, error) {
 	if cfg.eng.Resume {
 		return nil, fmt.Errorf("xmrobust: WithResume requires WithCheckpoint")
 	}
-	rep, err := core.RunCampaign(cfg.opts)
+	rep, err := core.RunCampaign(cfg.opts, cfg.eng)
 	if err != nil {
 		return nil, err
 	}
