@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test bench bench-1x bench-smoke plan-smoke feedback-smoke diff-smoke inject-smoke lint fmt ci
+.PHONY: build examples test bench bench-1x bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,19 @@ bench-1x:
 # the pre-snapshot-pool seed — the committed pair records the speedup
 # instead of claiming it. CI runs this and uploads the JSON artifact.
 bench-smoke: bench-1x
-	$(GO) run ./cmd/xmbench -reps 10 -o BENCH_smoke.json -baseline BENCH_1.json -gate 15
+	$(GO) run ./cmd/xmbench -reps 10 -o BENCH_smoke.json -baseline BENCH_1.json -gate 15 \
+		-note "ci smoke: gated against the committed BENCH_1.json at ±15%"
+
+# The scaling trajectory: one measurement per workers count (1/2/4/8)
+# plus a loopback remote: point over two in-process worker servers (the
+# full wire round-trip). The gate requires the workers=8 point to beat
+# workers=1 by ×3, clamped to 0.6·min(workers, NumCPU) so a small CI
+# machine enforces "parallelism must not collapse" instead of a speedup
+# its cores cannot produce. BENCH_2.json is the committed sweep measured
+# by this protocol at -reps 10. CI runs this.
+bench-sweep:
+	$(GO) run ./cmd/xmbench -reps 5 -sweep 1,2,4,8 -remote-workers 2 -min-scale 3 \
+		-o BENCH_sweep_smoke.json -note "ci sweep smoke"
 
 # A full pairwise-plan campaign through the streaming engine: exercises
 # plan generation, coverage reporting and the sharded log end to end, and
@@ -84,6 +96,36 @@ inject-smoke:
 	test "$$out" = "injection: 200 of 200 tests armed, 160 flips applied — masked 152, wrong-result 0, hm-detected 8, crash 0, hang 0"
 	rm -rf /tmp/xminject-smoke
 
+# Distributed-execution smoke: two loopback xmworker processes serve the
+# sim target; the same fixed-seed rand:400 campaign runs once in-process
+# and once over -target remote:..., with one worker told to die
+# mid-campaign (-exit-after) so its outstanding leases hand back and
+# re-execute on the survivor. The two merged logs must be byte-identical
+# — the distributed invariant of the coordinator — and the doomed worker
+# must actually have died, or the reclaim path went unexercised. CI runs
+# this.
+remote-smoke:
+	rm -rf /tmp/xmremote-smoke && mkdir -p /tmp/xmremote-smoke
+	$(GO) build -o /tmp/xmremote-smoke/xmworker ./cmd/xmworker
+	@set -e; d=/tmp/xmremote-smoke; \
+	$(GO) run ./cmd/xmfuzz -plan rand:400 -seed 3 -stream $$d/ref -o $$d/ref.jsonl > /dev/null; \
+	$$d/xmworker -quiet -exit-after 120 > $$d/w1.out & w1=$$!; \
+	$$d/xmworker -quiet > $$d/w2.out & w2=$$!; \
+	a1=""; a2=""; \
+	for i in 1 2 3 4 5 6 7 8 9 10; do \
+		a1=$$(sed -n 's/^xmworker: listening on \([^ ]*\).*/\1/p' $$d/w1.out); \
+		a2=$$(sed -n 's/^xmworker: listening on \([^ ]*\).*/\1/p' $$d/w2.out); \
+		test -n "$$a1" && test -n "$$a2" && break; sleep 1; \
+	done; \
+	test -n "$$a1" && test -n "$$a2"; \
+	$(GO) run ./cmd/xmfuzz -plan rand:400 -seed 3 -workers 2 \
+		-target remote:$$a1,$$a2 -stream $$d/dist -o $$d/dist.jsonl > /dev/null; \
+	kill $$w1 $$w2 2> /dev/null || true; \
+	grep -q 'exit-after 120 tests reached' $$d/w1.out; \
+	cmp $$d/ref.jsonl $$d/dist.jsonl; \
+	echo "remote-smoke: rand:400 over 2 remote workers (one killed mid-run) merged byte-identical"
+	rm -rf /tmp/xmremote-smoke
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -92,4 +134,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build examples lint test bench-smoke plan-smoke feedback-smoke diff-smoke inject-smoke
+ci: build examples lint test bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke

@@ -16,7 +16,22 @@
 // With -baseline, the run compares its tests/sec and allocs/test against
 // the baseline file and exits non-zero when either regresses past the
 // gate percentage — allocs/test is machine-stable, tests/sec assumes the
-// baseline was measured on comparable hardware.
+// baseline was measured on comparable hardware. The comparison refuses a
+// baseline measured at a different workers/batch/codec configuration:
+// those knobs change what is being measured, not how fast it is.
+//
+// With -sweep, one measurement per workers count runs instead (plus a
+// loopback remote: point over -remote-workers in-process xmworker-style
+// servers, when non-zero), and the output is the schema-2 sweep file
+// (BENCH_2.json) recording the multi-worker scaling trajectory:
+//
+//	go run ./cmd/xmbench -sweep 1,2,4,8 -o BENCH_2.json -min-scale 3
+//
+// -min-scale gates the sweep: aggregate tests/sec at the largest workers
+// count must be at least min(min-scale, 0.6·min(workers, NumCPU)) times
+// the workers=1 point. The CPU clamp keeps the gate honest on small CI
+// machines — a 1-CPU container cannot exhibit parallel speedup, and
+// pretending otherwise would make the gate a hardware lottery.
 package main
 
 import (
@@ -25,21 +40,26 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"xmrobust/internal/campaign"
+	"xmrobust/internal/remote"
 	"xmrobust/internal/target"
 )
 
-// Bench is one recorded measurement — the schema of BENCH_*.json.
+// Bench is one recorded measurement — the schema of BENCH_*.json and of
+// each point in a schema-2 sweep file.
 type Bench struct {
-	Schema        int     `json:"schema"`
-	Plan          string  `json:"plan"`
-	Seed          int64   `json:"seed"`
-	Reps          int     `json:"reps"`
+	Schema        int     `json:"schema,omitempty"`
+	Plan          string  `json:"plan,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Reps          int     `json:"reps,omitempty"`
 	Batch         int     `json:"batch"`
-	Codec         string  `json:"codec"`
+	Codec         string  `json:"codec,omitempty"`
 	Workers       int     `json:"workers"`
+	Target        string  `json:"target,omitempty"`
 	Tests         int     `json:"tests"`
 	TestsPerSec   float64 `json:"tests_per_sec"`
 	AllocsPerTest float64 `json:"allocs_per_test"`
@@ -49,6 +69,21 @@ type Bench struct {
 	Note          string  `json:"note,omitempty"`
 }
 
+// Sweep is the schema-2 multi-worker scaling record (BENCH_2.json): the
+// shared protocol knobs, the host's parallelism, and one point per
+// configuration measured.
+type Sweep struct {
+	Schema int     `json:"schema"`
+	Plan   string  `json:"plan"`
+	Seed   int64   `json:"seed"`
+	Reps   int     `json:"reps"`
+	Batch  int     `json:"batch"`
+	Codec  string  `json:"codec"`
+	CPUs   int     `json:"cpus"`
+	Points []Bench `json:"points"`
+	Note   string  `json:"note,omitempty"`
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "xmbench:", err)
 	os.Exit(1)
@@ -56,85 +91,243 @@ func fail(err error) {
 
 func main() {
 	var (
-		n        = flag.Int("n", 2000, "tests per repetition (rand:N plan)")
-		reps     = flag.Int("reps", 20, "timed repetitions (one extra warm-up rep runs untimed)")
-		batch    = flag.Int("batch", 16, "tests leased per worker slot (0 = unbatched)")
-		codec    = flag.String("codec", "raw", "shard record codec")
-		workers  = flag.Int("workers", 1, "engine workers (1 = stable per-test numbers)")
-		seed     = flag.Int64("seed", 1, "plan seed")
-		out      = flag.String("o", "", "write the measurement JSON to this file (default stdout)")
-		baseline = flag.String("baseline", "", "compare against this BENCH_*.json and gate regressions")
-		gate     = flag.Float64("gate", 15, "regression gate in percent for -baseline")
-		note     = flag.String("note", "", "free-form note recorded in the measurement")
+		n         = flag.Int("n", 2000, "tests per repetition (rand:N plan)")
+		reps      = flag.Int("reps", 20, "timed repetitions (one extra warm-up rep runs untimed)")
+		batch     = flag.Int("batch", 16, "tests leased per worker slot (0 = unbatched)")
+		codec     = flag.String("codec", "raw", "shard record codec")
+		workers   = flag.Int("workers", 1, "engine workers (1 = stable per-test numbers)")
+		seed      = flag.Int64("seed", 1, "plan seed")
+		out       = flag.String("o", "", "write the measurement JSON to this file (default stdout)")
+		baseline  = flag.String("baseline", "", "compare against this BENCH_*.json and gate regressions")
+		gate      = flag.Float64("gate", 15, "regression gate in percent for -baseline")
+		note      = flag.String("note", "", "free-form note recorded in the measurement")
+		sweepList = flag.String("sweep", "", "comma-separated workers counts: measure each and emit a schema-2 sweep file")
+		remoteN   = flag.Int("remote-workers", 2, "loopback remote servers for the sweep's remote: point (0 = skip)")
+		minScale  = flag.Float64("min-scale", 0, "sweep gate: required tests/sec ratio of the largest workers point over workers=1 (CPU-clamped, 0 = off)")
 	)
 	flag.Parse()
 
-	b := Bench{
-		Schema: 1, Plan: fmt.Sprintf("rand:%d", *n), Seed: *seed,
-		Reps: *reps, Batch: *batch, Codec: *codec, Workers: *workers,
-		Note: *note,
+	if *sweepList != "" {
+		sweep(*n, *seed, *reps, *batch, *codec, *sweepList, *remoteN, *minScale, *out, *note)
+		return
 	}
-	opts := campaign.Options{Plan: b.Plan, Seed: *seed, Workers: *workers}
-	plan, ropts, err := campaign.BuildPlan(opts)
+
+	b, err := measure(point{
+		plan: fmt.Sprintf("rand:%d", *n), seed: *seed, reps: *reps,
+		batch: *batch, codec: *codec, workers: *workers,
+	})
 	if err != nil {
 		fail(err)
+	}
+	b.Schema = 1
+	b.Note = *note
+	b.EncodeNsJSON, b.EncodeNsRaw = encodeCost()
+
+	fmt.Fprintf(os.Stderr,
+		"xmbench: %d tests — %.0f tests/sec, %.0f allocs/test, %.0f bytes/test, encode %.0fns json / %.0fns raw\n",
+		b.Tests, b.TestsPerSec, b.AllocsPerTest, b.BytesPerTest, b.EncodeNsJSON, b.EncodeNsRaw)
+
+	emit(b, *out)
+	if *baseline != "" {
+		if err := compare(b, *baseline, *gate); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// point is one measurement configuration.
+type point struct {
+	plan    string
+	seed    int64
+	reps    int
+	batch   int
+	codec   string
+	workers int
+	// targetSpec selects a non-default execution backend ("" = one
+	// shared sim instance, the steady-state protocol).
+	targetSpec string
+}
+
+// measure runs the fixed-seed plan reps times through the streaming
+// engine (one untimed warm-up first) and returns the timing.
+func measure(p point) (Bench, error) {
+	b := Bench{
+		Plan: p.plan, Seed: p.seed, Reps: p.reps, Batch: p.batch,
+		Codec: p.codec, Workers: p.workers, Target: p.targetSpec,
+	}
+	opts := campaign.Options{Plan: p.plan, Seed: p.seed, Workers: p.workers}
+	if p.targetSpec != "" {
+		opts.Target = p.targetSpec
+	}
+	plan, ropts, err := campaign.BuildPlan(opts)
+	if err != nil {
+		return b, err
 	}
 	dir, err := os.MkdirTemp("", "xmbench")
 	if err != nil {
-		fail(err)
+		return b, err
 	}
 	defer os.RemoveAll(dir)
 	eo := campaign.EngineOptions{
 		Options:   ropts,
-		BatchSize: *batch,
-		Codec:     *codec,
+		BatchSize: p.batch,
+		Codec:     p.codec,
 		ShardDir:  dir,
+	}
+	if p.targetSpec == "" {
 		// One shared target across repetitions: the warm pool and parked
-		// kernels make every timed rep a steady-state sample.
-		TargetInstance: target.NewSim(target.Config{}),
+		// kernels make every timed rep a steady-state sample. Remote
+		// points skip this — their steady state lives in the worker
+		// servers, which persist across repetitions anyway.
+		eo.TargetInstance = target.NewSim(target.Config{})
 	}
 
 	run := func() error { _, err := campaign.StreamPlan(plan, eo, nil); return err }
 	if err := run(); err != nil { // warm-up, untimed
-		fail(err)
+		return b, err
 	}
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	for r := 0; r < *reps; r++ {
+	for r := 0; r < p.reps; r++ {
 		if err := run(); err != nil {
-			fail(err)
+			return b, err
 		}
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
-	b.Tests = plan.Len() * *reps
+	b.Tests = plan.Len() * p.reps
 	b.TestsPerSec = float64(b.Tests) / wall.Seconds()
 	b.AllocsPerTest = float64(ms1.Mallocs-ms0.Mallocs) / float64(b.Tests)
 	b.BytesPerTest = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.Tests)
-	b.EncodeNsJSON, b.EncodeNsRaw = encodeCost()
+	return b, nil
+}
 
-	fmt.Fprintf(os.Stderr,
-		"xmbench: %d tests in %v — %.0f tests/sec, %.0f allocs/test, %.0f bytes/test, encode %.0fns json / %.0fns raw\n",
-		b.Tests, wall.Round(time.Millisecond), b.TestsPerSec, b.AllocsPerTest, b.BytesPerTest,
-		b.EncodeNsJSON, b.EncodeNsRaw)
+// sweep measures one point per workers count, plus a loopback remote:
+// point, and emits the schema-2 scaling file.
+func sweep(n int, seed int64, reps, batch int, codec, list string, remoteN int, minScale float64, out, note string) {
+	var counts []int
+	for _, f := range strings.Split(list, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			fail(fmt.Errorf("-sweep: bad workers count %q", f))
+		}
+		counts = append(counts, w)
+	}
+	s := Sweep{
+		Schema: 2, Plan: fmt.Sprintf("rand:%d", n), Seed: seed,
+		Reps: reps, Batch: batch, Codec: codec,
+		CPUs: runtime.NumCPU(), Note: note,
+	}
+	for _, w := range counts {
+		b, err := measure(point{plan: s.Plan, seed: seed, reps: reps, batch: batch, codec: codec, workers: w})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "xmbench: workers=%d — %.0f tests/sec, %.0f allocs/test\n",
+			w, b.TestsPerSec, b.AllocsPerTest)
+		s.Points = append(s.Points, b)
+	}
+	if remoteN > 0 {
+		b, err := remotePoint(s.Plan, seed, reps, batch, codec, remoteN)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "xmbench: %s workers=%d — %.0f tests/sec (wire round-trip included)\n",
+			b.Target, b.Workers, b.TestsPerSec)
+		s.Points = append(s.Points, b)
+	}
 
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fail(err)
+	}
+
+	if minScale > 0 {
+		if err := gateScale(s, minScale); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// remotePoint measures the sweep's remote: leg — remoteN in-process
+// worker servers on loopback TCP, each wrapping its own sim target, the
+// engine fanning leases out over the remote backend. The point records
+// a stable target label, not the ephemeral ports.
+func remotePoint(plan string, seed int64, reps, batch int, codec string, remoteN int) (Bench, error) {
+	var addrs []string
+	for i := 0; i < remoteN; i++ {
+		srv := &remote.Server{Target: target.NewSim(target.Config{}), Workers: 1}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return Bench{}, err
+		}
+		defer srv.Close()
+		addrs = append(addrs, addr)
+	}
+	b, err := measure(point{
+		plan: plan, seed: seed, reps: reps, batch: batch, codec: codec,
+		workers: remoteN, targetSpec: "remote:" + strings.Join(addrs, ","),
+	})
+	b.Target = fmt.Sprintf("remote:loopback×%d", remoteN)
+	return b, err
+}
+
+// gateScale fails the sweep when the largest workers point does not beat
+// workers=1 by the required ratio. The requirement is clamped to
+// 0.6·min(workers, NumCPU): a host with fewer cores than workers
+// cannot parallelise past its cores, and the 0.6 headroom absorbs
+// coordination overhead. On a single-CPU host the clamp degrades the
+// gate to "multi-worker must not collapse" (≥0.6×), which is the
+// strongest honest statement such a machine can make.
+func gateScale(s Sweep, minScale float64) error {
+	var base, top *Bench
+	for i := range s.Points {
+		p := &s.Points[i]
+		if p.Target != "" {
+			continue // the remote point measures the wire, not scaling
+		}
+		if p.Workers == 1 {
+			base = p
+		}
+		if top == nil || p.Workers > top.Workers {
+			top = p
+		}
+	}
+	if base == nil || top == nil || top.Workers == 1 {
+		return fmt.Errorf("-min-scale needs a workers=1 point and a workers>1 point in the sweep")
+	}
+	required := minScale
+	if clamp := 0.6 * float64(min(top.Workers, s.CPUs)); clamp < required {
+		required = clamp
+	}
+	scale := top.TestsPerSec / base.TestsPerSec
+	fmt.Fprintf(os.Stderr, "xmbench: scaling ×%.2f at workers=%d (vs workers=1), required ×%.2f on %d CPUs\n",
+		scale, top.Workers, required, s.CPUs)
+	if scale < required {
+		return fmt.Errorf("scaling ×%.2f at workers=%d below the required ×%.2f", scale, top.Workers, required)
+	}
+	return nil
+}
+
+// emit writes one measurement to the output file (or stdout).
+func emit(b Bench, out string) {
 	buf, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		fail(err)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(buf)
-	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(out, buf, 0o644); err != nil {
 		fail(err)
-	}
-
-	if *baseline != "" {
-		if err := compare(b, *baseline, *gate); err != nil {
-			fail(err)
-		}
 	}
 }
 
@@ -173,7 +366,10 @@ func encodeCost() (jsonNs, rawNs float64) {
 
 // compare gates the measurement against a committed baseline: tests/sec
 // may not drop, and allocs/test may not rise, past the gate percentage.
-// Improvements always pass.
+// Improvements always pass. A baseline measured at a different
+// workers/batch/codec configuration is refused outright — the knobs
+// change what is measured, and a silent apples-to-oranges comparison
+// would let a real regression hide behind a configuration change.
 func compare(cur Bench, path string, gatePct float64) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -182,6 +378,11 @@ func compare(cur Bench, path string, gatePct float64) error {
 	var base Bench
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Workers != cur.Workers || base.Batch != cur.Batch || base.Codec != cur.Codec {
+		return fmt.Errorf(
+			"%s was measured at workers=%d batch=%d codec=%s, this run at workers=%d batch=%d codec=%s — rerun with matching flags (or remeasure the baseline)",
+			path, base.Workers, base.Batch, base.Codec, cur.Workers, cur.Batch, cur.Codec)
 	}
 	speed := 100 * (cur.TestsPerSec - base.TestsPerSec) / base.TestsPerSec
 	allocs := 100 * (cur.AllocsPerTest - base.AllocsPerTest) / base.AllocsPerTest

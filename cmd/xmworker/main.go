@@ -1,0 +1,95 @@
+// Command xmworker serves one execution target over TCP for distributed
+// campaigns: a coordinator running with -target remote:<addr>[,<addr>...]
+// fans its leases across a fleet of xmworker processes, and the merged
+// campaign log stays byte-identical to the same campaign executed
+// in-process (duplicated executions from re-issued leases dedupe by seq).
+//
+// Usage:
+//
+//	xmworker [-listen ADDR] [-target SPEC] [-workers N] [-seed N]
+//	         [-fresh-machines] [-legacy-pool]
+//	         [-inject-rate R] [-inject-sites LIST]
+//	         [-exit-after N]
+//
+// The worker prints "xmworker: listening on <addr> target=<spec>" once
+// the listener is up — with -listen :0 that line is how a launcher
+// learns the bound port. -exit-after makes the process exit without
+// responding once N tests have executed: a deterministic mid-lease
+// worker death, used by the lease-reclaim smoke test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"xmrobust/internal/inject"
+	"xmrobust/internal/remote"
+	"xmrobust/internal/target"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "address to listen on (:0 picks a free port)")
+		tgt       = flag.String("target", "", "execution target to serve: sim (default), phantom, diff:a,b, inject:base")
+		workers   = flag.Int("workers", 1, "concurrent lease executions")
+		seed      = flag.Int64("seed", 0, "seed anchoring inject:* schedules (match the coordinator's -seed)")
+		fresh     = flag.Bool("fresh-machines", false, "disable machine pooling (one fresh simulator per test)")
+		legacy    = flag.Bool("legacy-pool", false, "use the reset-and-verify pool instead of copy-on-write snapshots")
+		injRate   = flag.Float64("inject-rate", 1, "inject:* targets: fraction of tests carrying an SEU, in (0,1]")
+		injSites  = flag.String("inject-sites", "", "inject:* targets: comma-separated flip sites (default all)")
+		exitAfter = flag.Int("exit-after", 0, "exit without responding after N tests (lease-reclaim testing)")
+		quiet     = flag.Bool("quiet", false, "suppress per-connection logging")
+	)
+	flag.Parse()
+
+	if strings.HasPrefix(*tgt, remote.Name+":") || *tgt == remote.Name {
+		fmt.Fprintln(os.Stderr, "xmworker: refusing to serve a remote target (a worker fleet must bottom out on local execution)")
+		os.Exit(2)
+	}
+	params := inject.Params{Rate: *injRate, Seed: *seed}
+	if *injSites != "" {
+		for _, s := range strings.Split(*injSites, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				params.Sites = append(params.Sites, s)
+			}
+		}
+	}
+	backend, err := target.New(*tgt, target.Config{
+		FreshMachines: *fresh,
+		LegacyPool:    *legacy,
+		Inject:        params,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmworker: %v\n", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("xmworker: listening on %s target=%s\n", ln.Addr(), backend.Name())
+
+	srv := &remote.Server{
+		Target:    backend,
+		Workers:   *workers,
+		ExitAfter: *exitAfter,
+		OnExit: func() {
+			fmt.Printf("xmworker: exit-after %d tests reached, dying mid-lease\n", *exitAfter)
+			os.Exit(0)
+		},
+	}
+	if !*quiet {
+		srv.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "xmworker: "+format+"\n", args...)
+		}
+	}
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "xmworker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -18,14 +18,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"xmrobust/internal/cover"
 	"xmrobust/internal/sparc"
+	"xmrobust/internal/store"
 	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 )
@@ -95,6 +96,23 @@ type EngineOptions struct {
 
 	// Resume loads CheckpointPath instead of truncating it.
 	Resume bool
+
+	// Store is the persistence seam checkpoint, shard and merge I/O flow
+	// through (nil: the local filesystem, the historical behaviour).
+	// Pointing it elsewhere is what lets a campaign's shards live off
+	// the local disk — resume and merge never touch *os.File directly.
+	Store store.Store
+
+	// LeaseTTL arms deadline-based lease reclaim on the dispatch
+	// coordinator: a lease not completed within the TTL is re-issued to
+	// another worker, so a lost worker's range always re-executes.
+	// Duplicated executions are byte-identical (plans are deterministic)
+	// and dedupe by seq at merge time. 0 (the default) disables reclaim
+	// — in-process workers do not vanish; the knob exists for embedders
+	// driving remote or otherwise mortal executors through the engine.
+	// Feedback plans force it off: their At() serialises on earlier
+	// positions' coverage, which double-delivery would corrupt.
+	LeaseTTL time.Duration
 
 	// Limit stops dispatching after that many tests this call (0: run
 	// everything). Combined with a checkpoint it gives budgeted runs the
@@ -227,6 +245,10 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	if eo.Shards <= 0 {
 		eo.Shards = opts.Workers
 	}
+	st := eo.Store
+	if st == nil {
+		st = store.Local()
+	}
 
 	var (
 		ckpt *checkpoint
@@ -242,7 +264,7 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		if is, ok := tgt.(interface{ InjectSignature() string }); ok {
 			hdr.Inject = is.InjectSignature()
 		}
-		ckpt, done, err = openCheckpoint(eo.CheckpointPath, hdr, eo.Resume)
+		ckpt, done, err = openCheckpoint(st, eo.CheckpointPath, hdr, eo.Resume)
 		if err != nil {
 			return stats, err
 		}
@@ -258,7 +280,7 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		// so the feedback loop's frontier (and corpus admission state)
 		// is restored before any pending test is bred. Without this the
 		// plan's At would wait forever on feedback that already ran.
-		if err := ScanShards(eo.ShardDir, func(rec JSONRecord) error {
+		if err := ScanShardsIn(st, eo.ShardDir, func(rec JSONRecord) error {
 			if done[rec.Seq] {
 				fb.Feedback(rec.Seq, cover.FromSites(rec.Cover))
 			}
@@ -278,7 +300,7 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	}
 	var writers []*shardWriter
 	if eo.ShardDir != "" {
-		if writers, err = openShards(eo.ShardDir, eo.Shards, eo.Resume, codec); err != nil {
+		if writers, err = openShards(st, eo.ShardDir, eo.Shards, eo.Resume, codec); err != nil {
 			return stats, err
 		}
 		// Checkpoint marks promise their record is on disk, so shards
@@ -315,28 +337,28 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		batch = 1
 	}
 
-	// The feeder walks the source's index space lazily — no pending list
-	// is materialised, so a billion-test plan costs the same as a small
-	// one until its tests actually run.
-	jobs := make(chan []int, eo.QueueDepth)
+	// The coordinator walks the source's index space lazily — no pending
+	// list is materialised, so a billion-test plan costs the same as a
+	// small one until its tests actually run. With a LeaseTTL it also
+	// re-issues the range of any worker that goes silent; duplicated
+	// executions are byte-identical and dedupe by seq at merge time.
+	ttl := eo.LeaseTTL
+	if fb != nil {
+		// Feedback plans serialise on coverage delivery; a re-issued
+		// lease would deliver a position's coverage twice.
+		ttl = 0
+	}
+	coord := NewCoordinator(total, done, batch, pendingCount, ttl)
+	jobs := make(chan Lease, eo.QueueDepth)
 	go func() {
-		sent := 0
-		lease := make([]int, 0, batch)
-		for pos := 0; pos < total && sent < pendingCount; pos++ {
-			if done[pos] {
-				continue
+		defer close(jobs)
+		for {
+			lease, ok := coord.Next()
+			if !ok {
+				return
 			}
-			lease = append(lease, pos)
-			sent++
-			if len(lease) == batch {
-				jobs <- lease
-				lease = make([]int, 0, batch)
-			}
-		}
-		if len(lease) > 0 {
 			jobs <- lease
 		}
-		close(jobs)
 	}()
 
 	var wg sync.WaitGroup
@@ -346,23 +368,25 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 			defer wg.Done()
 			dss := make([]testgen.Dataset, 0, batch)
 			for lease := range jobs {
-				if be == nil || len(lease) == 1 {
-					for _, pos := range lease {
+				if be == nil || len(lease.Pos) == 1 {
+					for _, pos := range lease.Pos {
 						slot := tgt.Acquire()
 						r := tgt.Execute(slot, src.At(pos), spec)
 						tgt.Release(slot)
 						results <- posResult{pos: pos, res: r}
 					}
+					coord.Complete(lease.ID)
 					continue
 				}
 				dss = dss[:0]
-				for _, pos := range lease {
+				for _, pos := range lease.Pos {
 					dss = append(dss, src.At(pos))
 				}
 				slot := tgt.Acquire()
 				rs := be.ExecuteBatch(slot, dss, spec)
 				tgt.Release(slot)
-				for i, pos := range lease {
+				coord.Complete(lease.ID)
+				for i, pos := range lease.Pos {
 					results <- posResult{pos: pos, res: rs[i]}
 				}
 			}
@@ -485,20 +509,21 @@ type ckptMark struct {
 }
 
 // checkpoint appends completion marks durably enough for resume: each mark
-// is one write syscall, issued only after the test's shard record (if any)
-// has been flushed.
+// is one write, issued only after the test's shard record (if any) has
+// been flushed. The writer comes from the campaign's store — unbuffered,
+// so the FS store's marks are one syscall each, as before the seam.
 type checkpoint struct {
-	f *os.File
+	w io.WriteCloser
 }
 
 // openCheckpoint creates (or, with resume, loads) the checkpoint at path
-// and returns the set of completed campaign positions.
-func openCheckpoint(path string, want ckptHeader, resume bool) (*checkpoint, map[int]bool, error) {
+// in st and returns the set of completed campaign positions.
+func openCheckpoint(st store.CheckpointStore, path string, want ckptHeader, resume bool) (*checkpoint, map[int]bool, error) {
 	done := map[int]bool{}
 	if resume {
-		data, err := os.ReadFile(path)
+		data, err := st.ReadCheckpoint(path)
 		switch {
-		case os.IsNotExist(err):
+		case errors.Is(err, store.ErrNotExist):
 			// Resuming a campaign that never started is a fresh start.
 		case err != nil:
 			return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
@@ -552,39 +577,34 @@ func openCheckpoint(path string, want ckptHeader, resume bool) (*checkpoint, map
 				}
 				done[m.Seq] = true
 			}
-			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			w, err := st.AppendCheckpoint(path)
 			if err != nil {
 				return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
 			}
-			return &checkpoint{f: f}, done, nil
+			return &checkpoint{w: w}, done, nil
 		}
 	}
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
-		}
-	}
-	f, err := os.Create(path)
+	w, err := st.CreateCheckpoint(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
 	hdr, _ := json.Marshal(want)
-	if _, err := f.Write(append(hdr, '\n')); err != nil {
-		f.Close()
+	if _, err := w.Write(append(hdr, '\n')); err != nil {
+		w.Close()
 		return nil, nil, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
-	return &checkpoint{f: f}, done, nil
+	return &checkpoint{w: w}, done, nil
 }
 
 func (c *checkpoint) mark(pos int) error {
 	line, _ := json.Marshal(ckptMark{Seq: pos})
-	if _, err := c.f.Write(append(line, '\n')); err != nil {
+	if _, err := c.w.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("campaign: checkpoint: %w", err)
 	}
 	return nil
 }
 
-func (c *checkpoint) close() error { return c.f.Close() }
+func (c *checkpoint) close() error { return c.w.Close() }
 
 // --- shards ------------------------------------------------------------
 
@@ -598,7 +618,7 @@ func (c *checkpoint) close() error { return c.f.Close() }
 // appending anything after it would corrupt the shard mid-file, beyond
 // what readers can skip.
 type shardWriter struct {
-	f         *os.File
+	w         io.WriteCloser
 	bw        *bufio.Writer
 	codec     Codec
 	flushEach bool
@@ -615,88 +635,34 @@ func shardPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d.jsonl", i))
 }
 
-func openShards(dir string, n int, resume bool, codec Codec) ([]*shardWriter, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("campaign: shards: %w", err)
-	}
+func openShards(st store.LogStore, dir string, n int, resume bool, codec Codec) ([]*shardWriter, error) {
 	if !resume {
 		// A fresh campaign must not inherit records: stale shards from an
 		// earlier run in the same directory would survive the seq-dedup
 		// of CollectShards and contaminate the merged log.
-		stale, err := filepath.Glob(filepath.Join(dir, ShardPattern))
+		stale, err := st.ListLogs(filepath.Join(dir, ShardPattern))
 		if err != nil {
 			return nil, fmt.Errorf("campaign: shards: %w", err)
 		}
 		for _, p := range stale {
-			if err := os.Remove(p); err != nil {
+			if err := st.RemoveLog(p); err != nil {
 				return nil, fmt.Errorf("campaign: shards: %w", err)
 			}
 		}
 	}
 	writers := make([]*shardWriter, 0, n)
 	for i := 0; i < n; i++ {
-		path := shardPath(dir, i)
-		if resume {
-			if err := trimTornTail(path); err != nil {
-				closeShards(writers)
-				return nil, fmt.Errorf("campaign: shards: %w", err)
-			}
-		}
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		// On resume the store trims a torn trailing record first: records
+		// never contain newlines, so "complete" means newline-terminated,
+		// and appending after a fragment would corrupt the shard mid-file.
+		w, err := st.AppendLog(shardPath(dir, i), resume)
 		if err != nil {
 			closeShards(writers)
 			return nil, fmt.Errorf("campaign: shards: %w", err)
 		}
-		writers = append(writers, &shardWriter{f: f, bw: bufio.NewWriter(f), codec: codec})
+		writers = append(writers, &shardWriter{w: w, bw: bufio.NewWriter(w), codec: codec})
 	}
 	return writers, nil
-}
-
-// trimTornTail truncates a shard back to its last complete record before
-// new records are appended. An interrupted run can leave a partial record
-// at the tail (records never contain newlines, so "complete" means
-// newline-terminated); appending after the fragment would corrupt the
-// shard mid-file, where readers cannot skip it.
-func trimTornTail(path string) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil || st.Size() == 0 {
-		return err
-	}
-	// Walk back from the end to the last newline.
-	const chunk = 4096
-	end := st.Size()
-	last := []byte{0}
-	if _, err := f.ReadAt(last, end-1); err != nil {
-		return err
-	}
-	if last[0] == '\n' {
-		return nil
-	}
-	keep := int64(0)
-	for off := end; off > 0; {
-		n := int64(chunk)
-		if n > off {
-			n = off
-		}
-		buf := make([]byte, n)
-		if _, err := f.ReadAt(buf, off-n); err != nil {
-			return err
-		}
-		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
-			keep = off - n + int64(i) + 1
-			break
-		}
-		off -= n
-	}
-	return f.Truncate(keep)
 }
 
 func (w *shardWriter) write(pos int, r Result) error {
@@ -732,7 +698,7 @@ func closeShards(writers []*shardWriter) error {
 				firstErr = err
 			}
 		}
-		if err := w.f.Close(); err != nil && firstErr == nil {
+		if err := w.w.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -747,11 +713,16 @@ func closeShards(writers []*shardWriter) error {
 // byte-identical, execution being deterministic). Torn trailing records
 // from an interrupted run are skipped.
 func ScanShards(dir string, fn func(JSONRecord) error) error {
-	paths, err := filepath.Glob(filepath.Join(dir, ShardPattern))
+	return ScanShardsIn(store.Local(), dir, fn)
+}
+
+// ScanShardsIn is ScanShards over an explicit log store — the read side
+// of a campaign whose shards live off the local disk.
+func ScanShardsIn(st store.LogStore, dir string, fn func(JSONRecord) error) error {
+	paths, err := st.ListLogs(filepath.Join(dir, ShardPattern))
 	if err != nil {
 		return err
 	}
-	sort.Strings(paths)
 	// Shards read back through the raw codec: the wire format is the same
 	// whatever codec wrote them, and the hand-rolled decoder (with its
 	// encoding/json fallback for anything irregular) reads it cheapest.
@@ -760,7 +731,7 @@ func ScanShards(dir string, fn func(JSONRecord) error) error {
 		return err
 	}
 	for _, p := range paths {
-		f, err := os.Open(p)
+		f, err := st.OpenLog(p)
 		if err != nil {
 			return fmt.Errorf("campaign: shards: %w", err)
 		}
@@ -771,8 +742,9 @@ func ScanShards(dir string, fn func(JSONRecord) error) error {
 				var rec JSONRecord
 				if derr := codec.Decode(line, &rec); derr != nil {
 					// A torn trailing record from an interrupted run —
-					// "complete" means newline-terminated, see trimTornTail
-					// — is expected; mid-file corruption is worth reporting.
+					// "complete" means newline-terminated, see the store's
+					// torn-tail trim — is expected; mid-file corruption is
+					// worth reporting.
 					if rerr != nil {
 						break
 					}
@@ -798,8 +770,13 @@ func ScanShards(dir string, fn func(JSONRecord) error) error {
 // interruption keeps its first copy). It holds the whole log in memory —
 // merging wants random access; incremental consumers use ScanShards.
 func CollectShards(dir string) ([]JSONRecord, error) {
+	return CollectShardsIn(store.Local(), dir)
+}
+
+// CollectShardsIn is CollectShards over an explicit log store.
+func CollectShardsIn(st store.LogStore, dir string) ([]JSONRecord, error) {
 	var records []JSONRecord
-	if err := ScanShards(dir, func(rec JSONRecord) error {
+	if err := ScanShardsIn(st, dir, func(rec JSONRecord) error {
 		records = append(records, rec)
 		return nil
 	}); err != nil {
@@ -818,10 +795,16 @@ func CollectShards(dir string) ([]JSONRecord, error) {
 
 // MergeShards writes the shard records of dir to w as one JSON Lines log
 // in campaign order — the same byte stream WriteJSON produces for an
-// uninterrupted eager campaign, whichever codec wrote the shards. It
-// returns the record count.
+// uninterrupted eager campaign, whichever codec wrote the shards and
+// however many workers (local or remote) executed them. It returns the
+// record count.
 func MergeShards(dir string, w io.Writer) (int, error) {
-	records, err := CollectShards(dir)
+	return MergeShardsIn(store.Local(), dir, w)
+}
+
+// MergeShardsIn is MergeShards over an explicit log store.
+func MergeShardsIn(st store.LogStore, dir string, w io.Writer) (int, error) {
+	records, err := CollectShardsIn(st, dir)
 	if err != nil {
 		return 0, err
 	}

@@ -18,11 +18,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"io"
 
 	"xmrobust/internal/cover"
+	"xmrobust/internal/store"
 	"xmrobust/internal/testgen"
 )
 
@@ -60,7 +61,7 @@ type Store struct {
 	persisted map[entryKey]bool
 	loaded    int
 
-	file *os.File
+	file io.WriteCloser
 	bw   *bufio.Writer
 }
 
@@ -138,13 +139,19 @@ type fileEntry struct {
 // NOT rebuilt from the file — coverage is a property of execution, and
 // the loop re-earns it by running mutations of the loaded parents.
 func (s *Store) AttachFile(path, runID string) error {
+	return s.AttachStore(store.Local(), path, runID)
+}
+
+// AttachStore is AttachFile over an explicit corpus store — the seam a
+// campaign whose corpus lives off the local disk attaches through.
+func (s *Store) AttachStore(cs store.CorpusStore, path, runID string) error {
 	fnOf := map[string]int{}
 	for i, m := range s.suite {
 		fnOf[m.Func.Name] = i
 	}
-	data, err := os.ReadFile(path)
+	data, err := cs.ReadCorpus(path)
 	switch {
-	case os.IsNotExist(err):
+	case errors.Is(err, store.ErrNotExist):
 		// A fresh corpus.
 	case err != nil:
 		return fmt.Errorf("corpus: %w", err)
@@ -182,12 +189,7 @@ func (s *Store) AttachFile(path, runID string) error {
 			s.loaded++
 		}
 	}
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("corpus: %w", err)
-		}
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	f, err := cs.AppendCorpus(path)
 	if err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
@@ -226,6 +228,80 @@ func (s *Store) Close() error {
 	err := s.file.Close()
 	s.file, s.bw = nil, nil
 	return err
+}
+
+// MergeFiles merges per-shard corpus files into one, deduplicating by
+// dataset identity (function name + value tuple) and keeping each
+// dataset's first occurrence in src-list order — so the merge is a pure
+// function of the source list, and a fleet of workers that each grew a
+// private corpus (the graceful degradation of feedback campaigns over
+// targets that cannot share one file) combine into the same merged
+// corpus on every machine that runs the merge. Run markers are dropped:
+// the merged file is a pool of mutation parents, not a resume journal.
+// Torn trailing lines of a source are skipped, like on attach. The
+// destination is truncated, not appended — merging is a rebuild.
+func MergeFiles(cs store.CorpusStore, dst string, srcs ...string) (int, error) {
+	type key struct {
+		fn    string
+		tuple string
+	}
+	seen := map[key]bool{}
+	var out bytes.Buffer
+	n := 0
+	for _, src := range srcs {
+		data, err := cs.ReadCorpus(src)
+		if errors.Is(err, store.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return 0, fmt.Errorf("corpus: merge %s: %w", src, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for dec.More() {
+			var fe fileEntry
+			if err := dec.Decode(&fe); err != nil {
+				break // torn trailing line
+			}
+			if fe.Run != "" {
+				continue
+			}
+			k := key{fn: fe.Func, tuple: fmt.Sprint(fe.Tuple)}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			line, _ := json.Marshal(fe)
+			out.Write(append(line, '\n'))
+			n++
+		}
+	}
+	// Rebuild via the checkpoint surface: CreateCheckpoint is the store's
+	// truncate-and-write primitive, and a corpus rebuild wants exactly
+	// that, not an append.
+	w, err := createCorpus(cs, dst)
+	if err != nil {
+		return 0, fmt.Errorf("corpus: merge: %w", err)
+	}
+	if _, err := w.Write(out.Bytes()); err != nil {
+		w.Close()
+		return 0, fmt.Errorf("corpus: merge: %w", err)
+	}
+	return n, w.Close()
+}
+
+// createCorpus truncates dst. Stores expose truncation on the
+// checkpoint surface; plain CorpusStores fall back to remove-and-append
+// when they also serve logs, and append-only stores merge additively.
+func createCorpus(cs store.CorpusStore, dst string) (io.WriteCloser, error) {
+	if c, ok := cs.(store.CheckpointStore); ok {
+		return c.CreateCheckpoint(dst)
+	}
+	if l, ok := cs.(store.LogStore); ok {
+		if err := l.RemoveLog(dst); err != nil {
+			return nil, err
+		}
+	}
+	return cs.AppendCorpus(dst)
 }
 
 // tupleFits validates a tuple against a matrix's shape.

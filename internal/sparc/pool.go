@@ -1,7 +1,5 @@
 package sparc
 
-import "sync"
-
 // Pool is the machine-recycling contract shared by MachinePool (the
 // legacy reset-and-verify recycler) and SnapshotPool (the copy-on-write
 // snapshot recycler): Get returns a verified power-on machine, Put hands
@@ -40,14 +38,15 @@ type PoolStats struct {
 // dirty tracker missed; the rotating audit bounds how long such a
 // bookkeeping bug could leak before surfacing as a discard, and strict
 // mode (plus the reset-isolation tests) rules it out deterministically.
+//
+// The free list is striped and the counters are atomic, so concurrent
+// workers contend on disjoint stripes instead of one mutex (see
+// machineShards and BenchmarkPoolContention).
 type MachinePool struct {
 	cfg    Config
 	strict bool
-
-	mu    sync.Mutex
-	free  []*Machine
-	max   int
-	stats PoolStats
+	free   *machineShards
+	stats  poolCounters
 }
 
 // auditPagesPerGet is the rotating-audit window of a non-strict recycle:
@@ -59,7 +58,7 @@ const auditPagesPerGet = 8
 // max bounds how many idle machines are retained (<= 0: one per caller is
 // kept, i.e. unbounded — callers are expected to be a fixed worker set).
 func NewMachinePool(cfg Config, max int) *MachinePool {
-	return &MachinePool{cfg: cfg, max: max}
+	return &MachinePool{cfg: cfg, free: newMachineShards(max)}
 }
 
 // SetStrict selects exhaustive VerifyClean scans on every recycle. This is
@@ -70,16 +69,7 @@ func (p *MachinePool) SetStrict(v bool) { p.strict = v }
 // Get returns a machine in its power-on state: a recycled one when the
 // reset-and-verify cycle succeeds, a fresh allocation otherwise.
 func (p *MachinePool) Get() *Machine {
-	p.mu.Lock()
-	var m *Machine
-	if n := len(p.free); n > 0 {
-		m = p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-	}
-	p.mu.Unlock()
-
-	if m != nil {
+	if m := p.free.get(); m != nil {
 		m.Reset()
 		err := m.VerifyReset()
 		if err == nil {
@@ -90,12 +80,12 @@ func (p *MachinePool) Get() *Machine {
 			}
 		}
 		if err == nil {
-			p.count(func(s *PoolStats) { s.Reused++ })
+			p.stats.reused.Add(1)
 			return m
 		}
-		p.count(func(s *PoolStats) { s.Discarded++ })
+		p.stats.discarded.Add(1)
 	}
-	p.count(func(s *PoolStats) { s.Allocated++ })
+	p.stats.allocated.Add(1)
 	return NewMachine(p.cfg)
 }
 
@@ -107,25 +97,11 @@ func (p *MachinePool) Put(m *Machine) {
 		return
 	}
 	if crashed, _ := m.Crashed(); crashed || m.Config() != p.cfg {
-		p.count(func(s *PoolStats) { s.Discarded++ })
+		p.stats.discarded.Add(1)
 		return
 	}
-	p.mu.Lock()
-	if p.max <= 0 || len(p.free) < p.max {
-		p.free = append(p.free, m)
-	}
-	p.mu.Unlock()
+	p.free.put(m)
 }
 
 // Stats snapshots the pool counters.
-func (p *MachinePool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
-
-func (p *MachinePool) count(f func(*PoolStats)) {
-	p.mu.Lock()
-	f(&p.stats)
-	p.mu.Unlock()
-}
+func (p *MachinePool) Stats() PoolStats { return p.stats.snapshot() }

@@ -1,9 +1,6 @@
 package sparc
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // Snapshot is a copy-on-write image of a Machine's architectural state:
 // the contents of every page dirtied at capture time, the clock, device
@@ -194,11 +191,8 @@ type SnapshotPool struct {
 	cfg      Config
 	strict   bool
 	baseline *Snapshot
-
-	mu    sync.Mutex
-	free  []*Machine
-	max   int
-	stats PoolStats
+	free     *machineShards
+	stats    poolCounters
 }
 
 // snapshotAuditStride is how many recycles separate two rotating page
@@ -213,7 +207,17 @@ const snapshotAuditStride = 8
 // machines are retained (<= 0: unbounded, callers are a fixed worker
 // set).
 func NewSnapshotPool(cfg Config, max int) *SnapshotPool {
-	return &SnapshotPool{cfg: cfg, baseline: PowerOnSnapshot(cfg), max: max}
+	return newSnapshotPoolStripes(cfg, max, 0)
+}
+
+// newSnapshotPoolStripes is NewSnapshotPool with an explicit free-list
+// stripe count (0: size from max) — the contention benchmark's A/B knob.
+func newSnapshotPoolStripes(cfg Config, max, stripes int) *SnapshotPool {
+	free := newMachineShards(max)
+	if stripes > 0 {
+		free = newMachineShardsN(max, stripes)
+	}
+	return &SnapshotPool{cfg: cfg, baseline: PowerOnSnapshot(cfg), free: free}
 }
 
 // Baseline returns the power-on snapshot recycled machines rewind to.
@@ -226,16 +230,7 @@ func (p *SnapshotPool) SetStrict(v bool) { p.strict = v }
 // Get returns a machine in its power-on state: a rewound one when the
 // restore-and-verify cycle succeeds, a fresh allocation otherwise.
 func (p *SnapshotPool) Get() *Machine {
-	p.mu.Lock()
-	var m *Machine
-	if n := len(p.free); n > 0 {
-		m = p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-	}
-	p.mu.Unlock()
-
-	if m != nil {
+	if m := p.free.get(); m != nil {
 		err := m.RestoreSnapshot(p.baseline)
 		if err == nil {
 			err = m.VerifyReset()
@@ -248,12 +243,12 @@ func (p *SnapshotPool) Get() *Machine {
 			}
 		}
 		if err == nil {
-			p.count(func(s *PoolStats) { s.Reused++ })
+			p.stats.reused.Add(1)
 			return m
 		}
-		p.count(func(s *PoolStats) { s.Discarded++ })
+		p.stats.discarded.Add(1)
 	}
-	p.count(func(s *PoolStats) { s.Allocated++ })
+	p.stats.allocated.Add(1)
 	return NewMachine(p.cfg)
 }
 
@@ -265,25 +260,11 @@ func (p *SnapshotPool) Put(m *Machine) {
 		return
 	}
 	if crashed, _ := m.Crashed(); crashed || m.Config() != p.cfg {
-		p.count(func(s *PoolStats) { s.Discarded++ })
+		p.stats.discarded.Add(1)
 		return
 	}
-	p.mu.Lock()
-	if p.max <= 0 || len(p.free) < p.max {
-		p.free = append(p.free, m)
-	}
-	p.mu.Unlock()
+	p.free.put(m)
 }
 
 // Stats snapshots the pool counters.
-func (p *SnapshotPool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
-
-func (p *SnapshotPool) count(f func(*PoolStats)) {
-	p.mu.Lock()
-	f(&p.stats)
-	p.mu.Unlock()
-}
+func (p *SnapshotPool) Stats() PoolStats { return p.stats.snapshot() }

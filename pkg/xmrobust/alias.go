@@ -13,6 +13,7 @@ import (
 	"xmrobust/internal/eagleeye"
 	"xmrobust/internal/inject"
 	"xmrobust/internal/sparc"
+	"xmrobust/internal/store"
 	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
@@ -45,6 +46,11 @@ type (
 	Dictionary = dict.Dictionary
 	// FaultSet selects the kernel version under test.
 	FaultSet = xm.FaultSet
+	// Store is the persistence seam of checkpointed campaigns: where
+	// checkpoints, log shards and corpus files live (WithStore). The
+	// default is the local filesystem; NewMemStore keeps everything in
+	// memory.
+	Store = store.Store
 )
 
 // Simulated-system vocabulary (NewSystem, guest programs).
@@ -117,4 +123,10 @@ var (
 	// TestbedStatus reads the FDIR partition's testbed report out of a
 	// running EagleEye system.
 	TestbedStatus = eagleeye.Report
+
+	// LocalStore is the default campaign persistence (plain files);
+	// NewMemStore builds an in-memory store for tests and ephemeral
+	// campaigns (see WithStore).
+	LocalStore  = store.Local
+	NewMemStore = store.NewMem
 )

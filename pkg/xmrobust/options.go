@@ -2,6 +2,7 @@ package xmrobust
 
 import (
 	"fmt"
+	"time"
 
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/campaign"
@@ -203,3 +204,18 @@ func WithCodec(name string) Option { return func(c *config) { c.eng.Codec = name
 // everything); combined with WithCheckpoint it gives budgeted runs the
 // same semantics as an interruption.
 func WithLimit(n int) Option { return func(c *config) { c.eng.Limit = n } }
+
+// WithStore routes a checkpointed campaign's persistence — checkpoint,
+// log shards, corpus — through the given store instead of the local
+// filesystem. The seam distributed campaigns use when shards live away
+// from the coordinating process; NewMemStore() gives ephemeral runs.
+func WithStore(s Store) Option { return func(c *config) { c.eng.Store = s } }
+
+// WithLeaseTTL arms the coordinator's deadline-based lease reclaim:
+// a leased range not completed within d is re-issued to another worker.
+// The engine deduplicates re-executed tests by sequence number, so the
+// merged log stays byte-identical to a single-worker run. Zero (the
+// default) trusts workers to hand leases back on failure — the remote
+// backend does — and reclaims nothing; feedback plans force 0, because
+// re-breeding from a reclaimed range would fork the schedule.
+func WithLeaseTTL(d time.Duration) Option { return func(c *config) { c.eng.LeaseTTL = d } }

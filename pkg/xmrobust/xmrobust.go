@@ -30,6 +30,11 @@ import (
 	"xmrobust/internal/core"
 	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
+
+	// The remote backend registers itself ("remote:<addr>[,<addr>...]")
+	// so WithTarget("remote:...") fans a campaign out across xmworker
+	// fleets without any further wiring.
+	_ "xmrobust/internal/remote"
 )
 
 // Run executes a robustness campaign configured by the options (zero
