@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test bench bench-1x bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke lint fmt ci
+.PHONY: build examples test bench bench-1x bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -126,6 +126,17 @@ remote-smoke:
 	echo "remote-smoke: rand:400 over 2 remote workers (one killed mid-run) merged byte-identical"
 	rm -rf /tmp/xmremote-smoke
 
+# Observability smoke: a fixed-seed SEU campaign over two loopback
+# workers with the full metrics/trace/progress spine attached, its ops
+# endpoints scraped over HTTP while it runs. Asserts every layer
+# (engine, lease coordinator, remote client, workers, injection
+# outcomes) reported non-zero series AND that instrumentation changed
+# not one byte of the merged campaign log. The graceful worker drain
+# rides along. CI runs this.
+obs-smoke:
+	$(GO) test -race -count 1 -run 'TestObsSmoke|TestServerGracefulShutdown' ./internal/remote
+	$(GO) test -count 1 ./internal/obs
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -134,4 +145,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build examples lint test bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke
+ci: build examples lint test bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"xmrobust/internal/campaign"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/remote"
 	"xmrobust/internal/target"
 )
@@ -104,17 +105,29 @@ func main() {
 		sweepList = flag.String("sweep", "", "comma-separated workers counts: measure each and emit a schema-2 sweep file")
 		remoteN   = flag.Int("remote-workers", 2, "loopback remote servers for the sweep's remote: point (0 = skip)")
 		minScale  = flag.Float64("min-scale", 0, "sweep gate: required tests/sec ratio of the largest workers point over workers=1 (CPU-clamped, 0 = off)")
+		opsAddr   = flag.String("ops", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address while measuring (perturbs the measurement)")
 	)
 	flag.Parse()
 
+	var o *obs.Obs
+	if *opsAddr != "" {
+		o = obs.New()
+		srv, err := obs.ListenAndServe(*opsAddr, o)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "xmbench: ops on http://%s/metrics\n", srv.Addr())
+	}
+
 	if *sweepList != "" {
-		sweep(*n, *seed, *reps, *batch, *codec, *sweepList, *remoteN, *minScale, *out, *note)
+		sweep(*n, *seed, *reps, *batch, *codec, *sweepList, *remoteN, *minScale, *out, *note, o)
 		return
 	}
 
 	b, err := measure(point{
 		plan: fmt.Sprintf("rand:%d", *n), seed: *seed, reps: *reps,
-		batch: *batch, codec: *codec, workers: *workers,
+		batch: *batch, codec: *codec, workers: *workers, obs: o,
 	})
 	if err != nil {
 		fail(err)
@@ -146,6 +159,9 @@ type point struct {
 	// targetSpec selects a non-default execution backend ("" = one
 	// shared sim instance, the steady-state protocol).
 	targetSpec string
+	// obs, when non-nil, instruments the measured engine (the -ops
+	// server's data source; nil keeps the measurement unperturbed).
+	obs *obs.Obs
 }
 
 // measure runs the fixed-seed plan reps times through the streaming
@@ -173,6 +189,7 @@ func measure(p point) (Bench, error) {
 		BatchSize: p.batch,
 		Codec:     p.codec,
 		ShardDir:  dir,
+		Obs:       p.obs,
 	}
 	if p.targetSpec == "" {
 		// One shared target across repetitions: the warm pool and parked
@@ -206,7 +223,7 @@ func measure(p point) (Bench, error) {
 
 // sweep measures one point per workers count, plus a loopback remote:
 // point, and emits the schema-2 scaling file.
-func sweep(n int, seed int64, reps, batch int, codec, list string, remoteN int, minScale float64, out, note string) {
+func sweep(n int, seed int64, reps, batch int, codec, list string, remoteN int, minScale float64, out, note string, o *obs.Obs) {
 	var counts []int
 	for _, f := range strings.Split(list, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(f))
@@ -221,7 +238,7 @@ func sweep(n int, seed int64, reps, batch int, codec, list string, remoteN int, 
 		CPUs: runtime.NumCPU(), Note: note,
 	}
 	for _, w := range counts {
-		b, err := measure(point{plan: s.Plan, seed: seed, reps: reps, batch: batch, codec: codec, workers: w})
+		b, err := measure(point{plan: s.Plan, seed: seed, reps: reps, batch: batch, codec: codec, workers: w, obs: o})
 		if err != nil {
 			fail(err)
 		}

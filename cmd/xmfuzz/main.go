@@ -40,6 +40,13 @@
 //	       [-inject-rate R] [-inject-sites LIST]
 //	       [-cover-stats] [-csv] [-issues] [-progress] [-list]
 //	       [-stream DIR] [-shards N] [-resume] [-fresh-machines]
+//	       [-ops ADDR]
+//
+// -progress renders a live stderr line (done/total, tests/sec, ETA) from
+// the campaign's observability snapshot; -ops serves the same snapshot —
+// plus the full metrics registry and pprof — over HTTP for the duration
+// of the run (/metrics, /healthz, /progress, /debug/pprof). Both are off
+// by default and cost the engine one nil check per event when off.
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"xmrobust/pkg/xmrobust"
 )
@@ -77,6 +85,7 @@ func main() {
 		coverCol = flag.Bool("cover-stats", false, "collect kernel edge coverage and report it (feedback plans always do)")
 		injRate  = flag.Float64("inject-rate", 1, "inject:* targets: fraction of tests carrying an SEU, in (0,1]")
 		injSites = flag.String("inject-sites", "", "inject:* targets: comma-separated flip sites (default all: clock,iu,mmu,ram,timer)")
+		opsAddr  = flag.String("ops", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address while the campaign runs")
 		list     = flag.Bool("list", false, "list the registered test plans and execution targets, then exit")
 	)
 	flag.Parse()
@@ -142,15 +151,23 @@ func main() {
 	if *coverCol {
 		opts = append(opts, xmrobust.WithCoverage())
 	}
+	var o *xmrobust.Obs
+	if *progress || *opsAddr != "" {
+		o = xmrobust.NewObs()
+		opts = append(opts, xmrobust.WithObs(o))
+	}
+	if *opsAddr != "" {
+		ops, err := xmrobust.ServeOps(*opsAddr, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
+			os.Exit(1)
+		}
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "xmfuzz: ops on http://%s/metrics\n", ops.Addr())
+	}
+	var stopProgress func()
 	if *progress {
-		opts = append(opts, xmrobust.WithProgress(func(done, total int) {
-			if done%250 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\r%6d / %d tests", done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
-		}))
+		stopProgress = progressLine(o)
 	}
 	if *stream != "" {
 		opts = append(opts, xmrobust.WithCheckpoint(*stream), xmrobust.WithShards(*shards))
@@ -172,6 +189,9 @@ func main() {
 	}
 
 	rep, err := xmrobust.Run(opts...)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xmfuzz:", err)
 		os.Exit(1)
@@ -204,6 +224,44 @@ func main() {
 	if n := rep.HarnessErrors(); n > 0 {
 		fmt.Fprintf(os.Stderr, "xmfuzz: %d tests failed in the harness\n", n)
 		os.Exit(1)
+	}
+}
+
+// progressLine renders the live -progress stderr line from the
+// campaign's observability snapshot, twice a second. The returned stop
+// function prints the final state and terminates the line.
+func progressLine(o *xmrobust.Obs) func() {
+	render := func() {
+		s := o.Progress.Snapshot()
+		if s.Total == 0 {
+			return
+		}
+		eta := "--"
+		if s.ETASec > 0 {
+			eta = time.Duration(s.ETASec * float64(time.Second)).Truncate(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "\r%6d / %d tests  %6.0f t/s  ETA %-10s", s.Done, s.Total, s.TestsPerSec, eta)
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				render()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+		render()
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

@@ -9,13 +9,19 @@
 //	xmworker [-listen ADDR] [-target SPEC] [-workers N] [-seed N]
 //	         [-fresh-machines] [-legacy-pool]
 //	         [-inject-rate R] [-inject-sites LIST]
-//	         [-exit-after N]
+//	         [-exit-after N] [-ops ADDR]
 //
 // The worker prints "xmworker: listening on <addr> target=<spec>" once
 // the listener is up — with -listen :0 that line is how a launcher
 // learns the bound port. -exit-after makes the process exit without
 // responding once N tests have executed: a deterministic mid-lease
 // worker death, used by the lease-reclaim smoke test.
+//
+// -ops serves the worker's observability endpoints (/metrics, /healthz,
+// /progress, /debug/pprof) on a second address. On SIGINT or SIGTERM
+// the worker drains instead of dying: it stops accepting, lets in-flight
+// leases finish and answer, then exits 0 — coordinators lose the
+// connection only between leases and re-issue nothing.
 package main
 
 import (
@@ -23,9 +29,12 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"xmrobust/internal/inject"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/remote"
 	"xmrobust/internal/target"
 )
@@ -42,6 +51,7 @@ func main() {
 		injSites  = flag.String("inject-sites", "", "inject:* targets: comma-separated flip sites (default all)")
 		exitAfter = flag.Int("exit-after", 0, "exit without responding after N tests (lease-reclaim testing)")
 		quiet     = flag.Bool("quiet", false, "suppress per-connection logging")
+		opsAddr   = flag.String("ops", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -57,10 +67,22 @@ func main() {
 			}
 		}
 	}
+	var o *obs.Obs
+	if *opsAddr != "" {
+		o = obs.New()
+		ops, err := obs.ListenAndServe(*opsAddr, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmworker: %v\n", err)
+			os.Exit(1)
+		}
+		defer ops.Close()
+		fmt.Printf("xmworker: ops on http://%s/metrics\n", ops.Addr())
+	}
 	backend, err := target.New(*tgt, target.Config{
 		FreshMachines: *fresh,
 		LegacyPool:    *legacy,
 		Inject:        params,
+		Obs:           o,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xmworker: %v\n", err)
@@ -78,6 +100,7 @@ func main() {
 		Target:    backend,
 		Workers:   *workers,
 		ExitAfter: *exitAfter,
+		Obs:       o,
 		OnExit: func() {
 			fmt.Printf("xmworker: exit-after %d tests reached, dying mid-lease\n", *exitAfter)
 			os.Exit(0)
@@ -88,8 +111,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xmworker: "+format+"\n", args...)
 		}
 	}
-	if err := srv.Serve(ln); err != nil {
-		fmt.Fprintf(os.Stderr, "xmworker: %v\n", err)
-		os.Exit(1)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmworker: %v\n", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "xmworker: %v — draining in-flight leases\n", sig)
+		srv.Shutdown()
+		fmt.Fprintln(os.Stderr, "xmworker: drained, exiting")
 	}
 }

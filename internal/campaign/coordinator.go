@@ -14,6 +14,8 @@ package campaign
 import (
 	"sync"
 	"time"
+
+	"xmrobust/internal/obs"
 )
 
 // Lease is one issued work unit: a run of campaign positions to execute.
@@ -54,6 +56,11 @@ type Coordinator struct {
 	reissue     []Lease // expired or handed-back leases awaiting re-issue
 	timer       *time.Timer
 	closed      bool
+
+	// met and trace are the observability hooks (nil when obs is off —
+	// every emission is one nil check).
+	met   *obs.LeaseMetrics
+	trace *obs.Tracer
 }
 
 // NewCoordinator builds a coordinator over positions [0, total), skipping
@@ -81,6 +88,14 @@ func NewCoordinator(total int, done map[int]bool, batch, limit int, ttl time.Dur
 
 // setClock replaces the coordinator's clock (tests).
 func (c *Coordinator) setClock(now func() time.Time) { c.now = now }
+
+// Instrument attaches lease metrics and a trace stream; either may be
+// nil. Call before the first Next — the hooks are read without the
+// coordinator's lock held against writes.
+func (c *Coordinator) Instrument(m *obs.LeaseMetrics, tr *obs.Tracer) {
+	c.met = m
+	c.trace = tr
+}
 
 // carve builds the next fresh lease under the lock, or returns false
 // when the position space (or the issue limit) is exhausted.
@@ -116,6 +131,11 @@ func (c *Coordinator) reclaimExpired() {
 		if !is.deadline.After(now) {
 			delete(c.outstanding, id)
 			c.reissue = append(c.reissue, is.lease)
+			c.met.OnReclaim()
+			if c.trace != nil {
+				c.trace.Emit(obs.Event{Kind: "lease.reclaim", Lease: id,
+					Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
+			}
 		}
 	}
 }
@@ -156,6 +176,11 @@ func (c *Coordinator) register(l Lease) Lease {
 		is.deadline = c.now().Add(c.ttl)
 	}
 	c.outstanding[l.ID] = is
+	c.met.OnIssue()
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{Kind: "lease.issue", Lease: l.ID,
+			Start: l.Pos[0], N: len(l.Pos), Attempt: l.Attempt})
+	}
 	return l
 }
 
@@ -194,8 +219,13 @@ func (c *Coordinator) Next() (Lease, bool) {
 // duplicate execution's records dedupe by seq downstream.
 func (c *Coordinator) Complete(id uint64) {
 	c.mu.Lock()
-	if _, ok := c.outstanding[id]; ok {
+	if is, ok := c.outstanding[id]; ok {
 		delete(c.outstanding, id)
+		c.met.OnComplete()
+		if c.trace != nil {
+			c.trace.Emit(obs.Event{Kind: "lease.complete", Lease: id,
+				Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
+		}
 		c.cond.Broadcast()
 	}
 	c.mu.Unlock()
@@ -209,6 +239,11 @@ func (c *Coordinator) HandBack(id uint64) {
 	if is, ok := c.outstanding[id]; ok {
 		delete(c.outstanding, id)
 		c.reissue = append(c.reissue, is.lease)
+		c.met.OnHandBack()
+		if c.trace != nil {
+			c.trace.Emit(obs.Event{Kind: "lease.handback", Lease: id,
+				Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
+		}
 		c.cond.Broadcast()
 	}
 	c.mu.Unlock()

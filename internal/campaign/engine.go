@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"xmrobust/internal/cover"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/store"
 	"xmrobust/internal/target"
@@ -119,6 +120,15 @@ type EngineOptions struct {
 	// same semantics as an interruption: the next Resume continues from
 	// the last completed dataset.
 	Limit int
+
+	// Obs, when non-nil, threads the observability spine through the run:
+	// engine/lease/pool/target metrics land in Obs.Reg, progress in
+	// Obs.Progress, and campaign/lease trace events in Obs.Trace (when
+	// Trace is nil and a ShardDir is set, the engine writes
+	// <ShardDir>/trace.jsonl through the campaign's store). Nil — the
+	// default — costs the hot path one nil check per event, pinned by
+	// BenchmarkObsOverhead.
+	Obs *obs.Obs
 }
 
 // EngineStats reports what one Stream call did.
@@ -228,6 +238,7 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 			PoolStrict:    eo.PoolStrict,
 			LegacyPool:    eo.LegacyPool,
 			Inject:        opts.injectParams(),
+			Obs:           eo.Obs,
 		})
 		if err != nil {
 			return stats, err
@@ -294,6 +305,30 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		pendingCount = eo.Limit
 	}
 
+	// The observability spine. Every handle below is nil-safe, so with
+	// eo.Obs unset the instrumented sites degrade to one nil check each.
+	em := obs.NewEngineMetrics(eo.Obs.Registry())
+	prog := eo.Obs.Prog()
+	var trace *obs.Tracer
+	if eo.Obs != nil {
+		trace = eo.Obs.Trace
+		if trace == nil && eo.ShardDir != "" {
+			// No caller-owned tracer: persist campaign/lease events next to
+			// the shards, through the same store seam. TraceName does not
+			// match ShardPattern, so merges never see it. Advisory — a
+			// trace that cannot open does not fail the campaign.
+			if tr, terr := obs.NewTracer(st, filepath.Join(eo.ShardDir, TraceName)); terr == nil {
+				trace = tr
+				defer trace.Close()
+			}
+		}
+		prog.Begin(total, stats.Skipped)
+		trace.Emit(obs.Event{Kind: "campaign.start", Campaign: sourcePlan(src), N: total, Detail: tgt.Name()})
+		defer func() {
+			trace.Emit(obs.Event{Kind: "campaign.end", Campaign: sourcePlan(src), N: stats.Executed})
+		}()
+	}
+
 	codec, err := NewCodec(eo.Codec)
 	if err != nil {
 		return stats, err
@@ -307,6 +342,7 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		// flush per record only while a checkpoint is being written.
 		for _, w := range writers {
 			w.flushEach = ckpt != nil
+			w.encNs = em.EncodeNs
 		}
 	}
 	if pendingCount == 0 {
@@ -336,6 +372,7 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	if batch < 1 || be == nil || fb != nil {
 		batch = 1
 	}
+	em.BatchSize.Set(int64(batch))
 
 	// The coordinator walks the source's index space lazily — no pending
 	// list is materialised, so a billion-test plan costs the same as a
@@ -349,7 +386,11 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		ttl = 0
 	}
 	coord := NewCoordinator(total, done, batch, pendingCount, ttl)
+	coord.Instrument(obs.NewLeaseMetrics(eo.Obs.Registry()), trace)
 	jobs := make(chan Lease, eo.QueueDepth)
+	eo.Obs.Registry().GaugeFunc("xm_engine_queue_depth",
+		"Leases buffered between the dispatch feeder and the worker pool.",
+		func() float64 { return float64(len(jobs)) })
 	go func() {
 		defer close(jobs)
 		for {
@@ -451,6 +492,11 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 			// and applies them in position order.
 			fb.Feedback(pr.pos, pr.res.Cover)
 		}
+		em.Executed.Inc()
+		prog.Done(1)
+		if prog != nil {
+			prog.Outcome(outcomeClass(pr.res))
+		}
 		if sink != nil {
 			sink(pr.pos, pr.res)
 		}
@@ -465,6 +511,30 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		stats.Pool = ps.PoolStats()
 	}
 	return stats, firstErr
+}
+
+// TraceName is the trace-event stream an instrumented campaign writes
+// next to its shards. It deliberately does not match ShardPattern:
+// merges glob shard-*.jsonl and never read it.
+const TraceName = "trace.jsonl"
+
+// outcomeClass buckets a result for the live progress tally: the
+// classified injection outcome when the run carried a fault, coarse
+// health classes otherwise. This is display-grade classification — the
+// authoritative analysis stays in the report pipeline.
+func outcomeClass(r Result) string {
+	switch {
+	case r.Injection != nil && r.Injection.Outcome != "":
+		return r.Injection.Outcome
+	case r.RunErr != "":
+		return "harness-error"
+	case r.SimCrashed:
+		return "sim-crash"
+	case r.Divergence != nil:
+		return "divergence"
+	default:
+		return "ok"
+	}
 }
 
 // optionsSignature fingerprints the execution side of a campaign — the
@@ -625,6 +695,9 @@ type shardWriter struct {
 	buf       []byte
 	scr       recordScratch
 	broken    error
+	// encNs, when non-nil, observes per-record encode latency
+	// (xm_engine_encode_ns); uninstrumented runs pay one nil check.
+	encNs *obs.Histogram
 }
 
 // ShardPattern matches the shard files of a campaign directory.
@@ -669,8 +742,15 @@ func (w *shardWriter) write(pos int, r Result) error {
 	if w.broken != nil {
 		return w.broken
 	}
+	var t0 time.Time
+	if w.encNs != nil {
+		t0 = time.Now()
+	}
 	rec := w.scr.toRecord(pos, r)
 	buf, err := w.codec.AppendEncode(w.buf[:0], &rec)
+	if w.encNs != nil {
+		w.encNs.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
 	if err == nil {
 		w.buf = append(buf, '\n')
 		_, err = w.bw.Write(w.buf)

@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"xmrobust/internal/obs"
+	"xmrobust/internal/store"
+	"xmrobust/internal/target"
+)
+
+// obsRun streams a fixed-seed plan into an in-memory store and returns
+// the merged log bytes — the byte-identity probe of the instrumented
+// engine.
+func obsRun(t testing.TB, o *obs.Obs) ([]byte, *store.Mem) {
+	t.Helper()
+	plan, ropts, err := BuildPlan(Options{Plan: "rand:60", Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewMem()
+	eo := EngineOptions{Options: ropts, ShardDir: "shards", Store: st, Obs: o}
+	if _, err := StreamPlan(plan, eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	var merged bytes.Buffer
+	if _, err := MergeShardsIn(st, "shards", &merged); err != nil {
+		t.Fatal(err)
+	}
+	return merged.Bytes(), st
+}
+
+// TestStreamPlanObs wires a full observability handle through a
+// checkpointed campaign and checks every layer reported: engine
+// counters and progress, coordinator lease metrics, the trace-event
+// stream in the shard directory — and that none of it changed a single
+// byte of the campaign log.
+func TestStreamPlanObs(t *testing.T) {
+	plain, _ := obsRun(t, nil)
+
+	o := obs.New()
+	instrumented, st := obsRun(t, o)
+	if !bytes.Equal(plain, instrumented) {
+		t.Error("instrumented campaign log differs from the uninstrumented one")
+	}
+
+	em := obs.NewEngineMetrics(o.Registry())
+	if got := em.Executed.Value(); got != 60 {
+		t.Errorf("xm_engine_tests_executed_total = %d, want 60", got)
+	}
+	s := o.Prog().Snapshot()
+	if s.Done != 60 || s.Total != 60 {
+		t.Errorf("progress = %d/%d, want 60/60", s.Done, s.Total)
+	}
+	if len(s.Outcomes) == 0 {
+		t.Error("progress snapshot has no outcome tallies")
+	}
+
+	var prom strings.Builder
+	if err := o.Registry().WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"xm_engine_tests_executed_total 60",
+		"xm_engine_queue_depth",
+		"xm_lease_issued_total",
+		"xm_lease_completed_total",
+		"xm_engine_encode_ns_count",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The trace stream lands next to the shards but outside the shard
+	// pattern — merges must never read it.
+	rc, err := st.OpenLog("shards/" + TraceName)
+	if err != nil {
+		t.Fatalf("trace stream missing: %v", err)
+	}
+	raw, _ := io.ReadAll(rc)
+	rc.Close()
+	kinds := map[string]int{}
+	for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{"campaign.start", "campaign.end", "lease.issue", "lease.complete"} {
+		if kinds[k] == 0 {
+			t.Errorf("trace stream has no %q event (got %v)", k, kinds)
+		}
+	}
+}
+
+// BenchmarkObsOverhead pins the cost of the observability seam in its
+// two states. The "off" case is the invariant the whole design hangs on:
+// a nil Obs must cost the hot path roughly one nil check per event —
+// compare the two sub-benchmark timings when touching the seam.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, o *obs.Obs) {
+		plan, ropts, err := BuildPlan(Options{Plan: "rand:200", Seed: 1, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eo := EngineOptions{
+			Options:        ropts,
+			ShardDir:       "shards",
+			Store:          store.NewMem(),
+			BatchSize:      16,
+			Codec:          "raw",
+			Obs:            o,
+			TargetInstance: target.NewSim(target.Config{}),
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := StreamPlan(plan, eo, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, obs.New()) })
+}

@@ -1,0 +1,328 @@
+// Package obs is the observability spine of the execution stack: a
+// zero-dependency metrics registry (counters, gauges, histograms with
+// atomic hot paths and Prometheus text exposition), a span-style
+// trace-event stream persisted as JSON Lines through the internal/store
+// seam, a campaign progress tracker, and an opt-in ops HTTP server
+// serving /metrics, /healthz, /progress and net/http/pprof.
+//
+// Every handle is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, *Tracer or *Campaign are no-ops, so instrumented code
+// pays the stack's established one-nil-check-when-off cost and needs
+// no conditional wiring. A nil *Registry returns nil handles from every
+// constructor, which makes "obs off" the zero value all the way down.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; a nil Counter ignores updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; a nil Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value reads the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into cumulative buckets with explicit
+// upper bounds, Prometheus-style. A nil Histogram ignores observations.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; counts has one extra +Inf slot
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+// newHistogram builds a histogram over the given bucket upper bounds
+// (sorted ascending by the caller-facing Registry constructor).
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metricKind tags a family for TYPE lines and mismatch checks.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled time series inside a family. Exactly one of
+// the value fields is set, matching the family kind (fn may stand in
+// for a counter or gauge — a lazy collector read at scrape time).
+type series struct {
+	labelVals []string
+	c         *Counter
+	g         *Gauge
+	h         *Histogram
+	fn        func() float64
+}
+
+// family is one named metric: a kind, a help string, a label schema,
+// and the series carrying values.
+type family struct {
+	name      string
+	help      string
+	kind      metricKind
+	labelKeys []string
+	bounds    []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// seriesKey joins label values into a map key. NUL never appears in
+// label values the stack emits, so the join is unambiguous.
+func seriesKey(vals []string) string { return strings.Join(vals, "\x00") }
+
+// get returns the series for the given label values, creating it on
+// first use.
+func (f *family) get(vals []string) *series {
+	key := seriesKey(vals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelVals: vals}
+		switch f.kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Constructors are idempotent: asking twice for the
+// same name returns the same handle, and a kind or label-schema
+// mismatch panics (a programming error, like prometheus.MustRegister).
+// A nil Registry returns nil handles, making it the "obs off" value.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+// lookup returns the family, creating it on first use and checking the
+// schema on every later use.
+func (r *Registry) lookup(name, help string, kind metricKind, labelKeys []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{
+			name:      name,
+			help:      help,
+			kind:      kind,
+			labelKeys: labelKeys,
+			bounds:    bounds,
+			series:    map[string]*series{},
+		}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, f.kind))
+	}
+	if len(f.labelKeys) != len(labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with %d labels, had %d",
+			name, len(labelKeys), len(f.labelKeys)))
+	}
+	for i := range labelKeys {
+		if f.labelKeys[i] != labelKeys[i] {
+			panic(fmt.Sprintf("obs: metric %q re-registered with label %q, had %q",
+				name, labelKeys[i], f.labelKeys[i]))
+		}
+	}
+	return f
+}
+
+// Counter returns the named counter, creating it on first use. Nil
+// registry: nil handle.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, nil, nil).get(nil).c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil
+// registry: nil handle.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, nil, nil).get(nil).g
+}
+
+// Histogram returns the named histogram over the given bucket upper
+// bounds (sorted internally; a +Inf bucket is implicit). Nil registry:
+// nil handle.
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return r.lookup(name, help, kindHistogram, nil, bs).get(nil).h
+}
+
+// CounterFunc registers a lazy counter collected at scrape time — the
+// pattern for counters another subsystem already maintains (pool
+// stats), costing the hot path nothing. Later registrations replace
+// the function. Nil registry: no-op.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, kindCounter, nil, nil)
+	f.mu.Lock()
+	f.series[seriesKey(nil)] = &series{fn: fn}
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a lazy gauge collected at scrape time (queue
+// depths, pool occupancy). Later registrations replace the function.
+// Nil registry: no-op.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, kindGauge, nil, nil)
+	f.mu.Lock()
+	f.series[seriesKey(nil)] = &series{fn: fn}
+	f.mu.Unlock()
+}
+
+// CounterVec is a counter family with a label schema; With resolves one
+// labelled series. A nil CounterVec returns nil counters.
+type CounterVec struct {
+	fam *family
+}
+
+// CounterVec returns the named labelled counter family. Nil registry:
+// nil handle.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	keys := append([]string(nil), labelKeys...)
+	return &CounterVec{fam: r.lookup(name, help, kindCounter, keys, nil)}
+}
+
+// With returns the counter for the given label values (one per label
+// key, in schema order), creating the series on first use.
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(labelVals) != len(v.fam.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			v.fam.name, len(v.fam.labelKeys), len(labelVals)))
+	}
+	return v.fam.get(append([]string(nil), labelVals...)).c
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsInert pins the off-switch contract: a nil registry
+// hands out nil handles, and every operation on them — and on a nil
+// tracer and campaign — is a no-op. Instrumented code never branches on
+// whether observability is on.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", 1, 2)
+	v := r.CounterVec("v", "", "site")
+	r.CounterFunc("cf", "", func() float64 { return 1 })
+	r.GaugeFunc("gf", "", func() float64 { return 1 })
+
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Errorf("nil counter Value = %d", c.Value())
+	}
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge Value = %d", g.Value())
+	}
+	h.Observe(1.5)
+	v.With("ram").Inc()
+
+	var tr *Tracer
+	tr.Emit(Event{Kind: "x"})
+	tr.Close()
+
+	var p *Campaign
+	p.Begin(10, 0)
+	p.Done(1)
+	p.Outcome("ok")
+	if s := p.Snapshot(); s.Total != 0 {
+		t.Errorf("nil campaign Snapshot = %+v", s)
+	}
+
+	var o *Obs
+	if o.Registry() != nil || o.Prog() != nil {
+		t.Error("nil Obs accessors must return nil")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+
+	// Bounds are sorted on registration; observations land in the first
+	// bucket whose bound is >= v (Prometheus le semantics).
+	h := r.Histogram("h", "help", 100, 10, 1)
+	for _, v := range []float64{0.5, 1, 5, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="10"} 4`,
+		`h_bucket{le="100"} 5`,
+		`h_bucket{le="+Inf"} 6`,
+		`h_count 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("dup", "h") != r.Counter("dup", "h") {
+		t.Error("same name must return the same counter")
+	}
+	v := r.CounterVec("vec", "h", "site", "outcome")
+	if v.With("ram", "masked") != v.With("ram", "masked") {
+		t.Error("same labels must return the same series")
+	}
+	if v.With("ram", "masked") == v.With("ram", "crash") {
+		t.Error("different labels must return different series")
+	}
+}
+
+func TestCampaignSnapshot(t *testing.T) {
+	p := NewCampaign()
+	now := time.Unix(1000, 0)
+	p.now = func() time.Time { return now }
+	p.Begin(100, 20)
+	now = now.Add(10 * time.Second)
+	p.Done(40)
+	p.Outcome("ok")
+	p.Outcome("crash")
+	p.Outcome("ok")
+
+	s := p.Snapshot()
+	if s.Done != 60 || s.Total != 100 { // Begin counts the 20 skipped as done
+		t.Errorf("done/total = %d/%d, want 60/100", s.Done, s.Total)
+	}
+	// Rate covers only this session's work: 40 tests in 10s.
+	if s.TestsPerSec < 3.9 || s.TestsPerSec > 4.1 {
+		t.Errorf("tests/sec = %v, want ~4", s.TestsPerSec)
+	}
+	if s.ETASec < 9.9 || s.ETASec > 10.1 { // 40 left at 4/s
+		t.Errorf("eta = %v, want ~10", s.ETASec)
+	}
+	if s.Outcomes["ok"] != 2 || s.Outcomes["crash"] != 1 {
+		t.Errorf("outcomes = %v", s.Outcomes)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Campaign tracks live campaign progress: totals, completion, and
+// per-outcome tallies, cheap enough to update per test. All methods
+// are nil-safe, so an uninstrumented run carries a nil tracker at one
+// nil check per call site.
+type Campaign struct {
+	mu       sync.Mutex
+	total    int64
+	done     int64
+	base     int64 // completed before this process started (resume skip)
+	start    time.Time
+	outcomes map[string]int64
+	now      func() time.Time
+}
+
+// NewCampaign builds an idle progress tracker.
+func NewCampaign() *Campaign {
+	return &Campaign{outcomes: map[string]int64{}, now: time.Now}
+}
+
+// Begin marks the campaign start: total positions overall, of which
+// skipped were already completed by a resumed checkpoint (they count as
+// done but not toward the rate).
+func (p *Campaign) Begin(total, skipped int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total = int64(total)
+	p.done = int64(skipped)
+	p.base = int64(skipped)
+	p.start = p.now()
+	p.outcomes = map[string]int64{}
+	p.mu.Unlock()
+}
+
+// Done records n more completed tests.
+func (p *Campaign) Done(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done += int64(n)
+	p.mu.Unlock()
+}
+
+// Outcome tallies one test outcome by name (injection outcome classes,
+// "sim-crash", "harness-error", "ok").
+func (p *Campaign) Outcome(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.outcomes[name]++
+	p.mu.Unlock()
+}
+
+// Snapshot is the JSON shape /progress serves and -progress renders:
+// completion, rate, and ETA of the running campaign.
+type Snapshot struct {
+	Done        int64            `json:"done"`
+	Total       int64            `json:"total"`
+	ElapsedSec  float64          `json:"elapsed_sec"`
+	TestsPerSec float64          `json:"tests_per_sec"`
+	ETASec      float64          `json:"eta_sec"`
+	Outcomes    map[string]int64 `json:"outcomes,omitempty"`
+}
+
+// Snapshot reads the current progress. The rate counts only tests this
+// process executed (resume-skipped positions are excluded), so the ETA
+// stays honest across resumes. Nil tracker: zero snapshot.
+func (p *Campaign) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Snapshot{Done: p.done, Total: p.total}
+	if len(p.outcomes) > 0 {
+		s.Outcomes = make(map[string]int64, len(p.outcomes))
+		for k, v := range p.outcomes {
+			s.Outcomes[k] = v
+		}
+	}
+	if p.start.IsZero() {
+		return s
+	}
+	s.ElapsedSec = p.now().Sub(p.start).Seconds()
+	if ran := p.done - p.base; ran > 0 && s.ElapsedSec > 0 {
+		s.TestsPerSec = float64(ran) / s.ElapsedSec
+		if left := p.total - p.done; left > 0 {
+			s.ETASec = float64(left) / s.TestsPerSec
+		}
+	}
+	return s
+}

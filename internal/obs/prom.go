@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every registered family in Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: families
+// sort by name, series sort by label values, histogram buckets render
+// cumulatively in bound order — pinned by the golden test. Nil
+// registry: writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, k := range keys {
+			writeSeries(&b, f, f.series[k])
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSeries renders one series of f, including a histogram's full
+// bucket/sum/count block.
+func writeSeries(b *strings.Builder, f *family, s *series) {
+	switch {
+	case s.fn != nil:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labelKeys, s.labelVals, "", ""),
+			formatFloat(s.fn()))
+	case f.kind == kindCounter:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labelKeys, s.labelVals, "", ""),
+			s.c.Value())
+	case f.kind == kindGauge:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labelKeys, s.labelVals, "", ""),
+			s.g.Value())
+	case f.kind == kindHistogram:
+		h := s.h
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				labelString(f.labelKeys, s.labelVals, "le", formatFloat(bound)), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+			labelString(f.labelKeys, s.labelVals, "le", "+Inf"), h.Count())
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name,
+			labelString(f.labelKeys, s.labelVals, "", ""), formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name,
+			labelString(f.labelKeys, s.labelVals, "", ""), h.Count())
+	}
+}
+
+// labelString renders the {k="v",...} label block, with an optional
+// extra pair (the histogram le label), or "" when there are no labels.
+func labelString(keys, vals []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(vals[i]))
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

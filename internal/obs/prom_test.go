@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exposition format byte for byte: family
+// ordering (sorted by name), series ordering (sorted by label values),
+// label escaping, float formatting, and the histogram's cumulative
+// bucket/sum/count block. Scrapers parse this surface — changes here
+// are wire-format changes.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_simple_total", "Plain counter.").Add(3)
+
+	v := r.CounterVec("aa_outcomes_total", "Outcomes by site.", "site", "outcome")
+	v.With("ram", "masked").Add(2)
+	v.With("weird\"site\\\n", "crash").Inc()
+
+	r.Gauge("mm_depth", "Queue depth.").Set(-4)
+
+	h := r.Histogram("hh_latency", "Latency.\nSecond line.", 2.5, 1)
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(9)
+
+	r.GaugeFunc("ff_func", "Lazy gauge.", func() float64 { return 1.5 })
+
+	const want = `# HELP aa_outcomes_total Outcomes by site.
+# TYPE aa_outcomes_total counter
+aa_outcomes_total{site="ram",outcome="masked"} 2
+aa_outcomes_total{site="weird\"site\\\n",outcome="crash"} 1
+# HELP ff_func Lazy gauge.
+# TYPE ff_func gauge
+ff_func 1.5
+# HELP hh_latency Latency.\nSecond line.
+# TYPE hh_latency histogram
+hh_latency_bucket{le="1"} 1
+hh_latency_bucket{le="2.5"} 2
+hh_latency_bucket{le="+Inf"} 3
+hh_latency_sum 11.5
+hh_latency_count 3
+# HELP mm_depth Queue depth.
+# TYPE mm_depth gauge
+mm_depth -4
+# HELP zz_simple_total Plain counter.
+# TYPE zz_simple_total counter
+zz_simple_total 3
+`
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition drifted from the golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePromNilRegistry: a nil registry writes nothing — the ops
+// server can always call WriteProm.
+func TestWritePromNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry: err=%v out=%q", err, b.String())
+	}
+}

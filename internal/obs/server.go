@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsServer is the opt-in operations endpoint every CLI mounts behind
+// -ops <addr>: Prometheus metrics, a health probe, a live campaign
+// progress snapshot, and the stdlib pprof handlers — the exact surface
+// the xmrobustd daemon will serve.
+type OpsServer struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// ListenAndServe starts the ops server on addr (":9090",
+// "127.0.0.1:0") serving o's registry and progress tracker, and
+// returns once the listener is bound. Serving runs in a background
+// goroutine until Close.
+func ListenAndServe(addr string, o *Obs) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &OpsServer{ln: ln, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry().WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":     "ok",
+			"uptime_sec": time.Since(s.start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(o.Prog().Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *OpsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, closing the listener and any open
+// connections.
+func (s *OpsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

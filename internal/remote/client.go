@@ -13,6 +13,7 @@ import (
 
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/campaign"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 )
@@ -23,7 +24,7 @@ const Name = "remote"
 func init() {
 	target.Register(Name,
 		"execute on xmworker processes over TCP: remote:<addr>[,<addr>...]",
-		func(arg string, cfg target.Config) (target.Target, error) { return newClient(arg) })
+		func(arg string, cfg target.Config) (target.Target, error) { return newClient(arg, cfg.Obs) })
 }
 
 // Tunables of the fan-out client. The window bounds pipelined leases per
@@ -62,6 +63,10 @@ type client struct {
 	next   atomic.Uint64 // round-robin cursor over addrs
 	nextID atomic.Uint64 // request IDs, unique across connections
 
+	// met is the client's metric set — always a non-nil struct; its
+	// handles are nil (one nil check per event) when obs is off.
+	met *obs.RemoteMetrics
+
 	mu    sync.Mutex
 	conns []*workerConn // lazily (re)dialled, one slot per addr
 	dial  []dialState   // per-addr redial pacing
@@ -80,6 +85,7 @@ type workerConn struct {
 	helloTarget string // target spec the worker's hello advertised
 	conn        net.Conn
 	window      chan struct{}
+	met         *obs.RemoteMetrics // never nil; nil handles when obs off
 
 	wmu sync.Mutex // frame writes interleave frames, never bytes
 
@@ -88,7 +94,7 @@ type workerConn struct {
 	downErr error
 }
 
-func newClient(arg string) (*client, error) {
+func newClient(arg string, o *obs.Obs) (*client, error) {
 	var addrs []string
 	for _, a := range strings.Split(arg, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -107,6 +113,7 @@ func newClient(arg string) (*client, error) {
 		addrs:  addrs,
 		header: apispec.Default(),
 		codec:  codec,
+		met:    obs.NewRemoteMetrics(o.Registry()),
 		conns:  make([]*workerConn, len(addrs)),
 		dial:   make([]dialState, len(addrs)),
 	}, nil
@@ -188,6 +195,7 @@ func (c *client) exec(batch []testgen.Dataset, spec target.RunSpec) []target.Res
 		wc, err := c.pick()
 		if err != nil {
 			lastErr = err
+			c.met.Retries.Inc()
 			time.Sleep(backoff(attempt))
 			continue
 		}
@@ -198,6 +206,7 @@ func (c *client) exec(batch []testgen.Dataset, spec target.RunSpec) []target.Res
 			// next one. Anything it already executed re-executes there,
 			// byte-identically.
 			lastErr = err
+			c.met.Retries.Inc()
 			continue
 		}
 		if err != nil {
@@ -242,8 +251,9 @@ func (c *client) getConn(i int) (*workerConn, error) {
 	if now := time.Now(); now.Before(c.dial[i].notBefore) {
 		return nil, fmt.Errorf("remote: %s is down (retry backoff)", c.addrs[i])
 	}
-	wc, err := dialWorker(c.addrs[i])
+	wc, err := dialWorker(c.addrs[i], c.met)
 	if err != nil {
+		c.met.DialErrors.Inc()
 		d := &c.dial[i]
 		d.delay *= 2
 		if d.delay < dialBackoffMin {
@@ -255,13 +265,15 @@ func (c *client) getConn(i int) (*workerConn, error) {
 		d.notBefore = time.Now().Add(d.delay)
 		return nil, err
 	}
+	c.met.Dials.Inc()
 	c.dial[i] = dialState{}
 	c.conns[i] = wc
 	return wc, nil
 }
 
-// dialWorker dials one worker and verifies its hello.
-func dialWorker(addr string) (*workerConn, error) {
+// dialWorker dials one worker and verifies its hello. met must be
+// non-nil (its handles may be — obs off).
+func dialWorker(addr string, met *obs.RemoteMetrics) (*workerConn, error) {
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
@@ -287,6 +299,7 @@ func dialWorker(addr string) (*workerConn, error) {
 		helloTarget: hello.Target,
 		conn:        conn,
 		window:      make(chan struct{}, inflightWindow),
+		met:         met,
 		pending:     map[uint64]chan []byte{},
 	}
 	go wc.readLoop()
@@ -296,7 +309,7 @@ func dialWorker(addr string) (*workerConn, error) {
 // WorkerTarget dials addr and returns the target spec its hello
 // advertises — the discovery surface behind fleet-consistency checks.
 func WorkerTarget(addr string) (string, error) {
-	wc, err := dialWorker(addr)
+	wc, err := dialWorker(addr, obs.NewRemoteMetrics(nil))
 	if err != nil {
 		return "", err
 	}
@@ -334,6 +347,7 @@ func (wc *workerConn) readLoop() {
 			wc.fail(fmt.Errorf("%w: %s: %v", errConnDown, wc.addr, err))
 			return
 		}
+		wc.met.WireRx.Add(uint64(len(payload)) + frameOverhead)
 		line := payload
 		if i := bytes.IndexByte(payload, '\n'); i >= 0 {
 			line = payload[:i]
@@ -358,7 +372,11 @@ func (wc *workerConn) readLoop() {
 // on another connection.
 func (wc *workerConn) roundTrip(id uint64, frame []byte) ([]byte, error) {
 	wc.window <- struct{}{}
-	defer func() { <-wc.window }()
+	wc.met.Inflight.Add(1)
+	defer func() {
+		wc.met.Inflight.Add(-1)
+		<-wc.window
+	}()
 
 	ch := make(chan []byte, 1)
 	wc.pmu.Lock()
@@ -373,6 +391,9 @@ func (wc *workerConn) roundTrip(id uint64, frame []byte) ([]byte, error) {
 	wc.wmu.Lock()
 	err := WriteFrame(wc.conn, frame)
 	wc.wmu.Unlock()
+	if err == nil {
+		wc.met.WireTx.Add(uint64(len(frame)) + frameOverhead)
+	}
 	if err != nil {
 		wc.fail(fmt.Errorf("%w: %s: %v", errConnDown, wc.addr, err))
 		return nil, fmt.Errorf("%w: %s: %v", errConnDown, wc.addr, err)

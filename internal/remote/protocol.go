@@ -31,6 +31,10 @@ const ProtoVersion = 1
 // but small enough that a corrupt length prefix cannot ask for the moon.
 const maxFrame = 64 << 20
 
+// frameOverhead is the per-frame framing cost (the 4-byte length
+// prefix), counted alongside payload bytes in the wire-byte metrics.
+const frameOverhead = 4
+
 // WriteFrame writes one length-prefixed frame: a 4-byte big-endian
 // payload length followed by the payload.
 func WriteFrame(w io.Writer, payload []byte) error {

@@ -6,8 +6,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xmrobust/internal/campaign"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/target"
 	"xmrobust/internal/testgen"
 )
@@ -35,12 +37,20 @@ type Server struct {
 	// Logf, when set, receives one line per accepted connection and per
 	// refused request.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, publishes the worker's metrics (tests executed,
+	// open connections, wire bytes) and live progress — the worker side
+	// of the observability spine.
+	Obs *obs.Obs
 
 	provisionOnce sync.Once
 	provisionErr  error
 	sem           chan struct{}
 	executed      atomic.Int64
 	exitOnce      sync.Once
+	met           *obs.WorkerMetrics // set in provision; nil handles when obs off
+
+	draining atomic.Bool
+	connWG   sync.WaitGroup
 
 	connsMu sync.Mutex
 	open    map[net.Conn]struct{}
@@ -91,12 +101,14 @@ func (s *Server) track(conn net.Conn) {
 	}
 	s.open[conn] = struct{}{}
 	s.connsMu.Unlock()
+	s.met.Connections.Add(1)
 }
 
 func (s *Server) untrack(conn net.Conn) {
 	s.connsMu.Lock()
 	delete(s.open, conn)
 	s.connsMu.Unlock()
+	s.met.Connections.Add(-1)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -113,6 +125,8 @@ func (s *Server) provision() error {
 			s.Workers = 1
 		}
 		s.sem = make(chan struct{}, s.Workers)
+		s.met = obs.NewWorkerMetrics(s.Obs.Registry())
+		s.Obs.Prog().Begin(0, 0)
 		s.provisionErr = s.Target.Provision(s.Workers)
 	})
 	return s.provisionErr
@@ -124,20 +138,54 @@ func (s *Server) Serve(ln net.Listener) error {
 	if err := s.provision(); err != nil {
 		return fmt.Errorf("remote: provision %s: %w", s.Target.Name(), err)
 	}
+	s.connsMu.Lock()
+	s.ln = ln
+	s.connsMu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
 		s.logf("connection from %s", conn.RemoteAddr())
-		go s.handleConn(conn)
+		// Track before handing off so a Shutdown between accept and the
+		// goroutine's first read still reaches this connection.
+		s.track(conn)
+		s.connWG.Add(1)
+		go func(conn net.Conn) {
+			defer s.connWG.Done()
+			s.handleConn(conn)
+		}(conn)
 	}
 }
 
+// Shutdown drains the server gracefully: the listener stops accepting,
+// every open connection stops reading new frames (its pending read is
+// unblocked by an immediate read deadline), in-flight requests finish
+// executing and write their responses, and only then do the connections
+// close. It returns once every connection handler has exited. Clients
+// treat the subsequent connection loss like any dead worker: unanswered
+// leases hand back and re-execute elsewhere.
+func (s *Server) Shutdown() {
+	s.draining.Store(true)
+	s.connsMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.open {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.connsMu.Unlock()
+	s.connWG.Wait()
+}
+
+// Draining reports whether Shutdown has begun — how a serving loop
+// distinguishes a graceful drain's listener-closed error from a fault.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // handleConn speaks the protocol on one connection: hello, then a loop
-// of pipelined lease requests until the peer hangs up.
+// of pipelined lease requests until the peer hangs up (or Shutdown
+// breaks the read loop; requests already read still answer).
 func (s *Server) handleConn(conn net.Conn) {
-	s.track(conn)
 	defer s.untrack(conn)
 	defer conn.Close()
 	var wmu sync.Mutex // responses from concurrent leases interleave frames, never bytes
@@ -148,6 +196,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	s.met.WireTx.Add(uint64(len(hello)) + frameOverhead)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -155,6 +204,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		s.met.WireRx.Add(uint64(len(payload)) + frameOverhead)
 		wg.Add(1)
 		go func(payload []byte) {
 			defer wg.Done()
@@ -206,6 +256,8 @@ func (s *Server) handleRequest(conn net.Conn, wmu *sync.Mutex, payload []byte) {
 		}
 	}
 	<-s.sem
+	s.met.Executed.Add(uint64(len(results)))
+	s.Obs.Prog().Done(len(results))
 
 	records := make([][]byte, 0, len(results))
 	for i, r := range results {
@@ -238,7 +290,9 @@ func (s *Server) respond(conn net.Conn, wmu *sync.Mutex, hdr respHeader, records
 	defer wmu.Unlock()
 	if err := WriteFrame(conn, payload); err != nil {
 		s.logf("response %d: %v", hdr.ID, err)
+		return
 	}
+	s.met.WireTx.Add(uint64(len(payload)) + frameOverhead)
 }
 
 // unmarshalRequest decodes a request frame.

@@ -21,6 +21,10 @@ type PoolStats struct {
 	// simulators handed back via Put, and machines that failed the
 	// post-reset verification.
 	Discarded uint64
+	// Steals counts Gets served from a free-list stripe other than the
+	// caller's round-robin home — cross-stripe traffic that measures how
+	// well the striping spreads the workers.
+	Steals uint64
 }
 
 // MachinePool recycles Machines across independent runs. A campaign that
@@ -104,4 +108,8 @@ func (p *MachinePool) Put(m *Machine) {
 }
 
 // Stats snapshots the pool counters.
-func (p *MachinePool) Stats() PoolStats { return p.stats.snapshot() }
+func (p *MachinePool) Stats() PoolStats {
+	st := p.stats.snapshot()
+	st.Steals = p.free.steals.Load()
+	return st
+}

@@ -22,6 +22,10 @@ type machineShards struct {
 	stripes []machineStripe
 	getC    atomic.Uint64
 	putC    atomic.Uint64
+	// steals counts Gets served from a stripe other than the caller's
+	// round-robin home — the cross-stripe traffic the striping exists to
+	// keep rare (observable as xm_pool_steals_total).
+	steals atomic.Uint64
 }
 
 // machineStripe is one free-list stripe, padded so neighbouring stripes
@@ -76,6 +80,9 @@ func (s *machineShards) get() *Machine {
 			st.free[l-1] = nil
 			st.free = st.free[:l-1]
 			st.mu.Unlock()
+			if k > 0 {
+				s.steals.Add(1)
+			}
 			return m
 		}
 		st.mu.Unlock()

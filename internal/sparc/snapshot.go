@@ -267,4 +267,8 @@ func (p *SnapshotPool) Put(m *Machine) {
 }
 
 // Stats snapshots the pool counters.
-func (p *SnapshotPool) Stats() PoolStats { return p.stats.snapshot() }
+func (p *SnapshotPool) Stats() PoolStats {
+	st := p.stats.snapshot()
+	st.Steals = p.free.steals.Load()
+	return st
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"xmrobust/internal/obs"
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/testgen"
 )
@@ -25,6 +26,9 @@ func init() {
 type Diff struct {
 	name string
 	a, b Target
+	// mDiv counts recorded divergences (xm_diff_divergences_total); nil
+	// when obs is off.
+	mDiv *obs.Counter
 }
 
 // diffSlot pairs one slot of each sub-target.
@@ -50,7 +54,13 @@ func NewDiff(arg string, cfg Config) (*Diff, error) {
 	if err != nil {
 		return nil, componentErr(DiffName+":"+arg, parts[1], err)
 	}
-	return &Diff{name: fmt.Sprintf("%s:%s,%s", DiffName, a.Name(), b.Name()), a: a, b: b}, nil
+	return &Diff{
+		name: fmt.Sprintf("%s:%s,%s", DiffName, a.Name(), b.Name()),
+		a:    a,
+		b:    b,
+		mDiv: cfg.Obs.Registry().Counter("xm_diff_divergences_total",
+			"Diff-target executions whose backends disagreed."),
+	}, nil
 }
 
 // Name returns the canonical composite spec ("diff:sim,phantom").
@@ -98,6 +108,7 @@ func (d *Diff) PoolStats() sparc.PoolStats {
 			out.Allocated += st.Allocated
 			out.Reused += st.Reused
 			out.Discarded += st.Discarded
+			out.Steals += st.Steals
 		}
 	}
 	return out
@@ -113,6 +124,9 @@ func (d *Diff) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
 	res := ra
 	res.Target = d.name
 	res.Divergence = Compare(ra, rb)
+	if res.Divergence != nil {
+		d.mDiv.Inc()
+	}
 	if res.Cover == nil {
 		// A model-first composite (diff:phantom,sim) must not drop the
 		// simulating leg's edge coverage — the feedback loop and the

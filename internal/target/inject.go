@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xmrobust/internal/inject"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
@@ -28,6 +29,9 @@ type Inject struct {
 	name  string
 	base  Target
 	sched inject.Schedule
+	// met tallies per-site outcomes (xm_inject_outcomes_total); nil when
+	// obs is off.
+	met *obs.InjectMetrics
 }
 
 // injectSlot is a mutable holder for the composite's current base slot:
@@ -62,7 +66,12 @@ func NewInject(arg string, cfg Config) (*Inject, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Inject{name: InjectName + ":" + base.Name(), base: base, sched: sched}, nil
+	return &Inject{
+		name:  InjectName + ":" + base.Name(),
+		base:  base,
+		sched: sched,
+		met:   obs.NewInjectMetrics(cfg.Obs.Registry()),
+	}, nil
 }
 
 // Name returns the canonical composite spec ("inject:sim").
@@ -125,6 +134,7 @@ func (t *Inject) Execute(slot Slot, ds testgen.Dataset, spec RunSpec) Result {
 	rec := plan.Injection
 	if rec.Applied {
 		rec.Outcome, rec.Delta = injectionOutcome(ref, res)
+		t.met.OnOutcome(rec.Site, rec.Outcome)
 	}
 	res.Injection = &rec
 	return res

@@ -7,6 +7,7 @@ import (
 	"xmrobust/internal/cover"
 	"xmrobust/internal/dict"
 	"xmrobust/internal/eagleeye"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
@@ -34,6 +35,10 @@ type Sim struct {
 	pool     sparc.Pool
 	baseline *sparc.Snapshot
 
+	// mRestores counts in-slot snapshot restores (batch rewinds and
+	// composite-leg recycles); nil when obs is off.
+	mRestores *obs.Counter
+
 	// kernels parks each pooled machine's recycled testbed kernel between
 	// batch leases, so system construction amortises across a campaign
 	// rather than per lease. A parked kernel is always dirty — ExecuteBatch
@@ -45,7 +50,10 @@ type Sim struct {
 
 // NewSim builds the simulation backend.
 func NewSim(cfg Config) *Sim {
-	return &Sim{cfg: cfg, baseline: sparc.PowerOnSnapshot(sparc.DefaultConfig())}
+	s := &Sim{cfg: cfg, baseline: sparc.PowerOnSnapshot(sparc.DefaultConfig())}
+	s.mRestores = cfg.Obs.Registry().Counter("xm_sim_slot_restores_total",
+		"In-slot snapshot restores (batch rewinds and composite-leg recycles).")
+	return s
 }
 
 // Name returns "sim".
@@ -70,6 +78,23 @@ func (s *Sim) Provision(workers int) error {
 		s.pool = sparc.NewSnapshotPool(sparc.DefaultConfig(), workers)
 	}
 	s.pool.SetStrict(s.cfg.PoolStrict)
+	if r := s.cfg.Obs.Registry(); r != nil {
+		// Lazy collectors over the pool's own atomic counters: the pool
+		// hot path pays nothing, the values materialise at scrape time.
+		pool := s.pool
+		r.CounterFunc("xm_pool_allocated_total",
+			"Machines the pool built from scratch.",
+			func() float64 { return float64(pool.Stats().Allocated) })
+		r.CounterFunc("xm_pool_reused_total",
+			"Acquires served by recycling a pooled machine (snapshot restores on the CoW pool).",
+			func() float64 { return float64(pool.Stats().Reused) })
+		r.CounterFunc("xm_pool_discarded_total",
+			"Machines the pool refused to recycle (crashes, failed verification).",
+			func() float64 { return float64(pool.Stats().Discarded) })
+		r.CounterFunc("xm_pool_steals_total",
+			"Acquires served from a free-list stripe other than the caller's home.",
+			func() float64 { return float64(pool.Stats().Steals) })
+	}
 	return nil
 }
 
@@ -106,6 +131,7 @@ func (sl *simSlot) Restore() error {
 	if sl.m == nil {
 		return fmt.Errorf("target: slot holds no machine to restore")
 	}
+	sl.owner.mRestores.Inc()
 	if sl.snap != nil {
 		return sl.m.RestoreSnapshot(sl.snap)
 	}

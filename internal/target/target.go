@@ -38,6 +38,7 @@ import (
 	"xmrobust/internal/apispec"
 	"xmrobust/internal/dict"
 	"xmrobust/internal/inject"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/testgen"
 	"xmrobust/internal/xm"
 )
@@ -140,6 +141,11 @@ type Config struct {
 	// Inject parameterises the SEU schedule of inject:* targets (rate,
 	// sites, seed); other backends ignore it.
 	Inject inject.Params
+	// Obs, when non-nil, lets a backend register its metrics (pool
+	// counters, injection outcomes, divergences, remote wire traffic)
+	// with the campaign's observability spine. Nil — the default — costs
+	// instrumented backends one nil check per event.
+	Obs *obs.Obs
 }
 
 // Factory builds a target from the text after ":" in its spec ("" when

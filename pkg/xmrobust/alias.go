@@ -12,6 +12,7 @@ import (
 	"xmrobust/internal/dict"
 	"xmrobust/internal/eagleeye"
 	"xmrobust/internal/inject"
+	"xmrobust/internal/obs"
 	"xmrobust/internal/sparc"
 	"xmrobust/internal/store"
 	"xmrobust/internal/target"
@@ -51,6 +52,20 @@ type (
 	// default is the local filesystem; NewMemStore keeps everything in
 	// memory.
 	Store = store.Store
+)
+
+// Observability vocabulary (WithObs, ServeOps).
+type (
+	// Obs bundles one process's observability spine — metrics registry,
+	// trace-event stream, live progress — attached to a campaign with
+	// WithObs and served over HTTP with ServeOps.
+	Obs = obs.Obs
+	// OpsServer is the HTTP server ServeOps starts: /metrics (Prometheus
+	// text), /healthz, /progress (JSON) and /debug/pprof.
+	OpsServer = obs.OpsServer
+	// ProgressSnapshot is one point-in-time view of a running campaign:
+	// done/total, throughput, ETA and per-outcome tallies.
+	ProgressSnapshot = obs.Snapshot
 )
 
 // Simulated-system vocabulary (NewSystem, guest programs).
@@ -129,4 +144,9 @@ var (
 	// campaigns (see WithStore).
 	LocalStore  = store.Local
 	NewMemStore = store.NewMem
+
+	// NewObs builds an observability handle (WithObs); ServeOps exposes
+	// one over HTTP — /metrics, /healthz, /progress, /debug/pprof.
+	NewObs   = obs.New
+	ServeOps = obs.ListenAndServe
 )

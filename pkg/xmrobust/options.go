@@ -211,6 +211,15 @@ func WithLimit(n int) Option { return func(c *config) { c.eng.Limit = n } }
 // from the coordinating process; NewMemStore() gives ephemeral runs.
 func WithStore(s Store) Option { return func(c *config) { c.eng.Store = s } }
 
+// WithObs attaches an observability handle to the campaign: the engine,
+// lease coordinator and execution targets publish metrics into its
+// registry and live progress into its snapshot, and checkpointed
+// campaigns stream span-style trace events into the shard directory.
+// Serve the handle over HTTP with ServeOps. Nil — the default — keeps
+// the hot path at one nil check per event (pinned by
+// BenchmarkObsOverhead).
+func WithObs(o *Obs) Option { return func(c *config) { c.eng.Obs = o } }
+
 // WithLeaseTTL arms the coordinator's deadline-based lease reclaim:
 // a leased range not completed within d is re-issued to another worker.
 // The engine deduplicates re-executed tests by sequence number, so the
