@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the repository's first invariant:
+// fixed-seed campaigns are byte-reproducible end to end. Inside the
+// deterministic packages — everything between plan generation and the
+// merged campaign log — it forbids the ambient-nondeterminism entry
+// points (wall-clock reads, the process environment, the unseeded
+// global math/rand source) and flags map iteration that feeds an
+// order-sensitive sink (encoder, writer, hash) without an intervening
+// sort. Legitimate wall-clock code in these packages (lease deadlines,
+// latency histograms) carries an //xmlint:allow determinism annotation.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, environment, unseeded math/rand, and map-order-dependent serialisation in the deterministic packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPackages are the internal/<name> packages on the
+// fixed-seed reproducibility path: every byte they produce must be a
+// pure function of (plan, seed, target).
+var deterministicPackages = map[string]bool{
+	"testgen":  true,
+	"campaign": true,
+	"corpus":   true,
+	"inject":   true,
+	"cover":    true,
+	"target":   true,
+	"analysis": true,
+	"report":   true,
+	"store":    true,
+}
+
+// forbiddenFuncs maps package path -> function name -> short reason.
+// Any reference (call or value) resolves through the type checker, so
+// aliasing the import does not hide a use.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+	},
+}
+
+// randConstructors are the math/rand functions that build a seeded
+// source instead of touching the package-global one; everything else at
+// package level draws from the unseeded global and is forbidden.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// orderSensitiveSinks are method names whose call inside a map-range
+// body makes the iteration order observable: stream writers, encoders,
+// and hashes. Plain append-then-sort loops call none of these.
+var orderSensitiveSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "AppendEncode": true, "Marshal": true,
+	"Sum": true, "Sum32": true, "Sum64": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !deterministicPackages[internalPackageName(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pass.checkForbiddenRef(n)
+			case *ast.RangeStmt:
+				pass.checkMapRange(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkForbiddenRef flags references to the forbidden functions and to
+// the unseeded math/rand globals.
+func (p *Pass) checkForbiddenRef(sel *ast.SelectorExpr) {
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if why, ok := forbiddenFuncs[path][name]; ok {
+		p.Reportf(sel.Pos(), "%s.%s %s — fixed-seed campaigns must be byte-reproducible; derive the value from (plan, seed, target) or annotate %s determinism -- <reason>",
+			path, name, why, allowPrefix)
+		return
+	}
+	if path == "math/rand" || path == "math/rand/v2" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[name] {
+			p.Reportf(sel.Pos(), "%s.%s draws from the unseeded global source — build a seeded generator (rand.New(rand.NewSource(seed)) or testgen.SplitMix64) so runs replay",
+				path, name)
+		}
+	}
+}
+
+// checkMapRange flags a range over a map whose body calls an
+// order-sensitive sink: whatever those calls produce depends on Go's
+// randomised map iteration order, which no fixed seed controls.
+func (p *Pass) checkMapRange(rng *ast.RangeStmt) {
+	if _, ok := p.Info.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+		return
+	}
+	reported := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !orderSensitiveSinks[sel.Sel.Name] {
+			return true
+		}
+		reported = true
+		p.Reportf(rng.Pos(), "map iteration feeds the order-sensitive sink %s on line %d — map order is randomised per run; collect and sort the keys first",
+			sel.Sel.Name, p.Fset.Position(call.Pos()).Line)
+		return false
+	})
+}

@@ -1,0 +1,262 @@
+// Package lint is the repository's invariant lint suite: custom static
+// analyzers that machine-check the cross-cutting contracts every PR has
+// so far preserved by hand — fixed-seed campaigns are byte-reproducible
+// (determinism), disabled observability costs one nil check on the hot
+// path (obsnil), feature inventories are complete at program start
+// (registry), and the raw codec cannot drift from the json wire format
+// (seqfield).
+//
+// The suite runs as a go vet tool: cmd/xmlint speaks the go command's
+// vet config protocol (see unit.go), so `go vet -vettool=$(xmlint) ./...`
+// type-checks every package once, with export data the build cache
+// already holds, and feeds it through Analyzers().
+//
+// golang.org/x/tools/go/analysis is deliberately not used: the module
+// ships with zero dependencies, tools included, so the framework here is
+// a minimal stdlib-only equivalent (an Analyzer runs over one
+// type-checked package and reports position-anchored diagnostics).
+//
+// # Allowlist annotations
+//
+// A legitimate exception — wall-clock reads feeding lease deadlines or
+// latency histograms, say — is suppressed in place, where reviewers see
+// it, never in a central file that rots:
+//
+//	now: time.Now, //xmlint:allow determinism -- lease deadlines are wall-clock by design
+//
+// The annotation names the analyzers it silences and must carry a
+// reason after " -- ". It covers diagnostics on its own line and on the
+// line below (so it can sit above a long statement). Malformed and
+// unused annotations are themselves diagnostics: the allowlist can only
+// shrink or be argued for, never silently accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant check. Run inspects a single type-checked
+// package through the Pass and reports violations; it returns an error
+// only for internal failures (a nil error with zero reports means the
+// package honours the invariant).
+type Analyzer struct {
+	// Name is the invariant's name, as printed in diagnostics and named
+	// in //xmlint:allow annotations.
+	Name string
+	// Doc is the one-line contract statement shown by xmlint -flags
+	// consumers and the README table.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is every parsed file of the package, test files included.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos token.Pos
+	// Analyzer names the invariant (or "allowlist" for annotation
+	// hygiene findings from the driver itself).
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SourceFiles returns the package's non-test files. The invariants
+// govern shipped code: tests legitimately read the clock, register
+// fakes, and poke nil handles, so every analyzer works off this view.
+func (p *Pass) SourceFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Analyzers returns the full invariant suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DeterminismAnalyzer, ObsNilAnalyzer, RegistryAnalyzer, SeqFieldAnalyzer}
+}
+
+// internalPackageName extracts <name> from an import path of the form
+// ".../internal/<name>" (or "internal/<name>"), the layout both the
+// repository and the lint fixtures use. Any other shape returns "".
+func internalPackageName(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i < 0 {
+		return ""
+	}
+	base := path[i+1:]
+	parent := path[:i]
+	if parent == "internal" || strings.HasSuffix(parent, "/internal") {
+		return base
+	}
+	return ""
+}
+
+// --- allowlist annotations ----------------------------------------------
+
+// allowPrefix starts every in-source allowlist annotation.
+const allowPrefix = "//xmlint:allow"
+
+// allowance is one parsed //xmlint:allow annotation.
+type allowance struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers map[string]bool
+	used      bool
+}
+
+// parseAllowances collects the //xmlint:allow annotations of the given
+// files, reporting malformed ones (and names of unknown analyzers) as
+// "allowlist" diagnostics. known is the set of valid analyzer names.
+func parseAllowances(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*allowance, []Diagnostic) {
+	var allows []*allowance
+	var diags []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{Pos: pos, Analyzer: "allowlist", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //xmlint:allowed — not ours
+				}
+				names, reason, ok := strings.Cut(rest, " -- ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					bad(c.Pos(), `allowlist annotation needs a reason: "%s <analyzer> -- <why this exception is legitimate>"`, allowPrefix)
+					continue
+				}
+				a := &allowance{
+					pos:       c.Pos(),
+					file:      fset.Position(c.Pos()).Filename,
+					line:      fset.Position(c.Pos()).Line,
+					analyzers: map[string]bool{},
+				}
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					if !known[n] {
+						bad(c.Pos(), "allowlist annotation names unknown analyzer %q (have %s)", n, strings.Join(sortedKeys(known), ", "))
+						continue
+					}
+					a.analyzers[n] = true
+				}
+				if len(a.analyzers) == 0 {
+					bad(c.Pos(), "allowlist annotation names no analyzer: %q", c.Text)
+					continue
+				}
+				allows = append(allows, a)
+			}
+		}
+	}
+	return allows, diags
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// covers reports whether the allowance suppresses a diagnostic from the
+// named analyzer at file:line. An annotation covers its own line and
+// the line below it.
+func (a *allowance) covers(analyzer, file string, line int) bool {
+	return a.analyzers[analyzer] && a.file == file && (a.line == line || a.line == line-1)
+}
+
+// RunPackage runs the analyzers over one type-checked package, applies
+// the allowlist annotations of its non-test files, and returns the
+// surviving diagnostics sorted by position. Annotation hygiene findings
+// (malformed or unused allowances) ride along under the "allowlist"
+// name.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+
+	// Allowances live in shipped code only: a test file has no
+	// diagnostics to suppress (analyzers skip it), so an annotation
+	// there would be dead weight.
+	srcFiles := (&Pass{Fset: fset, Files: files}).SourceFiles()
+	allows, allowDiags := parseAllowances(fset, srcFiles, known)
+
+	kept := diags[:0]
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		suppressed := false
+		for _, a := range allows {
+			if a.covers(d.Analyzer, posn.Filename, posn.Line) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	diags = append(kept, allowDiags...)
+	for _, a := range allows {
+		if !a.used {
+			diags = append(diags, Diagnostic{Pos: a.pos, Analyzer: "allowlist",
+				Message: "unused allowlist annotation: nothing on this or the next line trips the named analyzer — delete it"})
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}

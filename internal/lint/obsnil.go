@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsNilAnalyzer enforces the observability off-path contract from two
+// sides. Inside internal/obs: every exported method on an exported
+// handle type with a pointer receiver must begin with a nil-receiver
+// guard (or delegate to a guarded sibling), so a nil handle is a no-op
+// by construction. Outside obs: call sites must not re-check handles
+// for nil before calling methods on them — the contract IS the receiver
+// guard, and a second check at every site would creep conditional
+// wiring back into the hot path the one-nil-check invariant keeps flat.
+var ObsNilAnalyzer = &Analyzer{
+	Name: "obsnil",
+	Doc:  "obs handle methods must nil-guard their receiver; callers must not pre-check handles for nil",
+	Run:  runObsNil,
+}
+
+// obsPackage is the internal/<name> package holding the observability
+// handles.
+const obsPackage = "obs"
+
+func runObsNil(pass *Pass) error {
+	if internalPackageName(pass.Pkg.Path()) == obsPackage {
+		pass.checkObsGuards()
+		return nil
+	}
+	pass.checkObsPreChecks()
+	return nil
+}
+
+// --- inside obs: receiver guards ----------------------------------------
+
+func (p *Pass) checkObsGuards() {
+	for _, f := range p.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvName, typeName, isPtr := receiverInfo(fd)
+			if !isPtr || typeName == "" || !token.IsExported(typeName) {
+				continue // value receivers cannot be nil; unexported types are internal plumbing
+			}
+			if recvName == "" || recvName == "_" {
+				continue // receiver unused: trivially nil-safe
+			}
+			if beginsWithNilGuard(fd.Body, recvName) || delegatesToReceiver(fd.Body, recvName) {
+				continue
+			}
+			p.Reportf(fd.Name.Pos(), "exported method (*%s).%s does not begin with a nil-receiver guard — obs handles promise \"nil is off\", so every exported method must start with `if %s == nil` (or delegate to a guarded method on %s)",
+				typeName, fd.Name.Name, recvName, recvName)
+		}
+	}
+}
+
+// receiverInfo extracts the receiver's name, base type name, and
+// pointer-ness from a method declaration.
+func receiverInfo(fd *ast.FuncDecl) (recvName, typeName string, isPtr bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		isPtr = true
+		t = star.X
+	}
+	// Generic receivers (T[P]) do not occur in obs; plain ident only.
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName, isPtr
+}
+
+// beginsWithNilGuard reports whether the body's first statement is
+// `if recv == nil { ...; return }` — possibly `recv == nil || more` —
+// with the guard body ending in a return.
+func beginsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condChecksNil(ifs.Cond, recv) {
+		return false
+	}
+	n := len(ifs.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[n-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condChecksNil reports whether cond is `recv == nil`, or an || chain
+// whose leftmost operand is.
+func condChecksNil(cond ast.Expr, recv string) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == token.LOR {
+		return condChecksNil(be.X, recv)
+	}
+	if be.Op != token.EQL {
+		return false
+	}
+	return (isIdentNamed(be.X, recv) && isNil(be.Y)) || (isIdentNamed(be.Y, recv) && isNil(be.X))
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// delegatesToReceiver reports whether the body is a single statement
+// calling another method on the same receiver (Counter.Inc -> c.Add(1)):
+// the guard then lives in the callee, and requiring a second one here
+// would only duplicate it.
+func delegatesToReceiver(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := body.List[0].(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = s.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && isIdentNamed(sel.X, recv)
+}
+
+// --- outside obs: redundant pre-checks ----------------------------------
+
+// checkObsPreChecks flags `if h != nil { h.M(); ... }` where h is an
+// obs handle used only as a method-call receiver inside the body. Field
+// access (eo.Obs.Trace) or passing the handle on keeps the check
+// legitimate, and so does an argument that itself does work — in
+// `if h != nil { h.Observe(float64(time.Since(t0))) }` the guard is the
+// invariant's own one nil check, skipping the wall-clock read when obs
+// is off. Only the pure pre-check pattern trips: every use a method
+// call, every argument free of calls (closure literals passed as
+// arguments do not run at call time and do not count).
+func (p *Pass) checkObsPreChecks() {
+	for _, f := range p.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Else != nil {
+				return true
+			}
+			handle := p.obsNilCheckOperand(ifs.Cond)
+			if handle == nil {
+				return true
+			}
+			if !p.usedOnlyAsCallReceiver(ifs.Body, handle) {
+				return true
+			}
+			p.Reportf(ifs.Pos(), "redundant nil pre-check before calling methods on %s (%s): obs handle methods nil-guard their own receiver — call unconditionally, the nil case is a no-op",
+				types.ExprString(handle), p.Info.TypeOf(handle))
+			return true
+		})
+	}
+}
+
+// obsNilCheckOperand returns the expression x when cond is exactly
+// `x != nil` (either order) and x's type is a pointer to a named type
+// declared in internal/obs; nil otherwise.
+func (p *Pass) obsNilCheckOperand(cond ast.Expr) ast.Expr {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return nil
+	}
+	var x ast.Expr
+	switch {
+	case isNil(be.Y):
+		x = be.X
+	case isNil(be.X):
+		x = be.Y
+	default:
+		return nil
+	}
+	ptr, ok := p.Info.TypeOf(x).(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if internalPackageName(named.Obj().Pkg().Path()) != obsPackage {
+		return nil
+	}
+	return x
+}
+
+// usedOnlyAsCallReceiver reports whether every occurrence of handle
+// inside body is the receiver of a method call (h.M(...)), with at
+// least one such occurrence. The comparison is textual over the
+// canonical expression string, which identifies both plain idents and
+// stable selector chains like s.cfg.Obs.
+func (p *Pass) usedOnlyAsCallReceiver(body *ast.BlockStmt, handle ast.Expr) bool {
+	want := types.ExprString(handle)
+	uses, calls := 0, 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || types.ExprString(e) != want {
+			return true
+		}
+		uses++
+		return false // occurrences nested inside an occurrence are the same expression
+	})
+	argWork := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && types.ExprString(sel.X) == want {
+			if _, isMethod := p.Info.Selections[sel]; isMethod {
+				calls++
+				if p.argsDoWork(call) {
+					argWork = true
+				}
+			}
+		}
+		return true
+	})
+	return uses > 0 && uses == calls && !argWork
+}
+
+// argsDoWork reports whether any argument of call contains a real
+// function call of its own — then the pre-check is doing cost work
+// (skipping a wall-clock read, a classification) and stands as the
+// invariant's one nil check. Type conversions and the len/cap builtins
+// are free and do not count; neither do calls inside closure literals,
+// which do not run at call time.
+func (p *Pass) argsDoWork(call *ast.CallExpr) bool {
+	work := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch c := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if p.freeCall(c) {
+					return true // recurse: a conversion may wrap a real call
+				}
+				work = true
+				return false
+			}
+			return !work
+		})
+	}
+	return work
+}
+
+// freeCall reports whether call is a type conversion or a len/cap
+// builtin — forms that cost nothing at run time.
+func (p *Pass) freeCall(call *ast.CallExpr) bool {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			return b.Name() == "len" || b.Name() == "cap"
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+// Package campaign is a determinism-fixture stand-in for the real
+// deterministic engine package: internal/campaign is on the fixed-seed
+// reproducibility path, so ambient nondeterminism must be flagged here.
+package campaign
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock from a deterministic package.
+func Stamp() time.Time {
+	return time.Now() // want `determinism: time\.Now reads the wall clock`
+}
+
+// Age captures a forbidden function as a value, without calling it.
+var Age = time.Since // want `determinism: time\.Since reads the wall clock`
+
+// Env reads the process environment.
+func Env() string {
+	return os.Getenv("SEED") // want `determinism: os\.Getenv reads the process environment`
+}
+
+// Roll draws from the unseeded global source.
+func Roll() int {
+	return rand.Int() // want `determinism: math/rand\.Int draws from the unseeded global source`
+}
+
+// Seeded builds a seeded generator, which replays: allowed.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Deadline is wall-clock by design and carries an allowance in place.
+func Deadline() time.Time {
+	return time.Now() //xmlint:allow determinism -- fixture: deadlines are wall-clock by design
+}
+
+// Render feeds map iteration straight into an order-sensitive sink.
+func Render(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m { // want `determinism: map iteration feeds the order-sensitive sink WriteString`
+		buf.WriteString(k)
+	}
+	return buf.String()
+}
+
+// RenderSorted collects and sorts the keys first: allowed.
+func RenderSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		buf.WriteString(k)
+	}
+	return buf.String()
+}
+
+//xmlint:allow determinism -- fixture: nothing on this line trips the analyzer // want `allowlist: unused allowlist annotation`
+
+//xmlint:allow determinism // want `allowlist: allowlist annotation needs a reason`

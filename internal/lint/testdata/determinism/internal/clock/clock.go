@@ -1,0 +1,19 @@
+// Package clock is outside the deterministic set: wall-clock reads and
+// environment lookups are its whole job, and none of them may be
+// flagged.
+package clock
+
+import (
+	"os"
+	"time"
+)
+
+// Now reads the wall clock from a non-deterministic package: allowed.
+func Now() time.Time {
+	return time.Now()
+}
+
+// TZ reads the environment from a non-deterministic package: allowed.
+func TZ() string {
+	return os.Getenv("TZ")
+}

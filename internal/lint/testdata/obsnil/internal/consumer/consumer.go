@@ -1,0 +1,72 @@
+// Package consumer exercises the caller side of the obsnil contract:
+// obs handle methods guard their own receiver, so callers must not
+// pre-check handles for nil — unless the check is doing real work.
+package consumer
+
+import (
+	"time"
+
+	"fixture/internal/obs"
+)
+
+// Config carries optional handles, nil when observability is off.
+type Config struct {
+	Hits *obs.Counter
+	Lat  *obs.Histo
+}
+
+// Bad pre-checks a handle whose methods already guard nil.
+func (c *Config) Bad() {
+	if c.Hits != nil { // want `obsnil: redundant nil pre-check before calling methods on c\.Hits`
+		c.Hits.Inc()
+	}
+}
+
+// ArgWork skips the wall-clock read when obs is off: here the guard IS
+// the invariant's one nil check, not a redundancy.
+func (c *Config) ArgWork(t0 time.Time) {
+	if c.Lat != nil {
+		c.Lat.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
+}
+
+// Wire reads a field of the handle, which a nil handle cannot serve:
+// the check is legitimate.
+func Wire(s *obs.Set) *obs.Counter {
+	if s != nil {
+		return s.Hits
+	}
+	return nil
+}
+
+// PassOn forwards the handle, so the check is not a pure pre-check.
+func PassOn(c *obs.Counter) {
+	if c != nil {
+		record(c)
+		c.Inc()
+	}
+}
+
+func record(*obs.Counter) {}
+
+// Forced keeps the pre-check anyway, with the reason on record.
+func (c *Config) Forced() {
+	//xmlint:allow obsnil -- fixture: benchmarked, the call overhead shows up on this path
+	if c.Hits != nil {
+		c.Hits.Inc()
+	}
+}
+
+// logger is not an obs handle: pre-checks on other packages' types are
+// none of this analyzer's business.
+type logger struct{}
+
+func (l *logger) log() {}
+
+func flush(l *logger) {
+	if l != nil {
+		l.log()
+	}
+}
+
+var _ = flush // silence staticcheck-style unused warnings in editors

@@ -1,0 +1,82 @@
+// Package obs is an obsnil-fixture stand-in for the real observability
+// handles: every exported method on an exported pointer-receiver type
+// must begin with a nil-receiver guard or delegate to one that does.
+package obs
+
+// Counter is a nil-is-off handle.
+type Counter struct {
+	n int64
+}
+
+// Add is properly guarded.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc delegates to a guarded sibling: the guard lives in Add.
+func (c *Counter) Inc() {
+	c.Add(1)
+}
+
+// Get guards through an || chain whose leftmost operand is the check.
+func (c *Counter) Get() int64 {
+	if c == nil || c.n < 0 {
+		return 0
+	}
+	return c.n
+}
+
+// Bare is missing its guard.
+func (c *Counter) Bare() { // want `obsnil: exported method \(\*Counter\)\.Bare does not begin with a nil-receiver guard`
+	c.n++
+}
+
+// Histo is a second handle, used by the consumer fixture.
+type Histo struct {
+	sum float64
+}
+
+// Observe is properly guarded.
+func (h *Histo) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+}
+
+// Set groups handles; consumers read its fields, so a nil check before
+// field access is legitimate on their side.
+type Set struct {
+	Hits *Counter
+}
+
+// Counter hands out a grouped handle, guarded.
+func (s *Set) Counter() *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Hits
+}
+
+// Snapshot has value receivers: a value cannot be nil, no guard needed.
+type Snapshot struct {
+	N int64
+}
+
+// Total needs no guard on a value receiver.
+func (s Snapshot) Total() int64 {
+	return s.N
+}
+
+// gauge is unexported plumbing: the contract covers the public surface.
+type gauge struct {
+	v float64
+}
+
+// Set needs no guard on an unexported type.
+func (g *gauge) Set(v float64) {
+	g.v = v
+}

@@ -1,0 +1,16 @@
+// Package consumer exercises cross-package registration: the same
+// rules apply when Register is reached through an import.
+package consumer
+
+import "fixture/internal/target"
+
+func init() {
+	target.Register("consumer", nil) // init at program start: fine
+}
+
+var _ = target.Register("consumer-decl", nil)
+
+// AddLater registers from runtime code in another package: flagged.
+func AddLater() {
+	target.Register("later", nil) // want `registry: target\.Register called outside init`
+}

@@ -1,0 +1,40 @@
+// Package target is a registry-fixture stand-in for the real target
+// registry: Register must only run from init functions or package-level
+// declarations, so the inventory is complete when main starts.
+package target
+
+var registry = map[string]func() error{}
+
+// Register records a constructor and reports whether it replaced an
+// earlier one.
+func Register(name string, f func() error) bool {
+	_, dup := registry[name]
+	registry[name] = f
+	return dup
+}
+
+// Package-level declarations run before main: fine.
+var _ = Register("decl", nil)
+
+func init() {
+	Register("init", nil) // init runs at program start: fine
+}
+
+// Late registers from ordinary runtime code: flagged.
+func Late() {
+	Register("late", nil) // want `registry: target\.Register called outside init`
+}
+
+func init() {
+	// A closure may run any time, even one built inside init.
+	go func() {
+		Register("closure", nil) // want `registry: target\.Register called outside init`
+	}()
+}
+
+// Reload re-registers behind an operator action, with the reason on
+// record.
+func Reload() {
+	//xmlint:allow registry -- fixture: operator-driven reload replaces a target deliberately
+	Register("reload", nil)
+}

@@ -1,0 +1,91 @@
+// Package campaign is a seqfield-fixture stand-in for the real record
+// codec: JSONRecord has deliberately outgrown the hand-written raw
+// codec so the analyzer must notice the drift.
+package campaign
+
+import "strconv"
+
+// JSONRecord is the json-codec record shape.
+type JSONRecord struct {
+	Func  string        `json:"func"`
+	Seq   uint64        `json:"seq"`
+	State string        `json:"state"`
+	Cover int           `json:"cover"` // want `seqfield: field JSONRecord\.Cover \(json "cover"\) is not referenced by the raw encoder rawAppendRecord` `seqfield: json key "cover" \(field JSONRecord\.Cover\) has no case in the raw decoder rawDecodeRecord`
+	HM    []JSONHMEvent `json:"hm"`    // want `seqfield: json key "hm" \(field JSONRecord\.HM\) has no case in the raw decoder rawDecodeRecord`
+	Note  string        `json:"note"`  //xmlint:allow seqfield -- fixture: json-only diagnostic field, the raw path omits it deliberately
+
+	scratch int `json:"scratch"` // unexported: not serialised, exempt
+	Skipped int `json:"-"`       // explicitly unserialised, exempt
+}
+
+// JSONHMEvent is fully covered by both raw paths: no diagnostics.
+type JSONHMEvent struct {
+	Kind string `json:"kind"`
+	Seq  uint64 `json:"seq"`
+}
+
+type pair struct {
+	key, val string
+}
+
+// rawAppendRecord is the hand-written encoder; it references HM but
+// misses Cover and Note.
+func rawAppendRecord(dst []byte, r *JSONRecord) []byte {
+	dst = appendKV(dst, "func", r.Func)
+	dst = appendKV(dst, "seq", strconv.FormatUint(r.Seq, 10))
+	dst = appendKV(dst, "state", r.State)
+	for i := range r.HM {
+		dst = rawAppendHMEvent(dst, &r.HM[i])
+	}
+	return dst
+}
+
+// rawDecodeRecord is the hand-written decoder; it misses the "cover",
+// "hm", and "note" keys.
+func rawDecodeRecord(kvs []pair, r *JSONRecord) {
+	for _, kv := range kvs {
+		switch kv.key {
+		case "func":
+			r.Func = kv.val
+		case "seq":
+			r.Seq = parseU64(kv.val)
+		case "state":
+			r.State = kv.val
+		}
+	}
+}
+
+// rawAppendHMEvent covers every JSONHMEvent field.
+func rawAppendHMEvent(dst []byte, ev *JSONHMEvent) []byte {
+	dst = appendKV(dst, "kind", ev.Kind)
+	dst = appendKV(dst, "seq", strconv.FormatUint(ev.Seq, 10))
+	return dst
+}
+
+// hmEvent decodes every JSONHMEvent key.
+func hmEvent(kv pair, ev *JSONHMEvent) {
+	switch kv.key {
+	case "kind":
+		ev.Kind = kv.val
+	case "seq":
+		ev.Seq = parseU64(kv.val)
+	}
+}
+
+func appendKV(dst []byte, key, val string) []byte {
+	dst = append(dst, key...)
+	dst = append(dst, '=')
+	dst = append(dst, val...)
+	return dst
+}
+
+func parseU64(s string) uint64 {
+	v, _ := strconv.ParseUint(s, 10, 64)
+	return v
+}
+
+var (
+	_ = rawAppendRecord
+	_ = rawDecodeRecord
+	_ = hmEvent
+)

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// This file is the suite's stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest. Each analyzer owns a
+// fixture module under testdata/<analyzer>/ whose sources carry
+// want comments — `// want` followed by backquoted regexps — naming the
+// diagnostics the marked line must produce; patterns match against
+// "analyzer: message". A
+// diagnostic with no matching want, or a want with no diagnostic, fails
+// the test — so the fixtures pin positives, negatives, and allowlist
+// suppression in one place.
+
+func TestDeterminismFixture(t *testing.T) { runFixture(t, DeterminismAnalyzer) }
+func TestObsNilFixture(t *testing.T)      { runFixture(t, ObsNilAnalyzer) }
+func TestRegistryFixture(t *testing.T)    { runFixture(t, RegistryAnalyzer) }
+func TestSeqFieldFixture(t *testing.T)    { runFixture(t, SeqFieldAnalyzer) }
+
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", a.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset, pkgs := loadFixture(t, dir)
+	for _, lp := range pkgs {
+		diags, err := RunPackage(fset, lp.files, lp.pkg, lp.info, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: RunPackage: %v", lp.pkg.Path(), err)
+		}
+		matchWants(t, fset, lp.files, diags)
+	}
+}
+
+// --- want-comment matching ----------------------------------------------
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// matchWants compares the diagnostics of one package against the
+// `// want` comments of its files, line by line.
+func matchWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
+	t.Helper()
+	type pending struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[wantKey][]*pending{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, posn, rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					k := wantKey{posn.Filename, posn.Line}
+					wants[k] = append(wants[k], &pending{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		text := d.Analyzer + ": " + d.Message
+		found := false
+		for _, p := range wants[wantKey{posn.Filename, posn.Line}] {
+			if !p.matched && p.re.MatchString(text) {
+				p.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, text)
+		}
+	}
+	for k, ps := range wants {
+		for _, p := range ps {
+			if !p.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, p.re)
+			}
+		}
+	}
+}
+
+// splitPatterns parses the backquoted regexps after a `// want` marker.
+func splitPatterns(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '`' {
+			t.Fatalf("%s: want patterns must be backquoted: %q", posn, s)
+		}
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern: %q", posn, s)
+		}
+		pats = append(pats, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return pats
+}
+
+// --- fixture loading ----------------------------------------------------
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+type loadedPackage struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loadFixture loads the fixture module rooted at dir the same way the
+// vet tool sees real packages: `go list -export -deps` compiles every
+// dependency to export data (offline — the build cache holds the
+// stdlib), then each fixture package is parsed and type-checked from
+// source with its dependencies imported from that export data.
+func loadFixture(t *testing.T, dir string) (*token.FileSet, []loadedPackage) {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list %s: %v\n%s", dir, err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var fixture []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			fixture = append(fixture, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	compImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []loadedPackage
+	for _, p := range fixture {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing fixture: %v", err)
+			}
+			files = append(files, f)
+		}
+		importMap := p.ImportMap
+		tc := &types.Config{
+			Importer: importerFunc(func(importPath string) (*types.Package, error) {
+				path, ok := importMap[importPath]
+				if !ok {
+					path = importPath
+				}
+				if path == "unsafe" {
+					return types.Unsafe, nil
+				}
+				return compImporter.Import(path)
+			}),
+			Sizes: types.SizesFor("gc", build.Default.GOARCH),
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		pkg, err := tc.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("typechecking %s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, loadedPackage{files: files, pkg: pkg, info: info})
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s lists no packages", dir)
+	}
+	return fset, pkgs
+}

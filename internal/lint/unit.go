@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the go command's (unpublished but stable) vet
+// tool protocol, the same contract golang.org/x/tools'
+// unitchecker speaks — reimplemented on the standard library so the
+// module stays dependency-free. The go command drives the tool three
+// ways:
+//
+//	xmlint -flags          print supported flags as JSON (always probed)
+//	xmlint -V=full         print an identity line for the build cache
+//	xmlint <pkg>.cfg       analyze one package described by a JSON config
+//
+// For the .cfg form, the config carries the package's file set, its
+// import map, and the export-data file of every dependency — so the
+// tool type-checks each package exactly once, from the same export data
+// the build produced, with no network and no duplicated loading.
+
+// unitConfig mirrors the go command's vetConfig (cmd/go/internal/work).
+// Field names are the wire contract; unused fields are omitted.
+type unitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of cmd/xmlint: a vet tool running the given
+// analyzers. It never returns.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// The go command probes `xmlint -flags` before every vet run to
+	// learn which flags the tool accepts; we keep none beyond the
+	// protocol's own.
+	for _, arg := range args {
+		switch {
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			os.Exit(0)
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion(progname)
+			os.Exit(0)
+		}
+	}
+
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: this is a go vet tool; run it via\n\tgo vet -vettool=$(command -v %s) ./...\n", progname, progname)
+		os.Exit(1)
+	}
+	os.Exit(runUnit(progname, args[0], analyzers))
+}
+
+// printVersion emits the identity line the go command's build cache
+// keys vet results on: content-hash of this executable, in the exact
+// shape cmd/go parses for a -vettool.
+func printVersion(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	defer f.Close()
+	h := sha256.New()
+	io.Copy(h, f)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+// runUnit analyzes the one package described by cfgFile and returns the
+// process exit code (0 clean, 1 broken invocation, 2 diagnostics).
+func runUnit(progname, cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing %s: %v\n", progname, cfgFile, err)
+		return 1
+	}
+
+	// The go command schedules a facts-only (VetxOnly) run over every
+	// dependency. This suite keeps no cross-package facts, so those
+	// runs only need to produce their (empty) facts file.
+	if cfg.VetxOnly {
+		writeVetx(&cfg)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(&cfg)
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies type-check from the export data the build already
+	// produced: cfg.PackageFile maps resolved package paths to export
+	// files, cfg.ImportMap resolves source-level import strings.
+	compImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(&cfg)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: typechecking %s: %v\n", progname, cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := RunPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
+		return 1
+	}
+	writeVetx(&cfg)
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+// writeVetx writes the (empty) facts file the go command caches for
+// dependency runs. Best-effort: a missing file only costs cache reuse.
+func writeVetx(cfg *unitConfig) {
+	if cfg.VetxOutput != "" {
+		os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolEndToEnd exercises the whole delivery path, not just the
+// analyzers: build cmd/xmlint, then let the real go command drive it
+// through `go vet -vettool` over a scratch module — once with a seeded
+// violation (a time.Now call in an internal/testgen package), which
+// must fail naming the determinism invariant, and once clean, which
+// must pass.
+func TestVetToolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds cmd/xmlint and shells out to go vet")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "xmlint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/xmlint")
+	build.Dir = repoRoot
+	build.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building xmlint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vet := func() (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	write("go.mod", "module scratch\n\ngo 1.24\n")
+	write("internal/testgen/gen.go", `package testgen
+
+import "time"
+
+// Stamp is the seeded violation: a wall-clock read inside a
+// deterministic package.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("go vet passed over a time.Now call in internal/testgen; want a determinism failure\n%s", out)
+	}
+	if !strings.Contains(out, "determinism") || !strings.Contains(out, "time.Now") {
+		t.Fatalf("go vet failed, but not with a diagnostic naming the determinism invariant:\n%s", out)
+	}
+
+	write("internal/testgen/gen.go", `package testgen
+
+// Stamp is deterministic now.
+func Stamp() int64 { return 42 }
+`)
+	if out, err := vet(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
