@@ -132,10 +132,8 @@ func (c *Coordinator) reclaimExpired() {
 			delete(c.outstanding, id)
 			c.reissue = append(c.reissue, is.lease)
 			c.met.OnReclaim()
-			if c.trace != nil {
-				c.trace.Emit(obs.Event{Kind: "lease.reclaim", Lease: id,
-					Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
-			}
+			c.trace.Emit(obs.Event{Kind: "lease.reclaim", Lease: id,
+				Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
 		}
 	}
 }
@@ -177,10 +175,8 @@ func (c *Coordinator) register(l Lease) Lease {
 	}
 	c.outstanding[l.ID] = is
 	c.met.OnIssue()
-	if c.trace != nil {
-		c.trace.Emit(obs.Event{Kind: "lease.issue", Lease: l.ID,
-			Start: l.Pos[0], N: len(l.Pos), Attempt: l.Attempt})
-	}
+	c.trace.Emit(obs.Event{Kind: "lease.issue", Lease: l.ID,
+		Start: l.Pos[0], N: len(l.Pos), Attempt: l.Attempt})
 	return l
 }
 
@@ -222,10 +218,8 @@ func (c *Coordinator) Complete(id uint64) {
 	if is, ok := c.outstanding[id]; ok {
 		delete(c.outstanding, id)
 		c.met.OnComplete()
-		if c.trace != nil {
-			c.trace.Emit(obs.Event{Kind: "lease.complete", Lease: id,
-				Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
-		}
+		c.trace.Emit(obs.Event{Kind: "lease.complete", Lease: id,
+			Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
 		c.cond.Broadcast()
 	}
 	c.mu.Unlock()
@@ -240,10 +234,8 @@ func (c *Coordinator) HandBack(id uint64) {
 		delete(c.outstanding, id)
 		c.reissue = append(c.reissue, is.lease)
 		c.met.OnHandBack()
-		if c.trace != nil {
-			c.trace.Emit(obs.Event{Kind: "lease.handback", Lease: id,
-				Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
-		}
+		c.trace.Emit(obs.Event{Kind: "lease.handback", Lease: id,
+			Start: is.lease.Pos[0], N: len(is.lease.Pos), Attempt: is.lease.Attempt})
 		c.cond.Broadcast()
 	}
 	c.mu.Unlock()

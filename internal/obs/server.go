@@ -57,7 +57,12 @@ func ListenAndServe(addr string, o *Obs) (*OpsServer, error) {
 }
 
 // Addr returns the bound listen address (useful with ":0").
-func (s *OpsServer) Addr() string { return s.ln.Addr().String() }
+func (s *OpsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
 
 // Close shuts the server down, closing the listener and any open
 // connections.

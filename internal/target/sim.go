@@ -78,23 +78,23 @@ func (s *Sim) Provision(workers int) error {
 		s.pool = sparc.NewSnapshotPool(sparc.DefaultConfig(), workers)
 	}
 	s.pool.SetStrict(s.cfg.PoolStrict)
-	if r := s.cfg.Obs.Registry(); r != nil {
-		// Lazy collectors over the pool's own atomic counters: the pool
-		// hot path pays nothing, the values materialise at scrape time.
-		pool := s.pool
-		r.CounterFunc("xm_pool_allocated_total",
-			"Machines the pool built from scratch.",
-			func() float64 { return float64(pool.Stats().Allocated) })
-		r.CounterFunc("xm_pool_reused_total",
-			"Acquires served by recycling a pooled machine (snapshot restores on the CoW pool).",
-			func() float64 { return float64(pool.Stats().Reused) })
-		r.CounterFunc("xm_pool_discarded_total",
-			"Machines the pool refused to recycle (crashes, failed verification).",
-			func() float64 { return float64(pool.Stats().Discarded) })
-		r.CounterFunc("xm_pool_steals_total",
-			"Acquires served from a free-list stripe other than the caller's home.",
-			func() float64 { return float64(pool.Stats().Steals) })
-	}
+	// Lazy collectors over the pool's own atomic counters: the pool
+	// hot path pays nothing, the values materialise at scrape time.
+	// Registry methods nil-guard themselves, so no check here.
+	r := s.cfg.Obs.Registry()
+	pool := s.pool
+	r.CounterFunc("xm_pool_allocated_total",
+		"Machines the pool built from scratch.",
+		func() float64 { return float64(pool.Stats().Allocated) })
+	r.CounterFunc("xm_pool_reused_total",
+		"Acquires served by recycling a pooled machine (snapshot restores on the CoW pool).",
+		func() float64 { return float64(pool.Stats().Reused) })
+	r.CounterFunc("xm_pool_discarded_total",
+		"Machines the pool refused to recycle (crashes, failed verification).",
+		func() float64 { return float64(pool.Stats().Discarded) })
+	r.CounterFunc("xm_pool_steals_total",
+		"Acquires served from a free-list stripe other than the caller's home.",
+		func() float64 { return float64(pool.Stats().Steals) })
 	return nil
 }
 
