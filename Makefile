@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test bench bench-1x bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke lint fmt ci
+.PHONY: build examples test bench bench-1x bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke fuzz-smoke xmlint lint vulncheck fmt ci
 
 build:
 	$(GO) build ./...
@@ -137,12 +137,37 @@ obs-smoke:
 	$(GO) test -race -count 1 -run 'TestObsSmoke|TestServerGracefulShutdown' ./internal/remote
 	$(GO) test -count 1 ./internal/obs
 
-lint:
+# A short fuzz run over the codec round-trip property (raw and json
+# codecs must agree byte for byte on arbitrary records): long enough to
+# shake out encoding regressions, short enough for every CI run. The
+# corpus under internal/campaign/testdata stays checked in. CI runs this.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzJSONRecordRoundTrip$$' -fuzztime 10s ./internal/campaign
+
+# The invariant lint suite: cmd/xmlint is a go vet tool (see
+# internal/lint) checking determinism, obsnil, registry and seqfield.
+# Building it locally keeps the suite at the exact commit being linted.
+xmlint:
+	@mkdir -p bin
+	$(GO) build -o bin/xmlint ./cmd/xmlint
+
+lint: xmlint
 	$(GO) vet ./...
+	$(GO) vet -vettool=bin/xmlint ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Known-vulnerability scan. govulncheck lives outside the module (the
+# library ships zero dependencies), so this step is advisory: it runs
+# when the tool is installed and is skipped — loudly — when not. CI
+# installs it and uploads the report as an artifact, non-blocking.
+vulncheck:
+	@if command -v govulncheck > /dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 
 fmt:
 	gofmt -w .
 
-ci: build examples lint test bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke
+ci: build examples lint test fuzz-smoke bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke

@@ -1,3 +1,8 @@
+// xmrobust ships with zero dependencies, tools included: even the
+// invariant lint suite (internal/lint, cmd/xmlint) reimplements the go
+// vet tool protocol on the standard library instead of depending on
+// golang.org/x/tools. Keep it that way — the vulnerability scan
+// (govulncheck) runs in CI from outside the module for the same reason.
 module xmrobust
 
 go 1.24

@@ -744,11 +744,12 @@ func (w *shardWriter) write(pos int, r Result) error {
 	}
 	var t0 time.Time
 	if w.encNs != nil {
-		t0 = time.Now()
+		t0 = time.Now() //xmlint:allow determinism -- encode-latency histogram; the reading feeds obs, never the record bytes
 	}
 	rec := w.scr.toRecord(pos, r)
 	buf, err := w.codec.AppendEncode(w.buf[:0], &rec)
 	if w.encNs != nil {
+		//xmlint:allow determinism -- encode-latency histogram; the reading feeds obs, never the record bytes
 		w.encNs.Observe(float64(time.Since(t0).Nanoseconds()))
 	}
 	if err == nil {
