@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test bench bench-1x bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke fuzz-smoke xmlint lint vulncheck fmt ci
+.PHONY: build examples test bench bench-1x bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke daemon-smoke fuzz-smoke xmlint lint vulncheck fmt ci
 
 build:
 	$(GO) build ./...
@@ -137,6 +137,16 @@ obs-smoke:
 	$(GO) test -race -count 1 -run 'TestObsSmoke|TestServerGracefulShutdown' ./internal/remote
 	$(GO) test -count 1 ./internal/obs
 
+# Campaign-service smoke: builds the real xmrobustd binary, submits a
+# fixed-seed inject:sim campaign over HTTP with an SSE subscriber, and
+# asserts the stream, the served merged log and a direct pkg/xmrobust
+# run are byte-identical; then cancels a second campaign mid-run
+# (DELETE), resumes its checkpoint through the library to the
+# uninterrupted bytes, and SIGTERM-drains the daemon. CI runs this.
+daemon-smoke:
+	$(GO) test -race -count 1 -run TestDaemonSmoke ./cmd/xmrobustd
+	$(GO) test -race -count 1 ./internal/serve
+
 # A short fuzz run over the codec round-trip property (raw and json
 # codecs must agree byte for byte on arbitrary records): long enough to
 # shake out encoding regressions, short enough for every CI run. The
@@ -170,4 +180,4 @@ vulncheck:
 fmt:
 	gofmt -w .
 
-ci: build examples lint test fuzz-smoke bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke
+ci: build examples lint test fuzz-smoke bench-smoke bench-sweep plan-smoke feedback-smoke diff-smoke inject-smoke remote-smoke obs-smoke daemon-smoke

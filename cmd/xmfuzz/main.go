@@ -50,10 +50,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"xmrobust/pkg/xmrobust"
@@ -151,13 +154,24 @@ func main() {
 	if *coverCol {
 		opts = append(opts, xmrobust.WithCoverage())
 	}
+	// First SIGINT/SIGTERM cancels the campaign cooperatively: workers
+	// finish the tests in hand, shards flush, and with -stream the
+	// checkpoint is durable, so -resume replays the rest to a
+	// byte-identical merged log. A second signal kills the process (stop
+	// restores default handling).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opts = append(opts, xmrobust.WithContext(ctx))
+
 	var o *xmrobust.Obs
 	if *progress || *opsAddr != "" {
 		o = xmrobust.NewObs()
 		opts = append(opts, xmrobust.WithObs(o))
 	}
+	var ops *xmrobust.OpsServer
 	if *opsAddr != "" {
-		ops, err := xmrobust.ServeOps(*opsAddr, o)
+		var err error
+		ops, err = xmrobust.ServeOps(*opsAddr, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xmfuzz:", err)
 			os.Exit(1)
@@ -192,6 +206,15 @@ func main() {
 	if stopProgress != nil {
 		stopProgress()
 	}
+	if ctx.Err() != nil {
+		stopSignals()
+		drainOps(ops)
+		fmt.Fprintln(os.Stderr, "xmfuzz: interrupted — campaign cancelled")
+		if *stream != "" {
+			fmt.Fprintf(os.Stderr, "xmfuzz: checkpoint written; continue with -stream %s -resume\n", *stream)
+		}
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xmfuzz:", err)
 		os.Exit(1)
@@ -225,6 +248,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xmfuzz: %d tests failed in the harness\n", n)
 		os.Exit(1)
 	}
+}
+
+// drainOps shuts the -ops server down gracefully on the signal path:
+// in-flight scrapes finish (bounded) instead of seeing a reset
+// connection. Nil-safe, like the server's own methods.
+func drainOps(ops *xmrobust.OpsServer) {
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ops.Shutdown(sctx)
 }
 
 // progressLine renders the live -progress stderr line from the

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -32,6 +33,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"xmrobust/internal/inject"
 	"xmrobust/internal/obs"
@@ -67,10 +69,14 @@ func main() {
 			}
 		}
 	}
-	var o *obs.Obs
+	var (
+		o   *obs.Obs
+		ops *obs.OpsServer
+	)
 	if *opsAddr != "" {
 		o = obs.New()
-		ops, err := obs.ListenAndServe(*opsAddr, o)
+		var err error
+		ops, err = obs.ListenAndServe(*opsAddr, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xmworker: %v\n", err)
 			os.Exit(1)
@@ -125,6 +131,11 @@ func main() {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "xmworker: %v — draining in-flight leases\n", sig)
 		srv.Shutdown()
+		// Drain the ops server too: a scrape caught mid-response finishes
+		// instead of seeing a reset connection (nil-safe when -ops is off).
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ops.Shutdown(sctx)
+		cancel()
 		fmt.Fprintln(os.Stderr, "xmworker: drained, exiting")
 	}
 }

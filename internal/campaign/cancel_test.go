@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestCancelledCampaignResumesByteIdentical is the context-seam
+// contract: cancelling a checkpointed campaign mid-run surfaces
+// context.Canceled, leaves flushed shards and a durable checkpoint,
+// and resuming replays the remainder to a merged log byte-identical
+// to an uninterrupted run's.
+func TestCancelledCampaignResumesByteIdentical(t *testing.T) {
+	datasets := mixedSuite(t)
+	opts := Options{Workers: 2}
+
+	// The uninterrupted reference run.
+	full := t.TempDir()
+	if _, err := Stream(datasets, EngineOptions{
+		Options: opts, ShardDir: full, CheckpointPath: filepath.Join(full, "ckpt.jsonl"),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cancelled run: pull the plug from the sink a few tests in.
+	split := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eo := EngineOptions{
+		Options: opts, Ctx: ctx,
+		ShardDir: split, CheckpointPath: filepath.Join(split, "ckpt.jsonl"),
+	}
+	seen := 0
+	s1, err := Stream(datasets, eo, func(int, Result) {
+		if seen++; seen == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+	if s1.Executed >= len(datasets) {
+		t.Fatalf("cancelled campaign executed all %d tests; cancellation did nothing", s1.Executed)
+	}
+	if s1.Executed < 5 {
+		t.Fatalf("cancelled campaign executed %d tests, want at least the 5 the sink saw", s1.Executed)
+	}
+
+	// Resume without a context: the balance executes, and the merged
+	// log matches the uninterrupted run byte for byte.
+	eo.Ctx = nil
+	eo.Resume = true
+	s2, err := Stream(datasets, eo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Skipped != s1.Executed || s2.Executed != len(datasets)-s1.Executed {
+		t.Fatalf("resume skipped %d / executed %d after a %d-test cancelled leg",
+			s2.Skipped, s2.Executed, s1.Executed)
+	}
+	a, b := mergeDir(t, full), mergeDir(t, split)
+	if !bytes.Equal(a, b) {
+		t.Fatal("merged campaign logs differ between uninterrupted and cancelled-then-resumed runs")
+	}
+}
+
+// TestPreCancelledContextRunsNothing: a context already done when the
+// campaign starts must stop the feeder before any lease is issued.
+func TestPreCancelledContextRunsNothing(t *testing.T) {
+	datasets := mixedSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := Stream(datasets, EngineOptions{Options: Options{Workers: 2}, Ctx: ctx}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if stats.Executed != 0 {
+		t.Fatalf("pre-cancelled campaign executed %d tests", stats.Executed)
+	}
+}
+
+// TestNilContextUnchanged: the historical no-context path stays intact —
+// a nil Ctx runs the campaign to completion with a nil error.
+func TestNilContextUnchanged(t *testing.T) {
+	datasets := mixedSuite(t)
+	stats, err := Stream(datasets, EngineOptions{Options: Options{Workers: 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != len(datasets) {
+		t.Fatalf("executed %d of %d", stats.Executed, len(datasets))
+	}
+}

@@ -12,6 +12,7 @@ package campaign
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -36,6 +37,17 @@ import (
 // Options.
 type EngineOptions struct {
 	Options
+
+	// Ctx, when non-nil, arms cooperative cancellation: once it is done
+	// the feeder stops issuing leases, queued work is skipped (feedback
+	// plans instead drain their short queue — see the worker loop),
+	// in-flight tests finish, shards flush, and every completed test's
+	// checkpoint mark is on disk, so the cancelled campaign resumes
+	// exactly like an interrupted one. StreamPlan then returns Ctx's
+	// error (errors.Is(err, context.Canceled) distinguishes a cancel
+	// from a failure). Nil: the campaign runs to completion, the
+	// historical behaviour.
+	Ctx context.Context
 
 	// QueueDepth bounds the work queue between the feeder and the worker
 	// pool (default 2x Workers). The feeder blocks when the queue is
@@ -233,12 +245,21 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	var err error
 	tgt := eo.TargetInstance
 	if tgt == nil {
+		// Feedback sources never see the cancellation context: an aborted
+		// in-flight lease would leave a position's coverage undelivered and
+		// deadlock the plan's strictly-ordered At. Their cancel path is the
+		// feeder stopping — the serialised queue drains in bounded time.
+		tgtCtx := eo.Ctx
+		if fb != nil {
+			tgtCtx = nil
+		}
 		tgt, err = target.New(opts.Target, target.Config{
 			FreshMachines: eo.FreshMachines,
 			PoolStrict:    eo.PoolStrict,
 			LegacyPool:    eo.LegacyPool,
 			Inject:        opts.injectParams(),
 			Obs:           eo.Obs,
+			Ctx:           tgtCtx,
 		})
 		if err != nil {
 			return stats, err
@@ -387,6 +408,21 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	}
 	coord := NewCoordinator(total, done, batch, pendingCount, ttl)
 	coord.Instrument(obs.NewLeaseMetrics(eo.Obs.Registry()), trace)
+	if ctx := eo.Ctx; ctx != nil {
+		// Cancellation closes the coordinator: the feeder's Next returns
+		// false, the jobs channel closes, and the pipeline drains — shards
+		// flush and completed tests keep their checkpoint marks, so the
+		// cancelled campaign is exactly as resumable as an interrupted one.
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-ctx.Done():
+				coord.Close()
+			case <-stopWatch:
+			}
+		}()
+	}
 	jobs := make(chan Lease, eo.QueueDepth)
 	eo.Obs.Registry().GaugeFunc("xm_engine_queue_depth",
 		"Leases buffered between the dispatch feeder and the worker pool.",
@@ -409,6 +445,14 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 			defer wg.Done()
 			dss := make([]testgen.Dataset, 0, batch)
 			for lease := range jobs {
+				if fb == nil && eo.Ctx != nil && eo.Ctx.Err() != nil {
+					// Cancelled: skip queued leases instead of executing
+					// them. (Feedback plans execute theirs — their At
+					// serialises on delivered coverage, and skipping a
+					// position would starve every later one.)
+					coord.HandBack(lease.ID)
+					continue
+				}
 				if be == nil || len(lease.Pos) == 1 {
 					for _, pos := range lease.Pos {
 						slot := tgt.Acquire()
@@ -466,6 +510,13 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 		go func(s int) {
 			defer sg.Done()
 			for pr := range results {
+				if pr.res.Aborted {
+					// A cancellation abandoned this execution mid-flight
+					// (the remote client unblocking an in-flight lease).
+					// The result describes nothing: drop it unlogged and
+					// unmarked, so the position re-executes on resume.
+					continue
+				}
 				pr.logged = true
 				if len(writers) > 0 {
 					if err := writers[s].write(pr.pos, pr.res); err != nil {
@@ -509,6 +560,12 @@ func StreamPlan(src Source, eo EngineOptions, sink func(pos int, r Result)) (Eng
 	latch(closeShards(writers))
 	if ps, ok := tgt.(interface{ PoolStats() sparc.PoolStats }); ok {
 		stats.Pool = ps.PoolStats()
+	}
+	if firstErr == nil && eo.Ctx != nil {
+		// Surface the cancellation: shards are flushed and every completed
+		// test is checkpointed, but the campaign did not finish — callers
+		// distinguish the cancel with errors.Is(err, context.Canceled).
+		firstErr = eo.Ctx.Err()
 	}
 	return stats, firstErr
 }

@@ -92,9 +92,15 @@ func RunCampaign(opts campaign.Options, engine ...campaign.EngineOptions) (*Camp
 		// Without shard or checkpoint configuration Stream fails only on
 		// a broken target spec, before anything executes; the error then
 		// surfaces in every result's RunErr (RunDatasets' behaviour).
+		// Cancellation is the exception: it arrives with real results
+		// already collected, so it propagates as an error instead of
+		// overwriting them.
 		if _, err := campaign.Stream(rep.Datasets, eo, func(pos int, r campaign.Result) {
 			results[pos] = r
 		}); err != nil {
+			if eo.Ctx != nil && eo.Ctx.Err() != nil {
+				return nil, err
+			}
 			for i := range results {
 				results[i] = campaign.Result{Dataset: rep.Datasets[i], RunErr: err.Error()}
 			}

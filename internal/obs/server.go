@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -8,28 +9,32 @@ import (
 	"time"
 )
 
+// Conservative connection timeouts for every HTTP surface the toolset
+// serves (the ops endpoints here and the xmrobustd API). The
+// read-header timeout caps how long one slow client's header trickle
+// can pin a connection goroutine; the idle timeout reaps keep-alive
+// connections nobody is using. Neither bounds response writes, so
+// long-lived streams (SSE, pprof profiles) are unaffected.
+const (
+	ReadHeaderTimeout = 10 * time.Second
+	IdleTimeout       = 2 * time.Minute
+)
+
 // OpsServer is the opt-in operations endpoint every CLI mounts behind
 // -ops <addr>: Prometheus metrics, a health probe, a live campaign
 // progress snapshot, and the stdlib pprof handlers — the exact surface
-// the xmrobustd daemon will serve.
+// the xmrobustd daemon serves on its own mux via Mount.
 type OpsServer struct {
-	ln    net.Listener
-	srv   *http.Server
-	start time.Time
+	ln  net.Listener
+	srv *http.Server
 }
 
-// ListenAndServe starts the ops server on addr (":9090",
-// "127.0.0.1:0") serving o's registry and progress tracker, and
-// returns once the listener is bound. Serving runs in a background
-// goroutine until Close.
-func ListenAndServe(addr string, o *Obs) (*OpsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &OpsServer{ln: ln, start: time.Now()}
-
-	mux := http.NewServeMux()
+// Mount registers the ops surface — /metrics, /healthz, /progress and
+// the /debug/pprof handlers — on mux, serving o's registry and
+// progress tracker. ListenAndServe uses it for the standalone -ops
+// server; xmrobustd mounts the same surface on its API mux.
+func Mount(mux *http.ServeMux, o *Obs) {
+	start := time.Now()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.Registry().WriteProm(w)
@@ -38,7 +43,7 @@ func ListenAndServe(addr string, o *Obs) (*OpsServer, error) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
 			"status":     "ok",
-			"uptime_sec": time.Since(s.start).Seconds(),
+			"uptime_sec": time.Since(start).Seconds(),
 		})
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
@@ -50,8 +55,24 @@ func ListenAndServe(addr string, o *Obs) (*OpsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
-	s.srv = &http.Server{Handler: mux}
+// ListenAndServe starts the ops server on addr (":9090",
+// "127.0.0.1:0") serving o's registry and progress tracker, and
+// returns once the listener is bound. Serving runs in a background
+// goroutine until Close or Shutdown.
+func ListenAndServe(addr string, o *Obs) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	Mount(mux, o)
+	s := &OpsServer{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		IdleTimeout:       IdleTimeout,
+	}}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -64,11 +85,24 @@ func (s *OpsServer) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the server down, closing the listener and any open
-// connections.
+// Close shuts the server down immediately, closing the listener and
+// any open connections mid-response. Signal paths that can afford a
+// bounded wait should prefer Shutdown.
 func (s *OpsServer) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops accepting connections and drains in-flight requests,
+// returning when they finish or ctx expires (then open connections are
+// cut, as Close would) — the same stop-accepting-then-drain semantics
+// remote.Server.Shutdown gives workers. A scrape caught mid-response
+// by a signal completes instead of seeing a reset connection.
+func (s *OpsServer) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,7 +25,7 @@ const Name = "remote"
 func init() {
 	target.Register(Name,
 		"execute on xmworker processes over TCP: remote:<addr>[,<addr>...]",
-		func(arg string, cfg target.Config) (target.Target, error) { return newClient(arg, cfg.Obs) })
+		func(arg string, cfg target.Config) (target.Target, error) { return newClient(arg, cfg) })
 }
 
 // Tunables of the fan-out client. The window bounds pipelined leases per
@@ -59,6 +60,12 @@ type client struct {
 	addrs  []string
 	header *apispec.Header
 	codec  campaign.Codec
+	// ctx is the campaign's cancellation context (target.Config.Ctx).
+	// Once done, in-flight round trips abandon their wait — the worker
+	// may still execute the lease, but nobody listens — and exec returns
+	// Aborted results the engine discards instead of logging. Never nil
+	// (Background when the campaign runs uncancellable).
+	ctx context.Context
 
 	next   atomic.Uint64 // round-robin cursor over addrs
 	nextID atomic.Uint64 // request IDs, unique across connections
@@ -94,7 +101,7 @@ type workerConn struct {
 	downErr error
 }
 
-func newClient(arg string, o *obs.Obs) (*client, error) {
+func newClient(arg string, cfg target.Config) (*client, error) {
 	var addrs []string
 	for _, a := range strings.Split(arg, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -108,12 +115,17 @@ func newClient(arg string, o *obs.Obs) (*client, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &client{
 		spec:   Name + ":" + strings.Join(addrs, ","),
 		addrs:  addrs,
 		header: apispec.Default(),
 		codec:  codec,
-		met:    obs.NewRemoteMetrics(o.Registry()),
+		ctx:    ctx,
+		met:    obs.NewRemoteMetrics(cfg.Obs.Registry()),
 		conns:  make([]*workerConn, len(addrs)),
 		dial:   make([]dialState, len(addrs)),
 	}, nil
@@ -192,6 +204,12 @@ func (c *client) exec(batch []testgen.Dataset, spec target.RunSpec) []target.Res
 	}
 	var lastErr error
 	for attempt := 0; attempt < execAttempts; attempt++ {
+		if err := c.ctx.Err(); err != nil {
+			// The campaign is cancelled: abandon the lease. Aborted
+			// results are discarded by the engine — the positions stay
+			// pending and re-execute on resume.
+			return abortedResults(batch, err)
+		}
 		wc, err := c.pick()
 		if err != nil {
 			lastErr = err
@@ -200,7 +218,10 @@ func (c *client) exec(batch []testgen.Dataset, spec target.RunSpec) []target.Res
 			continue
 		}
 		req.ID = c.nextID.Add(1)
-		payload, err := wc.roundTrip(req.ID, encodeJSON(req))
+		payload, err := wc.roundTrip(c.ctx, req.ID, encodeJSON(req))
+		if c.ctx.Err() != nil && payload == nil {
+			return abortedResults(batch, c.ctx.Err())
+		}
 		if errors.Is(err, errConnDown) {
 			// The worker died with our lease in flight: hand it to the
 			// next one. Anything it already executed re-executes there,
@@ -369,9 +390,15 @@ func (wc *workerConn) readLoop() {
 
 // roundTrip sends one request frame and waits for its response payload,
 // respecting the in-flight window. errConnDown failures are retryable
-// on another connection.
-func (wc *workerConn) roundTrip(id uint64, frame []byte) ([]byte, error) {
-	wc.window <- struct{}{}
+// on another connection; a done ctx abandons the wait (the connection
+// stays healthy — the worker's eventual response is dropped by the
+// demultiplexer, whose pending entry is removed here).
+func (wc *workerConn) roundTrip(ctx context.Context, id uint64, frame []byte) ([]byte, error) {
+	select {
+	case wc.window <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	wc.met.Inflight.Add(1)
 	defer func() {
 		wc.met.Inflight.Add(-1)
@@ -399,14 +426,21 @@ func (wc *workerConn) roundTrip(id uint64, frame []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s: %v", errConnDown, wc.addr, err)
 	}
 
-	payload, ok := <-ch
-	if !ok {
+	select {
+	case payload, ok := <-ch:
+		if !ok {
+			wc.pmu.Lock()
+			err := wc.downErr
+			wc.pmu.Unlock()
+			return nil, err
+		}
+		return payload, nil
+	case <-ctx.Done():
 		wc.pmu.Lock()
-		err := wc.downErr
+		delete(wc.pending, id)
 		wc.pmu.Unlock()
-		return nil, err
+		return nil, ctx.Err()
 	}
-	return payload, nil
 }
 
 // decodeResults turns a response payload back into execution logs, in
@@ -445,6 +479,17 @@ func (c *client) decodeResults(payload []byte, batch []testgen.Dataset) ([]targe
 		rest = rest[j+1:]
 	}
 	return results, nil
+}
+
+// abortedResults marks every test of a cancelled lease Aborted — the
+// engine discards them instead of logging, so the positions stay
+// unmarked in the checkpoint and re-execute on resume.
+func abortedResults(batch []testgen.Dataset, err error) []target.Result {
+	out := make([]target.Result, 0, len(batch))
+	for _, ds := range batch {
+		out = append(out, target.Result{Dataset: ds, RunErr: err.Error(), Aborted: true})
+	}
+	return out
 }
 
 // errResults fails every test of a lease with the transport error — the

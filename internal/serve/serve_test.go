@@ -1,0 +1,406 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"xmrobust/internal/campaign"
+	"xmrobust/internal/inject"
+	"xmrobust/internal/serve"
+)
+
+// newService starts a campaign service over httptest.
+func newService(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// submit POSTs a submission and decodes the created status.
+func submit(t *testing.T, base string, sub serve.Submission) serve.Status {
+	t.Helper()
+	st, code := trySubmit(t, base, sub)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /v1/campaigns: status %d", code)
+	}
+	return st
+}
+
+func trySubmit(t *testing.T, base string, sub serve.Submission) (serve.Status, int) {
+	t.Helper()
+	body, _ := json.Marshal(sub)
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Status
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// getStatus fetches one campaign's status.
+func getStatus(t *testing.T, base, id string) serve.Status {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET campaign %s: status %d", id, resp.StatusCode)
+	}
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitFor polls the campaign until cond holds (fatal after 60s).
+func waitFor(t *testing.T, base, id string, cond func(serve.Status) bool) serve.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := getStatus(t, base, id)
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never reached the awaited condition (state %s, %d/%d)",
+				id, st.State, st.Executed, st.Total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// readSSE consumes a Server-Sent Events body, invoking fn per event
+// until fn returns false or the stream ends.
+func readSSE(t *testing.T, r io.Reader, fn func(kind string, data []byte) bool) {
+	t.Helper()
+	br := bufio.NewReaderSize(r, 1<<20)
+	var kind string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if !fn(kind, []byte(strings.TrimPrefix(line, "data: "))) {
+				return
+			}
+		}
+	}
+}
+
+// collectStream subscribes to a campaign's event stream and collects
+// every record line (keyed by seq) until the end event.
+func collectStream(t *testing.T, base, id string) (map[int][]byte, serve.Status) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	records := map[int][]byte{}
+	var last serve.Status
+	ended := false
+	readSSE(t, resp.Body, func(kind string, data []byte) bool {
+		switch kind {
+		case "record":
+			var hdr struct {
+				Seq int `json:"seq"`
+			}
+			if err := json.Unmarshal(data, &hdr); err != nil {
+				t.Fatalf("record event is not a JSON record: %v\n%s", err, data)
+			}
+			if prev, dup := records[hdr.Seq]; dup && !bytes.Equal(prev, data) {
+				t.Fatalf("seq %d delivered twice with different bytes", hdr.Seq)
+			}
+			records[hdr.Seq] = append([]byte(nil), data...)
+		case "status":
+			if err := json.Unmarshal(data, &last); err != nil {
+				t.Fatal(err)
+			}
+		case "end":
+			ended = true
+			return false
+		}
+		return true
+	})
+	if !ended {
+		t.Fatal("event stream closed without an end event")
+	}
+	return records, last
+}
+
+// mergeRecords renders collected stream records as the campaign-order
+// JSON Lines log.
+func mergeRecords(records map[int][]byte) []byte {
+	seqs := make([]int, 0, len(records))
+	for seq := range records {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	var buf bytes.Buffer
+	for _, seq := range seqs {
+		buf.Write(records[seq])
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// getLog fetches the merged campaign log over HTTP.
+func getLog(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/campaigns/" + id + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// libraryRun executes the same campaign through the engine directly and
+// returns its merged log — the reference the HTTP path must match byte
+// for byte.
+func libraryRun(t *testing.T, opts campaign.Options, eo campaign.EngineOptions) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	plan, ropts, err := campaign.BuildPlan(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := plan.(io.Closer); ok {
+		defer c.Close()
+	}
+	eo.Options = ropts
+	eo.ShardDir = dir
+	eo.CheckpointPath = filepath.Join(dir, "checkpoint.jsonl")
+	if _, err := campaign.StreamPlan(plan, eo, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := campaign.MergeShards(dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServiceStreamMatchesLibrary is the tentpole invariant: a
+// fixed-seed inject:sim campaign submitted over HTTP, with an SSE
+// subscriber attached mid-run, yields an event stream whose records —
+// replayed ones and live ones alike — reassemble into exactly the
+// merged log, which in turn is byte-identical to the library run.
+func TestServiceStreamMatchesLibrary(t *testing.T) {
+	_, ts := newService(t, serve.Config{})
+	sub := serve.Submission{
+		Plan: "rand:600", Target: "inject:sim", Seed: 7,
+		Workers: 2, Codec: "raw", InjectRate: 0.5,
+	}
+	st := submit(t, ts.URL, sub)
+	if st.State != serve.StateQueued && st.State != serve.StateRunning {
+		t.Fatalf("fresh campaign in state %s", st.State)
+	}
+	if st.Total != 600 {
+		t.Fatalf("campaign total %d, want 600", st.Total)
+	}
+
+	// Attach the subscriber mid-run when the pacing allows: some
+	// records then arrive by shard replay, the rest live. (On a machine
+	// fast enough to finish first, the stream is pure replay — the
+	// byte-identity claim is the same.)
+	waitFor(t, ts.URL, st.ID, func(s serve.Status) bool {
+		return s.Executed > 0 || s.State.Terminal()
+	})
+	records, last := collectStream(t, ts.URL, st.ID)
+	if last.State != serve.StateDone {
+		t.Fatalf("campaign ended %s (%s)", last.State, last.Error)
+	}
+	if len(records) != 600 {
+		t.Fatalf("stream delivered %d distinct records, want 600", len(records))
+	}
+
+	streamLog := mergeRecords(records)
+	httpLog := getLog(t, ts.URL, st.ID)
+	if !bytes.Equal(streamLog, httpLog) {
+		t.Fatal("SSE stream records differ from the merged log")
+	}
+	refLog := libraryRun(t, campaign.Options{
+		Plan: "rand:600", Target: "inject:sim", Seed: 7,
+		Workers: 2, Inject: inject.Params{Rate: 0.5},
+	}, campaign.EngineOptions{Codec: "raw"})
+	if !bytes.Equal(httpLog, refLog) {
+		t.Fatal("HTTP campaign log differs from the library run")
+	}
+}
+
+// TestServiceCancelThenResume: DELETE mid-run cancels the campaign,
+// leaving a checkpoint in the campaign directory from which an
+// ordinary engine resume replays the balance — merged log
+// byte-identical to an uninterrupted run.
+func TestServiceCancelThenResume(t *testing.T) {
+	_, ts := newService(t, serve.Config{})
+	sub := serve.Submission{Plan: "rand:4000", Target: "sim", Seed: 11, Workers: 2}
+	st := submit(t, ts.URL, sub)
+
+	waitFor(t, ts.URL, st.ID, func(s serve.Status) bool { return s.Executed >= 20 })
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	final := waitFor(t, ts.URL, st.ID, func(s serve.Status) bool { return s.State.Terminal() })
+	if final.State != serve.StateCanceled {
+		t.Fatalf("cancelled campaign settled as %s (%s)", final.State, final.Error)
+	}
+	if final.Executed >= final.Total {
+		t.Fatal("campaign ran to completion; DELETE cancelled nothing")
+	}
+
+	// Resume the service's campaign directory through the engine.
+	opts := campaign.Options{Plan: "rand:4000", Target: "sim", Seed: 11, Workers: 2}
+	plan, ropts, err := campaign.BuildPlan(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := campaign.EngineOptions{
+		Options:        ropts,
+		ShardDir:       final.Dir,
+		CheckpointPath: filepath.Join(final.Dir, "checkpoint.jsonl"),
+		Resume:         true,
+	}
+	stats, err := campaign.StreamPlan(plan, eo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped == 0 || stats.Executed == 0 {
+		t.Fatalf("resume skipped %d / executed %d — the cancel left no usable checkpoint",
+			stats.Skipped, stats.Executed)
+	}
+	var resumed bytes.Buffer
+	if _, err := campaign.MergeShards(final.Dir, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	ref := libraryRun(t, opts, campaign.EngineOptions{})
+	if !bytes.Equal(resumed.Bytes(), ref) {
+		t.Fatal("cancelled-then-resumed merged log differs from the uninterrupted run")
+	}
+}
+
+// TestServiceQueueLimit: a client past its live-campaign budget gets
+// 429 until one of its campaigns settles.
+func TestServiceQueueLimit(t *testing.T) {
+	_, ts := newService(t, serve.Config{MaxPerClient: 1})
+	sub := serve.Submission{Plan: "rand:50000", Target: "sim", Seed: 1, Workers: 2, Client: "ci"}
+	st := submit(t, ts.URL, sub)
+
+	if _, code := trySubmit(t, ts.URL, sub); code != http.StatusTooManyRequests {
+		t.Fatalf("second live submission: status %d, want 429", code)
+	}
+	// Another client is unaffected by the first one's budget.
+	other := sub
+	other.Client = "someone-else"
+	other.Plan = "rand:2"
+	st2, code := trySubmit(t, ts.URL, other)
+	if code != http.StatusCreated {
+		t.Fatalf("other client's submission: status %d, want 201", code)
+	}
+	waitFor(t, ts.URL, st2.ID, func(s serve.Status) bool { return s.State.Terminal() })
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitFor(t, ts.URL, st.ID, func(s serve.Status) bool { return s.State.Terminal() })
+	// The slot freed: the same client may submit again.
+	st3, code := trySubmit(t, ts.URL, serve.Submission{Plan: "rand:2", Target: "sim", Client: "ci"})
+	if code != http.StatusCreated {
+		t.Fatalf("post-settle submission: status %d, want 201", code)
+	}
+	waitFor(t, ts.URL, st3.ID, func(s serve.Status) bool { return s.State.Terminal() })
+}
+
+// TestServiceDrain: Shutdown cancels live campaigns (resumably) and
+// refuses new submissions with 503.
+func TestServiceDrain(t *testing.T) {
+	s, ts := newService(t, serve.Config{})
+	sub := serve.Submission{Plan: "rand:4000", Target: "sim", Seed: 3, Workers: 2}
+	st := submit(t, ts.URL, sub)
+	waitFor(t, ts.URL, st.ID, func(s serve.Status) bool { return s.Executed >= 10 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	final := getStatus(t, ts.URL, st.ID)
+	if final.State != serve.StateCanceled {
+		t.Fatalf("drained campaign settled as %s", final.State)
+	}
+	if _, code := trySubmit(t, ts.URL, serve.Submission{Plan: "rand:2"}); code != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: status %d, want 503", code)
+	}
+}
+
+// TestServiceValidation: bad specifications are 400 at submission.
+func TestServiceValidation(t *testing.T) {
+	_, ts := newService(t, serve.Config{})
+	for _, sub := range []serve.Submission{
+		{Plan: "bogus:plan"},
+		{Target: "bogus"},
+		{Codec: "bogus"},
+		{Target: "inject:sim", InjectRate: 2},
+	} {
+		if _, code := trySubmit(t, ts.URL, sub); code != http.StatusBadRequest {
+			t.Errorf("submission %+v: status %d, want 400", sub, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaigns/c999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign: status %d, want 404", resp.StatusCode)
+	}
+}

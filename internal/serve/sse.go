@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// event is one item of a campaign's live stream. Record events carry
+// the campaign position (Seq >= 0) so subscribers replaying shard files
+// can drop the live copies of records they already saw; every other
+// kind carries Seq -1.
+type event struct {
+	kind string // "status", "record", "progress", "end"
+	data []byte
+	seq  int
+}
+
+// subscriber buffer: a consumer this many events behind the campaign is
+// cut off (it resubscribes and replays from the shard files) rather
+// than allowed to backpressure the engine's collector goroutine.
+const subscriberBuffer = 4096
+
+// hub fans a campaign's event stream out to its SSE subscribers.
+// Broadcast never blocks: a subscriber whose buffer is full is dropped
+// (its channel closes, and the handler tells it to resubscribe — the
+// shard replay path makes reconnection lossless). After close,
+// subscribe returns an already-closed channel, so late subscribers fall
+// straight through to the replay-then-end path.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan event]bool
+	closed bool
+}
+
+func newHub() *hub { return &hub{subs: map[chan event]bool{}} }
+
+// subscribe registers a new subscriber channel. On a closed hub the
+// returned channel is already closed.
+func (h *hub) subscribe() chan event {
+	ch := make(chan event, subscriberBuffer)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+	} else {
+		h.subs[ch] = true
+	}
+	h.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes a subscriber (idempotent; safe after a drop).
+func (h *hub) unsubscribe(ch chan event) {
+	h.mu.Lock()
+	if h.subs[ch] {
+		delete(h.subs, ch)
+		close(ch)
+	}
+	h.mu.Unlock()
+}
+
+// broadcast delivers ev to every subscriber, dropping any whose buffer
+// is full.
+func (h *hub) broadcast(ev event) {
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close ends the stream: every subscriber channel closes after the
+// events already buffered, and future subscribers get a closed channel.
+func (h *hub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		for ch := range h.subs {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// sseWriter frames events as Server-Sent Events on one response.
+// Event data is always a single line (campaign records never contain
+// newlines), so each event is exactly "event: <kind>\ndata: <data>\n\n".
+type sseWriter struct {
+	bw    *bufio.Writer
+	flush http.Flusher
+}
+
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, bool) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	return &sseWriter{bw: bufio.NewWriter(w), flush: f}, true
+}
+
+// send writes one framed event and flushes it to the client.
+func (w *sseWriter) send(kind string, data []byte) error {
+	if _, err := fmt.Fprintf(w.bw, "event: %s\ndata: %s\n\n", kind, data); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.flush.Flush()
+	return nil
+}

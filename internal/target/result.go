@@ -51,6 +51,13 @@ type Result struct {
 	// RunErr records an unexpected harness error ("" normally).
 	RunErr string
 
+	// Aborted marks a result whose execution was abandoned mid-flight by
+	// context cancellation (the remote client unblocking an in-flight
+	// lease). Aborted results never describe kernel behaviour: the engine
+	// discards them instead of logging or checkpointing, so the position
+	// re-executes on resume. The field is never serialised.
+	Aborted bool
+
 	// Cover is the kernel edge coverage of the run (nil unless
 	// RunSpec.Coverage was on and the backend collects it).
 	Cover *cover.Map

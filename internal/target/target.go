@@ -31,6 +31,7 @@
 package target
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -146,6 +147,12 @@ type Config struct {
 	// with the campaign's observability spine. Nil — the default — costs
 	// instrumented backends one nil check per event.
 	Obs *obs.Obs
+	// Ctx, when non-nil, is the campaign's cancellation context. Local
+	// backends finish the test in hand regardless (a single test is
+	// short); the remote client uses it to abandon in-flight leases
+	// instead of waiting out a slow worker, returning Aborted results the
+	// engine discards. Nil: executions never abort.
+	Ctx context.Context
 }
 
 // Factory builds a target from the text after ":" in its spec ("" when

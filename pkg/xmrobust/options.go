@@ -1,6 +1,7 @@
 package xmrobust
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -219,6 +220,14 @@ func WithStore(s Store) Option { return func(c *config) { c.eng.Store = s } }
 // the hot path at one nil check per event (pinned by
 // BenchmarkObsOverhead).
 func WithObs(o *Obs) Option { return func(c *config) { c.eng.Obs = o } }
+
+// WithContext arms cooperative cancellation: once ctx is done the
+// engine stops issuing work, in-flight tests finish (remote leases are
+// abandoned), shards flush, and Run returns ctx's error — with
+// WithCheckpoint the interrupted campaign is durable, and WithResume
+// replays it to a byte-identical merged log. A nil ctx (the default)
+// runs the campaign to completion unconditionally.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.eng.Ctx = ctx } }
 
 // WithLeaseTTL arms the coordinator's deadline-based lease reclaim:
 // a leased range not completed within d is re-issued to another worker.
